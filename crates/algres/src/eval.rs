@@ -1,0 +1,881 @@
+//! Evaluator for the extended relational algebra.
+
+use rustc_hash::FxHashMap;
+
+use logres_model::{Sym, Value};
+
+use crate::error::AlgError;
+use crate::expr::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred, Scalar};
+use crate::relation::Relation;
+
+/// Upper bound on fixpoint rounds; exceeded means divergence is reported
+/// rather than looping forever (the underlying language cannot guarantee
+/// termination — Appendix B).
+pub const MAX_FIXPOINT_STEPS: usize = 1_000_000;
+
+/// Named relations visible to an expression.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    rels: FxHashMap<Sym, Relation>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Bind (or rebind) a relation.
+    pub fn bind(&mut self, name: impl Into<Sym>, rel: Relation) {
+        self.rels.insert(name.into(), rel);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: Sym) -> Option<&Relation> {
+        self.rels.get(&name)
+    }
+}
+
+/// Evaluate an expression.
+pub fn eval(expr: &AlgExpr, env: &Env) -> Result<Relation, AlgError> {
+    match expr {
+        AlgExpr::Rel(name) => env
+            .get(*name)
+            .cloned()
+            .ok_or(AlgError::UnknownRelation(*name)),
+        AlgExpr::Const(rel) => Ok(rel.clone()),
+        AlgExpr::Select { input, pred } => {
+            let rel = eval(input, env)?;
+            let mut out = Relation::new(rel.cols().to_vec());
+            for t in rel.iter() {
+                if eval_pred(pred, t)? {
+                    out.insert(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Project { input, cols } => {
+            let rel = eval(input, env)?;
+            for c in cols {
+                if !rel.has_col(*c) {
+                    return Err(AlgError::UnknownColumn {
+                        rel: format!("{:?}", rel.cols()),
+                        col: *c,
+                    });
+                }
+            }
+            let mut out = Relation::new(cols.clone());
+            for t in rel.iter() {
+                let fields: Vec<(Sym, Value)> = cols
+                    .iter()
+                    .map(|c| (*c, t.field(*c).expect("checked column").clone()))
+                    .collect();
+                out.insert(Value::tuple(fields));
+            }
+            Ok(out)
+        }
+        AlgExpr::Rename { input, from, to } => {
+            let rel = eval(input, env)?;
+            if !rel.has_col(*from) {
+                return Err(AlgError::UnknownColumn {
+                    rel: format!("{:?}", rel.cols()),
+                    col: *from,
+                });
+            }
+            let cols: Vec<Sym> = rel
+                .cols()
+                .iter()
+                .map(|c| if c == from { *to } else { *c })
+                .collect();
+            let mut out = Relation::new(cols);
+            for t in rel.iter() {
+                let fields: Vec<(Sym, Value)> = t
+                    .as_tuple()
+                    .expect("relation rows are tuples")
+                    .iter()
+                    .map(|(l, v)| (if l == from { *to } else { *l }, v.clone()))
+                    .collect();
+                out.insert(Value::tuple(fields));
+            }
+            Ok(out)
+        }
+        AlgExpr::Product { left, right } => {
+            let (l, r) = (eval(left, env)?, eval(right, env)?);
+            let overlap: Vec<Sym> = l
+                .cols()
+                .iter()
+                .filter(|c| r.has_col(**c))
+                .copied()
+                .collect();
+            if !overlap.is_empty() {
+                return Err(AlgError::OverlappingColumns(overlap));
+            }
+            let mut cols = l.cols().to_vec();
+            cols.extend_from_slice(r.cols());
+            let mut out = Relation::new(cols);
+            for lt in l.iter() {
+                for rt in r.iter() {
+                    let mut fields = lt.as_tuple().expect("tuple").to_vec();
+                    fields.extend(rt.as_tuple().expect("tuple").iter().cloned());
+                    out.insert(Value::tuple(fields));
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Join { left, right } => {
+            let (l, r) = (eval(left, env)?, eval(right, env)?);
+            let shared: Vec<Sym> = l
+                .cols()
+                .iter()
+                .filter(|c| r.has_col(**c))
+                .copied()
+                .collect();
+            let right_only: Vec<Sym> = r
+                .cols()
+                .iter()
+                .filter(|c| !l.has_col(**c))
+                .copied()
+                .collect();
+            let mut cols = l.cols().to_vec();
+            cols.extend(right_only.iter().copied());
+            let mut out = Relation::new(cols);
+            // Hash join on the shared columns.
+            let key = |t: &Value, cols: &[Sym]| -> Vec<Value> {
+                cols.iter()
+                    .map(|c| t.field(*c).expect("shared column").clone())
+                    .collect()
+            };
+            let mut table: FxHashMap<Vec<Value>, Vec<&Value>> = FxHashMap::default();
+            for rt in r.iter() {
+                table.entry(key(rt, &shared)).or_default().push(rt);
+            }
+            for lt in l.iter() {
+                if let Some(matches) = table.get(&key(lt, &shared)) {
+                    for rt in matches {
+                        let mut fields = lt.as_tuple().expect("tuple").to_vec();
+                        for c in &right_only {
+                            fields.push((*c, rt.field(*c).expect("column").clone()));
+                        }
+                        out.insert(Value::tuple(fields));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Union { left, right } => {
+            let (l, r) = (eval(left, env)?, eval(right, env)?);
+            check_same_cols(&l, &r)?;
+            let mut out = l;
+            // Align field order by reconstructing through labels.
+            for t in r.iter() {
+                out.insert(t.clone());
+            }
+            Ok(out)
+        }
+        AlgExpr::Diff { left, right } => {
+            let (l, r) = (eval(left, env)?, eval(right, env)?);
+            check_same_cols(&l, &r)?;
+            let mut out = Relation::new(l.cols().to_vec());
+            for t in l.iter() {
+                if !r.contains(t) {
+                    out.insert(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Intersect { left, right } => {
+            let (l, r) = (eval(left, env)?, eval(right, env)?);
+            check_same_cols(&l, &r)?;
+            let mut out = Relation::new(l.cols().to_vec());
+            for t in l.iter() {
+                if r.contains(t) {
+                    out.insert(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::SemiJoin { left, right } | AlgExpr::AntiJoin { left, right } => {
+            let keep_matches = matches!(expr, AlgExpr::SemiJoin { .. });
+            let (l, r) = (eval(left, env)?, eval(right, env)?);
+            let shared: Vec<Sym> = l
+                .cols()
+                .iter()
+                .filter(|c| r.has_col(**c))
+                .copied()
+                .collect();
+            let key = |t: &Value| -> Vec<Value> {
+                shared
+                    .iter()
+                    .map(|c| t.field(*c).expect("shared column").clone())
+                    .collect()
+            };
+            let right_keys: rustc_hash::FxHashSet<Vec<Value>> =
+                r.iter().map(key).collect();
+            let mut out = Relation::new(l.cols().to_vec());
+            for t in l.iter() {
+                // With no shared columns the right side acts as an
+                // existence test on its emptiness.
+                let matched = if shared.is_empty() {
+                    !r.is_empty()
+                } else {
+                    right_keys.contains(&key(t))
+                };
+                if matched == keep_matches {
+                    out.insert(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Extend { input, col, value } => {
+            let rel = eval(input, env)?;
+            let mut cols = rel.cols().to_vec();
+            cols.push(*col);
+            let mut out = Relation::new(cols);
+            for t in rel.iter() {
+                let v = eval_scalar(value, t)?;
+                let mut fields = t.as_tuple().expect("tuple").to_vec();
+                fields.push((*col, v));
+                out.insert(Value::tuple(fields));
+            }
+            Ok(out)
+        }
+        AlgExpr::Nest { input, cols, into } => {
+            let rel = eval(input, env)?;
+            let group_cols: Vec<Sym> = rel
+                .cols()
+                .iter()
+                .filter(|c| !cols.contains(c))
+                .copied()
+                .collect();
+            let mut groups: FxHashMap<Vec<Value>, Vec<Value>> = FxHashMap::default();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for t in rel.iter() {
+                let key: Vec<Value> = group_cols
+                    .iter()
+                    .map(|c| {
+                        t.field(*c).cloned().ok_or(AlgError::UnknownColumn {
+                            rel: format!("{:?}", rel.cols()),
+                            col: *c,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let elem = if cols.len() == 1 {
+                    t.field(cols[0])
+                        .cloned()
+                        .ok_or(AlgError::UnknownColumn {
+                            rel: format!("{:?}", rel.cols()),
+                            col: cols[0],
+                        })?
+                } else {
+                    Value::tuple(
+                        cols.iter()
+                            .map(|c| {
+                                Ok((
+                                    *c,
+                                    t.field(*c)
+                                        .cloned()
+                                        .ok_or(AlgError::UnknownColumn {
+                                            rel: format!("{:?}", rel.cols()),
+                                            col: *c,
+                                        })?,
+                                ))
+                            })
+                            .collect::<Result<Vec<_>, AlgError>>()?,
+                    )
+                };
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(elem);
+            }
+            let mut out_cols = group_cols.clone();
+            out_cols.push(*into);
+            let mut out = Relation::new(out_cols);
+            for key in order {
+                let elems = groups.remove(&key).expect("group exists");
+                let mut fields: Vec<(Sym, Value)> = group_cols
+                    .iter()
+                    .cloned()
+                    .zip(key)
+                    .collect();
+                fields.push((*into, Value::set(elems)));
+                out.insert(Value::tuple(fields));
+            }
+            Ok(out)
+        }
+        AlgExpr::Unnest { input, col } => {
+            let rel = eval(input, env)?;
+            if !rel.has_col(*col) {
+                return Err(AlgError::UnknownColumn {
+                    rel: format!("{:?}", rel.cols()),
+                    col: *col,
+                });
+            }
+            let mut out = Relation::new(rel.cols().to_vec());
+            for t in rel.iter() {
+                let coll = t.field(*col).expect("checked column");
+                let elems = coll
+                    .elements()
+                    .ok_or(AlgError::NotACollection(*col))?;
+                for e in elems {
+                    let fields: Vec<(Sym, Value)> = t
+                        .as_tuple()
+                        .expect("tuple")
+                        .iter()
+                        .map(|(l, v)| {
+                            if l == col {
+                                (*l, e.clone())
+                            } else {
+                                (*l, v.clone())
+                            }
+                        })
+                        .collect();
+                    out.insert(Value::tuple(fields));
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Aggregate {
+            input,
+            group,
+            agg,
+            on,
+            into,
+        } => {
+            let rel = eval(input, env)?;
+            let mut groups: FxHashMap<Vec<Value>, Vec<Value>> = FxHashMap::default();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for t in rel.iter() {
+                let key: Vec<Value> = group
+                    .iter()
+                    .map(|c| {
+                        t.field(*c).cloned().ok_or(AlgError::UnknownColumn {
+                            rel: format!("{:?}", rel.cols()),
+                            col: *c,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let v = t.field(*on).cloned().ok_or(AlgError::UnknownColumn {
+                    rel: format!("{:?}", rel.cols()),
+                    col: *on,
+                })?;
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(v);
+            }
+            let mut out_cols = group.clone();
+            out_cols.push(*into);
+            let mut out = Relation::new(out_cols);
+            for key in order {
+                let vals = groups.remove(&key).expect("group exists");
+                let agg_v = apply_agg(*agg, &vals)?;
+                let mut fields: Vec<(Sym, Value)> =
+                    group.iter().cloned().zip(key).collect();
+                fields.push((*into, agg_v));
+                out.insert(Value::tuple(fields));
+            }
+            Ok(out)
+        }
+        AlgExpr::Fixpoint {
+            rec,
+            base,
+            step,
+            mode,
+        } => {
+            let base_rel = eval(base, env)?;
+            let linear = step.count_refs(*rec) <= 1;
+            match (mode, linear) {
+                (FixpointMode::Delta, true) => fixpoint_delta(*rec, base_rel, step, env),
+                // Non-linear steps are evaluated naively even in Delta mode
+                // (semi-naive needs the full mixed delta there).
+                _ => fixpoint_naive(*rec, base_rel, step, env),
+            }
+        }
+    }
+}
+
+fn check_same_cols(l: &Relation, r: &Relation) -> Result<(), AlgError> {
+    let mut lc: Vec<Sym> = l.cols().to_vec();
+    let mut rc: Vec<Sym> = r.cols().to_vec();
+    lc.sort();
+    rc.sort();
+    if lc != rc {
+        return Err(AlgError::SchemaMismatch {
+            left: l.cols().to_vec(),
+            right: r.cols().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+fn fixpoint_naive(
+    rec: Sym,
+    base: Relation,
+    step: &AlgExpr,
+    env: &Env,
+) -> Result<Relation, AlgError> {
+    let mut acc = base;
+    let mut env = env.clone();
+    for _ in 0..MAX_FIXPOINT_STEPS {
+        env.bind(rec, acc.clone());
+        let new = eval(step, &env)?;
+        if acc.extend_from(&new) == 0 {
+            return Ok(acc);
+        }
+    }
+    Err(AlgError::FixpointDiverged {
+        steps: MAX_FIXPOINT_STEPS,
+    })
+}
+
+fn fixpoint_delta(
+    rec: Sym,
+    base: Relation,
+    step: &AlgExpr,
+    env: &Env,
+) -> Result<Relation, AlgError> {
+    let mut acc = base.clone();
+    let mut delta = base;
+    let mut env = env.clone();
+    for _ in 0..MAX_FIXPOINT_STEPS {
+        if delta.is_empty() {
+            return Ok(acc);
+        }
+        env.bind(rec, delta.clone());
+        let derived = eval(step, &env)?;
+        let mut fresh = Relation::new(acc.cols().to_vec());
+        for t in derived.iter() {
+            if !acc.contains(t) {
+                fresh.insert(t.clone());
+            }
+        }
+        acc.extend_from(&fresh);
+        delta = fresh;
+    }
+    Err(AlgError::FixpointDiverged {
+        steps: MAX_FIXPOINT_STEPS,
+    })
+}
+
+/// Evaluate a scalar against a tuple.
+pub fn eval_scalar(s: &Scalar, tuple: &Value) -> Result<Value, AlgError> {
+    match s {
+        Scalar::Col(c) => tuple.field(*c).cloned().ok_or(AlgError::UnknownColumn {
+            rel: tuple.to_string(),
+            col: *c,
+        }),
+        Scalar::Const(v) => Ok(v.clone()),
+        Scalar::Add(a, b) => int_op(a, b, tuple, |x, y| x.checked_add(y)),
+        Scalar::Sub(a, b) => int_op(a, b, tuple, |x, y| x.checked_sub(y)),
+        Scalar::Mul(a, b) => int_op(a, b, tuple, |x, y| x.checked_mul(y)),
+        Scalar::Div(a, b) => int_op(a, b, tuple, |x, y| x.checked_div(y)),
+        Scalar::Tuple(fs) => {
+            let mut fields = Vec::new();
+            for (l, e) in fs {
+                fields.push((*l, eval_scalar(e, tuple)?));
+            }
+            Ok(Value::tuple(fields))
+        }
+        Scalar::Field(e, l) => {
+            let v = eval_scalar(e, tuple)?;
+            v.field(*l)
+                .cloned()
+                .ok_or_else(|| AlgError::BadValue(format!("no field `{l}` in {v}")))
+        }
+    }
+}
+
+fn int_op(
+    a: &Scalar,
+    b: &Scalar,
+    tuple: &Value,
+    f: impl Fn(i64, i64) -> Option<i64>,
+) -> Result<Value, AlgError> {
+    let (x, y) = (eval_scalar(a, tuple)?, eval_scalar(b, tuple)?);
+    match (x.as_int(), y.as_int()) {
+        (Some(x), Some(y)) => f(x, y)
+            .map(Value::Int)
+            .ok_or_else(|| AlgError::BadValue("integer overflow or division by zero".into())),
+        _ => Err(AlgError::BadValue(format!(
+            "arithmetic on non-integers: {x}, {y}"
+        ))),
+    }
+}
+
+/// Evaluate a predicate against a tuple.
+pub fn eval_pred(p: &Pred, tuple: &Value) -> Result<bool, AlgError> {
+    match p {
+        Pred::True => Ok(true),
+        Pred::Cmp(op, a, b) => {
+            let (x, y) = (eval_scalar(a, tuple)?, eval_scalar(b, tuple)?);
+            Ok(match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            })
+        }
+        Pred::In(e, coll) => {
+            let (x, c) = (eval_scalar(e, tuple)?, eval_scalar(coll, tuple)?);
+            c.contains(&x)
+                .ok_or_else(|| AlgError::BadValue(format!("`in` on non-collection {c}")))
+        }
+        Pred::And(a, b) => Ok(eval_pred(a, tuple)? && eval_pred(b, tuple)?),
+        Pred::Or(a, b) => Ok(eval_pred(a, tuple)? || eval_pred(b, tuple)?),
+        Pred::Not(i) => Ok(!eval_pred(i, tuple)?),
+    }
+}
+
+fn apply_agg(agg: AggFun, vals: &[Value]) -> Result<Value, AlgError> {
+    let ints = || -> Result<Vec<i64>, AlgError> {
+        vals.iter()
+            .map(|v| {
+                v.as_int()
+                    .ok_or_else(|| AlgError::BadValue(format!("aggregate on non-integer {v}")))
+            })
+            .collect()
+    };
+    Ok(match agg {
+        AggFun::Count => Value::Int(vals.len() as i64),
+        AggFun::Sum => Value::Int(ints()?.iter().sum()),
+        AggFun::Min => Value::Int(
+            ints()?
+                .into_iter()
+                .min()
+                .ok_or_else(|| AlgError::BadValue("min of empty group".into()))?,
+        ),
+        AggFun::Max => Value::Int(
+            ints()?
+                .into_iter()
+                .max()
+                .ok_or_else(|| AlgError::BadValue("max of empty group".into()))?,
+        ),
+        AggFun::Avg => {
+            let xs = ints()?;
+            if xs.is_empty() {
+                return Err(AlgError::BadValue("avg of empty group".into()));
+            }
+            Value::Int(xs.iter().sum::<i64>() / xs.len() as i64)
+        }
+        AggFun::CollectSet => Value::set(vals.iter().cloned()),
+        AggFun::CollectMultiset => Value::multiset(vals.iter().cloned()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(a: i64, b: i64) -> Value {
+        Value::tuple([("src", Value::Int(a)), ("dst", Value::Int(b))])
+    }
+
+    fn edges(pairs: &[(i64, i64)]) -> Relation {
+        Relation::from_rows(["src", "dst"], pairs.iter().map(|&(a, b)| edge(a, b)))
+    }
+
+    fn env_with(name: &str, rel: Relation) -> Env {
+        let mut env = Env::new();
+        env.bind(name, rel);
+        env
+    }
+
+    #[test]
+    fn select_and_project() {
+        let env = env_with("e", edges(&[(1, 2), (2, 3), (3, 1)]));
+        let expr = AlgExpr::Rel(Sym::new("e"))
+            .select(Pred::Cmp(
+                CmpOp::Gt,
+                Scalar::col("src"),
+                Scalar::Const(Value::Int(1)),
+            ))
+            .project(["dst"]);
+        let r = eval(&expr, &env).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Value::tuple([("dst", Value::Int(3))])));
+        assert!(r.contains(&Value::tuple([("dst", Value::Int(1))])));
+    }
+
+    #[test]
+    fn natural_join_composes_edges() {
+        let env = env_with("e", edges(&[(1, 2), (2, 3)]));
+        // e(src, dst) ⋈ e(dst → src', …) — rename to share the middle node.
+        let left = AlgExpr::Rel(Sym::new("e")).rename("dst", "mid");
+        let right = AlgExpr::Rel(Sym::new("e")).rename("src", "mid").rename("dst", "far");
+        let joined = left.join(right).project(["src", "far"]);
+        let r = eval(&joined, &env).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Value::tuple([
+            ("src", Value::Int(1)),
+            ("far", Value::Int(3))
+        ])));
+    }
+
+    #[test]
+    fn union_diff_intersect() {
+        let env = {
+            let mut e = Env::new();
+            e.bind("a", edges(&[(1, 1), (2, 2)]));
+            e.bind("b", edges(&[(2, 2), (3, 3)]));
+            e
+        };
+        let u = eval(
+            &AlgExpr::Rel(Sym::new("a")).union(AlgExpr::Rel(Sym::new("b"))),
+            &env,
+        )
+        .unwrap();
+        assert_eq!(u.len(), 3);
+        let d = eval(
+            &AlgExpr::Diff {
+                left: Box::new(AlgExpr::Rel(Sym::new("a"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("b"))),
+            },
+            &env,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&edge(1, 1)));
+        let i = eval(
+            &AlgExpr::Intersect {
+                left: Box::new(AlgExpr::Rel(Sym::new("a"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("b"))),
+            },
+            &env,
+        )
+        .unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&edge(2, 2)));
+    }
+
+    #[test]
+    fn union_requires_same_columns() {
+        let mut env = Env::new();
+        env.bind("a", edges(&[(1, 1)]));
+        env.bind("b", Relation::from_rows(["x"], [Value::tuple([("x", Value::Int(1))])]));
+        let err = eval(
+            &AlgExpr::Rel(Sym::new("a")).union(AlgExpr::Rel(Sym::new("b"))),
+            &env,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AlgError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn extend_computes_columns() {
+        let env = env_with("e", edges(&[(1, 2)]));
+        let expr = AlgExpr::Extend {
+            input: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            col: Sym::new("sum"),
+            value: Scalar::Add(Box::new(Scalar::col("src")), Box::new(Scalar::col("dst"))),
+        };
+        let r = eval(&expr, &env).unwrap();
+        let t = r.iter().next().unwrap();
+        assert_eq!(t.field(Sym::new("sum")), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn nest_groups_into_sets_and_unnest_inverts() {
+        let env = env_with("e", edges(&[(1, 2), (1, 3), (2, 4)]));
+        let nested = AlgExpr::Nest {
+            input: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            cols: vec![Sym::new("dst")],
+            into: Sym::new("dsts"),
+        };
+        let n = eval(&nested, &env).unwrap();
+        assert_eq!(n.len(), 2);
+        assert!(n.contains(&Value::tuple([
+            ("src", Value::Int(1)),
+            ("dsts", Value::set([Value::Int(2), Value::Int(3)]))
+        ])));
+        // Unnest back.
+        let un = AlgExpr::Unnest {
+            input: Box::new(nested),
+            col: Sym::new("dsts"),
+        };
+        let u = eval(&un, &env).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&Value::tuple([
+            ("src", Value::Int(1)),
+            ("dsts", Value::Int(3))
+        ])));
+    }
+
+    #[test]
+    fn aggregate_count_and_sum() {
+        let env = env_with("e", edges(&[(1, 2), (1, 3), (2, 4)]));
+        let expr = AlgExpr::Aggregate {
+            input: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            group: vec![Sym::new("src")],
+            agg: AggFun::Sum,
+            on: Sym::new("dst"),
+            into: Sym::new("total"),
+        };
+        let r = eval(&expr, &env).unwrap();
+        assert!(r.contains(&Value::tuple([
+            ("src", Value::Int(1)),
+            ("total", Value::Int(5))
+        ])));
+        assert!(r.contains(&Value::tuple([
+            ("src", Value::Int(2)),
+            ("total", Value::Int(4))
+        ])));
+    }
+
+    /// Transitive closure over a chain, in both fixpoint modes; results must
+    /// agree (the E1 experiment measures their speed difference).
+    #[test]
+    fn fixpoint_naive_and_delta_agree_on_closure() {
+        let chain: Vec<(i64, i64)> = (0..30).map(|i| (i, i + 1)).collect();
+        let env = env_with("e", edges(&chain));
+        let tc = Sym::new("tc");
+        let step = AlgExpr::Rel(tc)
+            .rename("dst", "mid")
+            .join(AlgExpr::Rel(Sym::new("e")).rename("src", "mid"))
+            .project(["src", "dst"]);
+        let mk = |mode| AlgExpr::Fixpoint {
+            rec: tc,
+            base: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            step: Box::new(step.clone()),
+            mode,
+        };
+        let naive = eval(&mk(FixpointMode::Naive), &env).unwrap();
+        let delta = eval(&mk(FixpointMode::Delta), &env).unwrap();
+        // Closure of a 31-node chain: 31*30/2 pairs.
+        assert_eq!(naive.len(), 31 * 30 / 2);
+        assert!(naive.set_eq(&delta));
+    }
+
+    #[test]
+    fn nonlinear_fixpoint_falls_back_to_naive_in_delta_mode() {
+        // tc ⋈ tc — a non-linear step; Delta mode must still be correct.
+        let env = env_with("e", edges(&[(1, 2), (2, 3), (3, 4)]));
+        let tc = Sym::new("tc");
+        let step = AlgExpr::Rel(tc)
+            .rename("dst", "mid")
+            .join(AlgExpr::Rel(tc).rename("src", "mid"))
+            .project(["src", "dst"]);
+        let fx = AlgExpr::Fixpoint {
+            rec: tc,
+            base: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            step: Box::new(step),
+            mode: FixpointMode::Delta,
+        };
+        let r = eval(&fx, &env).unwrap();
+        assert_eq!(r.len(), 6); // closure of the 4-chain
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition_the_left() {
+        let mut env = Env::new();
+        env.bind("l", edges(&[(1, 10), (2, 20), (3, 30)]));
+        // Right side shares only `src`.
+        let right = Relation::from_rows(
+            ["src"],
+            [
+                Value::tuple([("src", Value::Int(1))]),
+                Value::tuple([("src", Value::Int(3))]),
+            ],
+        );
+        env.bind("r", right);
+        let semi = eval(
+            &AlgExpr::SemiJoin {
+                left: Box::new(AlgExpr::Rel(Sym::new("l"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("r"))),
+            },
+            &env,
+        )
+        .unwrap();
+        let anti = eval(
+            &AlgExpr::AntiJoin {
+                left: Box::new(AlgExpr::Rel(Sym::new("l"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("r"))),
+            },
+            &env,
+        )
+        .unwrap();
+        assert_eq!(semi.len(), 2);
+        assert_eq!(anti.len(), 1);
+        assert!(anti.contains(&edge(2, 20)));
+        // Semi ∪ anti = left.
+        let mut both = semi.clone();
+        both.extend_from(&anti);
+        assert!(both.set_eq(env.get(Sym::new("l")).unwrap()));
+    }
+
+    #[test]
+    fn antijoin_with_no_shared_columns_tests_emptiness() {
+        let mut env = Env::new();
+        env.bind("l", edges(&[(1, 10)]));
+        env.bind("empty", Relation::new(["z"]));
+        let anti = eval(
+            &AlgExpr::AntiJoin {
+                left: Box::new(AlgExpr::Rel(Sym::new("l"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("empty"))),
+            },
+            &env,
+        )
+        .unwrap();
+        assert_eq!(anti.len(), 1); // right empty → nothing matches → keep all
+        env.bind(
+            "nonempty",
+            Relation::from_rows(["z"], [Value::tuple([("z", Value::Int(0))])]),
+        );
+        let anti2 = eval(
+            &AlgExpr::AntiJoin {
+                left: Box::new(AlgExpr::Rel(Sym::new("l"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("nonempty"))),
+            },
+            &env,
+        )
+        .unwrap();
+        assert_eq!(anti2.len(), 0);
+    }
+
+    #[test]
+    fn product_rejects_overlap() {
+        let env = env_with("e", edges(&[(1, 2)]));
+        let err = eval(
+            &AlgExpr::Product {
+                left: Box::new(AlgExpr::Rel(Sym::new("e"))),
+                right: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            },
+            &env,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AlgError::OverlappingColumns(_)));
+    }
+
+    #[test]
+    fn pred_in_tests_collection_membership() {
+        let rel = Relation::from_rows(
+            ["x", "s"],
+            [Value::tuple([
+                ("x", Value::Int(1)),
+                ("s", Value::set([Value::Int(1), Value::Int(2)])),
+            ])],
+        );
+        let env = env_with("r", rel);
+        let expr = AlgExpr::Rel(Sym::new("r")).select(Pred::In(
+            Scalar::col("x"),
+            Scalar::col("s"),
+        ));
+        assert_eq!(eval(&expr, &env).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_and_column_errors() {
+        let env = Env::new();
+        assert!(matches!(
+            eval(&AlgExpr::Rel(Sym::new("ghost")), &env),
+            Err(AlgError::UnknownRelation(_))
+        ));
+        let env = env_with("e", edges(&[(1, 2)]));
+        assert!(matches!(
+            eval(&AlgExpr::Rel(Sym::new("e")).project(["zzz"]), &env),
+            Err(AlgError::UnknownColumn { .. })
+        ));
+    }
+}

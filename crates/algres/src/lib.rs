@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # algres
+//!
+//! A from-scratch reproduction of the **ALGRES** substrate the LOGRES paper
+//! prototypes on: "a main-memory based programming environment supporting an
+//! Extended Relational Algebra" over complex (NF²) objects, with extended
+//! relational operations and *fixpoint operators* whose semantics can be
+//! switched — the paper calls this "the very liberal structure of the
+//! closure operation in ALGRES [which] makes it possible to change the
+//! semantics of rules very easily" (Section 1).
+//!
+//! The engine operates on [`Relation`]s: sets of labeled tuples whose fields
+//! may be atomic values, oids, nested tuples, sets, multisets or sequences
+//! (the [`logres_model::Value`] universe). The algebra ([`AlgExpr`])
+//! provides:
+//!
+//! * classical operators — select, project, rename, product, natural join,
+//!   union, difference, intersect;
+//! * NF² operators — **nest** (group and collect into a set-valued column)
+//!   and **unnest** (flatten a collection-valued column);
+//! * **extend** (computed columns) and grouped **aggregate** (count, sum,
+//!   min, max, avg, collect);
+//! * a **fixpoint** operator with pluggable evaluation
+//!   ([`FixpointMode::Naive`] re-evaluates the step from scratch each round;
+//!   [`FixpointMode::Delta`] is the semi-naive evaluation that feeds only
+//!   newly-derived tuples back into linear steps).
+//!
+//! `logres-engine` compiles the positive, function-free fragment of the
+//! LOGRES rule language to this algebra (mirroring the translation of
+//! [Ca90], *Implementing an Object-Oriented Data Model in Relational
+//! Algebra*), and benchmark E1 compares interpreted vs. compiled vs.
+//! semi-naive closure evaluation.
+
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod optimize;
+pub mod relation;
+
+pub use error::AlgError;
+pub use eval::{eval, Env};
+pub use expr::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred, Scalar};
+pub use optimize::{push_selections, push_selections_with, Catalog};
+pub use relation::Relation;

@@ -1,0 +1,332 @@
+//! A small algebraic optimizer: selection pushdown.
+//!
+//! ALGRES is main-memory, so the dominant cost is intermediate-result size;
+//! pushing selections below joins, products and unions is the classical
+//! rewrite that attacks it. The E10 benchmark runs the football workload
+//! with and without this pass.
+
+use logres_model::Sym;
+
+use crate::expr::{AlgExpr, Pred};
+
+/// A column catalog for named relations: tells the optimizer which columns
+/// `Rel(name)` produces, so predicates can sink past relation references.
+pub type Catalog<'a> = &'a dyn Fn(Sym) -> Option<Vec<Sym>>;
+
+/// Push selections as close to the leaves as legal, without knowledge of
+/// named relations' columns (pushdown stops at `Rel` references).
+pub fn push_selections(expr: AlgExpr) -> AlgExpr {
+    push_selections_with(expr, &|_| None)
+}
+
+/// Push selections with a catalog resolving the columns of named relations.
+pub fn push_selections_with(expr: AlgExpr, catalog: Catalog<'_>) -> AlgExpr {
+    rewrite(expr, catalog)
+}
+
+fn rewrite(expr: AlgExpr, catalog: Catalog<'_>) -> AlgExpr {
+    match expr {
+        AlgExpr::Select { input, pred } => {
+            let input = rewrite(*input, catalog);
+            let conjuncts = split_and(pred);
+            push_conjuncts(input, conjuncts, catalog)
+        }
+        AlgExpr::Project { input, cols } => AlgExpr::Project {
+            input: Box::new(rewrite(*input, catalog)),
+            cols,
+        },
+        AlgExpr::Rename { input, from, to } => AlgExpr::Rename {
+            input: Box::new(rewrite(*input, catalog)),
+            from,
+            to,
+        },
+        AlgExpr::Product { left, right } => AlgExpr::Product {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::Join { left, right } => AlgExpr::Join {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::Union { left, right } => AlgExpr::Union {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::Diff { left, right } => AlgExpr::Diff {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::Intersect { left, right } => AlgExpr::Intersect {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::SemiJoin { left, right } => AlgExpr::SemiJoin {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::AntiJoin { left, right } => AlgExpr::AntiJoin {
+            left: Box::new(rewrite(*left, catalog)),
+            right: Box::new(rewrite(*right, catalog)),
+        },
+        AlgExpr::Extend { input, col, value } => AlgExpr::Extend {
+            input: Box::new(rewrite(*input, catalog)),
+            col,
+            value,
+        },
+        AlgExpr::Nest { input, cols, into } => AlgExpr::Nest {
+            input: Box::new(rewrite(*input, catalog)),
+            cols,
+            into,
+        },
+        AlgExpr::Unnest { input, col } => AlgExpr::Unnest {
+            input: Box::new(rewrite(*input, catalog)),
+            col,
+        },
+        AlgExpr::Aggregate {
+            input,
+            group,
+            agg,
+            on,
+            into,
+        } => AlgExpr::Aggregate {
+            input: Box::new(rewrite(*input, catalog)),
+            group,
+            agg,
+            on,
+            into,
+        },
+        AlgExpr::Fixpoint {
+            rec,
+            base,
+            step,
+            mode,
+        } => AlgExpr::Fixpoint {
+            rec,
+            base: Box::new(rewrite(*base, catalog)),
+            step: Box::new(rewrite(*step, catalog)),
+            mode,
+        },
+        leaf @ (AlgExpr::Rel(_) | AlgExpr::Const(_)) => leaf,
+    }
+}
+
+fn split_and(p: Pred) -> Vec<Pred> {
+    match p {
+        Pred::And(a, b) => {
+            let mut out = split_and(*a);
+            out.extend(split_and(*b));
+            out
+        }
+        Pred::True => Vec::new(),
+        other => vec![other],
+    }
+}
+
+/// Columns produced by an expression, when statically known. `None` means
+/// "unknown" — pushdown stops there. Named relations resolve through the
+/// catalog.
+fn out_cols(expr: &AlgExpr, catalog: Catalog<'_>) -> Option<Vec<Sym>> {
+    match expr {
+        AlgExpr::Rel(name) => catalog(*name),
+        AlgExpr::Const(r) => Some(r.cols().to_vec()),
+        AlgExpr::Project { cols, .. } => Some(cols.clone()),
+        AlgExpr::Rename { input, from, to } => {
+            let mut cols = out_cols(input, catalog)?;
+            for c in &mut cols {
+                if c == from {
+                    *c = *to;
+                }
+            }
+            Some(cols)
+        }
+        AlgExpr::Select { input, .. } => out_cols(input, catalog),
+        AlgExpr::Product { left, right } => {
+            let mut cols = out_cols(left, catalog)?;
+            cols.extend(out_cols(right, catalog)?);
+            Some(cols)
+        }
+        AlgExpr::Join { left, right } => {
+            let mut cols = out_cols(left, catalog)?;
+            for c in out_cols(right, catalog)? {
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            Some(cols)
+        }
+        AlgExpr::Union { left, .. }
+        | AlgExpr::Diff { left, .. }
+        | AlgExpr::Intersect { left, .. }
+        | AlgExpr::SemiJoin { left, .. }
+        | AlgExpr::AntiJoin { left, .. } => out_cols(left, catalog),
+        AlgExpr::Extend { input, col, .. } => {
+            let mut cols = out_cols(input, catalog)?;
+            cols.push(*col);
+            Some(cols)
+        }
+        _ => None,
+    }
+}
+
+fn push_conjuncts(input: AlgExpr, conjuncts: Vec<Pred>, catalog: Catalog<'_>) -> AlgExpr {
+    let mut expr = input;
+    let mut remaining = Vec::new();
+    for p in conjuncts {
+        expr = match try_push(expr, &p, catalog) {
+            Ok(e) => e,
+            Err(e) => {
+                remaining.push(p);
+                e
+            }
+        };
+    }
+    if remaining.is_empty() {
+        expr
+    } else {
+        AlgExpr::Select {
+            input: Box::new(expr),
+            pred: Pred::all(remaining),
+        }
+    }
+}
+
+/// Try to sink one conjunct one level down; `Ok` means it was absorbed.
+fn try_push(expr: AlgExpr, p: &Pred, catalog: Catalog<'_>) -> Result<AlgExpr, AlgExpr> {
+    let needs = p.cols();
+    let covered = |e: &AlgExpr| -> bool {
+        out_cols(e, catalog).is_some_and(|cols| needs.iter().all(|c| cols.contains(c)))
+    };
+    match expr {
+        AlgExpr::Join { left, right } => {
+            if covered(&left) {
+                Ok(AlgExpr::Join {
+                    left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+                    right,
+                })
+            } else if covered(&right) {
+                Ok(AlgExpr::Join {
+                    left,
+                    right: Box::new(push_conjuncts(*right, vec![p.clone()], catalog)),
+                })
+            } else {
+                Err(AlgExpr::Join { left, right })
+            }
+        }
+        AlgExpr::Product { left, right } => {
+            if covered(&left) {
+                Ok(AlgExpr::Product {
+                    left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+                    right,
+                })
+            } else if covered(&right) {
+                Ok(AlgExpr::Product {
+                    left,
+                    right: Box::new(push_conjuncts(*right, vec![p.clone()], catalog)),
+                })
+            } else {
+                Err(AlgExpr::Product { left, right })
+            }
+        }
+        // Selection distributes over union/intersect/difference (left side
+        // for difference is enough for filtering; both sides stay correct
+        // because σ(A − B) = σ(A) − B).
+        AlgExpr::Union { left, right } => Ok(AlgExpr::Union {
+            left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+            right: Box::new(push_conjuncts(*right, vec![p.clone()], catalog)),
+        }),
+        AlgExpr::Diff { left, right } => Ok(AlgExpr::Diff {
+            left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+            right,
+        }),
+        other => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Env};
+    use crate::expr::{CmpOp, Scalar};
+    use crate::relation::Relation;
+    use logres_model::Value;
+
+    fn edges(pairs: &[(i64, i64)]) -> Relation {
+        Relation::from_rows(
+            ["src", "dst"],
+            pairs
+                .iter()
+                .map(|&(a, b)| Value::tuple([("src", Value::Int(a)), ("dst", Value::Int(b))])),
+        )
+    }
+
+    fn sel(col: &str, v: i64) -> Pred {
+        Pred::Cmp(CmpOp::Eq, Scalar::col(col), Scalar::Const(Value::Int(v)))
+    }
+
+    #[test]
+    fn selection_sinks_into_join_side() {
+        // σ_{src=1}(A(src,mid) ⋈ B(mid,dst)) → σ on A only.
+        let a = AlgExpr::Const(edges(&[(1, 2), (5, 6)])).rename("dst", "mid");
+        let b = AlgExpr::Const(edges(&[(2, 3), (6, 7)]))
+            .rename("src", "mid")
+            .rename("dst", "far");
+        let joined = a.join(b).select(sel("src", 1));
+        let optimized = push_selections(joined.clone());
+        // The top-level node is now the join, not the select.
+        assert!(matches!(optimized, AlgExpr::Join { .. }));
+        // And the results agree.
+        let env = Env::new();
+        assert_eq!(
+            eval(&joined, &env).unwrap(),
+            eval(&optimized, &env).unwrap()
+        );
+    }
+
+    #[test]
+    fn selection_distributes_over_union() {
+        let u = AlgExpr::Const(edges(&[(1, 2)]))
+            .union(AlgExpr::Const(edges(&[(3, 4)])))
+            .select(sel("src", 1));
+        let optimized = push_selections(u.clone());
+        assert!(matches!(optimized, AlgExpr::Union { .. }));
+        let env = Env::new();
+        assert_eq!(eval(&u, &env).unwrap(), eval(&optimized, &env).unwrap());
+    }
+
+    #[test]
+    fn unpushable_selection_is_preserved() {
+        // Predicate spanning both join sides cannot sink.
+        let a = AlgExpr::Const(edges(&[(1, 2)])).rename("dst", "mid");
+        let b = AlgExpr::Const(edges(&[(2, 3)]))
+            .rename("src", "mid")
+            .rename("dst", "far");
+        let joined = a.join(b).select(Pred::Cmp(
+            CmpOp::Lt,
+            Scalar::col("src"),
+            Scalar::col("far"),
+        ));
+        let optimized = push_selections(joined.clone());
+        assert!(matches!(optimized, AlgExpr::Select { .. }));
+        let env = Env::new();
+        assert_eq!(
+            eval(&joined, &env).unwrap(),
+            eval(&optimized, &env).unwrap()
+        );
+    }
+
+    #[test]
+    fn conjunctions_split_and_sink_separately() {
+        let a = AlgExpr::Const(edges(&[(1, 2), (9, 2)])).rename("dst", "mid");
+        let b = AlgExpr::Const(edges(&[(2, 3), (2, 9)]))
+            .rename("src", "mid")
+            .rename("dst", "far");
+        let p = Pred::And(Box::new(sel("src", 1)), Box::new(sel("far", 3)));
+        let joined = a.join(b).select(p);
+        let optimized = push_selections(joined.clone());
+        assert!(matches!(optimized, AlgExpr::Join { .. }));
+        let env = Env::new();
+        let r = eval(&optimized, &env).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(eval(&joined, &env).unwrap(), r);
+    }
+}

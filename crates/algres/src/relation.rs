@@ -1,0 +1,197 @@
+//! NF² relations: sets of labeled tuples over complex values.
+//!
+//! A relation knows its column list and stores tuples in insertion order
+//! with hash-based deduplication — iteration is deterministic for a
+//! deterministic construction sequence, which the fixpoint evaluators rely
+//! on for reproducible runs.
+
+use rustc_hash::FxHashSet;
+
+use logres_model::{Sym, Value};
+
+/// A set of tuples with a fixed column list.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    cols: Vec<Sym>,
+    /// Insertion-ordered tuple storage.
+    rows: Vec<Value>,
+    /// Hash membership index over `rows`.
+    index: FxHashSet<Value>,
+}
+
+impl Relation {
+    /// An empty relation with the given columns.
+    pub fn new<I, S>(cols: I) -> Relation
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Sym>,
+    {
+        Relation {
+            cols: cols.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            index: FxHashSet::default(),
+        }
+    }
+
+    /// Build a relation from rows of `(label, value)` pairs; the column list
+    /// is taken from the declared `cols`.
+    pub fn from_rows<I, S>(cols: I, rows: impl IntoIterator<Item = Value>) -> Relation
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Sym>,
+    {
+        let mut r = Relation::new(cols);
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// The column list.
+    pub fn cols(&self) -> &[Sym] {
+        &self.cols
+    }
+
+    /// Does the relation have this column?
+    pub fn has_col(&self, c: Sym) -> bool {
+        self.cols.contains(&c)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; returns whether it was new. The tuple must be a
+    /// [`Value::Tuple`] whose labels are exactly the relation's columns
+    /// (checked in debug builds).
+    pub fn insert(&mut self, tuple: Value) -> bool {
+        debug_assert!(
+            {
+                let mut expect: Vec<Sym> = self.cols.clone();
+                expect.sort();
+                tuple
+                    .as_tuple()
+                    .map(|fs| fs.iter().map(|(l, _)| *l).collect::<Vec<_>>())
+                    == Some(expect)
+            },
+            "tuple labels do not match relation columns {:?}: {tuple}",
+            self.cols
+        );
+        if self.index.insert(tuple.clone()) {
+            self.rows.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Value) -> bool {
+        self.index.contains(tuple)
+    }
+
+    /// Iterate tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.rows.iter()
+    }
+
+    /// Extend with all tuples of another relation (same columns); returns
+    /// how many were new.
+    pub fn extend_from(&mut self, other: &Relation) -> usize {
+        let mut n = 0;
+        for t in other.iter() {
+            if self.insert(t.clone()) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The field of a row tuple by column label.
+    pub fn field(tuple: &Value, col: Sym) -> Option<&Value> {
+        tuple.field(col)
+    }
+
+    /// Do two relations contain the same tuple set (ignoring order)?
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.cols == other.cols && self.set_eq(other)
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(a: i64, b: i64) -> Value {
+        Value::tuple([("a", Value::Int(a)), ("b", Value::Int(b))])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(["a", "b"]);
+        assert!(r.insert(row(1, 2)));
+        assert!(!r.insert(row(1, 2)));
+        assert!(r.insert(row(2, 1)));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&row(1, 2)));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut r = Relation::new(["a", "b"]);
+        r.insert(row(3, 3));
+        r.insert(row(1, 1));
+        r.insert(row(2, 2));
+        let got: Vec<i64> = r
+            .iter()
+            .map(|t| t.field(Sym::new("a")).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut r1 = Relation::new(["a", "b"]);
+        let mut r2 = Relation::new(["a", "b"]);
+        r1.insert(row(1, 2));
+        r1.insert(row(3, 4));
+        r2.insert(row(3, 4));
+        r2.insert(row(1, 2));
+        assert_eq!(r1, r2);
+        r2.insert(row(5, 6));
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn extend_from_counts_new_rows() {
+        let mut r1 = Relation::new(["a", "b"]);
+        r1.insert(row(1, 2));
+        let mut r2 = Relation::new(["a", "b"]);
+        r2.insert(row(1, 2));
+        r2.insert(row(3, 4));
+        assert_eq!(r1.extend_from(&r2), 1);
+        assert_eq!(r1.len(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "labels do not match")]
+    fn mismatched_labels_panic_in_debug() {
+        let mut r = Relation::new(["a", "b"]);
+        r.insert(Value::tuple([("x", Value::Int(1))]));
+    }
+}

@@ -1,0 +1,78 @@
+//! E10 — the football workload: end-to-end language queries and the
+//! selection-pushdown ablation.
+
+use algres::{AlgExpr, CmpOp, Pred as APred, Scalar};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::engine::env_from_instance;
+use logres::model::{Sym, Value};
+use logres::{Database, Mode};
+use logres_bench::workloads::football_program;
+
+fn league(teams: usize) -> Database {
+    let mut db = Database::from_source(
+        r#"
+        classes
+          team = (team_name: string, city: string);
+        associations
+          game = (h_team: team, g_team: team, day: integer,
+                  home_goals: integer, guest_goals: integer);
+    "#,
+    )
+    .unwrap();
+    let src = football_program(teams, 5);
+    let rules_at = src.find("rules").unwrap();
+    db.apply_source(&src[rules_at..], Mode::Ridv).unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_football");
+    group.sample_size(10);
+    let teams = 10usize;
+    let mut db = league(teams);
+
+    group.bench_with_input(BenchmarkId::new("q1_language", teams), &teams, |b, _| {
+        b.iter(|| {
+            db.query(
+                r#"goal game(h_team: H, g_team: G, home_goals: HG, guest_goals: GG),
+                        team(self: H, team_name: "t0"),
+                        HG > GG?"#,
+            )
+            .unwrap()
+        })
+    });
+
+    let (inst, _) = db.instance().unwrap();
+    let env = env_from_instance(db.schema(), &inst);
+    let join = AlgExpr::Rel(Sym::new("game"))
+        .rename("g_team", "mid")
+        .rename("day", "day1")
+        .rename("home_goals", "hg1")
+        .rename("guest_goals", "gg1")
+        .join(
+            AlgExpr::Rel(Sym::new("game"))
+                .rename("h_team", "mid")
+                .rename("g_team", "far")
+                .rename("day", "day2")
+                .rename("home_goals", "hg2")
+                .rename("guest_goals", "gg2"),
+        )
+        .select(APred::Cmp(
+            CmpOp::Eq,
+            Scalar::col("day1"),
+            Scalar::Const(Value::Int(1)),
+        ));
+    let catalog = |name| env.get(name).map(|r: &algres::Relation| r.cols().to_vec());
+    let optimized = algres::push_selections_with(join.clone(), &catalog);
+
+    group.bench_with_input(BenchmarkId::new("q3_no_pushdown", teams), &teams, |b, _| {
+        b.iter(|| algres::eval(&join, &env).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("q3_pushdown", teams), &teams, |b, _| {
+        b.iter(|| algres::eval(&optimized, &env).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E1 — transitive closure: interpreter vs semi-naive vs compiled (naive
+//! and delta ALGRES fixpoints).
+
+use algres::FixpointMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::engine::{
+    compile_ruleset, evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions,
+};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres_bench::workloads::{chain_edges, closure_program};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_closure");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let src = closure_program(&chain_edges(n));
+        let p = parse_program(&src).unwrap();
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("interpreter", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate_inflationary(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate_seminaive(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap()
+            })
+        });
+        for (mode, name) in [
+            (FixpointMode::Naive, "compiled_naive"),
+            (FixpointMode::Delta, "compiled_delta"),
+        ] {
+            let compiled = compile_ruleset(&p.schema, &p.rules, mode).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| compiled.run(&p.schema, &edb).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 — the powerset program of Example 3.3 (exponential fact growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::engine::{evaluate_inflationary, load_facts, EvalOptions};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres_bench::workloads::powerset_program;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_powerset");
+    group.sample_size(10);
+    for n in [4usize, 6, 7] {
+        let p = parse_program(&powerset_program(n)).unwrap();
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                evaluate_inflationary(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

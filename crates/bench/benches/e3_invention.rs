@@ -1,0 +1,32 @@
+//! E3 — deterministic oid invention over deduplicated pairs (Example 3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::engine::{evaluate_inflationary, load_facts, EvalOptions};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres_bench::workloads::ip_program;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_invention");
+    group.sample_size(10);
+    for (n, dup) in [(100usize, 10usize), (200, 50)] {
+        let p = parse_program(&ip_program(n, dup, 42)).unwrap();
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_dup{dup}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    evaluate_inflationary(&p.schema, &p.rules, &edb, EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4 — the six module application modes on the same module and base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::Mode;
+use logres_bench::workloads::{e4_setup, parent_database};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_modes");
+    group.sample_size(10);
+    let base = parent_database(200);
+    for mode in Mode::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter_batched(
+                    || e4_setup(&base, mode),
+                    |(mut db, module)| db.apply(&module, mode).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E5 — in-place RIDV update (Example 4.2) vs full rederivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::{Database, Mode};
+use logres_bench::workloads::{kv_database, UPDATE_MODULE};
+
+const REDERIVE: &str = r#"
+    associations
+      q = (d1: integer, d2: integer);
+    rules
+      q(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1.
+      q(d1: X, d2: Y) <- p(d1: X, d2: Y), odd(X).
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_updates");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let base = kv_database(n);
+        for (name, module) in [("ridv_in_place", UPDATE_MODULE), ("full_rederive", REDERIVE)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &module,
+                |b, module| {
+                    b.iter_batched(
+                        || Database::from_source(&base).unwrap(),
+                        |mut db| db.apply_source(module, Mode::Ridv).unwrap(),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

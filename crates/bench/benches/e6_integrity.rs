@@ -1,0 +1,36 @@
+//! E6 — referential integrity constraints generated from type equations:
+//! cost of checking after bulk insertion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::model::{integrity, Instance, Oid, Sym, Value};
+use logres_bench::workloads::{e6_fixture, e6_schema};
+
+fn bench(c: &mut Criterion) {
+    let s = e6_schema();
+    let constraints = integrity::generate(&s);
+    let teams = 64u64;
+    let mut base = Instance::new();
+    for o in 0..teams {
+        base.insert_object(
+            &s,
+            Sym::new("team"),
+            Oid(o),
+            Value::tuple([("name", Value::str(format!("t{o}")))]),
+        );
+    }
+    let mut group = c.benchmark_group("e6_integrity");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let mut inst = base.clone();
+        for i in 0..n {
+            inst.insert_assoc(Sym::new("fixture"), e6_fixture(i, teams, 0));
+        }
+        group.bench_with_input(BenchmarkId::new("check", n), &n, |b, _| {
+            b.iter(|| integrity::check(&s, &inst, &constraints))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

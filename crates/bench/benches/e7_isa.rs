@@ -1,0 +1,33 @@
+//! E7 — isa hierarchies: membership propagation and superclass queries vs
+//! chain depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::engine::{evaluate_inflationary, load_facts, EvalOptions};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres_bench::workloads::isa_chain_program;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_isa");
+    group.sample_size(10);
+    for depth in [2usize, 8] {
+        let p = parse_program(&isa_chain_program(depth, 100)).unwrap();
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("create_propagate", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    evaluate_inflationary(&p.schema, &p.rules, &edb, EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E8 — inflationary vs stratified evaluation on stratified negation
+//! programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logres::engine::{evaluate, load_facts, EvalOptions};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres::Semantics;
+use logres_bench::workloads::strata_program;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_semantics");
+    group.sample_size(10);
+    for k in [2usize, 4] {
+        let p = parse_program(&strata_program(k, 128)).unwrap();
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+        for (sem, name) in [
+            (Semantics::Inflationary, "inflationary"),
+            (Semantics::Stratified, "stratified"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, k), &sem, |b, &sem| {
+                b.iter(|| {
+                    evaluate(&p.schema, &p.rules, &edb, sem, EvalOptions::default()).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

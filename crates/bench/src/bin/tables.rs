@@ -1,0 +1,23 @@
+//! Regenerate every experiment table (E1–E10) for EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p logres-bench --release --bin tables            # all tables
+//! cargo run -p logres-bench --release --bin tables -- e1 e4   # a subset
+//! ```
+
+use logres_bench::experiments;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    println!("# LOGRES reproduction — experiment tables\n");
+    for (id, run) in experiments::all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == id) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let table = run();
+        println!("{table}");
+        println!("_({id} regenerated in {:.2?})_\n", t0.elapsed());
+    }
+}

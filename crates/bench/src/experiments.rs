@@ -1,0 +1,578 @@
+//! Experiment runners E1–E10 (DESIGN.md §4): each returns a printable
+//! [`Table`] whose rows are recorded in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+use algres::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred as APred, Scalar};
+use logres::engine::{
+    compile_ruleset, env_from_instance, evaluate_inflationary, evaluate_seminaive, load_facts,
+    EvalOptions,
+};
+use logres::lang::parse_program;
+use logres::model::{integrity, Instance, OidGen, Sym, Value};
+use logres::{Database, Mode, Semantics};
+
+use crate::table::{fmt_duration, Table};
+use crate::workloads::*;
+
+fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed(), r)
+}
+
+fn loaded(src: &str) -> (logres::Schema, Instance, logres::lang::RuleSet) {
+    let p = parse_program(src).expect("workload parses");
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("workload loads");
+    (p.schema, edb, p.rules)
+}
+
+/// An experiment runner: regenerates one table.
+pub type Runner = fn() -> Table;
+
+/// All experiments by id.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("e1", e1_closure as Runner),
+        ("e2", e2_powerset),
+        ("e3", e3_invention),
+        ("e4", e4_modes),
+        ("e5", e5_updates),
+        ("e6", e6_integrity),
+        ("e7", e7_isa),
+        ("e8", e8_semantics),
+        ("e9", e9_nesting),
+        ("e10", e10_football),
+    ]
+}
+
+/// E1 — transitive closure: naive interpreter vs semi-naive vs
+/// ALGRES-compiled (naive and delta fixpoints). Claim (paper §1, §5): the
+/// switchable ALGRES closure makes semi-naive evaluation a drop-in; shape:
+/// semi-naive/delta win by a factor growing with the recursion depth.
+pub fn e1_closure() -> Table {
+    let mut t = Table::new(
+        "E1 — transitive closure over chains and random graphs",
+        &["workload", "n", "engine", "time", "tc tuples"],
+    );
+    let opts = EvalOptions::default();
+    let mut run = |workload: &str, edges: Vec<(i64, i64)>, heavy_engines: bool| {
+        let n = edges.len();
+        let src = closure_program(&edges);
+        let (schema, edb, rules) = loaded(&src);
+        let tc = Sym::new("tc");
+
+        if heavy_engines {
+            let (d, (inst, _)) = time(|| {
+                evaluate_inflationary(&schema, &rules, &edb, opts).expect("naive")
+            });
+            t.row(vec![
+                workload.into(),
+                n.to_string(),
+                "interpreter (naive)".into(),
+                fmt_duration(d),
+                inst.assoc_len(tc).to_string(),
+            ]);
+        }
+        let (d, (inst, _)) =
+            time(|| evaluate_seminaive(&schema, &rules, &edb, opts).expect("semi-naive"));
+        t.row(vec![
+            workload.into(),
+            n.to_string(),
+            "semi-naive".into(),
+            fmt_duration(d),
+            inst.assoc_len(tc).to_string(),
+        ]);
+        for (mode, name) in [
+            (FixpointMode::Naive, "compiled (naive fixpoint)"),
+            (FixpointMode::Delta, "compiled (delta fixpoint)"),
+        ] {
+            if mode == FixpointMode::Naive && !heavy_engines {
+                continue;
+            }
+            let compiled = compile_ruleset(&schema, &rules, mode).expect("compiles");
+            let (d, out) = time(|| compiled.run(&schema, &edb).expect("compiled runs"));
+            t.row(vec![
+                workload.into(),
+                n.to_string(),
+                name.into(),
+                fmt_duration(d),
+                out.assoc_len(tc).to_string(),
+            ]);
+        }
+    };
+    for n in [32, 64, 128] {
+        run("chain", chain_edges(n), true);
+    }
+    for n in [256, 512] {
+        run("chain", chain_edges(n), false);
+    }
+    run("random(64 nodes)", random_edges(64, 128, 11), true);
+    t
+}
+
+/// E2 — the powerset program (Example 3.3): facts and runtime double with
+/// every added element (exponential shape).
+pub fn e2_powerset() -> Table {
+    let mut t = Table::new(
+        "E2 — powerset of {1..n} (Example 3.3)",
+        &["n", "subsets", "time", "steps"],
+    );
+    for n in 4..=8 {
+        let (schema, edb, rules) = loaded(&powerset_program(n));
+        let (d, (inst, report)) = time(|| {
+            evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default())
+                .expect("powerset evaluates")
+        });
+        t.row(vec![
+            n.to_string(),
+            inst.assoc_len(Sym::new("power")).to_string(),
+            fmt_duration(d),
+            report.steps.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E3 — oid invention (Example 3.4): the association deduplicates pairs;
+/// one IP object is invented per surviving tuple. Sweep the duplicate-name
+/// ratio; claim (§2.1): associations give explicit duplicate control.
+pub fn e3_invention() -> Table {
+    let mut t = Table::new(
+        "E3 — interesting pairs: dedup via association + oid invention",
+        &["employees", "dup %", "pair tuples", "ip objects", "time"],
+    );
+    for (n, dup) in [(100, 10), (100, 50), (400, 10), (400, 50), (800, 25)] {
+        let (schema, edb, rules) = loaded(&ip_program(n, dup, 42));
+        let (d, (inst, _)) = time(|| {
+            evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default())
+                .expect("ip evaluates")
+        });
+        t.row(vec![
+            n.to_string(),
+            dup.to_string(),
+            inst.assoc_len(Sym::new("pair")).to_string(),
+            inst.class_len(Sym::new("ip")).to_string(),
+            fmt_duration(d),
+        ]);
+    }
+    t
+}
+
+/// E4 — the six module application modes on the same module and base
+/// database (Section 4.1): cost of the mode, state deltas it leaves behind.
+pub fn e4_modes() -> Table {
+    let mut t = Table::new(
+        "E4 — module application modes (ancestor module, 500-tuple base)",
+        &["mode", "time", "rules after", "E tuples after", "answers"],
+    );
+    let base = parent_database(500);
+    for mode in Mode::all() {
+        let (mut db, module) = e4_setup(&base, mode);
+        let (d, out) = time(|| db.apply(&module, mode).expect("mode applies"));
+        let e_count: usize = db.edb().assoc_len(Sym::new("parent"))
+            + db.edb().assoc_len(Sym::new("ancestor"));
+        t.row(vec![
+            format!("{mode:?}").to_uppercase(),
+            fmt_duration(d),
+            db.rules().len().to_string(),
+            e_count.to_string(),
+            out.answer.map_or("—".into(), |a| a.len().to_string()),
+        ]);
+    }
+    t
+}
+
+/// E5 — in-place update via RIDV (Example 4.2) vs. deriving a fresh copy of
+/// the whole relation. Claim (§4.3): facts+rules as two start points make
+/// updating "powerful and computationally simple".
+pub fn e5_updates() -> Table {
+    let mut t = Table::new(
+        "E5 — Example 4.2 batch update: RIDV in place vs full rederivation",
+        &["n", "touched", "strategy", "time", "p tuples after"],
+    );
+    for n in [500usize, 2_000, 8_000] {
+        // Two selectivities: the paper's even(X) (≈50 %) and a sparse
+        // threshold (≈10 %). The update condition is swapped textually.
+        let sparse = n / 10;
+        let conditions = [
+            ("even(X)", "~50%"),
+            (&*format!("X < {sparse}"), "~10%"),
+        ];
+        for (cond, touched) in conditions {
+            // Strategy A: the paper's RIDV in-place module.
+            let in_place = UPDATE_MODULE.replace("even(X)", cond);
+            let mut db = Database::from_source(&kv_database(n)).expect("kv loads");
+            let (d, _) =
+                time(|| db.apply_source(&in_place, Mode::Ridv).expect("update runs"));
+            t.row(vec![
+                n.to_string(),
+                touched.into(),
+                "RIDV in-place".into(),
+                fmt_duration(d),
+                db.edb().assoc_len(Sym::new("p")).to_string(),
+            ]);
+
+            // Strategy B: rederive the complete updated relation into a
+            // fresh predicate (update the touched tuples, copy the rest).
+            let mut db2 = Database::from_source(&kv_database(n)).expect("kv loads");
+            let rederive = if cond == "even(X)" {
+                r#"
+                associations
+                  q = (d1: integer, d2: integer);
+                rules
+                  q(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1.
+                  q(d1: X, d2: Y) <- p(d1: X, d2: Y), odd(X).
+                "#
+                .to_owned()
+            } else {
+                format!(
+                    r#"
+                    associations
+                      q = (d1: integer, d2: integer);
+                    rules
+                      q(d1: X, d2: Z) <- p(d1: X, d2: Y), X < {sparse}, Z = Y + 1.
+                      q(d1: X, d2: Y) <- p(d1: X, d2: Y), X >= {sparse}.
+                    "#
+                )
+            };
+            let (d, _) =
+                time(|| db2.apply_source(&rederive, Mode::Ridv).expect("rederive runs"));
+            t.row(vec![
+                n.to_string(),
+                touched.into(),
+                "full rederive".into(),
+                fmt_duration(d),
+                db2.edb().assoc_len(Sym::new("q")).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E6 — cost of the referential integrity constraints generated from type
+/// equations (§2.1): insertion throughput with and without checking, with
+/// a swept share of dangling references.
+pub fn e6_integrity() -> Table {
+    let mut t = Table::new(
+        "E6 — generated referential integrity: checking cost and violations",
+        &["fixtures", "dangling %", "insert", "insert + check", "violations"],
+    );
+    let schema = e6_schema();
+    let constraints = integrity::generate(&schema);
+    let teams = 64u64;
+
+    for (n, dangling_pct) in [(2_000usize, 0usize), (2_000, 5), (8_000, 0), (8_000, 5)] {
+        let mut base = Instance::new();
+        for o in 0..teams {
+            base.insert_object(
+                &schema,
+                Sym::new("team"),
+                logres::Oid(o),
+                Value::tuple([("name", Value::str(format!("t{o}")))]),
+            );
+        }
+        let tuples: Vec<Value> =
+            (0..n).map(|i| e6_fixture(i, teams, dangling_pct)).collect();
+
+        let (d_plain, _) = time(|| {
+            let mut i = base.clone();
+            for tu in &tuples {
+                i.insert_assoc(Sym::new("fixture"), tu.clone());
+            }
+            i
+        });
+        let (d_checked, violations) = time(|| {
+            let mut i = base.clone();
+            for tu in &tuples {
+                i.insert_assoc(Sym::new("fixture"), tu.clone());
+            }
+            integrity::check(&schema, &i, &constraints).len()
+        });
+        t.row(vec![
+            n.to_string(),
+            dangling_pct.to_string(),
+            fmt_duration(d_plain),
+            fmt_duration(d_checked),
+            violations.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E7 — generalization hierarchies: membership propagation π(C) ⊆ π(C′)
+/// along isa chains of growing depth, and querying through the top class.
+pub fn e7_isa() -> Table {
+    let mut t = Table::new(
+        "E7 — isa chains: object creation and superclass queries vs depth",
+        &["depth", "objects", "create+propagate", "top-class query", "π(c0) size"],
+    );
+    for depth in [2usize, 4, 8, 12] {
+        let n = 200;
+        let (schema, edb, rules) = loaded(&isa_chain_program(depth, n));
+        let (d_create, (inst, _)) = time(|| {
+            evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default())
+                .expect("objects create")
+        });
+        let goal_src = "goal c0(a0: V)?";
+        let p = logres::lang::parse_rules(goal_src, &schema).expect("goal parses");
+        let goal = p.goal.expect("has goal");
+        let (d_query, rows) = time(|| {
+            logres::engine::answer_goal(&schema, &inst, &goal).expect("query runs")
+        });
+        t.row(vec![
+            depth.to_string(),
+            n.to_string(),
+            fmt_duration(d_create),
+            fmt_duration(d_query),
+            inst.class_len(Sym::new("c0")).to_string(),
+        ]);
+        assert_eq!(rows.len(), n);
+    }
+    t
+}
+
+/// E8 — semantics parametricity (§3.1, §4.1): the same stratified program
+/// under inflationary vs. stratified evaluation. Stratified is the intended
+/// (perfect) model; inflationary fires negation eagerly and keeps the
+/// extra tuples.
+pub fn e8_semantics() -> Table {
+    let mut t = Table::new(
+        "E8 — inflationary vs stratified on k-strata negation programs",
+        &["strata", "facts", "semantics", "time", "final-layer tuples"],
+    );
+    for k in [2usize, 4, 8] {
+        let n = 256;
+        let src = strata_program(k, n);
+        let (schema, edb, rules) = loaded(&src);
+        let last = Sym::new(&format!("l{k}"));
+        for (sem, name) in [
+            (Semantics::Inflationary, "inflationary"),
+            (Semantics::Stratified, "stratified"),
+        ] {
+            let (d, (inst, _)) = time(|| {
+                logres::engine::evaluate(&schema, &rules, &edb, sem, EvalOptions::default())
+                    .expect("evaluates")
+            });
+            t.row(vec![
+                k.to_string(),
+                n.to_string(),
+                name.into(),
+                fmt_duration(d),
+                inst.assoc_len(last).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E9 — building nested relations: data functions (Example 3.2, stratified)
+/// vs the ALGRES `nest` operator over a pre-computed closure.
+pub fn e9_nesting() -> Table {
+    let mut t = Table::new(
+        "E9 — nested ANCESTOR: data functions vs ALGRES nest",
+        &["chain n", "method", "time", "nested rows"],
+    );
+    for n in [32usize, 64, 128] {
+        // Method A: the paper's data-function program, perfect-model.
+        let (schema, edb, rules) = loaded(&genealogy_program(n));
+        let (d, (inst, _)) = time(|| {
+            logres::engine::evaluate(
+                &schema,
+                &rules,
+                &edb,
+                Semantics::Stratified,
+                EvalOptions::default(),
+            )
+            .expect("genealogy evaluates")
+        });
+        t.row(vec![
+            n.to_string(),
+            "data functions".into(),
+            fmt_duration(d),
+            inst.assoc_len(Sym::new("ancestor")).to_string(),
+        ]);
+
+        // Method B: flat closure compiled to ALGRES, then one nest.
+        let flat_src = closure_program(
+            &(0..n as i64).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
+        let (schema2, edb2, rules2) = loaded(&flat_src);
+        let (d, nested_len) = time(|| {
+            let compiled =
+                compile_ruleset(&schema2, &rules2, FixpointMode::Delta).expect("compiles");
+            let out = compiled.run(&schema2, &edb2).expect("closure runs");
+            let env = env_from_instance(&schema2, &out);
+            let nest = AlgExpr::Nest {
+                input: Box::new(AlgExpr::Rel(Sym::new("tc"))),
+                cols: vec![Sym::new("b")],
+                into: Sym::new("des"),
+            };
+            algres::eval(&nest, &env).expect("nest runs").len()
+        });
+        t.row(vec![
+            n.to_string(),
+            "algres nest".into(),
+            fmt_duration(d),
+            nested_len.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E10 — the football workload (Example 2.1): a mixed query load through
+/// the whole stack, plus the selection-pushdown ablation on the algebra.
+pub fn e10_football() -> Table {
+    let mut t = Table::new(
+        "E10 — football league: end-to-end queries and pushdown ablation",
+        &["teams", "games", "query", "time", "rows"],
+    );
+    for teams in [8usize, 12, 16] {
+        let src = football_program(teams, 5);
+        let schema_part = r#"
+            classes
+              team = (team_name: string, city: string);
+            associations
+              game = (h_team: team, g_team: team, day: integer,
+                      home_goals: integer, guest_goals: integer);
+        "#;
+        let mut db = Database::from_source(schema_part).expect("schema loads");
+        let rules_at = src.find("rules").expect("rules section");
+        db.apply_source(&src[rules_at..], Mode::Ridv)
+            .expect("league loads");
+        let games = db.edb().assoc_len(Sym::new("game"));
+
+        // Q1 (language): home wins of a specific team, joined back to the
+        // class for the name.
+        let (d, rows) = time(|| {
+            db.query(
+                r#"goal game(h_team: H, g_team: G, home_goals: HG, guest_goals: GG),
+                        team(self: H, team_name: "t0"),
+                        team(self: G, team_name: GN),
+                        HG > GG?"#,
+            )
+            .expect("Q1 runs")
+        });
+        t.row(vec![
+            teams.to_string(),
+            games.to_string(),
+            "Q1 home wins of t0 (language)".into(),
+            fmt_duration(d),
+            rows.len().to_string(),
+        ]);
+
+        // Q2 (algebra): per-team goal totals via grouped aggregation.
+        let (inst, _) = db.instance().expect("instance");
+        let env = env_from_instance(db.schema(), &inst);
+        let agg = AlgExpr::Aggregate {
+            input: Box::new(AlgExpr::Rel(Sym::new("game"))),
+            group: vec![Sym::new("h_team")],
+            agg: AggFun::Sum,
+            on: Sym::new("home_goals"),
+            into: Sym::new("total"),
+        };
+        let (d, rows) = time(|| algres::eval(&agg, &env).expect("Q2 runs").len());
+        t.row(vec![
+            teams.to_string(),
+            games.to_string(),
+            "Q2 goals per home team (algebra)".into(),
+            fmt_duration(d),
+            rows.to_string(),
+        ]);
+
+        // Q3 ablation: a selective predicate above a self-join, with and
+        // without selection pushdown (catalog-aware, so the conjuncts sink
+        // through the renames onto the base relation).
+        let join = AlgExpr::Rel(Sym::new("game"))
+            .rename("g_team", "mid")
+            .rename("day", "day1")
+            .rename("home_goals", "hg1")
+            .rename("guest_goals", "gg1")
+            .join(
+                AlgExpr::Rel(Sym::new("game"))
+                    .rename("h_team", "mid")
+                    .rename("g_team", "far")
+                    .rename("day", "day2")
+                    .rename("home_goals", "hg2")
+                    .rename("guest_goals", "gg2"),
+            )
+            .select(APred::And(
+                Box::new(APred::Cmp(
+                    CmpOp::Eq,
+                    Scalar::col("day1"),
+                    Scalar::Const(Value::Int(1)),
+                )),
+                Box::new(APred::Cmp(
+                    CmpOp::Lt,
+                    Scalar::col("day2"),
+                    Scalar::Const(Value::Int(games as i64 / 2)),
+                )),
+            ));
+        let (d_plain, n_plain) =
+            time(|| algres::eval(&join, &env).expect("Q3 plain").len());
+        let catalog = |name: Sym| env.get(name).map(|r| r.cols().to_vec());
+        let optimized = algres::push_selections_with(join, &catalog);
+        let (d_opt, n_opt) = time(|| algres::eval(&optimized, &env).expect("Q3 opt").len());
+        assert_eq!(n_plain, n_opt);
+        t.row(vec![
+            teams.to_string(),
+            games.to_string(),
+            "Q3 2-hop self-join (no pushdown)".into(),
+            fmt_duration(d_plain),
+            n_plain.to_string(),
+        ]);
+        t.row(vec![
+            teams.to_string(),
+            games.to_string(),
+            "Q3 2-hop self-join (pushdown)".into(),
+            fmt_duration(d_opt),
+            n_opt.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-run the cheap experiments end to end (the expensive sweeps are
+    /// exercised by the `tables` binary and the Criterion benches).
+    #[test]
+    fn e2_powerset_shape_is_exponential() {
+        let t = e2_powerset();
+        // subsets column doubles each row: 16, 32, 64, 128, 256.
+        let subsets: Vec<usize> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert_eq!(subsets, vec![16, 32, 64, 128, 256]);
+    }
+
+    #[test]
+    fn e4_covers_all_six_modes() {
+        let t = e4_modes();
+        assert_eq!(t.rows.len(), 6);
+        // RIDI/RADI report answers; data-variant and deleting rows don't.
+        assert_ne!(t.rows[0][4], "—"); // RIDI
+        assert_eq!(t.rows[2][4], "—"); // RDDI (no goal: the view is removed)
+        assert_eq!(t.rows[3][4], "—"); // RIDV
+    }
+
+    #[test]
+    fn e6_counts_exactly_the_dangling_rows() {
+        let t = e6_integrity();
+        // 5% of 2000 = 100 dangling; 5% of 8000 = 400.
+        assert_eq!(t.rows[1][4], "100");
+        assert_eq!(t.rows[3][4], "400");
+        assert_eq!(t.rows[0][4], "0");
+    }
+
+    #[test]
+    fn e8_stratified_halves_each_layer() {
+        let t = e8_semantics();
+        // k=2, n=256: perfect model leaves 64 tuples in l2 (two halvings).
+        let stratified_row = &t.rows[1];
+        assert_eq!(stratified_row[2], "stratified");
+        assert_eq!(stratified_row[4], "64");
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A printable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id and title, e.g. "E1 — transitive closure".
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a duration in human-readable micro/milliseconds.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2} s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_with_aligned_columns() {
+        let mut t = Table::new("E0 — demo", &["n", "time"]);
+        t.row(vec!["10".into(), "1 ms".into()]);
+        t.row(vec!["1000".into(), "12 ms".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## E0 — demo"));
+        assert!(s.contains("| n    | time  |"));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12 µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(3_200_000)), "3.20 s");
+    }
+}

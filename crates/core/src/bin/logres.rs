@@ -1,0 +1,42 @@
+//! The LOGRES interactive shell.
+//!
+//! ```text
+//! cargo run -p logres --bin logres            # fresh session
+//! cargo run -p logres --bin logres -- db.lgr  # load a program or state
+//! ```
+
+use std::io::{BufRead, Write};
+
+use logres::repl::{Repl, Step};
+
+fn main() {
+    let mut repl = Repl::new();
+    println!("LOGRES — deductive object-oriented database (SIGMOD 1990 reproduction)");
+    println!("type :help for commands, :quit to leave");
+
+    if let Some(path) = std::env::args().nth(1) {
+        match repl.feed(&format!(":load {path}")) {
+            Step::Output(msg) => println!("{msg}"),
+            Step::Quit => return,
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        let prompt = if repl.pending() { "... " } else { "lgr> " };
+        print!("{prompt}");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else {
+            break;
+        };
+        match repl.feed(&line) {
+            Step::Output(msg) => {
+                if !msg.is_empty() {
+                    println!("{}", msg.trim_end());
+                }
+            }
+            Step::Quit => break,
+        }
+    }
+}

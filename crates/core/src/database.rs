@@ -1,0 +1,674 @@
+//! The LOGRES database facade: owns a state `(E, R, S)` and applies modules
+//! under the six modes of Section 4.1.
+//!
+//! "The evolution of a LOGRES database is obtained through sequences of
+//! applications of update modules to existing LOGRES database states."
+//! Modes of application also select the semantics given to rules —
+//! "LOGRES modules and databases are parametric with respect to the
+//! semantics of the rules they support" — so every application may override
+//! the database's default semantics.
+
+use logres_engine::{
+    answer_goal, evaluate, load_facts, EvalOptions, EvalReport, Semantics,
+};
+use logres_lang::{parse_program, RuleSet};
+use logres_model::{integrity, Instance, IntegrityConstraint, Schema, Sym, Value};
+
+use crate::error::CoreError;
+use crate::module::{Mode, Module};
+use crate::state::DatabaseState;
+
+/// Goal answers: one row per result, binding the goal variables in order.
+pub type Rows = Vec<Vec<(Sym, Value)>>;
+
+/// What a module application produced.
+#[derive(Debug, Clone)]
+pub struct ApplicationOutcome {
+    /// The goal answer, for goal-answering modes with a goal.
+    pub answer: Option<Rows>,
+    /// Evaluation statistics.
+    pub report: EvalReport,
+}
+
+/// A LOGRES database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    state: DatabaseState,
+    semantics: Semantics,
+    opts: EvalOptions,
+}
+
+impl Database {
+    /// An empty database over a validated schema.
+    pub fn new(schema: Schema) -> Database {
+        Database {
+            state: DatabaseState::new(schema),
+            semantics: Semantics::default(),
+            opts: EvalOptions::default(),
+        }
+    }
+
+    /// Bootstrap a database from a program text: schema sections define
+    /// `S`, the facts section loads `E`, rule/constraint sections seed the
+    /// persistent `R`.
+    pub fn from_source(src: &str) -> Result<Database, CoreError> {
+        let program = parse_program(src).map_err(CoreError::Lang)?;
+        logres_lang::check_program(&program).map_err(CoreError::Lang)?;
+        let mut edb = Instance::new();
+        let mut gen = logres_model::OidGen::new();
+        load_facts(&program.schema, &mut edb, &program.facts, &mut gen)
+            .map_err(CoreError::Engine)?;
+        Ok(Database {
+            state: DatabaseState {
+                schema: program.schema,
+                rules: program.rules,
+                edb,
+                constraints: program.constraints,
+            },
+            semantics: Semantics::default(),
+            opts: EvalOptions::default(),
+        })
+    }
+
+    /// Wrap an existing state (e.g. one restored by [`crate::persist::load`]).
+    pub fn from_state(state: DatabaseState) -> Database {
+        Database {
+            state,
+            semantics: Semantics::default(),
+            opts: EvalOptions::default(),
+        }
+    }
+
+    /// The current persistent state.
+    pub fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+
+    /// Serialize the full state `(E, R, S)` to text (see [`crate::persist`]).
+    pub fn save(&self) -> String {
+        crate::persist::save(&self.state)
+    }
+
+    /// Restore a database from [`Database::save`] output.
+    pub fn load(text: &str) -> Result<Database, CoreError> {
+        Ok(Database::from_state(crate::persist::load(text)?))
+    }
+
+    /// The schema `S`.
+    pub fn schema(&self) -> &Schema {
+        &self.state.schema
+    }
+
+    /// The extensional database `E`.
+    pub fn edb(&self) -> &Instance {
+        &self.state.edb
+    }
+
+    /// The persistent rules `R`.
+    pub fn rules(&self) -> &RuleSet {
+        &self.state.rules
+    }
+
+    /// Default semantics for rule evaluation.
+    pub fn set_semantics(&mut self, semantics: Semantics) {
+        self.semantics = semantics;
+    }
+
+    /// Fuel limits for evaluations.
+    pub fn set_options(&mut self, opts: EvalOptions) {
+        self.opts = opts;
+    }
+
+    /// The referential integrity constraints generated from the current
+    /// type equations (Section 2.1).
+    pub fn integrity_constraints(&self) -> Vec<IntegrityConstraint> {
+        integrity::generate(&self.state.schema)
+    }
+
+    /// Materialize the database instance: compute `I` from `(E, R)`.
+    pub fn instance(&self) -> Result<(Instance, EvalReport), CoreError> {
+        self.state
+            .instance(self.semantics, self.opts)
+            .map_err(CoreError::Engine)
+    }
+
+    /// Make `E` coincide with the instance `I` (Section 4.2,
+    /// "materializing the instance"): `E := I`. The rules stay in place, so
+    /// they keep acting as triggers on later updates.
+    pub fn materialize(&mut self) -> Result<EvalReport, CoreError> {
+        let (inst, report) = self.instance()?;
+        self.state.edb = inst;
+        Ok(report)
+    }
+
+    /// Parse and apply a module in one call.
+    pub fn apply_source(&mut self, src: &str, mode: Mode) -> Result<ApplicationOutcome, CoreError> {
+        let module = Module::parse(src, &self.state.schema)?;
+        self.apply(&module, mode)
+    }
+
+    /// Apply a module under the database's default semantics.
+    pub fn apply(&mut self, module: &Module, mode: Mode) -> Result<ApplicationOutcome, CoreError> {
+        self.apply_with(module, mode, self.semantics)
+    }
+
+    /// Apply a module, overriding the rule semantics for this application.
+    pub fn apply_with(
+        &mut self,
+        module: &Module,
+        mode: Mode,
+        semantics: Semantics,
+    ) -> Result<ApplicationOutcome, CoreError> {
+        if module.goal.is_some() && !mode.answers_goal() {
+            return Err(CoreError::GoalNotAllowed(mode));
+        }
+
+        match mode {
+            Mode::Ridi => {
+                // Transient: evaluate R ∪ R_M over E with S ∪ S_M; nothing
+                // persists.
+                let schema = self.union_schema(module)?;
+                let rules = self.state.rules.union(&module.rules);
+                let (inst, report) = evaluate(&schema, &rules, &self.state.edb, semantics, self.opts)
+                    .map_err(CoreError::Engine)?;
+                let answer = self.answer(&schema, &inst, module)?;
+                Ok(ApplicationOutcome { answer, report })
+            }
+            Mode::Radi => {
+                let schema = self.union_schema(module)?;
+                let rules = self.state.rules.union(&module.rules);
+                let mut constraints = self.state.constraints.clone();
+                for d in &module.constraints {
+                    if !constraints.contains(d) {
+                        constraints.push(d.clone());
+                    }
+                }
+                let candidate = DatabaseState {
+                    schema,
+                    rules,
+                    edb: self.state.edb.clone(),
+                    constraints,
+                };
+                let (inst, report) = self.check_candidate(&candidate, semantics)?;
+                let answer = self.answer(&candidate.schema, &inst, module)?;
+                self.state = candidate;
+                Ok(ApplicationOutcome { answer, report })
+            }
+            Mode::Rddi => {
+                let mut schema = self.state.schema.difference(&module.schema);
+                schema.validate().map_err(CoreError::Model)?;
+                let rules = self.state.rules.difference(&module.rules);
+                let constraints: Vec<_> = self
+                    .state
+                    .constraints
+                    .iter()
+                    .filter(|d| !module.constraints.contains(d))
+                    .cloned()
+                    .collect();
+                let candidate = DatabaseState {
+                    schema,
+                    rules,
+                    edb: self.state.edb.clone(),
+                    constraints,
+                };
+                let (inst, report) = self.check_candidate(&candidate, semantics)?;
+                let answer = self.answer(&candidate.schema, &inst, module)?;
+                self.state = candidate;
+                Ok(ApplicationOutcome { answer, report })
+            }
+            Mode::Ridv => {
+                // E' = result of applying the *module* rules to E; the
+                // persistent rules are untouched but S gains the module's
+                // new type equations (the paper's S_M(EDB)).
+                let schema = self.union_schema(module)?;
+                let (new_edb, report) =
+                    evaluate(&schema, &module.rules, &self.state.edb, semantics, self.opts)
+                        .map_err(CoreError::Engine)?;
+                let candidate = DatabaseState {
+                    schema,
+                    rules: self.state.rules.clone(),
+                    edb: new_edb,
+                    constraints: self.state.constraints.clone(),
+                };
+                let (_, _) = self.check_candidate(&candidate, semantics)?;
+                self.state = candidate;
+                Ok(ApplicationOutcome {
+                    answer: None,
+                    report,
+                })
+            }
+            Mode::Radv => {
+                let schema = self.union_schema(module)?;
+                let (new_edb, report) =
+                    evaluate(&schema, &module.rules, &self.state.edb, semantics, self.opts)
+                        .map_err(CoreError::Engine)?;
+                let rules = self.state.rules.union(&module.rules);
+                let mut constraints = self.state.constraints.clone();
+                for d in &module.constraints {
+                    if !constraints.contains(d) {
+                        constraints.push(d.clone());
+                    }
+                }
+                let candidate = DatabaseState {
+                    schema,
+                    rules,
+                    edb: new_edb,
+                    constraints,
+                };
+                let (_, _) = self.check_candidate(&candidate, semantics)?;
+                self.state = candidate;
+                Ok(ApplicationOutcome {
+                    answer: None,
+                    report,
+                })
+            }
+            Mode::Rddv => {
+                // E_M = the instance of (∅, R_M); E' = E − E_M.
+                let schema = self.union_schema(module)?;
+                let (em, report) =
+                    evaluate(&schema, &module.rules, &Instance::new(), semantics, self.opts)
+                        .map_err(CoreError::Engine)?;
+                let mut new_edb = self.state.edb.clone();
+                for fact in em.facts(&schema) {
+                    new_edb.remove_fact(&schema, &fact);
+                }
+                let mut new_schema = self.state.schema.difference(&module.schema);
+                new_schema.validate().map_err(CoreError::Model)?;
+                let rules = self.state.rules.difference(&module.rules);
+                let constraints: Vec<_> = self
+                    .state
+                    .constraints
+                    .iter()
+                    .filter(|d| !module.constraints.contains(d))
+                    .cloned()
+                    .collect();
+                let candidate = DatabaseState {
+                    schema: new_schema,
+                    rules,
+                    edb: new_edb,
+                    constraints,
+                };
+                let (_, _) = self.check_candidate(&candidate, semantics)?;
+                self.state = candidate;
+                Ok(ApplicationOutcome {
+                    answer: None,
+                    report,
+                })
+            }
+        }
+    }
+
+    /// Evaluate a goal-only module (convenience for queries).
+    pub fn query(&mut self, src: &str) -> Result<Rows, CoreError> {
+        let outcome = self.apply_source(src, Mode::Ridi)?;
+        Ok(outcome.answer.unwrap_or_default())
+    }
+
+    // ----- helpers ----------------------------------------------------------
+
+    fn union_schema(&self, module: &Module) -> Result<Schema, CoreError> {
+        let mut s = self
+            .state
+            .schema
+            .union(&module.schema)
+            .map_err(|e| CoreError::Model(vec![e]))?;
+        s.validate().map_err(CoreError::Model)?;
+        Ok(s)
+    }
+
+    /// Compute the candidate state's instance and reject the application if
+    /// it is inconsistent (Section 4.1: the new instance must be defined).
+    fn check_candidate(
+        &self,
+        candidate: &DatabaseState,
+        semantics: Semantics,
+    ) -> Result<(Instance, EvalReport), CoreError> {
+        let (inst, report) = candidate
+            .instance(semantics, self.opts)
+            .map_err(CoreError::Engine)?;
+        let consistency = candidate.check_consistency(&inst)?;
+        if !consistency.is_consistent() {
+            return Err(CoreError::Rejected {
+                violations: consistency.violations,
+            });
+        }
+        Ok((inst, report))
+    }
+
+    fn answer(
+        &self,
+        schema: &Schema,
+        inst: &Instance,
+        module: &Module,
+    ) -> Result<Option<Rows>, CoreError> {
+        match &module.goal {
+            Some(goal) => Ok(Some(
+                answer_goal(schema, inst, goal).map_err(CoreError::Engine)?,
+            )),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEOPLE: &str = r#"
+        associations
+          parent   = (par: string, chil: string);
+        facts
+          parent(par: "adam", chil: "cain").
+          parent(par: "cain", chil: "enoch").
+    "#;
+
+    #[test]
+    fn ridi_answers_queries_without_changing_state() {
+        let mut db = Database::from_source(PEOPLE).unwrap();
+        let rules_before = db.rules().len();
+        let out = db
+            .apply_source(
+                r#"
+                associations
+                  ancestor = (anc: string, des: string);
+                rules
+                  ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+                  ancestor(anc: X, des: Z) <- parent(par: X, chil: Y),
+                                              ancestor(anc: Y, des: Z).
+                goal ancestor(anc: "adam", des: D)?
+                "#,
+                Mode::Ridi,
+            )
+            .unwrap();
+        assert_eq!(out.answer.unwrap().len(), 2);
+        // Nothing persisted: neither rules nor the ancestor association.
+        assert_eq!(db.rules().len(), rules_before);
+        assert!(db.schema().assoc_type(Sym::new("ancestor")).is_none());
+    }
+
+    #[test]
+    fn radi_persists_rules_and_schema() {
+        let mut db = Database::from_source(PEOPLE).unwrap();
+        db.apply_source(
+            r#"
+            associations
+              ancestor = (anc: string, des: string);
+            rules
+              ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+            "#,
+            Mode::Radi,
+        )
+        .unwrap();
+        assert_eq!(db.rules().len(), 1);
+        assert!(db.schema().assoc_type(Sym::new("ancestor")).is_some());
+        // The persisted rule now answers plain queries.
+        let rows = db.query("goal ancestor(anc: X, des: Y)?").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn rddi_removes_rules_again() {
+        let mut db = Database::from_source(PEOPLE).unwrap();
+        let module_src = r#"
+            associations
+              ancestor = (anc: string, des: string);
+            rules
+              ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+        "#;
+        db.apply_source(module_src, Mode::Radi).unwrap();
+        assert_eq!(db.rules().len(), 1);
+        db.apply_source(module_src, Mode::Rddi).unwrap();
+        assert_eq!(db.rules().len(), 0);
+        assert!(db.schema().assoc_type(Sym::new("ancestor")).is_none());
+    }
+
+    #[test]
+    fn ridv_updates_the_edb_in_place() {
+        // Example 4.1 of the paper.
+        let mut db = Database::from_source(
+            r#"
+            associations
+              italian = (name: string);
+              roman   = (name: string);
+            facts
+              italian(name: "sara").
+            "#,
+        )
+        .unwrap();
+        let out = db
+            .apply_source(
+                r#"
+                rules
+                  italian(name: "luca") <- .
+                  roman(name: "ugo") <- .
+                  italian(name: X) <- roman(name: X).
+                "#,
+                Mode::Ridv,
+            )
+            .unwrap();
+        assert!(out.answer.is_none());
+        assert_eq!(db.edb().assoc_len(Sym::new("italian")), 3);
+        assert_eq!(db.edb().assoc_len(Sym::new("roman")), 1);
+        // No rules persisted.
+        assert_eq!(db.rules().len(), 0);
+    }
+
+    #[test]
+    fn example_4_2_via_ridv_module() {
+        let mut db = Database::from_source(
+            r#"
+            associations
+              p = (d1: integer, d2: integer);
+            facts
+              p(d1: 1, d2: 1).
+              p(d1: 2, d2: 2).
+              p(d1: 3, d2: 3).
+              p(d1: 4, d2: 4).
+            "#,
+        )
+        .unwrap();
+        db.apply_source(
+            r#"
+            associations
+              mod_t = (d1: integer, d2: integer);
+            rules
+              p(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                                 not mod_t(d1: X, d2: Y).
+              mod_t(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                                     not mod_t(d1: X, d2: Y).
+              -p(Y) <- p(Y, d1: X), even(X), not mod_t(Y).
+            "#,
+            Mode::Ridv,
+        )
+        .unwrap();
+        let p = Sym::new("p");
+        assert_eq!(db.edb().assoc_len(p), 4);
+        for (a, b) in [(1, 1), (2, 3), (3, 3), (4, 5)] {
+            assert!(db.edb().has_tuple(
+                p,
+                &Value::tuple([("d1", Value::Int(a)), ("d2", Value::Int(b))])
+            ));
+        }
+    }
+
+    #[test]
+    fn rddv_deletes_module_derivable_facts_and_rules() {
+        let mut db = Database::from_source(
+            r#"
+            associations
+              p = (d: integer);
+            facts
+              p(d: 1).
+              p(d: 2).
+            "#,
+        )
+        .unwrap();
+        // The module derives p(1) from nothing; RDDV removes it and the rule.
+        db.apply_source(
+            r#"
+            rules
+              p(d: 1) <- .
+            "#,
+            Mode::Rddv,
+        )
+        .unwrap();
+        assert_eq!(db.edb().assoc_len(Sym::new("p")), 1);
+        assert!(db
+            .edb()
+            .has_tuple(Sym::new("p"), &Value::tuple([("d", Value::Int(2))])));
+    }
+
+    #[test]
+    fn data_variant_modes_reject_goals() {
+        let mut db = Database::from_source(PEOPLE).unwrap();
+        let err = db
+            .apply_source(
+                r#"
+                rules
+                  parent(par: "x", chil: "y") <- .
+                goal parent(par: X)?
+                "#,
+                Mode::Ridv,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::GoalNotAllowed(Mode::Ridv)));
+    }
+
+    #[test]
+    fn inconsistent_applications_are_rejected_atomically() {
+        let mut db = Database::from_source(
+            r#"
+            associations
+              married  = (who: string);
+              divorced = (who: string);
+            facts
+              married(who: "x").
+            constraints
+              <- married(who: X), divorced(who: X).
+            "#,
+        )
+        .unwrap();
+        let before = db.edb().clone();
+        let err = db
+            .apply_source(
+                r#"
+                rules
+                  divorced(who: "x") <- .
+                "#,
+                Mode::Ridv,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Rejected { .. }));
+        // Atomicity: the EDB is unchanged.
+        assert_eq!(db.edb(), &before);
+    }
+
+    #[test]
+    fn referential_integrity_rejects_dangling_updates() {
+        let mut db = Database::from_source(
+            r#"
+            classes
+              team = (name: string);
+            associations
+              fixture = (h: team, g: team);
+            "#,
+        )
+        .unwrap();
+        // A module inserting a fixture with nil teams violates the
+        // association referential constraint generated from the schema.
+        let err = db
+            .apply_source(
+                r#"
+                rules
+                  fixture(h: X, g: Y) <- .
+                "#,
+                Mode::Ridv,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Rejected { .. }));
+    }
+
+    #[test]
+    fn materialize_makes_e_coincide_with_i() {
+        let mut db = Database::from_source(
+            r#"
+            associations
+              e  = (a: integer, b: integer);
+              tc = (a: integer, b: integer);
+            facts
+              e(a: 1, b: 2).
+              e(a: 2, b: 3).
+            rules
+              tc(a: X, b: Y) <- e(a: X, b: Y).
+              tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(db.edb().assoc_len(Sym::new("tc")), 0);
+        db.materialize().unwrap();
+        assert_eq!(db.edb().assoc_len(Sym::new("tc")), 3);
+    }
+
+    #[test]
+    fn semantics_override_is_per_application() {
+        let mut db = Database::from_source(
+            r#"
+            associations
+              node     = (n: integer);
+              edge     = (a: integer, b: integer);
+              covered  = (n: integer);
+              isolated = (n: integer);
+            facts
+              node(n: 1).
+              node(n: 2).
+              node(n: 3).
+              edge(a: 1, b: 2).
+            "#,
+        )
+        .unwrap();
+        let module = Module::parse(
+            r#"
+            rules
+              covered(n: X) <- edge(a: X, b: Y).
+              covered(n: X) <- edge(a: Y, b: X).
+              isolated(n: X) <- node(n: X), not covered(n: X).
+            goal isolated(n: X)?
+            "#,
+            db.schema(),
+        )
+        .unwrap();
+        let strat = db
+            .apply_with(&module, Mode::Ridi, Semantics::Stratified)
+            .unwrap();
+        let infl = db
+            .apply_with(&module, Mode::Ridi, Semantics::Inflationary)
+            .unwrap();
+        assert_eq!(strat.answer.unwrap().len(), 1);
+        assert!(infl.answer.unwrap().len() > 1);
+    }
+
+    #[test]
+    fn oid_invention_through_a_module() {
+        // Example 3.4: IP objects created from interesting pairs.
+        let mut db = Database::from_source(
+            r#"
+            classes
+              emp  = (name: string, works: string);
+              dept = (dname: string, depmgr: emp);
+            associations
+              pair = (employee: emp, manager: emp);
+            "#,
+        )
+        .unwrap();
+        db.apply_source(
+            r#"
+            rules
+              emp(self: X, name: "smith", works: "d1") <- .
+              emp(self: X, name: "smith", works: "d2") <- .
+            "#,
+            Mode::Ridv,
+        )
+        .unwrap();
+        assert_eq!(db.edb().class_len(Sym::new("emp")), 2);
+    }
+}

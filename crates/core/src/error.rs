@@ -1,0 +1,96 @@
+//! Errors of the LOGRES facade.
+
+use std::fmt;
+
+use logres_engine::EngineError;
+use logres_lang::LangError;
+use logres_model::ModelError;
+
+use crate::module::Mode;
+
+/// Anything that can go wrong while building databases, parsing modules, or
+/// applying them.
+#[derive(Debug, Clone, PartialEq)]
+// Field names are self-documenting; variant docs carry the semantics.
+#[allow(missing_docs)]
+pub enum CoreError {
+    /// Front-end diagnostics (parse / type / safety errors).
+    Lang(Vec<LangError>),
+    /// Schema or instance legality violations.
+    Model(Vec<ModelError>),
+    /// Evaluation failure.
+    Engine(EngineError),
+    /// A module application was rejected because the resulting state is
+    /// inconsistent (Section 4.1: "Otherwise the update is rejected since
+    /// the new instance is undefined"). The database state is unchanged.
+    Rejected { violations: Vec<String> },
+    /// A goal was supplied with a data-variant application mode (the last
+    /// three options provide no goal answer — Section 4.1).
+    GoalNotAllowed(Mode),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lang(errs) => {
+                writeln!(f, "language errors:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            CoreError::Model(errs) => {
+                writeln!(f, "model errors:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            CoreError::Engine(e) => write!(f, "evaluation error: {e}"),
+            CoreError::Rejected { violations } => {
+                writeln!(f, "module application rejected; violations:")?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+            CoreError::GoalNotAllowed(mode) => {
+                write!(f, "mode {mode:?} is data-variant: the module must not specify a goal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<Vec<LangError>> for CoreError {
+    fn from(e: Vec<LangError>) -> Self {
+        CoreError::Lang(e)
+    }
+}
+
+impl From<Vec<ModelError>> for CoreError {
+    fn from(e: Vec<ModelError>) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_nested_diagnostics() {
+        let e = CoreError::Rejected {
+            violations: vec!["a".into(), "b".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rejected") && s.contains("a") && s.contains("b"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Modules and their six application modes (Section 4.1).
+//!
+//! A module is a triple `(R_M, S_M, G_M)`: rules, type equations, and an
+//! optional goal. "The LOGRES approach to updates preserves the declarative
+//! semantics of rules and puts all the control strategy into modules" —
+//! *logic is in rules and control in modules*.
+
+use logres_lang::{parse_module, Denial, Goal, RuleSet};
+use logres_model::Schema;
+
+use crate::error::CoreError;
+
+/// The mode of application of a module: which side effects it has on the
+/// database state `(E, R, S)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// *Rule Invariant, Data Invariant* — an ordinary query: `S_M` and
+    /// `R_M` are visible only during this application; the state does not
+    /// change; the goal is answered over `R ∪ R_M` against `E`.
+    Ridi,
+    /// *Rule Addition, Data Invariant* — `R_M` and `S_M` are added to the
+    /// persistent IDB/schema (if the new state is consistent). The goal may
+    /// be answered as in RIDI.
+    Radi,
+    /// *Rule Deletion, Data Invariant* — `R_M`/`S_M` are removed from the
+    /// persistent IDB/schema.
+    Rddi,
+    /// *Rule Invariant, Data Variant* — the EDB is updated: `E'` is the
+    /// result of applying the module's rules to `E`. The persistent rules
+    /// are unchanged; only the `S_M` equations describing new EDB types are
+    /// kept. No goal answer.
+    Ridv,
+    /// *Rule Addition, Data Variant* — update the EDB *and* add `R_M` to
+    /// the persistent rules. No goal answer.
+    Radv,
+    /// *Rule Deletion, Data Variant* — remove `R_M` from the persistent
+    /// rules and delete from `E` the facts `E_M` derivable by `(∅, R_M)`.
+    /// No goal answer.
+    Rddv,
+}
+
+impl Mode {
+    /// Do applications in this mode answer the module goal?
+    pub fn answers_goal(self) -> bool {
+        matches!(self, Mode::Ridi | Mode::Radi | Mode::Rddi)
+    }
+
+    /// Does this mode mutate the extensional database?
+    pub fn data_variant(self) -> bool {
+        matches!(self, Mode::Ridv | Mode::Radv | Mode::Rddv)
+    }
+
+    /// All six modes, in the paper's order.
+    pub fn all() -> [Mode; 6] {
+        [
+            Mode::Ridi,
+            Mode::Radi,
+            Mode::Rddi,
+            Mode::Ridv,
+            Mode::Radv,
+            Mode::Rddv,
+        ]
+    }
+}
+
+/// A module `(R_M, S_M, G_M)` plus any passive constraints it declares.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// `S_M` — the module's own type equations.
+    pub schema: Schema,
+    /// `R_M` — the module's rules.
+    pub rules: RuleSet,
+    /// Passive denials carried by the module.
+    pub constraints: Vec<Denial>,
+    /// `G_M` — the goal, if any.
+    pub goal: Option<Goal>,
+}
+
+impl Module {
+    /// Parse a module against the schema of the database it will be applied
+    /// to. Runs the full static checks (types, safety) over `base ∪ S_M`.
+    pub fn parse(src: &str, base: &Schema) -> Result<Module, CoreError> {
+        let parsed = parse_module(src, base).map_err(CoreError::Lang)?;
+        logres_lang::check_program(&parsed.program).map_err(CoreError::Lang)?;
+        if !parsed.program.facts.is_empty() {
+            return Err(CoreError::Lang(vec![logres_lang::LangError::new(
+                Default::default(),
+                "modules may not contain a facts section; use rules with empty bodies",
+            )]));
+        }
+        Ok(Module {
+            schema: parsed.local_schema,
+            rules: parsed.program.rules,
+            constraints: parsed.program.constraints,
+            goal: parsed.program.goal,
+        })
+    }
+
+    /// An empty module (useful as a base for programmatic construction).
+    pub fn empty() -> Module {
+        Module {
+            schema: Schema::new(),
+            rules: RuleSet::new(),
+            constraints: Vec::new(),
+            goal: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logres_lang::parse_program;
+
+    fn base() -> Schema {
+        parse_program(
+            r#"
+            associations
+              parent = (par: string, chil: string);
+        "#,
+        )
+        .unwrap()
+        .schema
+    }
+
+    #[test]
+    fn mode_capabilities_match_the_paper_table() {
+        assert!(Mode::Ridi.answers_goal());
+        assert!(Mode::Radi.answers_goal());
+        assert!(Mode::Rddi.answers_goal());
+        for m in [Mode::Ridv, Mode::Radv, Mode::Rddv] {
+            assert!(!m.answers_goal());
+            assert!(m.data_variant());
+        }
+        assert!(!Mode::Ridi.data_variant());
+        assert_eq!(Mode::all().len(), 6);
+    }
+
+    #[test]
+    fn modules_parse_against_a_base_schema() {
+        let m = Module::parse(
+            r#"
+            associations
+              ancestor = (anc: string, des: string);
+            rules
+              ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+            goal ancestor(anc: X, des: Y)?
+        "#,
+            &base(),
+        )
+        .expect("module parses");
+        assert_eq!(m.rules.len(), 1);
+        assert!(m.goal.is_some());
+        assert_eq!(m.schema.assocs().count(), 1);
+    }
+
+    #[test]
+    fn modules_reject_facts_sections() {
+        let err = Module::parse(
+            r#"
+            facts
+              parent(par: "a", chil: "b").
+        "#,
+            &base(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Lang(_)));
+    }
+
+    #[test]
+    fn module_type_errors_are_caught_at_parse_time() {
+        let err = Module::parse(
+            r#"
+            rules
+              parent(par: X, chil: X) <- parent(par: X, chil: Y), Y = X + 1.
+        "#,
+            &base(),
+        )
+        .unwrap_err();
+        // X is a string by schema but used in arithmetic.
+        assert!(matches!(err, CoreError::Lang(_)));
+    }
+}

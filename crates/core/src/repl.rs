@@ -1,0 +1,405 @@
+//! An interactive session driver: the "complete programming environment"
+//! the paper's §5 plans ("tools supporting the design, debugging, and
+//! monitoring of LOGRES databases and programs"), in miniature.
+//!
+//! [`Repl`] is the testable core; the `logres` binary wraps it around
+//! stdin/stdout. Input is line-oriented:
+//!
+//! * `:commands` act immediately (`:help` lists them);
+//! * anything else accumulates into a buffer that is applied as a module
+//!   when an empty line arrives — with the current default mode, or RIDI
+//!   automatically when the buffer is a pure goal.
+
+use std::fmt::Write as _;
+
+use logres_model::Sym;
+
+use crate::database::Database;
+use crate::error::CoreError;
+use crate::module::Mode;
+use crate::Semantics;
+
+/// Outcome of feeding one line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Text to show the user (possibly empty).
+    Output(String),
+    /// The session should end.
+    Quit,
+}
+
+/// An interactive LOGRES session.
+pub struct Repl {
+    db: Option<Database>,
+    mode: Mode,
+    buffer: String,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl::new()
+    }
+}
+
+impl Repl {
+    /// A session with no database loaded yet.
+    pub fn new() -> Repl {
+        Repl {
+            db: None,
+            mode: Mode::Ridv,
+            buffer: String::new(),
+        }
+    }
+
+    /// A session over an existing database.
+    pub fn with_database(db: Database) -> Repl {
+        Repl {
+            db: Some(db),
+            mode: Mode::Ridv,
+            buffer: String::new(),
+        }
+    }
+
+    /// Access the underlying database (for tests and embedding).
+    pub fn database(&self) -> Option<&Database> {
+        self.db.as_ref()
+    }
+
+    /// Is multi-line input pending?
+    pub fn pending(&self) -> bool {
+        !self.buffer.trim().is_empty()
+    }
+
+    /// Feed one line of input.
+    pub fn feed(&mut self, line: &str) -> Step {
+        let trimmed = line.trim();
+        if let Some(cmd) = trimmed.strip_prefix(':') {
+            return self.command(cmd);
+        }
+        if trimmed.is_empty() {
+            if self.pending() {
+                let src = std::mem::take(&mut self.buffer);
+                return Step::Output(self.apply(&src));
+            }
+            return Step::Output(String::new());
+        }
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        // A goal terminator ends the unit immediately.
+        if trimmed.ends_with('?') {
+            let src = std::mem::take(&mut self.buffer);
+            return Step::Output(self.apply(&src));
+        }
+        Step::Output(String::new())
+    }
+
+    fn command(&mut self, cmd: &str) -> Step {
+        let mut parts = cmd.splitn(2, ' ');
+        let name = parts.next().unwrap_or_default();
+        let arg = parts.next().unwrap_or_default().trim();
+        let out = match name {
+            "quit" | "q" => return Step::Quit,
+            "help" | "h" => HELP.to_owned(),
+            "new" => {
+                self.db = Some(Database::from_source("").unwrap_or_else(|_| {
+                    Database::new(logres_model::Schema::new())
+                }));
+                "empty database created".to_owned()
+            }
+            "load" => match std::fs::read_to_string(arg) {
+                Ok(text) => match self.load_text(&text) {
+                    Ok(msg) => msg,
+                    Err(e) => format!("error: {e}"),
+                },
+                Err(e) => format!("error reading {arg}: {e}"),
+            },
+            "save" => match &self.db {
+                Some(db) => match std::fs::write(arg, db.save()) {
+                    Ok(()) => format!("state saved to {arg}"),
+                    Err(e) => format!("error writing {arg}: {e}"),
+                },
+                None => "no database loaded".to_owned(),
+            },
+            "mode" => match arg.to_lowercase().as_str() {
+                "ridi" => self.set_mode(Mode::Ridi),
+                "radi" => self.set_mode(Mode::Radi),
+                "rddi" => self.set_mode(Mode::Rddi),
+                "ridv" => self.set_mode(Mode::Ridv),
+                "radv" => self.set_mode(Mode::Radv),
+                "rddv" => self.set_mode(Mode::Rddv),
+                "" => format!("current mode: {:?}", self.mode),
+                other => format!("unknown mode `{other}` (ridi/radi/rddi/ridv/radv/rddv)"),
+            },
+            "semantics" => match (&mut self.db, arg.to_lowercase().as_str()) {
+                (Some(db), "inflationary") => {
+                    db.set_semantics(Semantics::Inflationary);
+                    "semantics: inflationary".to_owned()
+                }
+                (Some(db), "stratified") => {
+                    db.set_semantics(Semantics::Stratified);
+                    "semantics: stratified".to_owned()
+                }
+                (Some(_), other) => {
+                    format!("unknown semantics `{other}` (inflationary/stratified)")
+                }
+                (None, _) => "no database loaded".to_owned(),
+            },
+            "schema" => match &self.db {
+                Some(db) => db.schema().to_string(),
+                None => "no database loaded".to_owned(),
+            },
+            "rules" => match &self.db {
+                Some(db) => {
+                    if db.rules().is_empty() {
+                        "(no persistent rules)".to_owned()
+                    } else {
+                        db.rules().to_string()
+                    }
+                }
+                None => "no database loaded".to_owned(),
+            },
+            "facts" => match &self.db {
+                Some(db) => facts_of(db, arg),
+                None => "no database loaded".to_owned(),
+            },
+            "check" => match &self.db {
+                Some(db) => match db.instance() {
+                    Ok((inst, _)) => match db.state().check_consistency(&inst) {
+                        Ok(report) if report.is_consistent() => "consistent".to_owned(),
+                        Ok(report) => {
+                            let mut s = String::from("inconsistent:\n");
+                            for v in report.violations {
+                                let _ = writeln!(s, "  {v}");
+                            }
+                            s
+                        }
+                        Err(e) => format!("error: {e}"),
+                    },
+                    Err(e) => format!("error: {e}"),
+                },
+                None => "no database loaded".to_owned(),
+            },
+            "materialize" => match &mut self.db {
+                Some(db) => match db.materialize() {
+                    Ok(report) => format!(
+                        "materialized: {} facts in {} steps",
+                        report.facts, report.steps
+                    ),
+                    Err(e) => format!("error: {e}"),
+                },
+                None => "no database loaded".to_owned(),
+            },
+            other => format!("unknown command `:{other}` (try :help)"),
+        };
+        Step::Output(out)
+    }
+
+    fn set_mode(&mut self, mode: Mode) -> String {
+        self.mode = mode;
+        format!("mode set to {mode:?}")
+    }
+
+    /// Load either a saved state or a bootstrap program.
+    fn load_text(&mut self, text: &str) -> Result<String, CoreError> {
+        if text.trim_start().starts_with("%%logres-state") {
+            self.db = Some(Database::load(text)?);
+            Ok("state restored".to_owned())
+        } else {
+            self.db = Some(Database::from_source(text)?);
+            Ok("program loaded".to_owned())
+        }
+    }
+
+    fn apply(&mut self, src: &str) -> String {
+        let Some(db) = &mut self.db else {
+            // A schema-bearing first input bootstraps the database.
+            return match Database::from_source(src) {
+                Ok(db) => {
+                    self.db = Some(db);
+                    "database created".to_owned()
+                }
+                Err(e) => format!("error: {e}"),
+            };
+        };
+        let is_goal_only = src
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .all(|l| l.starts_with("goal") || l.ends_with('?') || !l.contains("<-"));
+        let goalish = src.contains("goal") && is_goal_only;
+        let mode = if goalish { Mode::Ridi } else { self.mode };
+        match db.apply_source(src, mode) {
+            Ok(outcome) => {
+                let mut out = String::new();
+                if let Some(rows) = outcome.answer {
+                    if rows.is_empty() {
+                        out.push_str("(no answers)\n");
+                    }
+                    for row in rows {
+                        let cells: Vec<String> =
+                            row.iter().map(|(v, val)| format!("{v} = {val}")).collect();
+                        let _ = writeln!(out, "  {}", cells.join(", "));
+                    }
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "applied ({:?}): {} facts, {} steps",
+                        mode, outcome.report.facts, outcome.report.steps
+                    );
+                }
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+fn facts_of(db: &Database, pred: &str) -> String {
+    let Ok((inst, _)) = db.instance() else {
+        return "error computing the instance".to_owned();
+    };
+    let p = Sym::new(&pred.to_lowercase());
+    let mut out = String::new();
+    match db.schema().kind(p) {
+        Some(logres_model::PredKind::Assoc) => {
+            let mut tuples: Vec<_> = inst.tuples_of(p).collect();
+            tuples.sort();
+            for t in tuples {
+                let _ = writeln!(out, "  {p}{t}");
+            }
+        }
+        Some(logres_model::PredKind::Class) => {
+            let mut oids: Vec<_> = inst.oids_of(p).collect();
+            oids.sort();
+            for o in oids {
+                if let Some(v) = inst.o_value_in(db.schema(), p, o) {
+                    let _ = writeln!(out, "  {p}{v}");
+                }
+            }
+        }
+        _ => return format!("unknown predicate `{pred}`"),
+    }
+    if out.is_empty() {
+        out.push_str("  (empty)\n");
+    }
+    out
+}
+
+const HELP: &str = "\
+LOGRES interactive session
+  :help                 this message
+  :quit                 leave
+  :load <file>          load a program or a saved state
+  :save <file>          save the database state
+  :mode [m]             show or set the module application mode
+                        (ridi radi rddi ridv radv rddv; default ridv)
+  :semantics <s>        inflationary | stratified
+  :schema               print the schema
+  :rules                print the persistent rules
+  :facts <pred>         print a predicate's extension
+  :check                consistency report
+  :materialize          make E coincide with the instance I
+Anything else is module source: it accumulates until an empty line (or a
+line ending in `?`) and is then applied — goals run as RIDI queries.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(step: Step) -> String {
+        match step {
+            Step::Output(s) => s,
+            Step::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    fn feed_all(repl: &mut Repl, text: &str) -> String {
+        let mut acc = String::new();
+        for line in text.lines() {
+            acc.push_str(&out(repl.feed(line)));
+        }
+        acc.push_str(&out(repl.feed("")));
+        acc
+    }
+
+    #[test]
+    fn bootstrap_update_and_query() {
+        let mut repl = Repl::new();
+        let msg = feed_all(
+            &mut repl,
+            "associations\n  parent = (par: string, chil: string);",
+        );
+        assert!(msg.contains("database created"), "{msg}");
+
+        let msg = feed_all(
+            &mut repl,
+            "rules\n  parent(par: \"a\", chil: \"b\") <- .",
+        );
+        assert!(msg.contains("applied (Ridv)"), "{msg}");
+
+        let msg = out(repl.feed("goal parent(par: X, chil: Y)?"));
+        assert!(msg.contains("X = \"a\""), "{msg}");
+        assert!(msg.contains("Y = \"b\""), "{msg}");
+    }
+
+    #[test]
+    fn commands_report_state() {
+        let mut repl = Repl::new();
+        feed_all(
+            &mut repl,
+            "associations\n  p = (d: integer);\nfacts\n  p(d: 1).",
+        );
+        let schema = out(repl.feed(":schema"));
+        assert!(schema.contains("p = (d: integer);"), "{schema}");
+        let facts = out(repl.feed(":facts p"));
+        assert!(facts.contains("p(d: 1)"), "{facts}");
+        let check = out(repl.feed(":check"));
+        assert_eq!(check, "consistent");
+        let mode = out(repl.feed(":mode ridi"));
+        assert!(mode.contains("Ridi"));
+        assert_eq!(repl.feed(":quit"), Step::Quit);
+    }
+
+    #[test]
+    fn save_and_load_through_files() {
+        let dir = std::env::temp_dir().join("logres_repl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.lgr");
+        let path_s = path.to_str().unwrap();
+
+        let mut repl = Repl::new();
+        feed_all(
+            &mut repl,
+            "associations\n  p = (d: integer);\nfacts\n  p(d: 7).",
+        );
+        let msg = out(repl.feed(&format!(":save {path_s}")));
+        assert!(msg.contains("saved"), "{msg}");
+
+        let mut repl2 = Repl::new();
+        let msg = out(repl2.feed(&format!(":load {path_s}")));
+        assert!(msg.contains("restored"), "{msg}");
+        let facts = out(repl2.feed(":facts p"));
+        assert!(facts.contains("p(d: 7)"), "{facts}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_session() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, "associations\n  p = (d: integer);");
+        let msg = feed_all(&mut repl, "rules\n  nosuch(x: Y) <- p(d: Y).");
+        assert!(msg.contains("error"), "{msg}");
+        // Still usable afterwards.
+        let msg = feed_all(&mut repl, "rules\n  p(d: 3) <- .");
+        assert!(msg.contains("applied"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_commands_are_reported() {
+        let mut repl = Repl::new();
+        let msg = out(repl.feed(":frobnicate"));
+        assert!(msg.contains("unknown command"));
+        let help = out(repl.feed(":help"));
+        assert!(help.contains(":materialize"));
+    }
+}

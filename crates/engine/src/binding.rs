@@ -1,0 +1,324 @@
+//! Substitutions (valuations) and term evaluation.
+//!
+//! A [`Subst`] is the engine's representation of a valuation θ
+//! (Definition 5): a partial map from variables to o-values. Tuple variables
+//! over *class* literals carry the invisible oid in a reserved field
+//! [`SELF_LABEL`] (the paper: "tuple variables defined for a class include
+//! the oid of the class, though this part is not visible to the user");
+//! helper coercions let such a binding flow into oid positions.
+
+use logres_model::{Instance, Oid, Sym, Value};
+use logres_lang::{BinOp, Term};
+use rustc_hash::FxHashMap;
+
+/// Reserved tuple-field label carrying the invisible oid of a class tuple
+/// variable. `@` cannot appear in source identifiers, so user labels never
+/// collide with it.
+pub const SELF_LABEL: &str = "@self";
+
+/// The hidden-oid label as a symbol.
+pub fn self_label() -> Sym {
+    Sym::new(SELF_LABEL)
+}
+
+/// One variable binding. (All bindings are plain values; the type exists to
+/// make call sites explicit and leave room for future binding kinds.)
+pub type Binding = Value;
+
+/// A substitution / valuation θ.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Subst {
+    map: FxHashMap<Sym, Value>,
+}
+
+impl Subst {
+    /// Empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, v: Sym) -> Option<&Value> {
+        self.map.get(&v)
+    }
+
+    /// Is the variable bound?
+    pub fn is_bound(&self, v: Sym) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// Bind a variable (caller ensures it is unbound or equal).
+    pub fn bind(&mut self, v: Sym, val: Value) {
+        self.map.insert(v, val);
+    }
+
+    /// Unify a variable with a value: bind if free, compare (with oid
+    /// coercion) if bound. Returns false on clash.
+    pub fn unify_var(&mut self, v: Sym, val: Value) -> bool {
+        match self.map.get(&v) {
+            None => {
+                self.map.insert(v, val);
+                true
+            }
+            Some(existing) => values_unify(existing, &val),
+        }
+    }
+
+    /// Iterate bindings (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &Value)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// A canonical, ordered snapshot of the bindings — the identity of a
+    /// valuation-domain element `b(r)` used to key the invention memo
+    /// (Definition 8(b): one invented oid per valuation).
+    pub fn canonical(&self) -> Vec<(Sym, Value)> {
+        let mut out: Vec<(Sym, Value)> = self.map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        out.sort_by_key(|a| a.0);
+        out
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// No bindings?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Extract an oid from a value that may be a plain oid or a class tuple
+/// carrying the hidden [`SELF_LABEL`] field.
+pub fn as_oid_like(v: &Value) -> Option<Oid> {
+    match v {
+        Value::Oid(o) => Some(*o),
+        Value::Tuple(_) => v.field(self_label()).and_then(Value::as_oid),
+        _ => None,
+    }
+}
+
+/// Equality modulo the oid coercion: a tagged class tuple unifies with the
+/// bare oid it carries (the paper's "equivalent cases" of tuple vs. oid
+/// variables in Section 3.1).
+pub fn values_unify(a: &Value, b: &Value) -> bool {
+    if a == b {
+        return true;
+    }
+    match (as_oid_like(a), as_oid_like(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Strip the hidden oid field from a tuple value (before a tuple-variable
+/// binding becomes user-visible data).
+pub fn strip_self(v: &Value) -> Value {
+    match v {
+        Value::Tuple(fs) => Value::Tuple(
+            fs.iter()
+                .filter(|(l, _)| *l != self_label())
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Evaluate a term to a ground value under a substitution, reading data
+/// functions from the instance. `None` when a variable is unbound or an
+/// arithmetic operation fails.
+pub fn eval_term(t: &Term, subst: &Subst, inst: &Instance) -> Option<Value> {
+    match t {
+        Term::Var(v) => subst.get(*v).cloned(),
+        Term::Const(c) => Some(c.clone()),
+        Term::Nil => Some(Value::Nil),
+        Term::Tuple(fs) => {
+            let mut out = Vec::new();
+            for (l, t) in fs {
+                out.push((*l, eval_term(t, subst, inst)?));
+            }
+            Some(Value::tuple(out))
+        }
+        Term::Set(ts) => Some(Value::set(
+            ts.iter()
+                .map(|t| eval_term(t, subst, inst))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        Term::Multiset(ts) => Some(Value::multiset(
+            ts.iter()
+                .map(|t| eval_term(t, subst, inst))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        Term::Seq(ts) => Some(Value::seq(
+            ts.iter()
+                .map(|t| eval_term(t, subst, inst))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        Term::FunApp { fun, args } => {
+            let mut vals = Vec::new();
+            for a in args {
+                // Oid-like coercion: function parameters of class type take
+                // the oid out of tuple-variable bindings.
+                let v = eval_term(a, subst, inst)?;
+                vals.push(normalize_arg(v));
+            }
+            Some(inst.fun_value(*fun, &vals))
+        }
+        Term::BinOp { op, lhs, rhs } => {
+            let a = eval_term(lhs, subst, inst)?.as_int()?;
+            let b = eval_term(rhs, subst, inst)?.as_int()?;
+            let n = match op {
+                BinOp::Add => a.checked_add(b)?,
+                BinOp::Sub => a.checked_sub(b)?,
+                BinOp::Mul => a.checked_mul(b)?,
+                BinOp::Div => a.checked_div(b)?,
+                BinOp::Mod => a.checked_rem(b)?,
+            };
+            Some(Value::Int(n))
+        }
+    }
+}
+
+/// Normalize a value used as a function argument or association field: a
+/// tagged class tuple collapses to its oid.
+pub fn normalize_arg(v: Value) -> Value {
+    match as_oid_like(&v) {
+        Some(o) if matches!(v, Value::Tuple(_)) => Value::Oid(o),
+        _ => v,
+    }
+}
+
+/// Match a term pattern against a concrete value, extending the
+/// substitution. Collection patterns match element-wise for sequences;
+/// set/multiset patterns must be fully evaluable (matched by equality).
+pub fn match_term(t: &Term, val: &Value, subst: &mut Subst, inst: &Instance) -> bool {
+    match t {
+        Term::Var(v) => subst.unify_var(*v, val.clone()),
+        Term::Const(c) => c == val,
+        Term::Nil => matches!(val, Value::Nil),
+        Term::Tuple(fs) => fs.iter().all(|(l, inner)| match val.field(*l) {
+            Some(fv) => {
+                let fv = fv.clone();
+                match_term(inner, &fv, subst, inst)
+            }
+            None => false,
+        }),
+        Term::Seq(ts) => match val {
+            Value::Seq(vs) if vs.len() == ts.len() => {
+                let vs = vs.clone();
+                ts.iter()
+                    .zip(vs.iter())
+                    .all(|(t, v)| match_term(t, v, subst, inst))
+            }
+            _ => false,
+        },
+        Term::Set(_) | Term::Multiset(_) | Term::FunApp { .. } | Term::BinOp { .. } => {
+            match eval_term(t, subst, inst) {
+                Some(v) => values_unify(&v, val),
+                None => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logres_model::Oid;
+
+    fn var(s: &str) -> Term {
+        Term::Var(Sym::new(s))
+    }
+
+    #[test]
+    fn unify_binds_then_checks() {
+        let mut s = Subst::new();
+        assert!(s.unify_var(Sym::new("X"), Value::Int(1)));
+        assert!(s.unify_var(Sym::new("X"), Value::Int(1)));
+        assert!(!s.unify_var(Sym::new("X"), Value::Int(2)));
+    }
+
+    #[test]
+    fn tagged_tuple_unifies_with_its_oid() {
+        let tagged = Value::tuple([
+            (SELF_LABEL, Value::Oid(Oid(7))),
+            ("name", Value::str("x")),
+        ]);
+        assert!(values_unify(&tagged, &Value::Oid(Oid(7))));
+        assert!(values_unify(&Value::Oid(Oid(7)), &tagged));
+        assert!(!values_unify(&tagged, &Value::Oid(Oid(8))));
+        assert_eq!(as_oid_like(&tagged), Some(Oid(7)));
+        assert_eq!(
+            strip_self(&tagged),
+            Value::tuple([("name", Value::str("x"))])
+        );
+        assert_eq!(normalize_arg(tagged), Value::Oid(Oid(7)));
+    }
+
+    #[test]
+    fn eval_term_computes_arithmetic_and_collections() {
+        let mut s = Subst::new();
+        s.bind(Sym::new("Y"), Value::Int(4));
+        let inst = Instance::new();
+        let t = Term::BinOp {
+            op: BinOp::Add,
+            lhs: Box::new(var("Y")),
+            rhs: Box::new(Term::Const(Value::Int(1))),
+        };
+        assert_eq!(eval_term(&t, &s, &inst), Some(Value::Int(5)));
+        let set = Term::Set(vec![var("Y"), Term::Const(Value::Int(4))]);
+        assert_eq!(
+            eval_term(&set, &s, &inst),
+            Some(Value::set([Value::Int(4)]))
+        );
+        assert_eq!(eval_term(&var("Z"), &s, &inst), None);
+    }
+
+    #[test]
+    fn eval_term_reads_function_extensions() {
+        let mut inst = Instance::new();
+        inst.insert_member(Sym::new("desc"), vec![Value::Int(1)], Value::Int(2));
+        let mut s = Subst::new();
+        s.bind(Sym::new("X"), Value::Int(1));
+        let t = Term::FunApp {
+            fun: Sym::new("desc"),
+            args: vec![var("X")],
+        };
+        assert_eq!(
+            eval_term(&t, &s, &inst),
+            Some(Value::set([Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn match_term_patterns() {
+        let inst = Instance::new();
+        let mut s = Subst::new();
+        // Tuple pattern with extra fields in the value.
+        let pat = Term::Tuple(vec![(Sym::new("a"), var("X"))]);
+        let val = Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        assert!(match_term(&pat, &val, &mut s, &inst));
+        assert_eq!(s.get(Sym::new("X")), Some(&Value::Int(1)));
+        // Sequence patterns are element-wise.
+        let mut s2 = Subst::new();
+        let qpat = Term::Seq(vec![var("A"), var("B")]);
+        let qval = Value::seq([Value::Int(1), Value::Int(2)]);
+        assert!(match_term(&qpat, &qval, &mut s2, &inst));
+        assert_eq!(s2.get(Sym::new("B")), Some(&Value::Int(2)));
+        // Length mismatch fails.
+        let mut s3 = Subst::new();
+        assert!(!match_term(&qpat, &Value::seq([Value::Int(1)]), &mut s3, &inst));
+    }
+
+    #[test]
+    fn canonical_is_sorted_and_stable() {
+        let mut s = Subst::new();
+        s.bind(Sym::new("Z"), Value::Int(1));
+        s.bind(Sym::new("A"), Value::Int(2));
+        let c = s.canonical();
+        assert_eq!(c[0].0, Sym::new("A"));
+        assert_eq!(c[1].0, Sym::new("Z"));
+    }
+}

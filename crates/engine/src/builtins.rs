@@ -1,0 +1,515 @@
+//! Built-in predicate evaluation.
+//!
+//! Builtins are solved against a partial substitution. Each application
+//! yields one of three outcomes: a pure *test*, a set of *binding
+//! extensions* (e.g. `member` enumerating a collection, `union` computing
+//! its result into an unbound variable), or *not ready* — some required
+//! input is still unbound and the scheduler should retry the literal later.
+//!
+//! Constructive builtins put the result first (`union(X, Y, Z)` ⇔
+//! `X = Y ∪ Z`), following the paper's powerset program (Example 3.3).
+
+use std::collections::BTreeMap;
+
+use logres_lang::{Builtin, Term};
+use logres_model::{Instance, Value};
+
+use crate::binding::{eval_term, match_term, values_unify, Subst};
+use crate::error::EngineError;
+
+/// Result of attempting one builtin literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuiltinOutcome {
+    /// The literal is decided under the current substitution.
+    Test(bool),
+    /// The literal succeeded with these extended substitutions (possibly
+    /// several: `member` enumerates).
+    Bindings(Vec<Subst>),
+    /// Inputs unbound; retry later.
+    NotReady,
+}
+
+/// Solve one builtin application.
+pub fn solve(
+    builtin: Builtin,
+    args: &[Term],
+    subst: &Subst,
+    inst: &Instance,
+) -> Result<BuiltinOutcome, EngineError> {
+    use Builtin::*;
+    let ev = |t: &Term| eval_term(t, subst, inst);
+    match builtin {
+        Eq => {
+            match (ev(&args[0]), ev(&args[1])) {
+                (Some(a), Some(b)) => Ok(BuiltinOutcome::Test(values_unify(&a, &b))),
+                (Some(a), None) => bind_side(&args[1], &a, subst, inst),
+                (None, Some(b)) => bind_side(&args[0], &b, subst, inst),
+                (None, None) => Ok(BuiltinOutcome::NotReady),
+            }
+        }
+        Ne => binary_test(ev(&args[0]), ev(&args[1]), |a, b| Ok(a != b)),
+        Lt => cmp_test(ev(&args[0]), ev(&args[1]), |o| o.is_lt()),
+        Le => cmp_test(ev(&args[0]), ev(&args[1]), |o| o.is_le()),
+        Gt => cmp_test(ev(&args[0]), ev(&args[1]), |o| o.is_gt()),
+        Ge => cmp_test(ev(&args[0]), ev(&args[1]), |o| o.is_ge()),
+        Even | Odd => match ev(&args[0]) {
+            Some(Value::Int(n)) => Ok(BuiltinOutcome::Test(
+                (n.rem_euclid(2) == 0) == (builtin == Even),
+            )),
+            Some(v) => Err(EngineError::BuiltinError {
+                builtin: builtin.name(),
+                detail: format!("expected an integer, got {v}"),
+            }),
+            None => Ok(BuiltinOutcome::NotReady),
+        },
+        Member => {
+            let Some(coll) = ev(&args[1]) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            let elems = coll.elements().ok_or_else(|| EngineError::BuiltinError {
+                builtin: "member",
+                detail: format!("second argument is not a collection: {coll}"),
+            })?;
+            match ev(&args[0]) {
+                Some(e) => Ok(BuiltinOutcome::Test(
+                    elems.iter().any(|x| values_unify(x, &e)),
+                )),
+                None => {
+                    let mut out = Vec::new();
+                    for e in elems {
+                        let mut s = subst.clone();
+                        if match_term(&args[0], &e, &mut s, inst) {
+                            out.push(s);
+                        }
+                    }
+                    Ok(BuiltinOutcome::Bindings(out))
+                }
+            }
+        }
+        Union | Intersection | Difference => {
+            let (Some(a), Some(b)) = (ev(&args[1]), ev(&args[2])) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            let result = set_op(builtin, &a, &b)?;
+            produce(&args[0], result, subst, inst)
+        }
+        Append => {
+            let (Some(coll), Some(elem)) = (ev(&args[1]), ev(&args[2])) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            let result = match coll {
+                Value::Set(mut s) => {
+                    s.insert(elem);
+                    Value::Set(s)
+                }
+                Value::Multiset(mut m) => {
+                    *m.entry(elem).or_insert(0) += 1;
+                    Value::Multiset(m)
+                }
+                Value::Seq(mut q) => {
+                    q.push(elem);
+                    Value::Seq(q)
+                }
+                other => {
+                    return Err(EngineError::BuiltinError {
+                        builtin: "append",
+                        detail: format!("second argument is not a collection: {other}"),
+                    })
+                }
+            };
+            produce(&args[0], result, subst, inst)
+        }
+        Length | Count => {
+            let Some(coll) = ev(&args[1]) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            let n = coll.len().ok_or_else(|| EngineError::BuiltinError {
+                builtin: builtin.name(),
+                detail: format!("not a collection: {coll}"),
+            })?;
+            produce(&args[0], Value::Int(n as i64), subst, inst)
+        }
+        Sum | Min | Max | Avg => {
+            let Some(coll) = ev(&args[1]) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            let elems = coll.elements().ok_or_else(|| EngineError::BuiltinError {
+                builtin: builtin.name(),
+                detail: format!("not a collection: {coll}"),
+            })?;
+            let ints: Option<Vec<i64>> = elems.iter().map(Value::as_int).collect();
+            let ints = ints.ok_or_else(|| EngineError::BuiltinError {
+                builtin: builtin.name(),
+                detail: "collection contains non-integers".to_owned(),
+            })?;
+            let result = match builtin {
+                Sum => Some(ints.iter().sum()),
+                Min => ints.iter().copied().min(),
+                Max => ints.iter().copied().max(),
+                Avg if ints.is_empty() => None,
+                Avg => Some(ints.iter().sum::<i64>() / ints.len() as i64),
+                _ => unreachable!(),
+            };
+            match result {
+                Some(n) => produce(&args[0], Value::Int(n), subst, inst),
+                // min/max/avg of an empty collection: the literal fails.
+                None => Ok(BuiltinOutcome::Test(false)),
+            }
+        }
+        HeadQ => {
+            let Some(coll) = ev(&args[1]) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            match coll {
+                Value::Seq(q) => match q.first() {
+                    Some(first) => produce(&args[0], first.clone(), subst, inst),
+                    None => Ok(BuiltinOutcome::Test(false)),
+                },
+                other => Err(EngineError::BuiltinError {
+                    builtin: "head",
+                    detail: format!("not a sequence: {other}"),
+                }),
+            }
+        }
+        TailQ => {
+            let Some(coll) = ev(&args[1]) else {
+                return Ok(BuiltinOutcome::NotReady);
+            };
+            match coll {
+                Value::Seq(q) if !q.is_empty() => {
+                    produce(&args[0], Value::Seq(q[1..].to_vec()), subst, inst)
+                }
+                Value::Seq(_) => Ok(BuiltinOutcome::Test(false)),
+                other => Err(EngineError::BuiltinError {
+                    builtin: "tail",
+                    detail: format!("not a sequence: {other}"),
+                }),
+            }
+        }
+    }
+}
+
+/// Unify a computed result with the output term: test when bound, bind when
+/// it is a pattern.
+fn produce(
+    out: &Term,
+    result: Value,
+    subst: &Subst,
+    inst: &Instance,
+) -> Result<BuiltinOutcome, EngineError> {
+    match eval_term(out, subst, inst) {
+        Some(v) => Ok(BuiltinOutcome::Test(values_unify(&v, &result))),
+        None => bind_side(out, &result, subst, inst),
+    }
+}
+
+fn bind_side(
+    pattern: &Term,
+    value: &Value,
+    subst: &Subst,
+    inst: &Instance,
+) -> Result<BuiltinOutcome, EngineError> {
+    // A pattern containing an unevaluable function application or
+    // arithmetic over unbound variables is not invertible — report NotReady
+    // so the scheduler retries once more variables are bound.
+    if matches!(pattern, Term::FunApp { .. } | Term::BinOp { .. }) {
+        return Ok(BuiltinOutcome::NotReady);
+    }
+    let mut s = subst.clone();
+    if match_term(pattern, value, &mut s, inst) {
+        Ok(BuiltinOutcome::Bindings(vec![s]))
+    } else {
+        Ok(BuiltinOutcome::Test(false))
+    }
+}
+
+fn binary_test(
+    a: Option<Value>,
+    b: Option<Value>,
+    f: impl Fn(&Value, &Value) -> Result<bool, EngineError>,
+) -> Result<BuiltinOutcome, EngineError> {
+    match (a, b) {
+        (Some(a), Some(b)) => Ok(BuiltinOutcome::Test(f(&a, &b)?)),
+        _ => Ok(BuiltinOutcome::NotReady),
+    }
+}
+
+fn cmp_test(
+    a: Option<Value>,
+    b: Option<Value>,
+    f: impl Fn(std::cmp::Ordering) -> bool,
+) -> Result<BuiltinOutcome, EngineError> {
+    binary_test(a, b, |a, b| match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(f(x.cmp(y))),
+        (Value::Str(x), Value::Str(y)) => Ok(f(x.cmp(y))),
+        _ => Err(EngineError::BuiltinError {
+            builtin: "comparison",
+            detail: format!("cannot order {a} and {b}"),
+        }),
+    })
+}
+
+fn set_op(builtin: Builtin, a: &Value, b: &Value) -> Result<Value, EngineError> {
+    let name = builtin.name();
+    match (a, b) {
+        (Value::Set(x), Value::Set(y)) => Ok(Value::Set(match builtin {
+            Builtin::Union => x.union(y).cloned().collect(),
+            Builtin::Intersection => x.intersection(y).cloned().collect(),
+            Builtin::Difference => x.difference(y).cloned().collect(),
+            _ => unreachable!(),
+        })),
+        (Value::Multiset(x), Value::Multiset(y)) => {
+            let mut out: BTreeMap<Value, u64> = BTreeMap::new();
+            match builtin {
+                // Multiset union adds multiplicities.
+                Builtin::Union => {
+                    for (v, n) in x.iter().chain(y.iter()) {
+                        *out.entry(v.clone()).or_insert(0) += n;
+                    }
+                }
+                Builtin::Intersection => {
+                    for (v, n) in x {
+                        if let Some(m) = y.get(v) {
+                            out.insert(v.clone(), (*n).min(*m));
+                        }
+                    }
+                }
+                Builtin::Difference => {
+                    for (v, n) in x {
+                        let m = y.get(v).copied().unwrap_or(0);
+                        if *n > m {
+                            out.insert(v.clone(), n - m);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            Ok(Value::Multiset(out))
+        }
+        (Value::Seq(x), Value::Seq(y)) if builtin == Builtin::Union => {
+            // Sequence "union" is concatenation.
+            let mut q = x.clone();
+            q.extend(y.iter().cloned());
+            Ok(Value::Seq(q))
+        }
+        _ => Err(EngineError::BuiltinError {
+            builtin: name,
+            detail: format!("incompatible collection operands: {a}, {b}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logres_model::Sym;
+
+    fn var(s: &str) -> Term {
+        Term::Var(Sym::new(s))
+    }
+
+    fn cst(v: Value) -> Term {
+        Term::Const(v)
+    }
+
+    fn solve1(b: Builtin, args: &[Term], s: &Subst) -> BuiltinOutcome {
+        solve(b, args, s, &Instance::new()).unwrap()
+    }
+
+    #[test]
+    fn eq_binds_either_side() {
+        let s = Subst::new();
+        let out = solve1(Builtin::Eq, &[var("X"), cst(Value::Int(3))], &s);
+        match out {
+            BuiltinOutcome::Bindings(bs) => {
+                assert_eq!(bs[0].get(Sym::new("X")), Some(&Value::Int(3)))
+            }
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        let out = solve1(Builtin::Eq, &[cst(Value::Int(3)), var("Y")], &s);
+        assert!(matches!(out, BuiltinOutcome::Bindings(_)));
+        // Fully unbound: not ready.
+        assert_eq!(
+            solve1(Builtin::Eq, &[var("X"), var("Y")], &s),
+            BuiltinOutcome::NotReady
+        );
+    }
+
+    #[test]
+    fn comparisons_test_ints_and_strings() {
+        let s = Subst::new();
+        assert_eq!(
+            solve1(Builtin::Lt, &[cst(Value::Int(1)), cst(Value::Int(2))], &s),
+            BuiltinOutcome::Test(true)
+        );
+        assert_eq!(
+            solve1(
+                Builtin::Ge,
+                &[cst(Value::str("b")), cst(Value::str("a"))],
+                &s
+            ),
+            BuiltinOutcome::Test(true)
+        );
+        assert!(solve(
+            Builtin::Lt,
+            &[cst(Value::Int(1)), cst(Value::str("x"))],
+            &s,
+            &Instance::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn member_enumerates_or_tests() {
+        let s = Subst::new();
+        let set = cst(Value::set([Value::Int(1), Value::Int(2)]));
+        match solve1(Builtin::Member, &[var("X"), set.clone()], &s) {
+            BuiltinOutcome::Bindings(bs) => assert_eq!(bs.len(), 2),
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        assert_eq!(
+            solve1(Builtin::Member, &[cst(Value::Int(2)), set.clone()], &s),
+            BuiltinOutcome::Test(true)
+        );
+        assert_eq!(
+            solve1(Builtin::Member, &[cst(Value::Int(9)), set], &s),
+            BuiltinOutcome::Test(false)
+        );
+    }
+
+    #[test]
+    fn union_computes_result_first_convention() {
+        let s = Subst::new();
+        let out = solve1(
+            Builtin::Union,
+            &[
+                var("X"),
+                cst(Value::set([Value::Int(1)])),
+                cst(Value::set([Value::Int(2)])),
+            ],
+            &s,
+        );
+        match out {
+            BuiltinOutcome::Bindings(bs) => assert_eq!(
+                bs[0].get(Sym::new("X")),
+                Some(&Value::set([Value::Int(1), Value::Int(2)]))
+            ),
+            other => panic!("expected bindings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiset_ops_respect_multiplicities() {
+        let s = Subst::new();
+        let a = cst(Value::multiset([Value::Int(1), Value::Int(1)]));
+        let b = cst(Value::multiset([Value::Int(1)]));
+        match solve1(Builtin::Difference, &[var("X"), a, b], &s) {
+            BuiltinOutcome::Bindings(bs) => assert_eq!(
+                bs[0].get(Sym::new("X")),
+                Some(&Value::multiset([Value::Int(1)]))
+            ),
+            other => panic!("expected bindings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_works_on_all_collection_kinds() {
+        let s = Subst::new();
+        for (coll, expect) in [
+            (
+                Value::set([Value::Int(1)]),
+                Value::set([Value::Int(1), Value::Int(9)]),
+            ),
+            (
+                Value::seq([Value::Int(1)]),
+                Value::seq([Value::Int(1), Value::Int(9)]),
+            ),
+            (
+                Value::multiset([Value::Int(9)]),
+                Value::multiset([Value::Int(9), Value::Int(9)]),
+            ),
+        ] {
+            match solve1(
+                Builtin::Append,
+                &[var("X"), cst(coll), cst(Value::Int(9))],
+                &s,
+            ) {
+                BuiltinOutcome::Bindings(bs) => {
+                    assert_eq!(bs[0].get(Sym::new("X")), Some(&expect))
+                }
+                other => panic!("expected bindings, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_over_collections() {
+        let s = Subst::new();
+        let set = cst(Value::set([Value::Int(3), Value::Int(5)]));
+        for (b, expect) in [
+            (Builtin::Count, 2),
+            (Builtin::Sum, 8),
+            (Builtin::Min, 3),
+            (Builtin::Max, 5),
+            (Builtin::Avg, 4),
+        ] {
+            match solve1(b, &[var("N"), set.clone()], &s) {
+                BuiltinOutcome::Bindings(bs) => {
+                    assert_eq!(bs[0].get(Sym::new("N")), Some(&Value::Int(expect)))
+                }
+                other => panic!("{b:?}: expected bindings, got {other:?}"),
+            }
+        }
+        // Aggregates over empty collections fail (min) or yield 0 (count).
+        let empty = cst(Value::empty_set());
+        assert_eq!(
+            solve1(Builtin::Min, &[var("N"), empty.clone()], &s),
+            BuiltinOutcome::Test(false)
+        );
+        assert!(matches!(
+            solve1(Builtin::Count, &[var("N"), empty], &s),
+            BuiltinOutcome::Bindings(_)
+        ));
+    }
+
+    #[test]
+    fn head_and_tail_on_sequences() {
+        let s = Subst::new();
+        let q = cst(Value::seq([Value::Int(1), Value::Int(2)]));
+        match solve1(Builtin::HeadQ, &[var("H"), q.clone()], &s) {
+            BuiltinOutcome::Bindings(bs) => {
+                assert_eq!(bs[0].get(Sym::new("H")), Some(&Value::Int(1)))
+            }
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        match solve1(Builtin::TailQ, &[var("T"), q], &s) {
+            BuiltinOutcome::Bindings(bs) => assert_eq!(
+                bs[0].get(Sym::new("T")),
+                Some(&Value::seq([Value::Int(2)]))
+            ),
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        // head of empty sequence fails.
+        assert_eq!(
+            solve1(Builtin::HeadQ, &[var("H"), cst(Value::seq([]))], &s),
+            BuiltinOutcome::Test(false)
+        );
+    }
+
+    #[test]
+    fn even_odd() {
+        let s = Subst::new();
+        assert_eq!(
+            solve1(Builtin::Even, &[cst(Value::Int(4))], &s),
+            BuiltinOutcome::Test(true)
+        );
+        assert_eq!(
+            solve1(Builtin::Odd, &[cst(Value::Int(4))], &s),
+            BuiltinOutcome::Test(false)
+        );
+        assert_eq!(
+            solve1(Builtin::Even, &[cst(Value::Int(-2))], &s),
+            BuiltinOutcome::Test(true)
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Goal answering.
+//!
+//! A goal is a conjunctive query over an instance; its answer is the set of
+//! bindings of its variables (tuple-variable bindings are stripped of the
+//! invisible oid before they reach the user — "oids are not visible to
+//! users").
+
+use logres_lang::Goal;
+use logres_model::{Instance, Schema, Sym, Value};
+
+use crate::binding::{strip_self, Subst};
+use crate::error::EngineError;
+use crate::matcher::{eval_body, BodyView};
+
+/// Evaluate a goal; rows are deduplicated and sorted for determinism. Each
+/// row binds the goal's variables in order.
+pub fn answer_goal(
+    schema: &Schema,
+    inst: &Instance,
+    goal: &Goal,
+) -> Result<Vec<Vec<(Sym, Value)>>, EngineError> {
+    let subs = eval_body(schema, BodyView::plain(inst), &goal.body, Subst::new())?;
+    let mut rows: Vec<Vec<(Sym, Value)>> = Vec::new();
+    for s in subs {
+        let row: Vec<(Sym, Value)> = goal
+            .vars
+            .iter()
+            .map(|v| {
+                let val = s.get(*v).cloned().unwrap_or(Value::Nil);
+                (*v, strip_self(&val))
+            })
+            .collect();
+        if !rows.contains(&row) {
+            rows.push(row);
+        }
+    }
+    rows.sort_by(|a, b| {
+        a.iter()
+            .map(|(_, v)| v)
+            .cmp(b.iter().map(|(_, v)| v))
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_facts;
+    use logres_lang::parse_program;
+    use logres_model::OidGen;
+
+    #[test]
+    fn goal_projects_and_deduplicates() {
+        let p = parse_program(
+            r#"
+            associations
+              parent = (par: string, chil: string);
+            facts
+              parent(par: "a", chil: "b").
+              parent(par: "a", chil: "c").
+              parent(par: "b", chil: "d").
+            goal parent(par: X)?
+        "#,
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut inst, &p.facts, &mut gen).unwrap();
+        let rows = answer_goal(&p.schema, &inst, p.goal.as_ref().unwrap()).unwrap();
+        // X ranges over parents: a (twice, deduplicated) and b.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0].1, Value::str("a"));
+        assert_eq!(rows[1][0].1, Value::str("b"));
+    }
+
+    #[test]
+    fn goal_strips_hidden_oids_from_tuple_vars() {
+        let p = parse_program(
+            r#"
+            classes
+              person = (name: string);
+            facts
+              person(name: "ceri").
+            goal person(P)?
+        "#,
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut inst, &p.facts, &mut gen).unwrap();
+        let rows = answer_goal(&p.schema, &inst, p.goal.as_ref().unwrap()).unwrap();
+        assert_eq!(rows.len(), 1);
+        // The binding is the visible tuple only — no oid leakage.
+        assert_eq!(
+            rows[0][0].1,
+            Value::tuple([("name", Value::str("ceri"))])
+        );
+    }
+
+    #[test]
+    fn conjunctive_goals_join() {
+        let p = parse_program(
+            r#"
+            associations
+              parent = (par: string, chil: string);
+            facts
+              parent(par: "a", chil: "b").
+              parent(par: "b", chil: "c").
+            goal parent(par: X, chil: Y), parent(par: Y, chil: Z)?
+        "#,
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut inst, &p.facts, &mut gen).unwrap();
+        let rows = answer_goal(&p.schema, &inst, p.goal.as_ref().unwrap()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row[0], (Sym::new("X"), Value::str("a")));
+        assert_eq!(row[2], (Sym::new("Z"), Value::str("c")));
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # logres-engine
+//!
+//! Evaluation of LOGRES rule programs, implementing the deterministic
+//! **inflationary semantics** of Appendix B of the paper:
+//!
+//! * **valuations** (Definition 5) and literal satisfaction (Definition 6)
+//!   over a fact set `F = (π, ν, ρ)` plus data-function extensions;
+//! * the **valuation domain** `VD(R, F)` (Definition 7): a rule fires for a
+//!   body valuation only when no extension of it already satisfies the head
+//!   — which both makes evaluation inflationary and stops repeated oid
+//!   invention;
+//! * **valuation maps** (Definition 8): bound head variables copy their
+//!   binding, an unbound head oid variable draws exactly one *invented* oid
+//!   per valuation-domain element, and unbound head variables of other
+//!   class types become `nil`;
+//! * the sets `Δ⁺(R, F)` / `Δ⁻(R, F)` of derived positive and negative
+//!   facts, and the **one-step inflationary operator**
+//!   `F' = ((F ⊕ Δ⁺) − Δ⁻) ⊕ (F ∩ Δ⁺ ∩ Δ⁻)` with the non-commutative,
+//!   right-biased composition `⊕`;
+//! * the fixpoint `F⁰ = E, …, Fᵏ = Fᵏ⁺¹` — whose existence is *not*
+//!   guaranteed (and not decidable, [AbSi89]), so drivers carry fuel limits.
+//!
+//! On top of the faithful semantics the crate provides the machinery the
+//! paper attributes to the surrounding system:
+//!
+//! * a **semi-naive** evaluator for the positive association fragment
+//!   (the classical optimization the ALGRES closure enables);
+//! * a **stratified** driver ("inflationary semantics within each stratum of
+//!   a stratified program yields the perfect model semantics" — §3.1),
+//!   falling back to whole-program inflationary evaluation when the program
+//!   is unstratifiable;
+//! * a **compiler** from the positive, function-free association fragment to
+//!   `algres` fixpoint expressions, mirroring the prototype translation of
+//!   [Ca90];
+//! * goal answering and extensional fact loading.
+
+pub mod binding;
+pub mod builtins;
+pub mod compile;
+pub mod delta;
+pub mod error;
+pub mod goal;
+pub mod inflationary;
+pub mod load;
+pub mod matcher;
+pub mod seminaive;
+pub mod stratified;
+
+pub use binding::{Binding, Subst, SELF_LABEL};
+pub use compile::{compile_ruleset, env_from_instance, CompiledRules};
+pub use delta::{DeltaSets, OneStep};
+pub use error::EngineError;
+pub use goal::answer_goal;
+pub use inflationary::{evaluate_inflationary, EvalOptions, EvalReport};
+pub use load::load_facts;
+pub use seminaive::{evaluate_seminaive, seminaive_applicable};
+pub use stratified::{evaluate, evaluate_stratified, Semantics};

@@ -1,0 +1,83 @@
+//! Diagnostics for the LOGRES language front end.
+
+use std::fmt;
+
+/// A byte range in the source text, with 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering both operands.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A front-end diagnostic: lexing, parsing, resolution, typing, safety or
+/// stratification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    /// Construct a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> LangError {
+        LangError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span { start: 3, end: 7, line: 1, col: 4 };
+        let b = Span { start: 10, end: 12, line: 2, col: 1 };
+        let j = a.to(b);
+        assert_eq!(j.start, 3);
+        assert_eq!(j.end, 12);
+        assert_eq!(j.line, 1);
+    }
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::new(Span { start: 0, end: 1, line: 3, col: 9 }, "boom");
+        assert_eq!(e.to_string(), "3:9: boom");
+    }
+}

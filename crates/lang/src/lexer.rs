@@ -1,0 +1,355 @@
+//! Tokenizer for the LOGRES textual language.
+//!
+//! Identifiers are case-significant only in rule positions: an identifier
+//! starting with an uppercase letter is a *variable* (classic Datalog
+//! convention), anything else is a name (type, predicate, label or symbolic
+//! constant). Type and predicate names are matched case-insensitively, like
+//! the paper, which writes `PLAYER` in type equations and `player(...)` in
+//! rules — the parser lowercases names.
+
+use crate::error::{LangError, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+// Field names are self-documenting; variant docs carry the semantics.
+#[allow(missing_docs)]
+pub enum Tok {
+    /// Lower-case identifier or keyword (names, labels, predicates).
+    Ident(String),
+    /// Upper-case-initial identifier (a variable in rule positions).
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Quoted string literal.
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    /// `<` — opens a sequence or is a comparison, depending on context.
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<-`
+    Arrow,
+    /// `->`
+    RArrow,
+    Comma,
+    Colon,
+    Semi,
+    Dot,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize a whole source text. `//` and `%` start line comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! span {
+        ($start:expr, $scol:expr, $sline:expr) => {
+            Span {
+                start: $start,
+                end: i,
+                line: $sline,
+                col: $scol,
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (start, scol, sline) = (i, col, line);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                col += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    i += 1;
+                    col += 1;
+                    match ch {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' if i < bytes.len() => {
+                            let esc = bytes[i] as char;
+                            i += 1;
+                            col += 1;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                        }
+                        '\n' => {
+                            return Err(LangError::new(
+                                span!(start, scol, sline),
+                                "unterminated string literal",
+                            ))
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(LangError::new(
+                        span!(start, scol, sline),
+                        "unterminated string literal",
+                    ));
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span: span!(start, scol, sline),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((bytes[i] - b'0') as i64))
+                        .ok_or_else(|| {
+                            LangError::new(span!(start, scol, sline), "integer literal overflows")
+                        })?;
+                    i += 1;
+                    col += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Int(n),
+                    span: span!(start, scol, sline),
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let s0 = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &src[s0..i];
+                let tok = if word.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    Tok::Var(word.to_owned())
+                } else {
+                    Tok::Ident(word.to_owned())
+                };
+                out.push(Token {
+                    tok,
+                    span: span!(start, scol, sline),
+                });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "<-" => (Tok::Arrow, 2),
+                    "->" => (Tok::RArrow, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "!=" => (Tok::Ne, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '=' => (Tok::Eq, 1),
+                        ',' => (Tok::Comma, 1),
+                        ':' => (Tok::Colon, 1),
+                        ';' => (Tok::Semi, 1),
+                        '.' => (Tok::Dot, 1),
+                        '?' => (Tok::Question, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        other => {
+                            return Err(LangError::new(
+                                span!(start, scol, sline),
+                                format!("unexpected character `{other}`"),
+                            ))
+                        }
+                    },
+                };
+                i += len;
+                col += len as u32;
+                out.push(Token {
+                    tok,
+                    span: span!(start, scol, sline),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span {
+            start: src.len(),
+            end: src.len(),
+            line,
+            col,
+        },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let ts = kinds("ancestor(anc: X) <- parent(par: X).");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("ancestor".into()),
+                Tok::LParen,
+                Tok::Ident("anc".into()),
+                Tok::Colon,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("parent".into()),
+                Tok::LParen,
+                Tok::Ident("par".into()),
+                Tok::Colon,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_variables_from_names() {
+        let ts = kinds("Foo foo _bar");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Var("Foo".into()),
+                Tok::Ident("foo".into()),
+                Tok::Ident("_bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let ts = kinds("<- -> <= >= != < > =");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Arrow,
+                Tok::RArrow,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ts = kinds(r#""a\"b\n""#);
+        assert_eq!(ts, vec![Tok::Str("a\"b\n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = kinds("a // comment\nb % other\nc");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

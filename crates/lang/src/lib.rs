@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+
+//! # logres-lang
+//!
+//! The LOGRES rule language (Section 3 of the paper): a typed extension of
+//! Datalog with
+//!
+//! * labeled arguments and **tuple variables** (`person(name: X, Y, self: Z)`
+//!   binds the ordinary variable `X`, the tuple variable `Y` and the oid
+//!   variable `Z`, with bindings propagated between them);
+//! * **`self` (oid) variables**, never visible as values to users;
+//! * **negation in bodies and heads** — a negative head literal is a
+//!   deletion (Section 4.2);
+//! * **data functions** — `member(X, desc(Y))` in heads populates the
+//!   set-valued function `desc`, `Y = desc(X)` in bodies reads it;
+//! * **built-in predicates** over complex terms (`member`, `union`,
+//!   `append`, `count`, …) and arithmetic;
+//! * **oid invention**: a head whose `self` variable is unbound creates a
+//!   new object per body valuation.
+//!
+//! The concrete grammar (see `parser`) is a direct transliteration of the
+//! paper's notation: sections `domains` / `classes` / `associations` /
+//! `functions` / `facts` / `rules` / `constraints` / `goal`, labels written
+//! `label: Term`, rules written `head <- body.`, denials `<- body.`.
+//!
+//! Static analyses implemented here, all referenced from Section 3.1:
+//!
+//! * name resolution and **type checking** via refinement compatibility
+//!   (typed unification: two types unify iff one refines the other);
+//! * **safety** (all head arguments bound by the body, except an unbound
+//!   head oid variable, which triggers invention);
+//! * legality of oid-copying rules across generalization hierarchies
+//!   (`C1(X) <- C2(X)` requires `C1` and `C2` to share a hierarchy);
+//! * **stratification** with respect to negation *and* data functions,
+//!   used by the perfect-model evaluation mode.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod safety;
+pub mod stratify;
+pub mod typecheck;
+
+pub use ast::{
+    Atom, BinOp, BodyLiteral, Builtin, Denial, Goal, GroundFact, Head, PredArg, Program, Rule,
+    RuleSet, Term,
+};
+pub use error::{LangError, Span};
+pub use parser::{parse_module, parse_program, parse_rules, ParsedModule};
+pub use stratify::{stratify, Stratification};
+
+/// Run the full static-analysis pipeline on a parsed program: type checking,
+/// safety, and hierarchy legality. Returns all diagnostics.
+pub fn check_program(program: &Program) -> Result<(), Vec<LangError>> {
+    let mut errs = Vec::new();
+    for rule in &program.rules.rules {
+        if let Err(mut e) = typecheck::check_rule(&program.schema, rule) {
+            errs.append(&mut e);
+        }
+        if let Err(mut e) = safety::check_rule(&program.schema, rule) {
+            errs.append(&mut e);
+        }
+    }
+    for denial in &program.constraints {
+        if let Err(mut e) = typecheck::check_body(&program.schema, &denial.body) {
+            errs.append(&mut e);
+        }
+    }
+    if let Some(goal) = &program.goal {
+        if let Err(mut e) = typecheck::check_body(&program.schema, &goal.body) {
+            errs.append(&mut e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}

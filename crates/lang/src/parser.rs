@@ -1,0 +1,1445 @@
+//! Recursive-descent parser for the LOGRES textual language.
+//!
+//! Grammar (sections may appear in any order and may repeat):
+//!
+//! ```text
+//! program      := section*
+//! section      := "domains"      (name "=" type ";")*
+//!               | "classes"      (classdecl)*
+//!               | "associations" (name "=" type ";")*
+//!               | "functions"    (name ":" [type ("*" type)*] "->" "{" type "}" ";")*
+//!               | "facts"        (fact ".")*
+//!               | "rules"        (rule ".")*
+//!               | "constraints"  ("<-" body ".")*
+//!               | "goal" body "?"
+//! classdecl    := name "=" type ";"
+//!               | name ["via" label] "isa" name ";"
+//!               | "rename" name label "as" label ";"
+//! type         := "integer" | "string" | name
+//!               | "(" [label ":" type ("," label ":" type)*] ")"
+//!               | "{" type "}" | "[" type "]" | "<" type ">"
+//! rule         := head ["<-" body] "."
+//! head         := ["-"] atom
+//! body         := literal ("," literal)*
+//! literal      := ["not"] atom | term relop term
+//! atom         := name "(" [predarg ("," predarg)*] ")"
+//! predarg      := "self" ":" term | label ":" term | VAR
+//! term         := addterm; addterm := multerm (("+"|"-") multerm)*; …
+//! primary      := INT | STRING | VAR | "nil" | name ["(" term,* ")"]
+//!               | "(" label ":" term,* ")" | "{" term,* "}"
+//!               | "[" term,* "]" | "<" term,* ">"
+//! ```
+//!
+//! Type-name references are resolved after all sections are read (a name is
+//! a class reference iff a class equation for it exists — in this program or
+//! in the base schema a module is parsed against). A bare name in term
+//! position denotes a nullary data-function application if such a function
+//! is declared, and a symbolic string constant otherwise.
+
+use logres_model::{FunctionSig, ModelError, Schema, Sym, TypeDesc, Value};
+use rustc_hash::FxHashSet;
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a standalone program (schema + rules + facts + goal).
+pub fn parse_program(src: &str) -> Result<Program, Vec<LangError>> {
+    parse_program_with(src, None)
+}
+
+/// Parse a program *against a base schema* — used for modules (Section 4.1):
+/// the module's own type equations `S_M` are returned in
+/// [`ParsedModule::local_schema`], while name resolution, validation and
+/// type checking run against `base ∪ S_M`.
+pub fn parse_module(src: &str, base: &Schema) -> Result<ParsedModule, Vec<LangError>> {
+    let p = RawParser::run(src)?;
+    let (local, combined) = build_schemas(&p, Some(base))?;
+    let program = resolve(p, combined)?;
+    Ok(ParsedModule {
+        local_schema: local,
+        program,
+    })
+}
+
+/// Result of [`parse_module`].
+#[derive(Debug, Clone)]
+pub struct ParsedModule {
+    /// Only the module's own equations `S_M`.
+    pub local_schema: Schema,
+    /// The full program, resolved and checked against `base ∪ S_M`
+    /// (`program.schema` is the combined, validated schema).
+    pub program: Program,
+}
+
+fn parse_program_with(src: &str, base: Option<&Schema>) -> Result<Program, Vec<LangError>> {
+    let p = RawParser::run(src)?;
+    let (_local, combined) = build_schemas(&p, base)?;
+    resolve(p, combined)
+}
+
+/// Parse only a `rules`-style fragment against an existing schema; the
+/// source may contain rules, constraints, facts and a goal but no schema
+/// sections.
+pub fn parse_rules(src: &str, schema: &Schema) -> Result<Program, Vec<LangError>> {
+    let m = parse_module(src, schema)?;
+    Ok(m.program)
+}
+
+// ---------------------------------------------------------------------------
+// Raw parse results (names unresolved)
+// ---------------------------------------------------------------------------
+
+/// One raw fact: predicate, labeled argument terms, source span.
+type RawFact = (Sym, Vec<(Sym, Term)>, Span);
+
+#[derive(Debug, Default)]
+struct RawProgram {
+    domains: Vec<(Sym, TypeDesc, Span)>,
+    classes: Vec<(Sym, TypeDesc, Span)>,
+    assocs: Vec<(Sym, TypeDesc, Span)>,
+    functions: Vec<(Sym, Vec<TypeDesc>, TypeDesc, Span)>,
+    isa: Vec<(Sym, Option<Sym>, Sym, Span)>,
+    renames: Vec<(Sym, Sym, Sym)>,
+    rules: Vec<Rule>,
+    constraints: Vec<Denial>,
+    facts: Vec<RawFact>,
+    goal: Option<Goal>,
+}
+
+struct RawParser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl RawParser {
+    fn run(src: &str) -> Result<RawProgram, Vec<LangError>> {
+        let toks = lex(src).map_err(|e| vec![e])?;
+        let mut p = RawParser { toks, pos: 0 };
+        p.program().map_err(|e| vec![e])
+    }
+
+    // ----- token plumbing ---------------------------------------------------
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(self.span(), msg)
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Span, LangError> {
+        if self.peek() == tok {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(Sym, Span), LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((Sym::new(&s.to_lowercase()), sp))
+            }
+            // Names are case-insensitive like the paper (PLAYER ≡ player);
+            // an uppercase identifier in a name position is lowered.
+            Tok::Var(s) if what.starts_with("name") => {
+                let sp = self.bump().span;
+                Ok((Sym::new(&s.to_lowercase()), sp))
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ----- sections ----------------------------------------------------------
+
+    fn program(&mut self) -> Result<RawProgram, LangError> {
+        let mut out = RawProgram::default();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(s) => match s.as_str() {
+                    "domains" => {
+                        self.bump();
+                        self.type_section(&mut out, SectionKind::Domains)?;
+                    }
+                    "classes" => {
+                        self.bump();
+                        self.classes_section(&mut out)?;
+                    }
+                    "associations" => {
+                        self.bump();
+                        self.type_section(&mut out, SectionKind::Assocs)?;
+                    }
+                    "functions" => {
+                        self.bump();
+                        self.functions_section(&mut out)?;
+                    }
+                    "facts" => {
+                        self.bump();
+                        self.facts_section(&mut out)?;
+                    }
+                    "rules" => {
+                        self.bump();
+                        self.rules_section(&mut out)?;
+                    }
+                    "constraints" => {
+                        self.bump();
+                        self.constraints_section(&mut out)?;
+                    }
+                    "goal" => {
+                        self.bump();
+                        let sp = self.span();
+                        let body = self.body()?;
+                        self.expect(&Tok::Question, "`?` after goal")?;
+                        let mut vars = Vec::new();
+                        for l in &body {
+                            for v in l.atom.vars() {
+                                if !vars.contains(&v) {
+                                    vars.push(v);
+                                }
+                            }
+                        }
+                        out.goal = Some(Goal {
+                            body,
+                            vars,
+                            span: sp,
+                        });
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected a section keyword (domains/classes/associations/functions/facts/rules/constraints/goal), found `{other}`"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(self.err(format!("expected a section keyword, found {other:?}")))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn at_section_end(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+            || matches!(self.peek(), Tok::Ident(s) if matches!(
+                s.as_str(),
+                "domains" | "classes" | "associations" | "functions" | "facts" | "rules"
+                    | "constraints" | "goal"
+            ) && !matches!(self.peek2(), Tok::Eq | Tok::LParen | Tok::Colon))
+    }
+
+    fn type_section(&mut self, out: &mut RawProgram, kind: SectionKind) -> Result<(), LangError> {
+        while !self.at_section_end() {
+            let (name, sp) = self.ident("name")?;
+            self.expect(&Tok::Eq, "`=`")?;
+            let ty = self.type_expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            match kind {
+                SectionKind::Domains => out.domains.push((name, ty, sp)),
+                SectionKind::Assocs => out.assocs.push((name, ty, sp)),
+            }
+        }
+        Ok(())
+    }
+
+    fn classes_section(&mut self, out: &mut RawProgram) -> Result<(), LangError> {
+        while !self.at_section_end() {
+            if self.eat_keyword("rename") {
+                // rename CLASS old as new ;
+                let (class, _) = self.ident("name")?;
+                let (old, _) = self.ident("label")?;
+                if !self.eat_keyword("as") {
+                    return Err(self.err("expected `as` in rename declaration"));
+                }
+                let (new, _) = self.ident("label")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                out.renames.push((class, old, new));
+                continue;
+            }
+            let (name, sp) = self.ident("name")?;
+            match self.peek().clone() {
+                Tok::Eq => {
+                    self.bump();
+                    let ty = self.type_expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    out.classes.push((name, ty, sp));
+                }
+                Tok::Ident(s) if s == "isa" => {
+                    self.bump();
+                    let (sup, _) = self.ident("name")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    out.isa.push((name, None, sup, sp));
+                }
+                Tok::Ident(s) if s == "via" => {
+                    self.bump();
+                    let (via, _) = self.ident("label")?;
+                    if !self.eat_keyword("isa") {
+                        return Err(self.err("expected `isa` after via-label"));
+                    }
+                    let (sup, _) = self.ident("name")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    out.isa.push((name, Some(via), sup, sp));
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `=`, `isa` or `via` in class declaration, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn functions_section(&mut self, out: &mut RawProgram) -> Result<(), LangError> {
+        while !self.at_section_end() {
+            let (name, sp) = self.ident("name")?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let mut params = Vec::new();
+            if !matches!(self.peek(), Tok::RArrow) {
+                params.push(self.type_expr()?);
+                while matches!(self.peek(), Tok::Star) {
+                    self.bump();
+                    params.push(self.type_expr()?);
+                }
+            }
+            self.expect(&Tok::RArrow, "`->`")?;
+            self.expect(&Tok::LBrace, "`{`")?;
+            let result = self.type_expr()?;
+            self.expect(&Tok::RBrace, "`}`")?;
+            self.expect(&Tok::Semi, "`;`")?;
+            out.functions.push((name, params, result, sp));
+        }
+        Ok(())
+    }
+
+    fn facts_section(&mut self, out: &mut RawProgram) -> Result<(), LangError> {
+        while !self.at_section_end() {
+            let (pred, sp) = self.ident("predicate name")?;
+            self.expect(&Tok::LParen, "`(`")?;
+            let mut args = Vec::new();
+            if !matches!(self.peek(), Tok::RParen) {
+                loop {
+                    let (label, _) = self.ident("label")?;
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let term = self.term()?;
+                    args.push((label, term));
+                    if matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            self.expect(&Tok::Dot, "`.`")?;
+            out.facts.push((pred, args, sp));
+        }
+        Ok(())
+    }
+
+    fn rules_section(&mut self, out: &mut RawProgram) -> Result<(), LangError> {
+        while !self.at_section_end() {
+            let sp = self.span();
+            let negated = matches!(self.peek(), Tok::Minus) && {
+                self.bump();
+                true
+            };
+            let atom = self.atom()?;
+            let body = if matches!(self.peek(), Tok::Arrow) {
+                self.bump();
+                if matches!(self.peek(), Tok::Dot) {
+                    Vec::new()
+                } else {
+                    self.body()?
+                }
+            } else {
+                Vec::new()
+            };
+            self.expect(&Tok::Dot, "`.` at end of rule")?;
+            out.rules.push(Rule {
+                head: Head { atom, negated },
+                body,
+                span: sp,
+            });
+        }
+        Ok(())
+    }
+
+    fn constraints_section(&mut self, out: &mut RawProgram) -> Result<(), LangError> {
+        while !self.at_section_end() {
+            let sp = self.expect(&Tok::Arrow, "`<-` starting a denial")?;
+            let body = self.body()?;
+            self.expect(&Tok::Dot, "`.`")?;
+            out.constraints.push(Denial { body, span: sp });
+        }
+        Ok(())
+    }
+
+    // ----- types --------------------------------------------------------------
+
+    fn type_expr(&mut self) -> Result<TypeDesc, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "integer" => {
+                self.bump();
+                Ok(TypeDesc::Int)
+            }
+            Tok::Ident(s) if s == "string" => {
+                self.bump();
+                Ok(TypeDesc::Str)
+            }
+            Tok::Ident(_) | Tok::Var(_) => {
+                let (name, _) = self.ident("name")?;
+                // Provisional: all name references parsed as Domain; the
+                // resolution pass rewrites class references.
+                Ok(TypeDesc::Domain(name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !matches!(self.peek(), Tok::RParen) {
+                    loop {
+                        let (label, _) = self.ident("label")?;
+                        self.expect(&Tok::Colon, "`:` after label (labels are mandatory)")?;
+                        let ty = self.type_expr()?;
+                        fields.push((label, ty));
+                        if matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(TypeDesc::tuple(fields))
+            }
+            Tok::LBrace => {
+                self.bump();
+                let t = self.type_expr()?;
+                self.expect(&Tok::RBrace, "`}`")?;
+                Ok(TypeDesc::set(t))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let t = self.type_expr()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                Ok(TypeDesc::multiset(t))
+            }
+            Tok::Lt => {
+                self.bump();
+                let t = self.type_expr()?;
+                self.expect(&Tok::Gt, "`>`")?;
+                Ok(TypeDesc::seq(t))
+            }
+            other => Err(self.err(format!("expected a type, found {other:?}"))),
+        }
+    }
+
+    // ----- rule bodies ---------------------------------------------------------
+
+    fn body(&mut self) -> Result<Vec<BodyLiteral>, LangError> {
+        let mut out = vec![self.literal()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<BodyLiteral, LangError> {
+        let negated = self.at_keyword("not") && {
+            self.bump();
+            true
+        };
+        // An atom begins with a name followed by `(`; everything else is a
+        // comparison between terms.
+        let is_atom = matches!((self.peek(), self.peek2()), (Tok::Ident(_), Tok::LParen));
+        let mut atom_err = None;
+        if is_atom {
+            // Could still be a comparison whose left term is a function
+            // application `f(X) = Y`; decide after parsing the atom-or-term.
+            let save = self.pos;
+            match self.atom() {
+                Ok(atom) => {
+                    // If a relational operator follows, re-parse as a term.
+                    if matches!(
+                        self.peek(),
+                        Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge
+                    ) {
+                        self.pos = save;
+                    } else {
+                        return Ok(BodyLiteral { atom, negated });
+                    }
+                }
+                Err(e) => {
+                    // Remember the atom diagnostic: if the term re-parse
+                    // fails too, it is the more helpful message.
+                    atom_err = Some(e);
+                    self.pos = save;
+                }
+            }
+        }
+        let sp = self.span();
+        let lhs = match self.term() {
+            Ok(t) => t,
+            Err(e) => return Err(atom_err.unwrap_or(e)),
+        };
+        let builtin = match self.peek() {
+            Tok::Eq => Builtin::Eq,
+            Tok::Ne => Builtin::Ne,
+            Tok::Lt => Builtin::Lt,
+            Tok::Le => Builtin::Le,
+            Tok::Gt => Builtin::Gt,
+            Tok::Ge => Builtin::Ge,
+            other => {
+                return Err(atom_err.unwrap_or_else(|| {
+                    self.err(format!(
+                        "expected a comparison operator after term, found {other:?}"
+                    ))
+                }))
+            }
+        };
+        self.bump();
+        let rhs = self.term()?;
+        Ok(BodyLiteral {
+            atom: Atom::Builtin {
+                builtin,
+                args: vec![lhs, rhs],
+                span: sp,
+            },
+            negated,
+        })
+    }
+
+    fn atom(&mut self) -> Result<Atom, LangError> {
+        let (name, sp) = self.ident("predicate name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        if let Some(builtin) = Builtin::from_name(name.as_str()) {
+            let mut args = Vec::new();
+            if !matches!(self.peek(), Tok::RParen) {
+                args.push(self.term()?);
+                while matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                    args.push(self.term()?);
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            if args.len() != builtin.arity() {
+                return Err(LangError::new(
+                    sp,
+                    format!(
+                        "builtin `{}` takes {} arguments, got {}",
+                        builtin.name(),
+                        builtin.arity(),
+                        args.len()
+                    ),
+                ));
+            }
+            return Ok(Atom::Builtin {
+                builtin,
+                args,
+                span: sp,
+            });
+        }
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                args.push(self.pred_arg()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(Atom::Pred {
+            pred: name,
+            args,
+            span: sp,
+        })
+    }
+
+    fn pred_arg(&mut self) -> Result<PredArg, LangError> {
+        match (self.peek().clone(), self.peek2().clone()) {
+            (Tok::Ident(s), Tok::Colon) if s == "self" => {
+                self.bump();
+                self.bump();
+                let t = self.term()?;
+                Ok(PredArg::SelfArg(t))
+            }
+            (Tok::Ident(_), Tok::Colon) => {
+                let (label, _) = self.ident("label")?;
+                self.bump(); // colon
+                let t = self.term()?;
+                Ok(PredArg::Labeled(label, t))
+            }
+            (Tok::Var(v), next) if !matches!(next, Tok::Colon) => {
+                self.bump();
+                Ok(PredArg::TupleVar(Sym::new(&v)))
+            }
+            _ => Err(self.err(
+                "expected `label: term`, `self: term` or a bare tuple variable in predicate argument",
+            )),
+        }
+    }
+
+    // ----- terms -----------------------------------------------------------------
+
+    fn term(&mut self) -> Result<Term, LangError> {
+        let mut lhs = self.mul_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_term()?;
+            lhs = Term::BinOp {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_term(&mut self) -> Result<Term, LangError> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = Term::BinOp {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Term, LangError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Term::Const(Value::Int(n)))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Int(n) => {
+                        self.bump();
+                        Ok(Term::Const(Value::Int(-n)))
+                    }
+                    _ => Err(self.err("expected an integer after unary `-`")),
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Term::Const(Value::Str(s)))
+            }
+            Tok::Var(v) => {
+                self.bump();
+                Ok(Term::Var(Sym::new(&v)))
+            }
+            Tok::Ident(s) if s == "nil" => {
+                self.bump();
+                Ok(Term::Nil)
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                let name = Sym::new(&s.to_lowercase());
+                if matches!(self.peek(), Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Tok::RParen) {
+                        args.push(self.term()?);
+                        while matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                            args.push(self.term()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(Term::FunApp { fun: name, args })
+                } else {
+                    // Bare name: nullary function or symbolic constant;
+                    // resolved against the schema later.
+                    Ok(Term::FunApp {
+                        fun: name,
+                        args: Vec::new(),
+                    })
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                // Tuple term (labels mandatory) or parenthesized expression.
+                if matches!((self.peek(), self.peek2()), (Tok::Ident(_), Tok::Colon)) {
+                    let mut fields = Vec::new();
+                    loop {
+                        let (label, _) = self.ident("label")?;
+                        self.expect(&Tok::Colon, "`:`")?;
+                        let t = self.term()?;
+                        fields.push((label, t));
+                        if matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(Term::Tuple(fields))
+                } else {
+                    let t = self.term()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(t)
+                }
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !matches!(self.peek(), Tok::RBrace) {
+                    elems.push(self.term()?);
+                    while matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                        elems.push(self.term()?);
+                    }
+                }
+                self.expect(&Tok::RBrace, "`}`")?;
+                Ok(Term::Set(elems))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !matches!(self.peek(), Tok::RBracket) {
+                    elems.push(self.term()?);
+                    while matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                        elems.push(self.term()?);
+                    }
+                }
+                self.expect(&Tok::RBracket, "`]`")?;
+                Ok(Term::Multiset(elems))
+            }
+            Tok::Lt => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !matches!(self.peek(), Tok::Gt) {
+                    elems.push(self.term()?);
+                    while matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                        elems.push(self.term()?);
+                    }
+                }
+                self.expect(&Tok::Gt, "`>`")?;
+                Ok(Term::Seq(elems))
+            }
+            other => Err(self.err(format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum SectionKind {
+    Domains,
+    Assocs,
+}
+
+// ---------------------------------------------------------------------------
+// Schema construction and name resolution
+// ---------------------------------------------------------------------------
+
+fn model_errs(errs: Vec<ModelError>) -> Vec<LangError> {
+    errs.into_iter()
+        .map(|e| LangError::new(Span::default(), e.to_string()))
+        .collect()
+}
+
+/// Build `(S_M, base ∪ S_M)` from the raw sections; validate the combined
+/// schema.
+fn build_schemas(
+    raw: &RawProgram,
+    base: Option<&Schema>,
+) -> Result<(Schema, Schema), Vec<LangError>> {
+    // Class names visible for reference resolution: local + base.
+    let mut class_names: FxHashSet<Sym> = raw.classes.iter().map(|(n, _, _)| *n).collect();
+    if let Some(b) = base {
+        class_names.extend(b.classes());
+    }
+    let fix = |ty: &TypeDesc| fix_names(ty, &class_names);
+
+    let mut local = Schema::new();
+    let mut errs = Vec::new();
+    for (name, ty, sp) in &raw.domains {
+        if let Err(e) = local.add_domain(*name, fix(ty)) {
+            errs.push(LangError::new(*sp, e.to_string()));
+        }
+    }
+    for (name, ty, sp) in &raw.classes {
+        if let Err(e) = local.add_class(*name, fix(ty)) {
+            errs.push(LangError::new(*sp, e.to_string()));
+        }
+    }
+    for (name, ty, sp) in &raw.assocs {
+        if let Err(e) = local.add_assoc(*name, fix(ty)) {
+            errs.push(LangError::new(*sp, e.to_string()));
+        }
+    }
+    for (name, params, result, sp) in &raw.functions {
+        let sig = FunctionSig {
+            params: params.iter().map(fix).collect(),
+            result_elem: fix(result),
+        };
+        if let Err(e) = local.add_function(*name, sig) {
+            errs.push(LangError::new(*sp, e.to_string()));
+        }
+    }
+    for (sub, via, sup, _) in &raw.isa {
+        local.add_isa(*sub, *sup, *via);
+    }
+    for (class, old, new) in &raw.renames {
+        local.add_rename(*class, *old, *new);
+    }
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+
+    let mut combined = match base {
+        Some(b) => b.union(&local).map_err(|e| model_errs(vec![e]))?,
+        None => local.clone(),
+    };
+    combined.validate().map_err(model_errs)?;
+    Ok((local, combined))
+}
+
+/// Replace provisional `Domain(name)` references that actually name classes.
+fn fix_names(ty: &TypeDesc, classes: &FxHashSet<Sym>) -> TypeDesc {
+    match ty {
+        TypeDesc::Domain(n) if classes.contains(n) => TypeDesc::Class(*n),
+        TypeDesc::Int | TypeDesc::Str | TypeDesc::Domain(_) | TypeDesc::Class(_) => ty.clone(),
+        TypeDesc::Tuple(fs) => TypeDesc::tuple(
+            fs.iter()
+                .map(|f| (f.label, fix_names(&f.ty, classes)))
+                .collect::<Vec<_>>(),
+        ),
+        TypeDesc::Set(t) => TypeDesc::set(fix_names(t, classes)),
+        TypeDesc::Multiset(t) => TypeDesc::multiset(fix_names(t, classes)),
+        TypeDesc::Seq(t) => TypeDesc::seq(fix_names(t, classes)),
+    }
+}
+
+/// Resolve function applications and symbolic constants in rules, denials,
+/// facts and the goal; assemble the final [`Program`].
+fn resolve(raw: RawProgram, schema: Schema) -> Result<Program, Vec<LangError>> {
+    let mut errs = Vec::new();
+
+    let rules = raw
+        .rules
+        .into_iter()
+        .map(|r| Rule {
+            head: Head {
+                atom: resolve_atom(r.head.atom, &schema, &mut errs),
+                negated: r.head.negated,
+            },
+            body: r
+                .body
+                .into_iter()
+                .map(|l| BodyLiteral {
+                    atom: resolve_atom(l.atom, &schema, &mut errs),
+                    negated: l.negated,
+                })
+                .collect(),
+            span: r.span,
+        })
+        .collect();
+    let constraints = raw
+        .constraints
+        .into_iter()
+        .map(|d| Denial {
+            body: d
+                .body
+                .into_iter()
+                .map(|l| BodyLiteral {
+                    atom: resolve_atom(l.atom, &schema, &mut errs),
+                    negated: l.negated,
+                })
+                .collect(),
+            span: d.span,
+        })
+        .collect();
+    let goal = raw.goal.map(|g| Goal {
+        body: g
+            .body
+            .into_iter()
+            .map(|l| BodyLiteral {
+                atom: resolve_atom(l.atom, &schema, &mut errs),
+                negated: l.negated,
+            })
+            .collect(),
+        vars: g.vars,
+        span: g.span,
+    });
+
+    let mut facts = Vec::new();
+    for (pred, args, sp) in raw.facts {
+        if schema.kind(pred).is_none() {
+            errs.push(LangError::new(sp, format!("unknown predicate `{pred}`")));
+            continue;
+        }
+        let mut vals = Vec::new();
+        for (label, t) in args {
+            let t = resolve_term(t, &schema, &mut errs);
+            match eval_ground(&t) {
+                Some(v) => vals.push((label, v)),
+                None => errs.push(LangError::new(
+                    sp,
+                    format!("fact argument `{label}` is not a ground value"),
+                )),
+            }
+        }
+        facts.push(GroundFact {
+            pred,
+            args: vals,
+            span: sp,
+        });
+    }
+
+    if errs.is_empty() {
+        Ok(Program {
+            schema,
+            rules: RuleSet { rules },
+            constraints,
+            facts,
+            goal,
+        })
+    } else {
+        Err(errs)
+    }
+}
+
+fn resolve_atom(atom: Atom, schema: &Schema, errs: &mut Vec<LangError>) -> Atom {
+    match atom {
+        Atom::Pred { pred, args, span } => {
+            if schema.kind(pred).is_none() {
+                errs.push(LangError::new(span, format!("unknown predicate `{pred}`")));
+            }
+            Atom::Pred {
+                pred,
+                args: args
+                    .into_iter()
+                    .map(|a| match a {
+                        PredArg::Labeled(l, t) => {
+                            PredArg::Labeled(l, resolve_term(t, schema, errs))
+                        }
+                        PredArg::SelfArg(t) => PredArg::SelfArg(resolve_term(t, schema, errs)),
+                        PredArg::TupleVar(v) => PredArg::TupleVar(v),
+                    })
+                    .collect(),
+                span,
+            }
+        }
+        Atom::Builtin {
+            builtin: Builtin::Member,
+            args,
+            span,
+        } if args.len() == 2 => {
+            // member(elem, f(args…)) over a declared data function becomes a
+            // Member atom (readable in bodies, assignable in heads).
+            let mut it = args.into_iter();
+            let elem = resolve_term(it.next().expect("arity 2"), schema, errs);
+            let coll = it.next().expect("arity 2");
+            if let Term::FunApp { fun, args } = &coll {
+                if schema.function(*fun).is_some() {
+                    return Atom::Member {
+                        elem,
+                        fun: *fun,
+                        args: args
+                            .iter()
+                            .cloned()
+                            .map(|t| resolve_term(t, schema, errs))
+                            .collect(),
+                        span,
+                    };
+                }
+            }
+            Atom::Builtin {
+                builtin: Builtin::Member,
+                args: vec![elem, resolve_term(coll, schema, errs)],
+                span,
+            }
+        }
+        Atom::Builtin {
+            builtin,
+            args,
+            span,
+        } => Atom::Builtin {
+            builtin,
+            args: args
+                .into_iter()
+                .map(|t| resolve_term(t, schema, errs))
+                .collect(),
+            span,
+        },
+        Atom::Member {
+            elem,
+            fun,
+            args,
+            span,
+        } => Atom::Member {
+            elem: resolve_term(elem, schema, errs),
+            fun,
+            args: args
+                .into_iter()
+                .map(|t| resolve_term(t, schema, errs))
+                .collect(),
+            span,
+        },
+    }
+}
+
+fn resolve_term(t: Term, schema: &Schema, errs: &mut Vec<LangError>) -> Term {
+    match t {
+        Term::FunApp { fun, args } => {
+            if schema.function(fun).is_some() {
+                Term::FunApp {
+                    fun,
+                    args: args
+                        .into_iter()
+                        .map(|t| resolve_term(t, schema, errs))
+                        .collect(),
+                }
+            } else if args.is_empty() {
+                // Bare name that is not a function: symbolic string constant.
+                Term::Const(Value::Str(fun.as_str().to_owned()))
+            } else {
+                errs.push(LangError::new(
+                    Span::default(),
+                    format!("`{fun}` is not a declared data function"),
+                ));
+                Term::FunApp { fun, args }
+            }
+        }
+        Term::Tuple(fs) => Term::Tuple(
+            fs.into_iter()
+                .map(|(l, t)| (l, resolve_term(t, schema, errs)))
+                .collect(),
+        ),
+        Term::Set(ts) => Term::Set(
+            ts.into_iter()
+                .map(|t| resolve_term(t, schema, errs))
+                .collect(),
+        ),
+        Term::Multiset(ts) => Term::Multiset(
+            ts.into_iter()
+                .map(|t| resolve_term(t, schema, errs))
+                .collect(),
+        ),
+        Term::Seq(ts) => Term::Seq(
+            ts.into_iter()
+                .map(|t| resolve_term(t, schema, errs))
+                .collect(),
+        ),
+        Term::BinOp { op, lhs, rhs } => Term::BinOp {
+            op,
+            lhs: Box::new(resolve_term(*lhs, schema, errs)),
+            rhs: Box::new(resolve_term(*rhs, schema, errs)),
+        },
+        other => other,
+    }
+}
+
+/// Evaluate a variable-free, function-free term to a value.
+pub fn eval_ground(t: &Term) -> Option<Value> {
+    match t {
+        Term::Const(v) => Some(v.clone()),
+        Term::Nil => Some(Value::Nil),
+        Term::Tuple(fs) => {
+            let mut out = Vec::new();
+            for (l, t) in fs {
+                out.push((*l, eval_ground(t)?));
+            }
+            Some(Value::tuple(out))
+        }
+        Term::Set(ts) => Some(Value::set(
+            ts.iter().map(eval_ground).collect::<Option<Vec<_>>>()?,
+        )),
+        Term::Multiset(ts) => Some(Value::multiset(
+            ts.iter().map(eval_ground).collect::<Option<Vec<_>>>()?,
+        )),
+        Term::Seq(ts) => Some(Value::seq(
+            ts.iter().map(eval_ground).collect::<Option<Vec<_>>>()?,
+        )),
+        Term::BinOp { op, lhs, rhs } => {
+            let (a, b) = (eval_ground(lhs)?.as_int()?, eval_ground(rhs)?.as_int()?);
+            let n = match op {
+                BinOp::Add => a.checked_add(b)?,
+                BinOp::Sub => a.checked_sub(b)?,
+                BinOp::Mul => a.checked_mul(b)?,
+                BinOp::Div => a.checked_div(b)?,
+                BinOp::Mod => a.checked_rem(b)?,
+            };
+            Some(Value::Int(n))
+        }
+        Term::Var(_) | Term::FunApp { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOOTBALL: &str = r#"
+        domains
+          name_d = string;
+          role   = integer;
+          score  = (home: integer, guest: integer);
+        classes
+          player = (name: name_d, roles: {role});
+          team   = (team_name: name_d,
+                    base_players: <player>,
+                    substitutes: {player});
+        associations
+          game = (h_team: team, g_team: team, date: string, score: score);
+    "#;
+
+    #[test]
+    fn parses_example_2_1_schema() {
+        let p = parse_program(FOOTBALL).expect("football schema parses");
+        assert_eq!(p.schema.classes().count(), 2);
+        assert_eq!(p.schema.assocs().count(), 1);
+        // `player` inside team resolved as a class reference.
+        let team = p.schema.class_type(Sym::new("team")).unwrap();
+        assert_eq!(
+            team.field(Sym::new("base_players")),
+            Some(&TypeDesc::seq(TypeDesc::class("player")))
+        );
+        // `score` resolved as a domain reference.
+        let game = p.schema.assoc_type(Sym::new("game")).unwrap();
+        assert_eq!(
+            game.field(Sym::new("score")),
+            Some(&TypeDesc::domain("score"))
+        );
+    }
+
+    #[test]
+    fn parses_isa_declarations() {
+        let src = r#"
+            classes
+              person  = (name: string, bdate: string, address: string);
+              student = (person: person, school: string);
+              student isa person;
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(p.schema.isa_holds(Sym::new("student"), Sym::new("person")));
+    }
+
+    #[test]
+    fn parses_via_isa_and_rename() {
+        let src = r#"
+            classes
+              person = (name: string);
+              empl   = (emp: person, manager: person);
+              empl via emp isa person;
+        "#;
+        let p = parse_program(src).unwrap();
+        let eff = p.schema.effective(Sym::new("empl")).unwrap();
+        let labels: Vec<&str> = eff
+            .as_tuple()
+            .unwrap()
+            .iter()
+            .map(|f| f.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["name", "manager"]);
+    }
+
+    #[test]
+    fn parses_rules_with_labels_self_and_tuple_vars() {
+        let src = r#"
+            classes
+              person = (name: string);
+            associations
+              parent   = (par: person, chil: person);
+              ancestor = (anc: person, des: person);
+            rules
+              ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+              ancestor(anc: X, des: Z) <- parent(par: X, chil: Y),
+                                          ancestor(anc: Y, des: Z).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        let r = &p.rules.rules[1];
+        assert_eq!(r.body.len(), 2);
+        assert!(!r.head.negated);
+    }
+
+    #[test]
+    fn parses_self_variables_and_negation() {
+        let src = r#"
+            classes
+              person = (name: string);
+            rules
+              -person(self: X, name: N) <- person(self: X, name: N), not person(self: X, name: "keep").
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = &p.rules.rules[0];
+        assert!(r.head.negated);
+        assert!(r.body[1].negated);
+        match &r.head.atom {
+            Atom::Pred { args, .. } => {
+                assert!(matches!(args[0], PredArg::SelfArg(Term::Var(_))));
+            }
+            _ => panic!("expected pred atom"),
+        }
+    }
+
+    #[test]
+    fn parses_data_functions_and_member() {
+        // Example 3.2 of the paper.
+        let src = r#"
+            classes
+              person = (name: string);
+            associations
+              parent   = (par: person, chil: person);
+              ancestor = (anc: person, des: {person});
+            functions
+              desc: person -> {person};
+            rules
+              member(X, desc(Y)) <- parent(par: Y, chil: X).
+              member(X, desc(Y)) <- parent(par: Y, chil: Z), member(X, T), T = desc(Z).
+              ancestor(anc: X, des: Y) <- parent(par: X), Y = desc(X).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        // First rule head is a Member atom over `desc`.
+        assert!(matches!(
+            &p.rules.rules[0].head.atom,
+            Atom::Member { fun, .. } if *fun == Sym::new("desc")
+        ));
+        // `T = desc(Z)` stays an equality whose rhs is a FunApp.
+        let eq = &p.rules.rules[1].body[2];
+        assert!(matches!(
+            &eq.atom,
+            Atom::Builtin { builtin: Builtin::Eq, args, .. }
+                if matches!(args[1], Term::FunApp { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_powerset_program_of_example_3_3() {
+        let src = r#"
+            associations
+              r     = (d: integer);
+              power = (s: {integer});
+            rules
+              power(s: X) <- X = {}.
+              power(s: X) <- r(d: Y), append(X, {}, Y).
+              power(s: X) <- power(s: Y), power(s: Z), union(X, Y, Z).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(matches!(
+            &p.rules.rules[2].body[2].atom,
+            Atom::Builtin { builtin: Builtin::Union, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_arithmetic_and_comparisons() {
+        // Example 4.2 of the paper.
+        let src = r#"
+            associations
+              p     = (d1: integer, d2: integer);
+              mod_t = (d1: integer, d2: integer);
+            rules
+              p(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1, not mod_t(d1: X, d2: Y).
+              mod_t(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1, not mod_t(d1: X, d2: Y).
+              -p(Y) <- p(Y), mod_t(Y).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        let del = &p.rules.rules[2];
+        assert!(del.head.negated);
+        assert!(matches!(
+            &del.head.atom,
+            Atom::Pred { args, .. } if matches!(args[0], PredArg::TupleVar(_))
+        ));
+    }
+
+    #[test]
+    fn parses_facts_constraints_and_goal() {
+        let src = r#"
+            associations
+              married  = (who: string);
+              divorced = (who: string);
+            facts
+              married(who: "sara").
+              divorced(who: bob).
+            constraints
+              <- married(who: X), divorced(who: X).
+            goal married(who: X)?
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.facts[1].args[0].1, Value::str("bob"));
+        assert_eq!(p.constraints.len(), 1);
+        let g = p.goal.unwrap();
+        assert_eq!(g.vars, vec![Sym::new("X")]);
+    }
+
+    #[test]
+    fn parse_module_keeps_local_schema_separate() {
+        let base = parse_program(FOOTBALL).unwrap().schema;
+        let m = parse_module(
+            r#"
+            associations
+              winners = (t: team);
+            rules
+              winners(t: X) <- game(h_team: X).
+            "#,
+            &base,
+        )
+        .expect("module parses against base schema");
+        assert_eq!(m.local_schema.assocs().count(), 1);
+        // Combined schema sees both.
+        assert!(m.program.schema.assoc_type(Sym::new("game")).is_some());
+        assert!(m.program.schema.assoc_type(Sym::new("winners")).is_some());
+        // team resolved as class reference from the base schema.
+        let w = m.local_schema.assoc_type(Sym::new("winners")).unwrap();
+        assert_eq!(w.field(Sym::new("t")), Some(&TypeDesc::class("team")));
+    }
+
+    #[test]
+    fn unknown_predicate_is_reported() {
+        let src = r#"
+            rules
+              nosuch(x: Y) <- alsonot(x: Y).
+        "#;
+        let errs = parse_program(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("nosuch")));
+    }
+
+    #[test]
+    fn builtin_arity_is_checked() {
+        let src = r#"
+            associations
+              r = (d: integer);
+            rules
+              r(d: X) <- union(X, Y).
+        "#;
+        let errs = parse_program(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("3 arguments")));
+    }
+
+    #[test]
+    fn empty_body_rules_are_ground_additions() {
+        // Example 4.1: Italian(Luca) <-.
+        let src = r#"
+            associations
+              italian = (name: string);
+              roman   = (name: string);
+            rules
+              italian(name: "luca") <- .
+              roman(name: "ugo") <- .
+              italian(name: X) <- roman(name: X).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules.rules[0].body.is_empty());
+    }
+
+    #[test]
+    fn collection_literals_parse_in_terms() {
+        let src = r#"
+            associations
+              s = (v: {integer});
+            rules
+              s(v: {1, 2, 3}) <- .
+              s(v: X) <- s(v: Y), union(X, Y, {4}).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn sequences_vs_comparisons_disambiguate() {
+        let src = r#"
+            associations
+              q = (v: <integer>, n: integer);
+            rules
+              q(v: <1, 2>, n: X) <- q(v: Y, n: Z), X = Z + 1, Z < 10.
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = &p.rules.rules[0];
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(
+            &r.body[2].atom,
+            Atom::Builtin { builtin: Builtin::Lt, .. }
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_names_match_the_paper_style() {
+        let src = r#"
+            classes
+              PLAYER = (name: string);
+            rules
+              player(name: X) <- player(name: X).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(p.schema.class_type(Sym::new("player")).is_some());
+    }
+
+    #[test]
+    fn eval_ground_handles_all_constructors() {
+        let t = Term::Tuple(vec![
+            (Sym::new("a"), Term::Const(Value::Int(1))),
+            (Sym::new("b"), Term::Set(vec![Term::Nil])),
+        ]);
+        let v = eval_ground(&t).unwrap();
+        assert_eq!(
+            v,
+            Value::tuple([
+                ("a", Value::Int(1)),
+                ("b", Value::set([Value::Nil]))
+            ])
+        );
+        assert_eq!(eval_ground(&Term::Var(Sym::new("X"))), None);
+    }
+}

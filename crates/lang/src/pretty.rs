@@ -1,0 +1,238 @@
+//! Display implementations for the rule language: printing a parsed program
+//! reproduces valid concrete syntax (round-trip property tested below).
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Nil => f.write_str("nil"),
+            Term::Tuple(fs) => {
+                f.write_str("(")?;
+                for (i, (l, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{l}: {t}")?;
+                }
+                f.write_str(")")
+            }
+            Term::Set(ts) => {
+                f.write_str("{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("}")
+            }
+            Term::Multiset(ts) => {
+                f.write_str("[")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("]")
+            }
+            Term::Seq(ts) => {
+                f.write_str("<")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(">")
+            }
+            Term::FunApp { fun, args } => {
+                write!(f, "{fun}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Term::BinOp { op, lhs, rhs } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "mod",
+                };
+                write!(f, "{lhs} {sym} {rhs}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Pred { pred, args, .. } => {
+                write!(f, "{pred}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match a {
+                        PredArg::Labeled(l, t) => write!(f, "{l}: {t}")?,
+                        PredArg::SelfArg(t) => write!(f, "self: {t}")?,
+                        PredArg::TupleVar(v) => write!(f, "{v}")?,
+                    }
+                }
+                f.write_str(")")
+            }
+            Atom::Member {
+                elem, fun, args, ..
+            } => {
+                write!(f, "member({elem}, {fun}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("))")
+            }
+            Atom::Builtin { builtin, args, .. } => match builtin {
+                Builtin::Eq
+                | Builtin::Ne
+                | Builtin::Lt
+                | Builtin::Le
+                | Builtin::Gt
+                | Builtin::Ge => {
+                    write!(f, "{} {} {}", args[0], builtin.name(), args[1])
+                }
+                _ => {
+                    write!(f, "{}(", builtin.name())?;
+                    for (i, t) in args.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    f.write_str(")")
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for BodyLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            f.write_str("not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.head.negated {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.head.atom)?;
+        if self.body.is_empty() {
+            f.write_str(" <- .")
+        } else {
+            f.write_str(" <- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            f.write_str(".")
+        }
+    }
+}
+
+impl fmt::Display for Denial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<- ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        f.write_str(".")
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    /// Printing rules and re-parsing them against the same schema yields the
+    /// same AST (modulo spans, which compare equal only by accident — so we
+    /// compare printed forms instead).
+    #[test]
+    fn rule_printing_round_trips() {
+        let src = r#"
+            classes
+              person = (name: string, age: integer);
+            associations
+              parent = (par: person, chil: person);
+            functions
+              desc: person -> {person};
+            rules
+              parent(par: X, chil: Y) <- parent(par: Y, chil: X), not parent(par: X, chil: X).
+              member(X, desc(Y)) <- parent(par: Y, chil: X).
+              person(self: S, name: N, age: A) <- person(self: S, name: N), A = 1 + 2.
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed: Vec<String> = p1.rules.rules.iter().map(|r| r.to_string()).collect();
+        let src2 = format!(
+            r#"
+            classes
+              person = (name: string, age: integer);
+            associations
+              parent = (par: person, chil: person);
+            functions
+              desc: person -> {{person}};
+            rules
+              {}
+        "#,
+            printed.join("\n              ")
+        );
+        let p2 = parse_program(&src2).expect("printed program re-parses");
+        let printed2: Vec<String> = p2.rules.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(printed, printed2);
+    }
+
+    #[test]
+    fn deletion_heads_and_denials_print() {
+        let src = r#"
+            associations
+              p = (d: integer);
+            rules
+              -p(X) <- p(X), even(1).
+            constraints
+              <- p(d: X), p(d: X).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.rules[0].to_string(), "-p(X) <- p(X), even(1).");
+        assert_eq!(p.constraints[0].to_string(), "<- p(d: X), p(d: X).");
+    }
+}

@@ -1,0 +1,210 @@
+//! Fluent schema construction.
+//!
+//! The textual language (crate `logres-lang`) is the primary way to define
+//! schemas; this builder is the programmatic equivalent used by examples,
+//! tests and workload generators. It panics on structurally invalid input
+//! at `build` time only via the returned error, never mid-chain.
+
+use crate::error::ModelError;
+use crate::schema::{FunctionSig, Schema};
+use crate::sym::Sym;
+use crate::types::TypeDesc;
+
+/// Builder collecting type equations, isa declarations and functions, then
+/// validating the whole schema at once.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    schema: Schema,
+    errors: Vec<ModelError>,
+}
+
+impl SchemaBuilder {
+    /// Start an empty schema.
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// `name = ty` in the domains section.
+    pub fn domain(mut self, name: &str, ty: TypeDesc) -> Self {
+        if let Err(e) = self.schema.add_domain(name, ty) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// `name = (fields…)` in the classes section.
+    pub fn class<const N: usize>(mut self, name: &str, fields: [(&str, TypeDesc); N]) -> Self {
+        if let Err(e) = self.schema.add_class(name, TypeDesc::tuple(fields)) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// `name = (fields…)` in the associations section.
+    pub fn assoc<const N: usize>(mut self, name: &str, fields: [(&str, TypeDesc); N]) -> Self {
+        if let Err(e) = self.schema.add_assoc(name, TypeDesc::tuple(fields)) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// `sub isa sup`.
+    pub fn isa(mut self, sub: &str, sup: &str) -> Self {
+        self.schema.add_isa(sub, sup, None);
+        self
+    }
+
+    /// `sub via-label isa sup` (disambiguated embedding, cf. `EMPL emp ISA
+    /// PERSON`).
+    pub fn isa_via(mut self, sub: &str, via: &str, sup: &str) -> Self {
+        self.schema.add_isa(sub, sup, Some(Sym::new(via)));
+        self
+    }
+
+    /// Rename an inherited attribute (multiple-inheritance conflicts).
+    pub fn rename(mut self, class: &str, old: &str, new: &str) -> Self {
+        self.schema.add_rename(class, old, new);
+        self
+    }
+
+    /// `name: p1 * … * pn -> {result}` in the functions section.
+    pub fn function(mut self, name: &str, params: Vec<TypeDesc>, result_elem: TypeDesc) -> Self {
+        if let Err(e) = self.schema.add_function(
+            name,
+            FunctionSig {
+                params,
+                result_elem,
+            },
+        ) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Validate and return the schema.
+    pub fn build(mut self) -> Result<Schema, Vec<ModelError>> {
+        if !self.errors.is_empty() {
+            return Err(self.errors);
+        }
+        self.schema.validate()?;
+        Ok(self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_football_schema_of_example_2_1() {
+        // Example 2.1 of the paper, transliterated.
+        let schema = SchemaBuilder::new()
+            .domain("name_d", TypeDesc::Str)
+            .domain("role", TypeDesc::Int)
+            .domain("date", TypeDesc::Str)
+            .domain(
+                "score",
+                TypeDesc::tuple([("home", TypeDesc::Int), ("guest", TypeDesc::Int)]),
+            )
+            .class(
+                "player",
+                [
+                    ("name", TypeDesc::domain("name_d")),
+                    ("roles", TypeDesc::set(TypeDesc::domain("role"))),
+                ],
+            )
+            .class(
+                "team",
+                [
+                    ("team_name", TypeDesc::domain("name_d")),
+                    ("base_players", TypeDesc::seq(TypeDesc::class("player"))),
+                    ("substitutes", TypeDesc::set(TypeDesc::class("player"))),
+                ],
+            )
+            .assoc(
+                "game",
+                [
+                    ("h_team", TypeDesc::class("team")),
+                    ("g_team", TypeDesc::class("team")),
+                    ("date", TypeDesc::domain("date")),
+                    ("score", TypeDesc::domain("score")),
+                ],
+            )
+            .build()
+            .expect("Example 2.1 schema is legal");
+        assert!(schema.is_validated());
+        assert_eq!(schema.classes().count(), 2);
+        assert_eq!(schema.assocs().count(), 1);
+    }
+
+    #[test]
+    fn builder_collects_errors() {
+        let err = SchemaBuilder::new()
+            .domain("d", TypeDesc::Int)
+            .domain("d", TypeDesc::Str) // duplicate
+            .build()
+            .unwrap_err();
+        assert!(matches!(err[0], ModelError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn functions_are_declared_with_signatures() {
+        let schema = SchemaBuilder::new()
+            .class("person", [("name", TypeDesc::Str)])
+            .function(
+                "desc",
+                vec![TypeDesc::class("person")],
+                TypeDesc::class("person"),
+            )
+            .function("junior", vec![], TypeDesc::class("person"))
+            .build()
+            .unwrap();
+        let sig = schema.function(Sym::new("desc")).unwrap();
+        assert_eq!(sig.params.len(), 1);
+        let nullary = schema.function(Sym::new("junior")).unwrap();
+        assert!(nullary.params.is_empty());
+    }
+
+    #[test]
+    fn isa_via_disambiguates_double_embedding() {
+        // EMPL = (emp: PERSON, manager: PERSON); EMPL emp ISA PERSON.
+        let schema = SchemaBuilder::new()
+            .class("person", [("name", TypeDesc::Str)])
+            .class(
+                "empl",
+                [
+                    ("emp", TypeDesc::class("person")),
+                    ("manager", TypeDesc::class("person")),
+                ],
+            )
+            .isa_via("empl", "emp", "person")
+            .build()
+            .expect("labeled isa resolves the ambiguity");
+        let eff = schema.effective(Sym::new("empl")).unwrap();
+        let labels: Vec<&str> = eff
+            .as_tuple()
+            .unwrap()
+            .iter()
+            .map(|f| f.label.as_str())
+            .collect();
+        // emp embedding spliced to `name`; manager stays an oid reference.
+        assert_eq!(labels, vec!["name", "manager"]);
+    }
+
+    #[test]
+    fn ambiguous_unlabeled_double_embedding_errors() {
+        let err = SchemaBuilder::new()
+            .class("person", [("name", TypeDesc::Str)])
+            .class(
+                "empl",
+                [
+                    ("emp", TypeDesc::class("person")),
+                    ("manager", TypeDesc::class("person")),
+                ],
+            )
+            .isa("empl", "person")
+            .build()
+            .unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type for schema and instance validation.
+
+use std::fmt;
+
+use crate::sym::Sym;
+
+/// Everything that can go wrong while building or validating LOGRES schemas
+/// and instances (Section 2 / Appendix A of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+// Field names are self-documenting; variant docs carry the semantics.
+#[allow(missing_docs)]
+pub enum ModelError {
+    /// A name was defined twice in the same namespace, or reused across the
+    /// disjoint namespaces `D`, `C`, `A`.
+    DuplicateName(Sym),
+    /// A type equation references a name that has no defining equation.
+    UnknownType(Sym),
+    /// A predicate (class/association/function) name is not in the schema.
+    UnknownPredicate(Sym),
+    /// Labels inside a single tuple constructor must be unique (the paper's
+    /// labeling mechanism exists precisely to distinguish repeated types).
+    DuplicateLabel { owner: Sym, label: Sym },
+    /// Domain equations may not contain class names (Definition 2).
+    ClassInDomain { domain: Sym, class: Sym },
+    /// Associations may not contain other associations (Section 2.1).
+    AssocInType { owner: Sym, assoc: Sym },
+    /// Domain equations must expand finitely: cycles among domain references
+    /// would give values of unbounded size.
+    RecursiveDomain(Sym),
+    /// The top level of a class or association equation must be a tuple: its
+    /// elements are tuples of attributes and oids.
+    NonTupleTop(Sym),
+    /// `C1 isa C2` requires `Σ(C1) ≤ Σ(C2)` (Definition 2).
+    IsaWithoutRefinement { sub: Sym, sup: Sym },
+    /// The `isa` relation must be a partial order; a cycle was found.
+    IsaCycle(Sym),
+    /// Multiple inheritance is only allowed among classes sharing a common
+    /// ancestor (Section 2.1): no universal class is postulated.
+    NoCommonAncestor { class: Sym, parents: (Sym, Sym) },
+    /// Two inherited attributes clash and no renaming was provided
+    /// (Section 2.1's renaming policy).
+    InheritanceConflict { class: Sym, label: Sym },
+    /// A value does not conform to the expected type descriptor.
+    TypeMismatch { expected: String, found: String },
+    /// An oid was used for a class it does not belong to.
+    ForeignOid { class: Sym },
+    /// An instance violates condition (a) of Definition 4: `C isa C'` but
+    /// `π(C) ⊄ π(C')`.
+    IsaInclusionViolated { sub: Sym, sup: Sym },
+    /// Condition (b) of Definition 4: two classes share oids but live in
+    /// different generalization hierarchies.
+    HierarchyPartitionViolated { c1: Sym, c2: Sym },
+    /// An oid present in some `π(C)` has no o-value.
+    MissingOValue { class: Sym },
+    /// Referential integrity: a nil oid inside an association tuple, or a
+    /// dangling reference (Section 2.1).
+    ReferentialViolation(String),
+    /// A function signature's result type must be a set type `{T}`.
+    NonSetFunctionResult(Sym),
+    /// Catch-all with context for composite validation reports.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ModelError::*;
+        match self {
+            DuplicateName(n) => write!(f, "name `{n}` defined more than once"),
+            UnknownType(n) => write!(f, "reference to undefined type `{n}`"),
+            UnknownPredicate(n) => write!(f, "reference to undefined predicate `{n}`"),
+            DuplicateLabel { owner, label } => {
+                write!(f, "duplicate label `{label}` in type equation of `{owner}`")
+            }
+            ClassInDomain { domain, class } => {
+                write!(f, "domain `{domain}` references class `{class}` (Definition 2 forbids class names in domains)")
+            }
+            AssocInType { owner, assoc } => {
+                write!(f, "type equation of `{owner}` references association `{assoc}` (associations cannot be nested)")
+            }
+            RecursiveDomain(d) => write!(f, "domain `{d}` is recursively defined"),
+            NonTupleTop(n) => write!(f, "type equation of `{n}` must have a tuple constructor at top level"),
+            IsaWithoutRefinement { sub, sup } => {
+                write!(f, "`{sub} isa {sup}` declared but Σ({sub}) is not a refinement of Σ({sup})")
+            }
+            IsaCycle(c) => write!(f, "isa hierarchy contains a cycle through `{c}`"),
+            NoCommonAncestor { class, parents } => write!(
+                f,
+                "multiple inheritance of `{class}` from `{}` and `{}` without a common ancestor",
+                parents.0, parents.1
+            ),
+            InheritanceConflict { class, label } => write!(
+                f,
+                "class `{class}` inherits conflicting attribute `{label}`; provide a renaming"
+            ),
+            TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ForeignOid { class } => write!(f, "oid does not belong to class `{class}`"),
+            IsaInclusionViolated { sub, sup } => {
+                write!(f, "π({sub}) ⊄ π({sup}) despite `{sub} isa {sup}`")
+            }
+            HierarchyPartitionViolated { c1, c2 } => write!(
+                f,
+                "classes `{c1}` and `{c2}` share oids but have no common ancestor"
+            ),
+            MissingOValue { class } => {
+                write!(f, "an oid of class `{class}` has no o-value assignment")
+            }
+            ReferentialViolation(msg) => write!(f, "referential integrity violation: {msg}"),
+            NonSetFunctionResult(name) => {
+                write!(f, "data function `{name}` must have a set result type {{T}}")
+            }
+            Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_names() {
+        let e = ModelError::ClassInDomain {
+            domain: Sym::new("score"),
+            class: Sym::new("team"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("score") && msg.contains("team"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&ModelError::RecursiveDomain(Sym::new("d")));
+    }
+}

@@ -1,0 +1,1061 @@
+//! LOGRES instances (Definition 4) and ground facts.
+//!
+//! An instance of a schema `(Σ, isa)` is a triple `(π, ν, ρ)`:
+//!
+//! * `π` — the **oid assignment**: each class a finite set of oids, with
+//!   `C isa C' ⇒ π(C) ⊆ π(C')` (condition a) and intersecting classes
+//!   belonging to one generalization hierarchy (condition b);
+//! * `ν` — the partial **o-value assignment**: each oid one value, whose
+//!   projection on `Σ(C)` conforms for every class `C` containing the oid;
+//! * `ρ` — the **association assignment**: each association a finite set of
+//!   tuples, with *no* nil oids (associations must reference existing
+//!   objects, Section 2.1).
+//!
+//! Data-function extensions (Section 2.1) also live here, as
+//! `member(elem, f(args))` facts, so the whole derived state of a database
+//! is one value of this type.
+//!
+//! The non-commutative composition `⊕` of Appendix B is [`Instance::compose`]:
+//! on a ν conflict (same oid, different o-value) the *right* operand wins.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::error::ModelError;
+use crate::oid::{Oid, OidGen};
+use crate::schema::Schema;
+use crate::sym::Sym;
+use crate::value::Value;
+
+/// A ground fact: one element of the set `F` the inflationary operator of
+/// Appendix B works on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fact {
+    /// `P(self: oid, a1: v1, …)` for a class `P`: the oid belongs to `P` and
+    /// its o-value projected on `P`'s attributes is `value`.
+    Class {
+        /// The class name.
+        class: Sym,
+        /// The object's identifier.
+        oid: Oid,
+        /// Tuple over (a subset of) the class's effective attributes.
+        value: Value,
+    },
+    /// `A(v1, …, vn)` for an association `A`.
+    Assoc {
+        /// The association name.
+        assoc: Sym,
+        /// The tuple.
+        tuple: Value,
+    },
+    /// `member(elem, f(args))` for a data function `f`.
+    Member {
+        /// The data function.
+        fun: Sym,
+        /// Its argument values.
+        args: Vec<Value>,
+        /// The member element.
+        elem: Value,
+    },
+}
+
+impl Fact {
+    /// The predicate name this fact belongs to.
+    pub fn predicate(&self) -> Sym {
+        match self {
+            Fact::Class { class, .. } => *class,
+            Fact::Assoc { assoc, .. } => *assoc,
+            Fact::Member { fun, .. } => *fun,
+        }
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fact::Class { class, oid, value } => {
+                write!(f, "{class}(self: {oid}")?;
+                if let Some(fs) = value.as_tuple() {
+                    for (l, v) in fs {
+                        write!(f, ", {l}: {v}")?;
+                    }
+                }
+                f.write_str(")")
+            }
+            Fact::Assoc { assoc, tuple } => {
+                write!(f, "{assoc}")?;
+                match tuple.as_tuple() {
+                    Some(fs) => {
+                        f.write_str("(")?;
+                        for (i, (l, v)) in fs.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(", ")?;
+                            }
+                            write!(f, "{l}: {v}")?;
+                        }
+                        f.write_str(")")
+                    }
+                    None => write!(f, "({tuple})"),
+                }
+            }
+            Fact::Member { fun, args, elem } => {
+                write!(f, "member({elem}, {fun}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str("))")
+            }
+        }
+    }
+}
+
+/// A database instance `(π, ν, ρ)` plus data-function extensions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Instance {
+    /// π: class → oids.
+    pi: FxHashMap<Sym, FxHashSet<Oid>>,
+    /// ν: oid → o-value (the *full* tuple across all classes of the oid's
+    /// hierarchy; per-class views are projections).
+    nu: FxHashMap<Oid, Value>,
+    /// ρ: association → tuples.
+    rho: FxHashMap<Sym, FxHashSet<Value>>,
+    /// Data-function extensions: f → (args → elements).
+    fun: FxHashMap<Sym, FxHashMap<Vec<Value>, BTreeSet<Value>>>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    // ----- reads -----------------------------------------------------------
+
+    /// Oids of a class (empty if the class has no members).
+    pub fn oids_of(&self, class: Sym) -> impl Iterator<Item = Oid> + '_ {
+        self.pi.get(&class).into_iter().flatten().copied()
+    }
+
+    /// Number of objects in a class.
+    pub fn class_len(&self, class: Sym) -> usize {
+        self.pi.get(&class).map_or(0, |s| s.len())
+    }
+
+    /// Is `oid` a member of `class`?
+    pub fn is_member(&self, class: Sym, oid: Oid) -> bool {
+        self.pi.get(&class).is_some_and(|s| s.contains(&oid))
+    }
+
+    /// The o-value of an oid, if assigned.
+    pub fn o_value(&self, oid: Oid) -> Option<&Value> {
+        self.nu.get(&oid)
+    }
+
+    /// The o-value of `oid` *as seen through* `class`: projection of ν(oid)
+    /// onto the class's effective attributes.
+    pub fn o_value_in(&self, schema: &Schema, class: Sym, oid: Oid) -> Option<Value> {
+        let full = self.nu.get(&oid)?;
+        let attrs: Vec<Sym> = schema
+            .effective(class)?
+            .as_tuple()?
+            .iter()
+            .map(|f| f.label)
+            .collect();
+        // Projection tolerates missing attributes (a partially-built object
+        // mid-evaluation): keep the fields that exist.
+        let fs = full.as_tuple()?;
+        let mut out = Vec::new();
+        for l in attrs {
+            if let Ok(i) = fs.binary_search_by(|(fl, _)| fl.cmp(&l)) {
+                out.push((l, fs[i].1.clone()));
+            }
+        }
+        // Restore the canonical label order (`attrs` follows declaration
+        // order, not the sorted-tuple invariant).
+        out.sort_by_key(|a| a.0);
+        Some(Value::Tuple(out))
+    }
+
+    /// Tuples of an association.
+    pub fn tuples_of(&self, assoc: Sym) -> impl Iterator<Item = &Value> + '_ {
+        self.rho.get(&assoc).into_iter().flatten()
+    }
+
+    /// Number of tuples in an association.
+    pub fn assoc_len(&self, assoc: Sym) -> usize {
+        self.rho.get(&assoc).map_or(0, |s| s.len())
+    }
+
+    /// Does the association contain this tuple?
+    pub fn has_tuple(&self, assoc: Sym, tuple: &Value) -> bool {
+        self.rho.get(&assoc).is_some_and(|s| s.contains(tuple))
+    }
+
+    /// The materialized set value `f(args)` of a data function (empty set if
+    /// nothing was derived).
+    pub fn fun_value(&self, fun: Sym, args: &[Value]) -> Value {
+        match self.fun.get(&fun).and_then(|m| m.get(args)) {
+            Some(set) => Value::Set(set.clone()),
+            None => Value::empty_set(),
+        }
+    }
+
+    /// All argument tuples for which `fun` has a non-empty extension.
+    pub fn fun_args(&self, fun: Sym) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.fun.get(&fun).into_iter().flat_map(|m| m.keys())
+    }
+
+    /// Membership of `elem` in `fun(args)`.
+    pub fn fun_contains(&self, fun: Sym, args: &[Value], elem: &Value) -> bool {
+        self.fun
+            .get(&fun)
+            .and_then(|m| m.get(args))
+            .is_some_and(|s| s.contains(elem))
+    }
+
+    /// Total number of stored facts (class memberships + association tuples
+    /// + function members). Used for progress reporting and fuel limits.
+    pub fn fact_count(&self) -> usize {
+        self.pi.values().map(|s| s.len()).sum::<usize>()
+            + self.rho.values().map(|s| s.len()).sum::<usize>()
+            + self
+                .fun
+                .values()
+                .map(|m| m.values().map(|s| s.len()).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Largest oid in use plus one (floor for resuming an [`OidGen`]).
+    pub fn oid_gen(&self) -> OidGen {
+        let mut max = None;
+        for s in self.pi.values() {
+            for o in s {
+                max = Some(max.map_or(*o, |m: Oid| m.max(*o)));
+            }
+        }
+        for v in self.nu.keys() {
+            max = Some(max.map_or(*v, |m: Oid| m.max(*v)));
+        }
+        match max {
+            Some(m) => OidGen::starting_at(m.0 + 1),
+            None => OidGen::new(),
+        }
+    }
+
+    // ----- fact-level operations -------------------------------------------
+
+    /// Does the instance contain this fact? Class facts match when the oid
+    /// is in the class and the stored o-value agrees on every attribute the
+    /// fact mentions.
+    pub fn contains_fact(&self, schema: &Schema, fact: &Fact) -> bool {
+        match fact {
+            Fact::Class { class, oid, value } => {
+                if !self.is_member(*class, *oid) {
+                    return false;
+                }
+                let Some(stored) = self.nu.get(oid) else {
+                    return value.as_tuple().is_some_and(|f| f.is_empty());
+                };
+                let _ = schema;
+                match value.as_tuple() {
+                    Some(fs) => fs.iter().all(|(l, v)| stored.field(*l) == Some(v)),
+                    None => false,
+                }
+            }
+            Fact::Assoc { assoc, tuple } => self.has_tuple(*assoc, tuple),
+            Fact::Member { fun, args, elem } => self.fun_contains(*fun, args, elem),
+        }
+    }
+
+    /// Insert a fact; returns whether anything changed.
+    pub fn insert_fact(&mut self, schema: &Schema, fact: &Fact) -> bool {
+        match fact {
+            Fact::Class { class, oid, value } => {
+                self.insert_object(schema, *class, *oid, value.clone())
+            }
+            Fact::Assoc { assoc, tuple } => self.insert_assoc(*assoc, tuple.clone()),
+            Fact::Member { fun, args, elem } => {
+                self.insert_member(*fun, args.clone(), elem.clone())
+            }
+        }
+    }
+
+    /// Remove a fact; returns whether anything changed. Removing a class
+    /// fact removes the oid from the class *and all its subclasses* (to
+    /// preserve `π(C) ⊆ π(C')`), provided the mentioned attributes match.
+    pub fn remove_fact(&mut self, schema: &Schema, fact: &Fact) -> bool {
+        match fact {
+            Fact::Class { class, oid, value } => {
+                if !self.contains_fact(
+                    schema,
+                    &Fact::Class {
+                        class: *class,
+                        oid: *oid,
+                        value: value.clone(),
+                    },
+                ) {
+                    return false;
+                }
+                self.remove_object(schema, *class, *oid)
+            }
+            Fact::Assoc { assoc, tuple } => self.remove_assoc(*assoc, tuple),
+            Fact::Member { fun, args, elem } => self.remove_member(*fun, args, elem),
+        }
+    }
+
+    /// Add `oid` to `class` (and, per condition (a) of Definition 4, to all
+    /// its isa ancestors) and merge `value`'s attributes into ν(oid).
+    /// Attributes already present with a different value are overwritten
+    /// (`⊕`-style right bias). Returns whether anything changed.
+    pub fn insert_object(
+        &mut self,
+        schema: &Schema,
+        class: Sym,
+        oid: Oid,
+        value: Value,
+    ) -> bool {
+        let mut changed = self.pi.entry(class).or_default().insert(oid);
+        for sup in schema.ancestors(class) {
+            changed |= self.pi.entry(sup).or_default().insert(oid);
+        }
+        let incoming = match value {
+            Value::Tuple(fs) => fs,
+            other => vec![(Sym::new("value"), other)],
+        };
+        match self.nu.get_mut(&oid) {
+            Some(Value::Tuple(existing)) => {
+                for (l, v) in incoming {
+                    match existing.binary_search_by(|(fl, _)| fl.cmp(&l)) {
+                        Ok(i) => {
+                            if existing[i].1 != v {
+                                existing[i].1 = v;
+                                changed = true;
+                            }
+                        }
+                        Err(i) => {
+                            existing.insert(i, (l, v));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let mut fs = incoming;
+                fs.sort_by_key(|a| a.0);
+                self.nu.insert(oid, Value::Tuple(fs));
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Remove `oid` from `class` and all its subclasses; drop ν(oid) once no
+    /// class holds the oid anymore.
+    pub fn remove_object(&mut self, schema: &Schema, class: Sym, oid: Oid) -> bool {
+        let mut changed = false;
+        let mut targets = vec![class];
+        // All classes that are descendants of `class`.
+        for c in schema.classes() {
+            if c != class && schema.isa_holds(c, class) {
+                targets.push(c);
+            }
+        }
+        for c in targets {
+            if let Some(s) = self.pi.get_mut(&c) {
+                changed |= s.remove(&oid);
+            }
+        }
+        let still_member = self.pi.values().any(|s| s.contains(&oid));
+        if !still_member && self.nu.remove(&oid).is_some() {
+            changed = true;
+        }
+        changed
+    }
+
+    /// Insert an association tuple. Returns whether it was new.
+    pub fn insert_assoc(&mut self, assoc: Sym, tuple: Value) -> bool {
+        self.rho.entry(assoc).or_default().insert(tuple)
+    }
+
+    /// Remove an association tuple. Returns whether it was present.
+    pub fn remove_assoc(&mut self, assoc: Sym, tuple: &Value) -> bool {
+        self.rho.get_mut(&assoc).is_some_and(|s| s.remove(tuple))
+    }
+
+    /// Insert a data-function member. Returns whether it was new.
+    pub fn insert_member(&mut self, fun: Sym, args: Vec<Value>, elem: Value) -> bool {
+        self.fun
+            .entry(fun)
+            .or_default()
+            .entry(args)
+            .or_default()
+            .insert(elem)
+    }
+
+    /// Remove a data-function member. Returns whether it was present.
+    pub fn remove_member(&mut self, fun: Sym, args: &[Value], elem: &Value) -> bool {
+        self.fun
+            .get_mut(&fun)
+            .and_then(|m| m.get_mut(args))
+            .is_some_and(|s| s.remove(elem))
+    }
+
+    /// Enumerate every fact in a deterministic order. Class facts are
+    /// reported once per class the oid belongs to (so a `student` yields
+    /// both a `student` and a `person` fact), with per-class projected
+    /// values.
+    pub fn facts(&self, schema: &Schema) -> Vec<Fact> {
+        let mut out = Vec::new();
+        let mut classes: Vec<Sym> = self.pi.keys().copied().collect();
+        classes.sort();
+        for class in classes {
+            let mut oids: Vec<Oid> = self.pi[&class].iter().copied().collect();
+            oids.sort();
+            for oid in oids {
+                let value = self
+                    .o_value_in(schema, class, oid)
+                    .unwrap_or_else(|| self.nu.get(&oid).cloned().unwrap_or(Value::Tuple(vec![])));
+                out.push(Fact::Class { class, oid, value });
+            }
+        }
+        let mut assocs: Vec<Sym> = self.rho.keys().copied().collect();
+        assocs.sort();
+        for assoc in assocs {
+            let mut tuples: Vec<&Value> = self.rho[&assoc].iter().collect();
+            tuples.sort();
+            for t in tuples {
+                out.push(Fact::Assoc {
+                    assoc,
+                    tuple: t.clone(),
+                });
+            }
+        }
+        let mut funs: Vec<Sym> = self.fun.keys().copied().collect();
+        funs.sort();
+        for fun in funs {
+            let mut entries: Vec<(&Vec<Value>, &BTreeSet<Value>)> =
+                self.fun[&fun].iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            for (args, elems) in entries {
+                for elem in elems {
+                    out.push(Fact::Member {
+                        fun,
+                        args: args.clone(),
+                        elem: elem.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    // ----- composition (Appendix B) ----------------------------------------
+
+    /// The non-commutative composition `G ⊕ G'`:
+    /// `ρ` and `π` are unioned; for o-values, an oid present in `G'` takes
+    /// `G'`'s value (facts of `G` with the same oid but different o-value
+    /// are superseded). Function extensions are unioned.
+    pub fn compose(&self, right: &Instance) -> Instance {
+        let mut out = self.clone();
+        for (class, oids) in &right.pi {
+            out.pi.entry(*class).or_default().extend(oids.iter().copied());
+        }
+        for (oid, v) in &right.nu {
+            out.nu.insert(*oid, v.clone()); // right wins
+        }
+        for (assoc, tuples) in &right.rho {
+            out.rho
+                .entry(*assoc)
+                .or_default()
+                .extend(tuples.iter().cloned());
+        }
+        for (fun, m) in &right.fun {
+            let target = out.fun.entry(*fun).or_default();
+            for (args, elems) in m {
+                target
+                    .entry(args.clone())
+                    .or_default()
+                    .extend(elems.iter().cloned());
+            }
+        }
+        out
+    }
+
+    // ----- validation (Definition 4) ----------------------------------------
+
+    /// Check all legality conditions of Definition 4 against `schema`, plus
+    /// the referential constraints of Section 2.1 (associations reference
+    /// existing objects; class references are existing oids or nil).
+    pub fn validate(&self, schema: &Schema) -> Result<(), Vec<ModelError>> {
+        let mut errs = Vec::new();
+
+        // Condition (a): π(C) ⊆ π(C') when C isa C'.
+        for c in schema.classes() {
+            for sup in schema.ancestors(c) {
+                let sub_oids = self.pi.get(&c);
+                let sup_oids = self.pi.get(&sup);
+                let ok = match (sub_oids, sup_oids) {
+                    (None, _) => true,
+                    (Some(s), Some(p)) => s.is_subset(p),
+                    (Some(s), None) => s.is_empty(),
+                };
+                if !ok {
+                    errs.push(ModelError::IsaInclusionViolated { sub: c, sup });
+                }
+            }
+        }
+
+        // Condition (b): intersecting classes share a hierarchy.
+        let classes: Vec<Sym> = schema.classes().collect();
+        for (i, &c1) in classes.iter().enumerate() {
+            for &c2 in &classes[i + 1..] {
+                if schema.same_hierarchy(c1, c2) {
+                    continue;
+                }
+                let (Some(s1), Some(s2)) = (self.pi.get(&c1), self.pi.get(&c2)) else {
+                    continue;
+                };
+                if s1.intersection(s2).next().is_some() {
+                    errs.push(ModelError::HierarchyPartitionViolated { c1, c2 });
+                }
+            }
+        }
+
+        // Every oid has an o-value conforming (projected) to each class.
+        for (&class, oids) in &self.pi {
+            let Some(eff) = schema.effective(class) else {
+                continue;
+            };
+            let expanded = schema.expand(eff);
+            for oid in oids {
+                match self.nu.get(oid) {
+                    None => errs.push(ModelError::MissingOValue { class }),
+                    Some(_) => {
+                        if let Some(view) = self.o_value_in(schema, class, *oid) {
+                            if let Err(e) =
+                                self.conforms(schema, &view, &expanded, true)
+                            {
+                                errs.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Association tuples conform; nil oids are illegal there.
+        for (&assoc, tuples) in &self.rho {
+            let Some(ty) = schema.assoc_type(assoc) else {
+                continue;
+            };
+            let expanded = schema.expand(ty);
+            for t in tuples {
+                if let Err(e) = self.conforms(schema, t, &expanded, false) {
+                    errs.push(e);
+                }
+            }
+        }
+
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Structural conformance of a value to an (expanded) type, including
+    /// the referential condition: an oid in a `Class(C)` position must be a
+    /// member of `C` (`nil` allowed only when `allow_nil`).
+    ///
+    /// Tuple values may carry *more* attributes than the type requires
+    /// (refinement): extra fields are ignored.
+    pub fn conforms(
+        &self,
+        schema: &Schema,
+        v: &Value,
+        ty: &crate::types::TypeDesc,
+        allow_nil: bool,
+    ) -> Result<(), ModelError> {
+        use crate::types::TypeDesc as T;
+        let mismatch = |expected: &T, found: &Value| ModelError::TypeMismatch {
+            expected: expected.to_string(),
+            found: found.to_string(),
+        };
+        match (ty, v) {
+            (T::Int, Value::Int(_)) => Ok(()),
+            (T::Str, Value::Str(_)) => Ok(()),
+            (T::Domain(d), _) => {
+                let inner = schema
+                    .domain_type(*d)
+                    .ok_or(ModelError::UnknownType(*d))?
+                    .clone();
+                let expanded = schema.expand(&inner);
+                self.conforms(schema, v, &expanded, allow_nil)
+            }
+            (T::Class(c), Value::Oid(o)) => {
+                if self.is_member(*c, *o) {
+                    Ok(())
+                } else {
+                    Err(ModelError::ReferentialViolation(format!(
+                        "oid {o} is not a member of class `{c}`"
+                    )))
+                }
+            }
+            (T::Class(_), Value::Nil) => {
+                if allow_nil {
+                    Ok(())
+                } else {
+                    Err(ModelError::ReferentialViolation(
+                        "nil oid inside an association tuple".to_owned(),
+                    ))
+                }
+            }
+            (T::Tuple(fields), Value::Tuple(_)) => {
+                for f in fields {
+                    match v.field(f.label) {
+                        Some(fv) => self.conforms(schema, fv, &f.ty, allow_nil)?,
+                        None => {
+                            return Err(ModelError::TypeMismatch {
+                                expected: format!("tuple with label `{}`", f.label),
+                                found: v.to_string(),
+                            })
+                        }
+                    }
+                }
+                Ok(())
+            }
+            (T::Set(elem), Value::Set(xs)) => {
+                for x in xs {
+                    self.conforms(schema, x, elem, allow_nil)?;
+                }
+                Ok(())
+            }
+            (T::Multiset(elem), Value::Multiset(m)) => {
+                for x in m.keys() {
+                    self.conforms(schema, x, elem, allow_nil)?;
+                }
+                Ok(())
+            }
+            (T::Seq(elem), Value::Seq(xs)) => {
+                for x in xs {
+                    self.conforms(schema, x, elem, allow_nil)?;
+                }
+                Ok(())
+            }
+            _ => Err(mismatch(ty, v)),
+        }
+    }
+
+    // ----- isomorphism (determinacy up to oid renaming, Appendix B) --------
+
+    /// Best-effort isomorphism check: instances produced by the
+    /// deterministic semantics from the same input are *determinate*, i.e.
+    /// equal up to renaming of invented oids. This uses 1-dimensional
+    /// Weisfeiler–Leman color refinement to canonicalize oids, which is
+    /// exact on all instances without non-trivial value-level automorphisms
+    /// (the common case for database states).
+    pub fn isomorphic(&self, schema: &Schema, other: &Instance) -> bool {
+        self.canonical_facts(schema) == other.canonical_facts(schema)
+    }
+
+    fn canonical_facts(&self, schema: &Schema) -> Vec<String> {
+        // Initial color: classes the oid belongs to + its o-value with oids
+        // masked.
+        let mut oids: Vec<Oid> = self.nu.keys().copied().collect();
+        for s in self.pi.values() {
+            oids.extend(s.iter().copied());
+        }
+        oids.sort();
+        oids.dedup();
+
+        let mut color: BTreeMap<Oid, u64> = BTreeMap::new();
+        let sig0 = |o: Oid| -> String {
+            let mut classes: Vec<&str> = self
+                .pi
+                .iter()
+                .filter(|(_, s)| s.contains(&o))
+                .map(|(c, _)| c.as_str())
+                .collect();
+            classes.sort();
+            let masked = self
+                .nu
+                .get(&o)
+                .map(|v| v.rename_oids(&|_| Oid(0)).to_string())
+                .unwrap_or_default();
+            format!("{classes:?}|{masked}")
+        };
+        {
+            let mut sigs: Vec<(String, Oid)> =
+                oids.iter().map(|&o| (sig0(o), o)).collect();
+            sigs.sort();
+            let mut next = 0u64;
+            let mut last: Option<&str> = None;
+            for (s, o) in &sigs {
+                if last != Some(s.as_str()) {
+                    next += 1;
+                    last = Some(s.as_str());
+                }
+                color.insert(*o, next);
+            }
+        }
+
+        // Refine: recolor each oid by the colors reachable through its
+        // o-value, until stable (bounded by |oids| rounds).
+        for _ in 0..oids.len() {
+            let recolor = |o: Oid| -> String {
+                let base = color[&o];
+                let ctx = self
+                    .nu
+                    .get(&o)
+                    .map(|v| {
+                        v.rename_oids(&|r| Oid(*color.get(&r).unwrap_or(&0)))
+                            .to_string()
+                    })
+                    .unwrap_or_default();
+                format!("{base}|{ctx}")
+            };
+            let mut sigs: Vec<(String, Oid)> =
+                oids.iter().map(|&o| (recolor(o), o)).collect();
+            sigs.sort();
+            let mut newc: BTreeMap<Oid, u64> = BTreeMap::new();
+            let mut next = 0u64;
+            let mut last: Option<&str> = None;
+            for (s, o) in &sigs {
+                if last != Some(s.as_str()) {
+                    next += 1;
+                    last = Some(s.as_str());
+                }
+                newc.insert(*o, next);
+            }
+            if newc == color {
+                break;
+            }
+            color = newc;
+        }
+
+        // Canonical rename: order oids by (final color, then arbitrary but
+        // deterministic tiebreak by current id among same-color oids — this
+        // is the best-effort part).
+        let mut order: Vec<Oid> = oids.clone();
+        order.sort_by_key(|o| (color[o], o.0));
+        let canon: FxHashMap<Oid, Oid> = order
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (*o, Oid(i as u64)))
+            .collect();
+        let rename = |o: Oid| *canon.get(&o).unwrap_or(&o);
+
+        let mut out: Vec<String> = self
+            .facts(schema)
+            .into_iter()
+            .map(|f| match f {
+                Fact::Class { class, oid, value } => format!(
+                    "C|{class}|{}|{}",
+                    rename(oid),
+                    value.rename_oids(&rename)
+                ),
+                Fact::Assoc { assoc, tuple } => {
+                    format!("A|{assoc}|{}", tuple.rename_oids(&rename))
+                }
+                Fact::Member { fun, args, elem } => format!(
+                    "M|{fun}|{:?}|{}",
+                    args.iter()
+                        .map(|a| a.rename_oids(&rename).to_string())
+                        .collect::<Vec<_>>(),
+                    elem.rename_oids(&rename)
+                ),
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeDesc;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_class(
+            "person",
+            TypeDesc::tuple([("name", TypeDesc::Str)]),
+        )
+        .unwrap();
+        s.add_class(
+            "student",
+            TypeDesc::tuple([
+                ("person", TypeDesc::class("person")),
+                ("school", TypeDesc::Str),
+            ]),
+        )
+        .unwrap();
+        s.add_isa("student", "person", None);
+        s.add_assoc(
+            "advises",
+            TypeDesc::tuple([("who", TypeDesc::class("person"))]),
+        )
+        .unwrap();
+        s.validate().unwrap();
+        s
+    }
+
+    fn sym(s: &str) -> Sym {
+        Sym::new(s)
+    }
+
+    #[test]
+    fn insert_object_propagates_to_ancestors() {
+        let s = schema();
+        let mut i = Instance::new();
+        let changed = i.insert_object(
+            &s,
+            sym("student"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John")), ("school", Value::str("PdM"))]),
+        );
+        assert!(changed);
+        assert!(i.is_member(sym("student"), Oid(1)));
+        assert!(i.is_member(sym("person"), Oid(1)));
+        // Person view projects onto person attributes only.
+        let view = i.o_value_in(&s, sym("person"), Oid(1)).unwrap();
+        assert_eq!(view, Value::tuple([("name", Value::str("John"))]));
+    }
+
+    #[test]
+    fn o_values_merge_attribute_wise() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("person"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John"))]),
+        );
+        i.insert_object(
+            &s,
+            sym("student"),
+            Oid(1),
+            Value::tuple([("school", Value::str("PdM"))]),
+        );
+        let full = i.o_value(Oid(1)).unwrap();
+        assert_eq!(full.field(sym("name")), Some(&Value::str("John")));
+        assert_eq!(full.field(sym("school")), Some(&Value::str("PdM")));
+        // Idempotent insert reports no change.
+        let changed = i.insert_object(
+            &s,
+            sym("person"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John"))]),
+        );
+        assert!(!changed);
+    }
+
+    #[test]
+    fn remove_object_cascades_to_subclasses() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("student"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John")), ("school", Value::str("PdM"))]),
+        );
+        // Removing from the superclass removes from the subclass too.
+        assert!(i.remove_object(&s, sym("person"), Oid(1)));
+        assert!(!i.is_member(sym("student"), Oid(1)));
+        assert!(!i.is_member(sym("person"), Oid(1)));
+        assert!(i.o_value(Oid(1)).is_none());
+    }
+
+    #[test]
+    fn remove_from_subclass_keeps_superclass_membership() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("student"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John")), ("school", Value::str("PdM"))]),
+        );
+        assert!(i.remove_object(&s, sym("student"), Oid(1)));
+        assert!(!i.is_member(sym("student"), Oid(1)));
+        assert!(i.is_member(sym("person"), Oid(1)));
+        assert!(i.o_value(Oid(1)).is_some());
+    }
+
+    #[test]
+    fn contains_fact_matches_partial_attribute_sets() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("student"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John")), ("school", Value::str("PdM"))]),
+        );
+        assert!(i.contains_fact(
+            &s,
+            &Fact::Class {
+                class: sym("person"),
+                oid: Oid(1),
+                value: Value::tuple([("name", Value::str("John"))]),
+            }
+        ));
+        assert!(!i.contains_fact(
+            &s,
+            &Fact::Class {
+                class: sym("person"),
+                oid: Oid(1),
+                value: Value::tuple([("name", Value::str("Mary"))]),
+            }
+        ));
+    }
+
+    #[test]
+    fn compose_is_right_biased_on_o_values() {
+        let s = schema();
+        let mut g1 = Instance::new();
+        g1.insert_object(
+            &s,
+            sym("person"),
+            Oid(1),
+            Value::tuple([("name", Value::str("Old"))]),
+        );
+        g1.insert_assoc(sym("advises"), Value::tuple([("who", Value::Oid(Oid(1)))]));
+        let mut g2 = Instance::new();
+        g2.insert_object(
+            &s,
+            sym("person"),
+            Oid(1),
+            Value::tuple([("name", Value::str("New"))]),
+        );
+        let c = g1.compose(&g2);
+        assert_eq!(
+            c.o_value(Oid(1)).unwrap().field(sym("name")),
+            Some(&Value::str("New"))
+        );
+        // ρ is unioned.
+        assert_eq!(c.assoc_len(sym("advises")), 1);
+        // Left-biased direction keeps the old value.
+        let c2 = g2.compose(&g1);
+        assert_eq!(
+            c2.o_value(Oid(1)).unwrap().field(sym("name")),
+            Some(&Value::str("Old"))
+        );
+    }
+
+    #[test]
+    fn validate_catches_dangling_and_nil_references() {
+        let s = schema();
+        let mut i = Instance::new();
+        // Dangling oid in an association.
+        i.insert_assoc(sym("advises"), Value::tuple([("who", Value::Oid(Oid(9)))]));
+        let errs = i.validate(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::ReferentialViolation(_))));
+
+        // Nil in an association is also illegal.
+        let mut i2 = Instance::new();
+        i2.insert_assoc(sym("advises"), Value::tuple([("who", Value::Nil)]));
+        let errs2 = i2.validate(&s).unwrap_err();
+        assert!(errs2
+            .iter()
+            .any(|e| matches!(e, ModelError::ReferentialViolation(_))));
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_instance() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("person"),
+            Oid(1),
+            Value::tuple([("name", Value::str("Ceri"))]),
+        );
+        i.insert_assoc(sym("advises"), Value::tuple([("who", Value::Oid(Oid(1)))]));
+        i.validate(&s).expect("well-formed instance validates");
+    }
+
+    #[test]
+    fn fact_enumeration_is_deterministic_and_projected() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("student"),
+            Oid(1),
+            Value::tuple([("name", Value::str("John")), ("school", Value::str("PdM"))]),
+        );
+        let facts = i.facts(&s);
+        // One fact for person, one for student.
+        assert_eq!(facts.len(), 2);
+        assert_eq!(facts, i.facts(&s));
+    }
+
+    #[test]
+    fn isomorphic_detects_renamed_oids() {
+        let s = schema();
+        let mut a = Instance::new();
+        a.insert_object(
+            &s,
+            sym("person"),
+            Oid(10),
+            Value::tuple([("name", Value::str("X"))]),
+        );
+        let mut b = Instance::new();
+        b.insert_object(
+            &s,
+            sym("person"),
+            Oid(99),
+            Value::tuple([("name", Value::str("X"))]),
+        );
+        assert!(a.isomorphic(&s, &b));
+        let mut c = Instance::new();
+        c.insert_object(
+            &s,
+            sym("person"),
+            Oid(99),
+            Value::tuple([("name", Value::str("Y"))]),
+        );
+        assert!(!a.isomorphic(&s, &c));
+    }
+
+    #[test]
+    fn function_extensions_behave_as_sets() {
+        let mut i = Instance::new();
+        let f = sym("desc");
+        assert!(i.insert_member(f, vec![Value::Int(1)], Value::Int(2)));
+        assert!(!i.insert_member(f, vec![Value::Int(1)], Value::Int(2)));
+        assert!(i.fun_contains(f, &[Value::Int(1)], &Value::Int(2)));
+        assert_eq!(
+            i.fun_value(f, &[Value::Int(1)]),
+            Value::set([Value::Int(2)])
+        );
+        assert_eq!(i.fun_value(f, &[Value::Int(7)]), Value::empty_set());
+        assert!(i.remove_member(f, &[Value::Int(1)], &Value::Int(2)));
+        assert!(!i.remove_member(f, &[Value::Int(1)], &Value::Int(2)));
+    }
+
+    #[test]
+    fn oid_gen_resumes_past_existing_oids() {
+        let s = schema();
+        let mut i = Instance::new();
+        i.insert_object(
+            &s,
+            sym("person"),
+            Oid(41),
+            Value::tuple([("name", Value::str("Z"))]),
+        );
+        let mut g = i.oid_gen();
+        assert_eq!(g.fresh(), Oid(42));
+    }
+}

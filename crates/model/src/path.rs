@@ -1,0 +1,119 @@
+//! Access paths into nested values.
+//!
+//! Integrity-constraint generation walks type equations down to each class
+//! reference; the resulting [`Path`] can then be evaluated against a value to
+//! enumerate all oids sitting at that position (including those inside set,
+//! multiset and sequence constructors).
+
+use std::fmt;
+
+use crate::sym::Sym;
+use crate::value::Value;
+
+/// One navigation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathStep {
+    /// Enter a tuple field with this label.
+    Field(Sym),
+    /// Enter the elements of a set / multiset / sequence.
+    Elem,
+}
+
+/// A sequence of navigation steps from the top of a value.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(pub Vec<PathStep>);
+
+impl Path {
+    /// The empty path (the value itself).
+    pub fn root() -> Path {
+        Path(Vec::new())
+    }
+
+    /// Extend with a field step.
+    pub fn field(&self, label: Sym) -> Path {
+        let mut p = self.clone();
+        p.0.push(PathStep::Field(label));
+        p
+    }
+
+    /// Extend with an element step.
+    pub fn elem(&self) -> Path {
+        let mut p = self.clone();
+        p.0.push(PathStep::Elem);
+        p
+    }
+
+    /// Collect every value reachable by following this path. `Elem` steps
+    /// fan out over all elements, so the result is a set of positions.
+    pub fn resolve<'v>(&self, v: &'v Value) -> Vec<&'v Value> {
+        let mut frontier = vec![v];
+        for step in &self.0 {
+            let mut next = Vec::new();
+            for cur in frontier {
+                match (step, cur) {
+                    (PathStep::Field(l), Value::Tuple(fs)) => {
+                        if let Ok(i) = fs.binary_search_by(|(fl, _)| fl.cmp(l)) {
+                            next.push(&fs[i].1);
+                        }
+                    }
+                    (PathStep::Elem, Value::Set(s)) => next.extend(s.iter()),
+                    (PathStep::Elem, Value::Multiset(m)) => next.extend(m.keys()),
+                    (PathStep::Elem, Value::Seq(s)) => next.extend(s.iter()),
+                    // A mismatched step yields nothing at this position.
+                    _ => {}
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str(".");
+        }
+        for step in &self.0 {
+            match step {
+                PathStep::Field(l) => write!(f, ".{l}")?,
+                PathStep::Elem => f.write_str("[*]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::Oid;
+
+    #[test]
+    fn resolve_walks_fields_and_elements() {
+        let v = Value::tuple([
+            ("name", Value::str("Milan")),
+            (
+                "base_players",
+                Value::seq([Value::Oid(Oid(1)), Value::Oid(Oid(2))]),
+            ),
+        ]);
+        let p = Path::root().field(Sym::new("base_players")).elem();
+        let hits = p.resolve(&v);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&&Value::Oid(Oid(1))));
+    }
+
+    #[test]
+    fn resolve_on_missing_field_is_empty() {
+        let v = Value::tuple([("a", Value::Int(1))]);
+        assert!(Path::root().field(Sym::new("b")).resolve(&v).is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Path::root().field(Sym::new("subs")).elem();
+        assert_eq!(p.to_string(), ".subs[*]");
+        assert_eq!(Path::root().to_string(), ".");
+    }
+}

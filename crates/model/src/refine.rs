@@ -1,0 +1,265 @@
+//! The refinement relation `τ1 ≤ τ2` of Appendix A.
+//!
+//! A type `τ1` is a refinement of `τ2` iff one of:
+//!
+//! 1. `τ1 ∈ D ∪ C ∪ {I, S}` and `τ1 = τ2`;
+//! 2. `τ1 ∈ D ∪ C` and `Σ(τ1) ≤ τ2`;
+//! 3. `τ1, τ2 ∈ C` and `Σ(τ1) ≤ Σ(τ2)`;
+//! 4. tuples: `τ1 = (L_i: τ1_i) i≤p`, `τ2 = (L_k: τ2_k) k≤q`, `q ≤ p` and
+//!    every label of `τ2` occurs in `τ1` with a component refining the
+//!    corresponding `τ2` component (width + depth subtyping);
+//! 5. sets: `{τ'1} ≤ {τ'2}` iff `τ'1 ≤ τ'2`;
+//! 6. multisets, covariantly;
+//! 7. sequences, covariantly.
+//!
+//! Classes may be mutually recursive (`SCHOOL` references `PROFESSOR` and
+//! vice versa), so rule 3 is interpreted coinductively: a pair that is
+//! already being examined is assumed to hold (greatest fixpoint).
+
+use rustc_hash::FxHashSet;
+
+use crate::schema::Schema;
+use crate::sym::Sym;
+use crate::types::TypeDesc;
+
+/// A refinement checker carrying the coinductive assumption set.
+pub struct Refiner<'s> {
+    schema: &'s Schema,
+    /// Class pairs currently being examined (coinductive hypothesis).
+    assuming: FxHashSet<(Sym, Sym)>,
+}
+
+impl<'s> Refiner<'s> {
+    /// New checker over a schema.
+    pub fn new(schema: &'s Schema) -> Refiner<'s> {
+        Refiner {
+            schema,
+            assuming: FxHashSet::default(),
+        }
+    }
+
+    /// Resolve the structure a named type refines through (rule 2/3):
+    /// effective type for classes (inheritance expanded), Σ otherwise.
+    fn structure_of(&self, name: Sym) -> Option<TypeDesc> {
+        if let Some(eff) = self.schema.effective(name) {
+            return Some(eff.clone());
+        }
+        self.schema.sigma(name).cloned()
+    }
+
+    /// `t1 ≤ t2`?
+    pub fn refines(&mut self, t1: &TypeDesc, t2: &TypeDesc) -> bool {
+        use TypeDesc::*;
+        // Rule 1: identical elementary/named types.
+        if t1 == t2 {
+            match t1 {
+                Int | Str | Domain(_) | Class(_) => return true,
+                _ => {}
+            }
+        }
+        match (t1, t2) {
+            // Rule 3 (+ isa fast path): both classes.
+            (Class(c1), Class(c2)) => {
+                if self.schema.isa_holds(*c1, *c2) {
+                    return true;
+                }
+                if self.assuming.contains(&(*c1, *c2)) {
+                    return true; // coinductive hypothesis
+                }
+                self.assuming.insert((*c1, *c2));
+                let r = match (self.structure_of(*c1), self.structure_of(*c2)) {
+                    (Some(s1), Some(s2)) => self.refines(&s1, &s2),
+                    _ => false,
+                };
+                self.assuming.remove(&(*c1, *c2));
+                r
+            }
+            // Rule 2: named type on the left unfolds.
+            (Domain(d), _) => match self.schema.domain_type(*d) {
+                Some(s) => {
+                    let s = s.clone();
+                    self.refines(&s, t2)
+                }
+                None => false,
+            },
+            (Class(c), _) => match self.structure_of(*c) {
+                Some(s) => {
+                    if self.assuming.contains(&(*c, *c)) {
+                        return false;
+                    }
+                    self.refines(&s, t2)
+                }
+                None => false,
+            },
+            // Symmetric convenience (not in the paper's listing but implied
+            // by domain refinement being definitional): a structural type on
+            // the left may refine a *domain* name on the right by unfolding
+            // the right side. Without this, `(integer, integer) ≤ SCORE`
+            // would fail even though SCORE = (integer, integer) defines the
+            // same domain. Classes on the right are NOT unfolded: class
+            // membership is nominal (oids).
+            (_, Domain(d)) => match self.schema.domain_type(*d) {
+                Some(s) => {
+                    let s = s.clone();
+                    self.refines(t1, &s)
+                }
+                None => false,
+            },
+            // Rule 4: tuples, width + depth.
+            (Tuple(fs1), Tuple(fs2)) => {
+                if fs2.len() > fs1.len() {
+                    return false;
+                }
+                fs2.iter().all(|f2| {
+                    fs1.iter()
+                        .find(|f1| f1.label == f2.label)
+                        .is_some_and(|f1| {
+                            let (a, b) = (f1.ty.clone(), f2.ty.clone());
+                            self.refines(&a, &b)
+                        })
+                })
+            }
+            // Rules 5–7: collection constructors, covariant.
+            (Set(a), Set(b)) | (Multiset(a), Multiset(b)) | (Seq(a), Seq(b)) => {
+                let (a, b) = (a.as_ref().clone(), b.as_ref().clone());
+                self.refines(&a, &b)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_domain("score", TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)]))
+            .unwrap();
+        s.add_class(
+            "person",
+            TypeDesc::tuple([("name", TypeDesc::Str), ("bdate", TypeDesc::Str)]),
+        )
+        .unwrap();
+        s.add_class(
+            "student",
+            TypeDesc::tuple([
+                ("person", TypeDesc::class("person")),
+                ("school", TypeDesc::Str),
+            ]),
+        )
+        .unwrap();
+        s.add_isa("student", "person", None);
+        // Mutually recursive classes (professor <-> school_c).
+        s.add_class(
+            "professor",
+            TypeDesc::tuple([
+                ("name", TypeDesc::Str),
+                ("works", TypeDesc::class("school_c")),
+            ]),
+        )
+        .unwrap();
+        s.add_class(
+            "school_c",
+            TypeDesc::tuple([
+                ("sname", TypeDesc::Str),
+                ("dean", TypeDesc::class("professor")),
+            ]),
+        )
+        .unwrap();
+        s.validate().unwrap();
+        s
+    }
+
+    #[test]
+    fn rule1_identity_on_elementary_and_named() {
+        let s = schema();
+        assert!(s.refines(&TypeDesc::Int, &TypeDesc::Int));
+        assert!(s.refines(&TypeDesc::domain("score"), &TypeDesc::domain("score")));
+        assert!(!s.refines(&TypeDesc::Int, &TypeDesc::Str));
+    }
+
+    #[test]
+    fn rule2_named_types_unfold_on_the_left() {
+        let s = schema();
+        // score ≤ (a: integer, b: integer)
+        assert!(s.refines(
+            &TypeDesc::domain("score"),
+            &TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)])
+        ));
+        // score ≤ (a: integer)  — width subtyping after unfolding
+        assert!(s.refines(
+            &TypeDesc::domain("score"),
+            &TypeDesc::tuple([("a", TypeDesc::Int)])
+        ));
+    }
+
+    #[test]
+    fn rule3_subclass_refines_superclass() {
+        let s = schema();
+        assert!(s.refines(&TypeDesc::class("student"), &TypeDesc::class("person")));
+        assert!(!s.refines(&TypeDesc::class("person"), &TypeDesc::class("student")));
+    }
+
+    #[test]
+    fn rule4_width_and_depth_subtyping() {
+        let s = schema();
+        let wide = TypeDesc::tuple([
+            ("x", TypeDesc::class("student")),
+            ("y", TypeDesc::Int),
+        ]);
+        let narrow = TypeDesc::tuple([("x", TypeDesc::class("person"))]);
+        assert!(s.refines(&wide, &narrow));
+        assert!(!s.refines(&narrow, &wide));
+        // Label mismatch fails even with right arity.
+        let other = TypeDesc::tuple([("z", TypeDesc::class("person"))]);
+        assert!(!s.refines(&wide, &other));
+    }
+
+    #[test]
+    fn rules_5_to_7_collections_are_covariant() {
+        let s = schema();
+        let sub = TypeDesc::class("student");
+        let sup = TypeDesc::class("person");
+        assert!(s.refines(&TypeDesc::set(sub.clone()), &TypeDesc::set(sup.clone())));
+        assert!(s.refines(
+            &TypeDesc::multiset(sub.clone()),
+            &TypeDesc::multiset(sup.clone())
+        ));
+        assert!(s.refines(&TypeDesc::seq(sub.clone()), &TypeDesc::seq(sup.clone())));
+        // Different constructors never refine each other.
+        assert!(!s.refines(&TypeDesc::set(sub.clone()), &TypeDesc::multiset(sup.clone())));
+        assert!(!s.refines(&TypeDesc::seq(sub), &TypeDesc::set(sup)));
+    }
+
+    #[test]
+    fn recursive_classes_do_not_diverge() {
+        let s = schema();
+        // professor and school_c reference each other; comparing them should
+        // terminate (and be false: different labels).
+        assert!(!s.refines(&TypeDesc::class("professor"), &TypeDesc::class("school_c")));
+        // Every class refines itself structurally.
+        assert!(s.refines(&TypeDesc::class("professor"), &TypeDesc::class("professor")));
+    }
+
+    #[test]
+    fn structural_tuple_refines_domain_name() {
+        let s = schema();
+        assert!(s.refines(
+            &TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)]),
+            &TypeDesc::domain("score")
+        ));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric_refinement() {
+        let s = schema();
+        let t1 = TypeDesc::class("student");
+        let t2 = TypeDesc::class("person");
+        assert!(s.compatible(&t1, &t2));
+        assert!(s.compatible(&t2, &t1));
+        assert!(!s.compatible(&TypeDesc::Int, &TypeDesc::Str));
+    }
+}

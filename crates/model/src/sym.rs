@@ -1,0 +1,132 @@
+//! Interned symbols for type, predicate and label names.
+//!
+//! The paper assumes three disjoint sets of names (associations `A`, classes
+//! `C`, domains `D`) plus a set of labels `L` that may share elements with
+//! the others. We intern all of them in one table; the schema keeps the
+//! namespaces apart.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use rustc_hash::FxHashMap;
+
+/// An interned string. Cheap to copy, hash and compare; resolves back to the
+/// original text via [`Sym::as_str`].
+///
+/// Ordering is *lexicographic on the underlying string*, not on intern ids,
+/// so canonical forms (sorted tuple fields, printed schemas) are stable
+/// across processes regardless of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `s` and returns its symbol. Idempotent.
+    pub fn new(s: &str) -> Sym {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(int.strings.len()).expect("symbol table overflow");
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.strings[self.0 as usize]
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("person");
+        let b = Sym::new("person");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "person");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        assert_ne!(Sym::new("student"), Sym::new("professor"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse lexicographic order on purpose.
+        let z = Sym::new("zzz_order_test");
+        let a = Sym::new("aaa_order_test");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Sym::new("h_team");
+        assert_eq!(format!("{s}"), "h_team");
+        assert_eq!(format!("{s:?}"), "\"h_team\"");
+    }
+}

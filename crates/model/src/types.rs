@@ -1,0 +1,246 @@
+//! LOGRES type descriptors (Definition 1 of the paper).
+//!
+//! ```text
+//! τ ::= integer | string | D | C
+//!     | (L1: τ1, ..., Lk: τk)      -- tuple
+//!     | {τ}                        -- set
+//!     | [τ]                        -- multiset
+//!     | <τ>                        -- sequence
+//! ```
+//!
+//! `D` ranges over domain names and `C` over class names. Association names
+//! never occur inside type descriptors (associations cannot be nested,
+//! Section 2.1); the schema validator enforces this.
+
+use std::fmt;
+
+use crate::sym::Sym;
+
+/// One labeled component of a tuple type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Field {
+    /// The attribute label (the paper's labeling mechanism, used to
+    /// distinguish repeated occurrences of the same type).
+    pub label: Sym,
+    /// The component type.
+    pub ty: TypeDesc,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<Sym>, ty: TypeDesc) -> Field {
+        Field {
+            label: label.into(),
+            ty,
+        }
+    }
+}
+
+/// A LOGRES type descriptor (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeDesc {
+    /// Elementary type `I` of integers.
+    Int,
+    /// Elementary type `S` of finite strings.
+    Str,
+    /// Reference to a domain name `D ∈ D`; expands to `Σ(D)`.
+    Domain(Sym),
+    /// Reference to a class name `C ∈ C`; at the instance level this is an
+    /// oid slot (possibly `nil` inside class values, never inside
+    /// associations).
+    Class(Sym),
+    /// Tuple constructor `(L1: τ1, ..., Lk: τk)`, `k ≥ 0`, distinct labels.
+    Tuple(Vec<Field>),
+    /// Set constructor `{τ}`.
+    Set(Box<TypeDesc>),
+    /// Multiset (set with duplicates) constructor `[τ]`.
+    Multiset(Box<TypeDesc>),
+    /// Sequence (ordered collection) constructor `<τ>`.
+    Seq(Box<TypeDesc>),
+}
+
+impl TypeDesc {
+    /// Tuple constructor from `(label, type)` pairs. Field order is kept as
+    /// written: refinement and conformance are label-driven, but display
+    /// honours the declaration order.
+    pub fn tuple<I, L>(fields: I) -> TypeDesc
+    where
+        I: IntoIterator<Item = (L, TypeDesc)>,
+        L: Into<Sym>,
+    {
+        TypeDesc::Tuple(
+            fields
+                .into_iter()
+                .map(|(l, t)| Field::new(l, t))
+                .collect(),
+        )
+    }
+
+    /// `{τ}`
+    pub fn set(elem: TypeDesc) -> TypeDesc {
+        TypeDesc::Set(Box::new(elem))
+    }
+
+    /// `[τ]`
+    pub fn multiset(elem: TypeDesc) -> TypeDesc {
+        TypeDesc::Multiset(Box::new(elem))
+    }
+
+    /// `<τ>`
+    pub fn seq(elem: TypeDesc) -> TypeDesc {
+        TypeDesc::Seq(Box::new(elem))
+    }
+
+    /// Domain reference.
+    pub fn domain(name: impl Into<Sym>) -> TypeDesc {
+        TypeDesc::Domain(name.into())
+    }
+
+    /// Class reference.
+    pub fn class(name: impl Into<Sym>) -> TypeDesc {
+        TypeDesc::Class(name.into())
+    }
+
+    /// Does any class name occur (transitively *syntactically*) in this
+    /// descriptor? Domain references are not followed here; the schema-level
+    /// check expands them.
+    pub fn mentions_class(&self) -> bool {
+        match self {
+            TypeDesc::Class(_) => true,
+            TypeDesc::Int | TypeDesc::Str | TypeDesc::Domain(_) => false,
+            TypeDesc::Tuple(fs) => fs.iter().any(|f| f.ty.mentions_class()),
+            TypeDesc::Set(t) | TypeDesc::Multiset(t) | TypeDesc::Seq(t) => t.mentions_class(),
+        }
+    }
+
+    /// Iterate over every name referenced at any depth, with a flag telling
+    /// whether it is a class reference (`true`) or a domain reference.
+    pub fn referenced_names(&self) -> Vec<(Sym, bool)> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<(Sym, bool)>) {
+        match self {
+            TypeDesc::Int | TypeDesc::Str => {}
+            TypeDesc::Domain(d) => out.push((*d, false)),
+            TypeDesc::Class(c) => out.push((*c, true)),
+            TypeDesc::Tuple(fs) => {
+                for f in fs {
+                    f.ty.collect_names(out);
+                }
+            }
+            TypeDesc::Set(t) | TypeDesc::Multiset(t) | TypeDesc::Seq(t) => t.collect_names(out),
+        }
+    }
+
+    /// The fields if this is a tuple type.
+    pub fn as_tuple(&self) -> Option<&[Field]> {
+        match self {
+            TypeDesc::Tuple(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of a tuple type by label.
+    pub fn field(&self, label: Sym) -> Option<&TypeDesc> {
+        self.as_tuple()?
+            .iter()
+            .find(|f| f.label == label)
+            .map(|f| &f.ty)
+    }
+
+    /// True for `{τ}`, `[τ]`, `<τ>`.
+    pub fn is_collection(&self) -> bool {
+        matches!(
+            self,
+            TypeDesc::Set(_) | TypeDesc::Multiset(_) | TypeDesc::Seq(_)
+        )
+    }
+
+    /// The element type of a collection constructor.
+    pub fn elem(&self) -> Option<&TypeDesc> {
+        match self {
+            TypeDesc::Set(t) | TypeDesc::Multiset(t) | TypeDesc::Seq(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TypeDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeDesc::Int => f.write_str("integer"),
+            TypeDesc::Str => f.write_str("string"),
+            TypeDesc::Domain(d) => write!(f, "{d}"),
+            TypeDesc::Class(c) => write!(f, "{c}"),
+            TypeDesc::Tuple(fs) => {
+                f.write_str("(")?;
+                for (i, fld) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}: {}", fld.label, fld.ty)?;
+                }
+                f.write_str(")")
+            }
+            TypeDesc::Set(t) => write!(f, "{{{t}}}"),
+            TypeDesc::Multiset(t) => write!(f, "[{t}]"),
+            TypeDesc::Seq(t) => write!(f, "<{t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score() -> TypeDesc {
+        TypeDesc::tuple([("first", TypeDesc::Int), ("second", TypeDesc::Int)])
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(score().to_string(), "(first: integer, second: integer)");
+        assert_eq!(TypeDesc::set(TypeDesc::domain("role")).to_string(), "{role}");
+        assert_eq!(TypeDesc::seq(TypeDesc::class("player")).to_string(), "<player>");
+        assert_eq!(TypeDesc::multiset(TypeDesc::Str).to_string(), "[string]");
+    }
+
+    #[test]
+    fn mentions_class_sees_through_constructors() {
+        let t = TypeDesc::tuple([(
+            "base_players",
+            TypeDesc::seq(TypeDesc::class("player")),
+        )]);
+        assert!(t.mentions_class());
+        assert!(!score().mentions_class());
+    }
+
+    #[test]
+    fn referenced_names_flags_classes() {
+        let t = TypeDesc::tuple([
+            ("name", TypeDesc::domain("name")),
+            ("subs", TypeDesc::set(TypeDesc::class("player"))),
+        ]);
+        let names = t.referenced_names();
+        assert!(names.contains(&(Sym::new("name"), false)));
+        assert!(names.contains(&(Sym::new("player"), true)));
+    }
+
+    #[test]
+    fn field_lookup_by_label() {
+        let t = score();
+        assert_eq!(t.field(Sym::new("first")), Some(&TypeDesc::Int));
+        assert_eq!(t.field(Sym::new("third")), None);
+    }
+
+    #[test]
+    fn collection_accessors() {
+        let t = TypeDesc::set(TypeDesc::Int);
+        assert!(t.is_collection());
+        assert_eq!(t.elem(), Some(&TypeDesc::Int));
+        assert!(!TypeDesc::Int.is_collection());
+    }
+}

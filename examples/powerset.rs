@@ -1,0 +1,67 @@
+//! Example 3.3: the powerset program — complex terms and built-in
+//! predicates (`append`, `union`) under inflationary evaluation.
+//!
+//! Run with: `cargo run --example powerset [n]` (default n = 4)
+
+use logres::{Database, Mode, Value};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let facts: String = (1..=n).map(|i| format!("  r(d: {i}).\n")).collect();
+    let mut db = Database::from_source(&format!(
+        r#"
+        associations
+          r     = (d: integer);
+          power = (s: {{integer}});
+        facts
+        {facts}
+    "#
+    ))
+    .expect("powerset schema is legal");
+
+    // The three rules of Example 3.3: the empty set, singletons, and closure
+    // under union. Constructive builtins put the result first:
+    // `union(X, Y, Z)` means X = Y ∪ Z.
+    let out = db
+        .apply_source(
+            r#"
+            rules
+              power(s: X) <- X = {}.
+              power(s: X) <- r(d: Y), append(X, {}, Y).
+              power(s: X) <- power(s: Y), power(s: Z), union(X, Y, Z).
+            "#,
+            Mode::Ridv,
+        )
+        .expect("powerset computes");
+
+    let rows = db.query("goal power(s: S)?").expect("power query");
+    println!(
+        "powerset of {{1..{n}}}: {} subsets in {} inflationary steps",
+        rows.len(),
+        out.report.steps
+    );
+    assert_eq!(rows.len(), 1 << n);
+
+    for r in &rows {
+        println!("  {}", r[0].1);
+    }
+
+    // Sizes via the count builtin: how many subsets of each cardinality?
+    let rows = db
+        .query("goal power(s: S), count(K, S)?")
+        .expect("count query");
+    let mut by_size = std::collections::BTreeMap::new();
+    for r in &rows {
+        if let Value::Int(k) = r[1].1 {
+            *by_size.entry(k).or_insert(0u64) += 1;
+        }
+    }
+    println!("\nsubsets by cardinality (binomial coefficients):");
+    for (k, c) in by_size {
+        println!("  |S| = {k}: {c}");
+    }
+}

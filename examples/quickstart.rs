@@ -1,0 +1,119 @@
+//! Quickstart: the football database of Example 2.1.
+//!
+//! Builds the paper's football schema (domains, classes with set / sequence
+//! constructors and object sharing, one association), loads a tiny league,
+//! and runs queries through modules in RIDI mode.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use logres::{Database, Mode};
+
+fn main() {
+    // Example 2.1, transliterated into the concrete syntax: SCORE is a
+    // complex domain, each PLAYER has a set of roles, a TEAM a sequence of
+    // base players and a set of substitutes; GAME is an association.
+    let mut db = Database::from_source(
+        r#"
+        domains
+          name_d = string;
+          role   = integer;
+          date_d = string;
+          score  = (home: integer, guest: integer);
+
+        classes
+          player = (name: name_d, roles: {role});
+          team   = (team_name: name_d,
+                    base_players: <player>,
+                    substitutes: {player});
+
+        associations
+          game = (h_team: team, g_team: team, date: date_d, score: score);
+    "#,
+    )
+    .expect("the football schema of Example 2.1 is legal");
+
+    println!("== schema ==\n{}", db.schema());
+
+    // Populate through a data-variant module. Oids are system-managed: the
+    // rules create objects, and the class-typed association fields are
+    // filled by joining on visible attributes.
+    db.apply_source(
+        r#"
+        rules
+          player(self: P, name: "maradona", roles: {10})     <- .
+          player(self: P, name: "baresi",   roles: {5, 6})   <- .
+          player(self: P, name: "careca",   roles: {9})      <- .
+          player(self: P, name: "gullit",   roles: {10, 9})  <- .
+        "#,
+        Mode::Ridv,
+    )
+    .expect("players load");
+
+    db.apply_source(
+        r#"
+        rules
+          team(self: T, team_name: "napoli", base_players: <B1, B2>, substitutes: {})
+            <- player(B1, name: "maradona"), player(B2, name: "careca").
+          team(self: T, team_name: "milan", base_players: <B1>, substitutes: {S1})
+            <- player(B1, name: "baresi"), player(S1, name: "gullit").
+        "#,
+        Mode::Ridv,
+    )
+    .expect("teams load");
+
+    db.apply_source(
+        r#"
+        rules
+          game(h_team: H, g_team: G, date: "1990-05-06", score: (home: 1, guest: 0))
+            <- team(H, team_name: "napoli"), team(G, team_name: "milan").
+        "#,
+        Mode::Ridv,
+    )
+    .expect("games load");
+
+    // Referential integrity constraints were generated from the schema.
+    println!("\n== generated referential constraints ==");
+    for c in db.integrity_constraints() {
+        println!("  {}", c.as_denial());
+    }
+
+    // Ordinary queries (RIDI modules with goals).
+    let rows = db
+        .query(r#"goal team(team_name: N)?"#)
+        .expect("teams query");
+    println!("\n== teams ==");
+    for row in &rows {
+        println!("  {}", row[0].1);
+    }
+
+    // A join through object identity: which teams fielded a player with
+    // role 10? (`member` over the player's role set.)
+    let rows = db
+        .query(
+            r#"goal team(team_name: N, base_players: Q),
+                    player(self: P, roles: R),
+                    member(P, Q),
+                    member(10, R)?"#,
+        )
+        .expect("role query");
+    println!("\n== teams fielding a #10 ==");
+    for row in &rows {
+        println!("  {}", row.iter().find(|(v, _)| v.as_str() == "N").unwrap().1);
+    }
+
+    // Scores are complex domain values.
+    let rows = db
+        .query(r#"goal game(date: D, score: S)?"#)
+        .expect("score query");
+    println!("\n== games ==");
+    for row in &rows {
+        println!("  on {} score {}", row[0].1, row[1].1);
+    }
+
+    let (instance, report) = db.instance().expect("instance materializes");
+    println!(
+        "\ninstance: {} facts in {} evaluation steps",
+        instance.fact_count(),
+        report.steps
+    );
+}

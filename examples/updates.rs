@@ -1,0 +1,165 @@
+//! Section 4: modules, the six application modes, and the update recipes of
+//! Section 4.2 — "update = logic + control: logic is in rules and control in
+//! modules".
+//!
+//! Run with: `cargo run --example updates`
+
+use logres::{CoreError, Database, Mode, Sym, Value};
+
+fn main() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          account = (owner: string, balance: integer);
+          audit   = (owner: string, amount: integer);
+        facts
+          account(owner: "rossi",   balance: 100).
+          account(owner: "bianchi", balance: 250).
+          account(owner: "verdi",   balance: 40).
+    "#,
+    )
+    .expect("bank schema is legal");
+
+    // ---- RIDI: a query; no side effects ---------------------------------
+    let out = db
+        .apply_source(
+            r#"
+            associations
+              rich = (owner: string);
+            rules
+              rich(owner: X) <- account(owner: X, balance: B), B >= 100.
+            goal rich(owner: X)?
+            "#,
+            Mode::Ridi,
+        )
+        .expect("RIDI query runs");
+    println!("== RIDI: rich owners (transient view) ==");
+    for r in out.answer.unwrap() {
+        println!("  {}", r[0].1);
+    }
+    assert!(db.schema().assoc_type(Sym::new("rich")).is_none());
+
+    // ---- RADI: install a derived relation permanently --------------------
+    db.apply_source(
+        r#"
+        associations
+          rich = (owner: string);
+        rules
+          rich(owner: X) <- account(owner: X, balance: B), B >= 100.
+        "#,
+        Mode::Radi,
+    )
+    .expect("RADI installs the view");
+    println!(
+        "\n== RADI: `rich` persisted; persistent rules: {} ==",
+        db.rules().len()
+    );
+
+    // ---- RIDV: update tuples in place (Example 4.2's pattern) -----------
+    // Deposit 10 into every account under 50, recording the change.
+    db.apply_source(
+        r#"
+        associations
+          bumped = (owner: string);
+        rules
+          account(owner: X, balance: Z)
+            <- account(owner: X, balance: Y), Y < 50, Z = Y + 10,
+               not bumped(owner: X).
+          bumped(owner: X)
+            <- account(owner: X, balance: Y), Y < 50,
+               not bumped(owner: X).
+          -account(owner: X, balance: Y)
+            <- account(owner: X, balance: Y), Y < 50, not bumped(owner: X).
+          audit(owner: X, amount: 10) <- bumped(owner: X).
+        "#,
+        Mode::Ridv,
+    )
+    .expect("RIDV deposit runs");
+    println!("\n== RIDV: accounts after the sweep ==");
+    let mut rows = db
+        .query("goal account(owner: X, balance: B)?")
+        .expect("balances");
+    rows.sort();
+    for r in &rows {
+        println!("  {}: {}", r[0].1, r[1].1);
+    }
+    assert!(db.edb().has_tuple(
+        Sym::new("account"),
+        &Value::tuple([("owner", Value::str("verdi")), ("balance", Value::Int(50))])
+    ));
+    // The audit trail was written by the same module.
+    assert_eq!(db.edb().assoc_len(Sym::new("audit")), 1);
+
+    // ---- Constraints: passive denials reject inconsistent updates -------
+    db.apply_source(
+        r#"
+        constraints
+          <- account(owner: X, balance: B), B < 0.
+        "#,
+        Mode::Radi,
+    )
+    .expect("constraint installs");
+
+    let err = db
+        .apply_source(
+            r#"
+            rules
+              account(owner: "mallory", balance: 0 - 7) <- .
+            "#,
+            Mode::Ridv,
+        )
+        .expect_err("negative balances are rejected");
+    match err {
+        CoreError::Rejected { violations } => {
+            println!("\n== constraint rejection (state unchanged) ==");
+            for v in violations {
+                println!("  {v}");
+            }
+        }
+        other => panic!("expected rejection, got {other}"),
+    }
+    assert_eq!(db.edb().assoc_len(Sym::new("account")), 3);
+
+    // ---- RDDI: retire the derived relation -------------------------------
+    db.apply_source(
+        r#"
+        associations
+          rich = (owner: string);
+        rules
+          rich(owner: X) <- account(owner: X, balance: B), B >= 100.
+        "#,
+        Mode::Rddi,
+    )
+    .expect("RDDI removes the view");
+    println!(
+        "\n== RDDI: view removed; persistent rules: {} ==",
+        db.rules().len()
+    );
+
+    // ---- RDDV: delete facts derivable by a module ------------------------
+    db.apply_source(
+        r#"
+        rules
+          audit(owner: "verdi", amount: 10) <- .
+        "#,
+        Mode::Rddv,
+    )
+    .expect("RDDV deletes the audit row");
+    assert_eq!(db.edb().assoc_len(Sym::new("audit")), 0);
+    println!("\n== RDDV: audit trail cleared ==");
+
+    // ---- Materialization: E := I -----------------------------------------
+    db.apply_source(
+        r#"
+        associations
+          total = (t: integer);
+        rules
+          total(t: 390) <- .
+        "#,
+        Mode::Radi,
+    )
+    .expect("derived total installs");
+    db.materialize().expect("materialize");
+    assert_eq!(db.edb().assoc_len(Sym::new("total")), 1);
+    println!("== materialized: E now coincides with the instance I ==");
+}

@@ -1,0 +1,269 @@
+//! Algebraic properties of the six module application modes (Section 4.1),
+//! exercised through the public API.
+
+use logres::{CoreError, Database, Mode, Module, Semantics, Sym, Value};
+
+const BASE: &str = r#"
+    associations
+      parent = (par: string, chil: string);
+    facts
+      parent(par: "a", chil: "b").
+      parent(par: "b", chil: "c").
+"#;
+
+const VIEW: &str = r#"
+    associations
+      ancestor = (anc: string, des: string);
+    rules
+      ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+      ancestor(anc: X, des: Z) <- parent(par: X, chil: Y),
+                                  ancestor(anc: Y, des: Z).
+"#;
+
+fn fresh() -> Database {
+    Database::from_source(BASE).expect("base database")
+}
+
+#[test]
+fn ridi_is_a_pure_query_on_every_component() {
+    let mut db = fresh();
+    let schema_before = format!("{}", db.schema());
+    let rules_before = db.rules().len();
+    let edb_before = db.edb().clone();
+
+    let module_src = format!("{VIEW}\ngoal ancestor(anc: \"a\", des: D)?");
+    let out = db.apply_source(&module_src, Mode::Ridi).unwrap();
+    assert_eq!(out.answer.unwrap().len(), 2);
+
+    assert_eq!(format!("{}", db.schema()), schema_before);
+    assert_eq!(db.rules().len(), rules_before);
+    assert_eq!(db.edb(), &edb_before);
+}
+
+#[test]
+fn radi_then_rddi_restores_the_rule_set() {
+    let mut db = fresh();
+    let before = db.rules().clone();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    assert_eq!(db.rules().len(), 2);
+    db.apply_source(VIEW, Mode::Rddi).unwrap();
+    assert_eq!(db.rules(), &before);
+    assert!(db.schema().assoc_type(Sym::new("ancestor")).is_none());
+}
+
+#[test]
+fn radi_is_idempotent() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    // Rule sets are sets: applying the same module twice adds nothing.
+    assert_eq!(db.rules().len(), 2);
+}
+
+#[test]
+fn ridv_keeps_rules_invariant() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    let rules_before = db.rules().clone();
+    db.apply_source(
+        r#"rules parent(par: "c", chil: "d") <- ."#,
+        Mode::Ridv,
+    )
+    .unwrap();
+    assert_eq!(db.rules(), &rules_before);
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 3);
+    // The persistent view rules see the new tuple on the next query.
+    let rows = db
+        .query(r#"goal ancestor(anc: "a", des: D)?"#)
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn radv_updates_data_and_persists_rules_at_once() {
+    let mut db = fresh();
+    db.apply_source(
+        r#"
+        associations
+          sibling = (x: string, y: string);
+        rules
+          parent(par: "a", chil: "b2") <- .
+          sibling(x: X, y: Y) <- parent(par: P, chil: X), parent(par: P, chil: Y),
+                                 not sibling(x: X, y: X).
+        "#,
+        Mode::Radv,
+    )
+    .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 3);
+    assert_eq!(db.rules().len(), 2);
+}
+
+#[test]
+fn rddv_inverts_a_previous_ridv_insertion() {
+    let mut db = fresh();
+    let ins = r#"rules parent(par: "x", chil: "y") <- ."#;
+    db.apply_source(ins, Mode::Ridv).unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 3);
+    db.apply_source(ins, Mode::Rddv).unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 2);
+}
+
+#[test]
+fn goal_rules_for_each_mode_match_the_paper_table() {
+    let mut db = fresh();
+    let goal_module = format!("{VIEW}\ngoal ancestor(anc: X)?");
+    // Goal-answering modes accept a goal.
+    for mode in [Mode::Ridi, Mode::Radi] {
+        let mut fresh_db = fresh();
+        let out = fresh_db.apply_source(&goal_module, mode).unwrap();
+        assert!(out.answer.is_some(), "{mode:?} should answer goals");
+    }
+    // Data-variant modes reject it.
+    for mode in [Mode::Ridv, Mode::Radv, Mode::Rddv] {
+        let err = db.apply_source(&goal_module, mode).unwrap_err();
+        assert!(
+            matches!(err, CoreError::GoalNotAllowed(m) if m == mode),
+            "{mode:?} must refuse goals"
+        );
+    }
+}
+
+#[test]
+fn rejected_applications_leave_every_component_untouched() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          p = (d: integer);
+        facts
+          p(d: 1).
+        constraints
+          <- p(d: 13).
+    "#,
+    )
+    .unwrap();
+    let schema_before = format!("{}", db.schema());
+    let rules_before = db.rules().len();
+    let edb_before = db.edb().clone();
+    for mode in [Mode::Radi, Mode::Ridv, Mode::Radv] {
+        let err = db
+            .apply_source(r#"rules p(d: 13) <- ."#, mode)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Rejected { .. }), "{mode:?}");
+        assert_eq!(format!("{}", db.schema()), schema_before, "{mode:?}");
+        assert_eq!(db.rules().len(), rules_before, "{mode:?}");
+        assert_eq!(db.edb(), &edb_before, "{mode:?}");
+    }
+}
+
+#[test]
+fn update_derived_relations_strategy_of_section_4_2() {
+    // The paper's "cleanest way of updating an intensional relation":
+    // 1. materialize the relation (RIDV the defining rules),
+    // 2. delete the old rules (RDDI — since the facts are now extensional,
+    //    we keep them),
+    // 3. add new rules (RADI).
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    assert_eq!(db.rules().len(), 2);
+
+    // Step 1: make the derived tuples extensional.
+    db.materialize().unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("ancestor")), 3);
+
+    // Step 2: drop the old definition (rules only; the schema equation must
+    // stay because the extensional tuples still use it — so the module
+    // deletes rules but re-declares nothing).
+    db.apply_source(
+        r#"
+        rules
+          ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+          ancestor(anc: X, des: Z) <- parent(par: X, chil: Y),
+                                      ancestor(anc: Y, des: Z).
+        "#,
+        Mode::Rddi,
+    )
+    .unwrap();
+    assert_eq!(db.rules().len(), 0);
+
+    // Step 3: a new (restricted) definition — only direct ancestry counts
+    // from now on; extensional history is kept as-is.
+    db.apply_source(
+        r#"
+        rules
+          ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+        "#,
+        Mode::Radi,
+    )
+    .unwrap();
+    let rows = db.query("goal ancestor(anc: A, des: D)?").unwrap();
+    // History (3 tuples) still present; new rule derives nothing extra.
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn parametric_semantics_per_application() {
+    // One module, two semantics, different answers — "modules and databases
+    // are parametric with respect to the semantics of the rules".
+    let mut db = Database::from_source(
+        r#"
+        associations
+          node     = (n: integer);
+          edge     = (a: integer, b: integer);
+          covered  = (n: integer);
+          isolated = (n: integer);
+        facts
+          node(n: 1).
+          node(n: 2).
+          edge(a: 1, b: 2).
+    "#,
+    )
+    .unwrap();
+    let module = Module::parse(
+        r#"
+        rules
+          covered(n: X) <- edge(a: X, b: Y).
+          covered(n: X) <- edge(a: Y, b: X).
+          isolated(n: X) <- node(n: X), not covered(n: X).
+        goal isolated(n: X)?
+        "#,
+        db.schema(),
+    )
+    .unwrap();
+    let strat = db
+        .apply_with(&module, Mode::Ridi, Semantics::Stratified)
+        .unwrap()
+        .answer
+        .unwrap();
+    let infl = db
+        .apply_with(&module, Mode::Ridi, Semantics::Inflationary)
+        .unwrap()
+        .answer
+        .unwrap();
+    assert!(strat.is_empty(), "perfect model: no isolated nodes");
+    assert!(!infl.is_empty(), "inflationary: eager negation fires");
+}
+
+#[test]
+fn oids_never_leak_into_answers() {
+    let mut db = Database::from_source(
+        r#"
+        classes
+          person = (name: string);
+    "#,
+    )
+    .unwrap();
+    db.apply_source(
+        r#"rules person(self: P, name: "eva") <- ."#,
+        Mode::Ridv,
+    )
+    .unwrap();
+    let rows = db.query("goal person(P)?").unwrap();
+    assert_eq!(rows.len(), 1);
+    // The tuple-variable binding is the visible tuple; no oid field, no
+    // Value::Oid anywhere in the row.
+    fn has_oid(v: &Value) -> bool {
+        !v.oids().is_empty()
+    }
+    assert!(!has_oid(&rows[0][0].1));
+    assert_eq!(rows[0][0].1, Value::tuple([("name", Value::str("eva"))]));
+}

@@ -1,0 +1,407 @@
+//! End-to-end reproduction of every worked example in the paper, run
+//! through the public `logres::Database` API.
+
+use logres::{Database, Mode, Semantics, Sym, TypeDesc, Value};
+
+/// Example 2.1 — the football schema: domains, set/sequence constructors,
+/// classes with object sharing, one association.
+#[test]
+fn example_2_1_football_schema() {
+    let db = Database::from_source(
+        r#"
+        domains
+          name_d = string;
+          role   = integer;
+          date_d = string;
+          score  = (home: integer, guest: integer);
+        classes
+          player = (name: name_d, roles: {role});
+          team   = (team_name: name_d,
+                    base_players: <player>,
+                    substitutes: {player});
+        associations
+          game = (h_team: team, g_team: team, date: date_d, score: score);
+    "#,
+    )
+    .expect("Example 2.1 schema is legal");
+    let s = db.schema();
+    assert_eq!(s.domains().count(), 4);
+    assert_eq!(s.classes().count(), 2);
+    assert_eq!(s.assocs().count(), 1);
+    // Nested constructors resolved as the paper describes.
+    let team = s.class_type(Sym::new("team")).unwrap();
+    assert_eq!(
+        team.field(Sym::new("base_players")),
+        Some(&TypeDesc::seq(TypeDesc::class("player")))
+    );
+    assert_eq!(
+        team.field(Sym::new("substitutes")),
+        Some(&TypeDesc::set(TypeDesc::class("player")))
+    );
+    // Four referential constraints are generated from the type equations.
+    assert_eq!(db.integrity_constraints().len(), 4);
+}
+
+/// Example 2.2 — the CHILDREN function over PARENT, and the nullary JUNIOR
+/// function naming a set.
+#[test]
+fn example_2_2_data_function_declarations() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          parent     = (father: string, child: string, bdate: string);
+          person_age = (who: string, age: integer);
+        functions
+          children: string -> {(person: string, bdate: string)};
+          junior:   -> {string};
+        facts
+          parent(father: "f", child: "c1", bdate: "1970").
+          parent(father: "f", child: "c2", bdate: "1980").
+          person_age(who: "c1", age: 12).
+          person_age(who: "c2", age: 30).
+    "#,
+    )
+    .unwrap();
+    db.apply_source(
+        r#"
+        rules
+          member(T, children(X)) <- parent(father: X, child: Y, bdate: Z),
+                                    T = (person: Y, bdate: Z).
+          member(X, junior()) <- person_age(who: X, age: A), A <= 18.
+        "#,
+        Mode::Radi,
+    )
+    .expect("Example 2.2 rules install");
+    let rows = db.query("goal member(T, children(\"f\"))?").unwrap();
+    assert_eq!(rows.len(), 2);
+    let rows = db.query("goal member(X, junior())?").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0].1, Value::str("c1"));
+}
+
+/// Example 3.1 — legal predicate occurrences and variable unification over
+/// the university schema (students/professors isa persons).
+#[test]
+fn example_3_1_predicate_occurrences() {
+    let mut db = Database::from_source(
+        r#"
+        classes
+          person    = (name: string, address: string);
+          school    = (sname: string, kind: string, dean: professor);
+          student   = (person: person, studschool: string);
+          professor = (person: person, course: string);
+          student isa person;
+          professor isa person;
+        associations
+          advises = (prof: professor, stud: student);
+    "#,
+    )
+    .unwrap();
+    db.apply_source(
+        r#"
+        rules
+          professor(self: P, name: "smith", address: "milano", course: "db") <- .
+          student(self: S, name: "jones", address: "roma", studschool: "pdm") <- .
+          advises(prof: P, stud: S)
+            <- professor(P, name: "smith"), student(S, name: "jones").
+        "#,
+        Mode::Ridv,
+    )
+    .expect("university objects load");
+
+    // Line 1 of the example: person(name: "smith", address: X) — inherited
+    // membership puts the professor in π(person).
+    let rows = db
+        .query(r#"goal person(name: "smith", address: X)?"#)
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0].1, Value::str("milano"));
+
+    // Tuple-variable and oid-variable formulations are equivalent
+    // (the paper's two PAIR rules).
+    let via_tuple = db
+        .query(
+            r#"goal advises(prof: X1, stud: Y1),
+                    professor(X1, name: PN), student(Y1, name: SN)?"#,
+        )
+        .unwrap();
+    let via_self = db
+        .query(
+            r#"goal advises(prof: X1, stud: Y1),
+                    professor(self: X1, name: PN), student(self: Y1, name: SN)?"#,
+        )
+        .unwrap();
+    assert_eq!(via_tuple.len(), 1);
+    // Project both to the visible name bindings: they must agree.
+    let names = |rows: &logres::Rows| -> Vec<(Value, Value)> {
+        rows.iter()
+            .map(|r| {
+                (
+                    r.iter().find(|(v, _)| *v == Sym::new("PN")).unwrap().1.clone(),
+                    r.iter().find(|(v, _)| *v == Sym::new("SN")).unwrap().1.clone(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(names(&via_tuple), names(&via_self));
+}
+
+/// Example 3.2 — recursive data functions building a nested relation,
+/// under stratified semantics (the paper's intended model).
+#[test]
+fn example_3_2_descendants() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          parent   = (par: string, chil: string);
+          ancestor = (anc: string, des: {string});
+        functions
+          desc: string -> {string};
+        facts
+          parent(par: "a", chil: "b").
+          parent(par: "b", chil: "c").
+          parent(par: "b", chil: "d").
+        rules
+          member(X, desc(Y)) <- parent(par: Y, chil: X).
+          member(X, desc(Y)) <- parent(par: Y, chil: Z), member(X, T), T = desc(Z).
+          ancestor(anc: X, des: Y) <- parent(par: X), Y = desc(X).
+    "#,
+    )
+    .unwrap();
+    db.set_semantics(Semantics::Stratified);
+    let (inst, _) = db.instance().unwrap();
+    assert_eq!(
+        inst.fun_value(Sym::new("desc"), &[Value::str("a")]),
+        Value::set([Value::str("b"), Value::str("c"), Value::str("d")])
+    );
+    // Exactly one (complete) nested tuple per ancestor.
+    assert_eq!(inst.assoc_len(Sym::new("ancestor")), 2);
+    assert!(inst.has_tuple(
+        Sym::new("ancestor"),
+        &Value::tuple([
+            ("anc", Value::str("b")),
+            ("des", Value::set([Value::str("c"), Value::str("d")]))
+        ])
+    ));
+}
+
+/// Example 3.3 — the powerset program.
+#[test]
+fn example_3_3_powerset() {
+    for n in 1..=5usize {
+        let facts: String = (1..=n).map(|i| format!("  r(d: {i}).\n")).collect();
+        let mut db = Database::from_source(&format!(
+            r#"
+            associations
+              r     = (d: integer);
+              power = (s: {{integer}});
+            facts
+            {facts}
+            rules
+              power(s: X) <- X = {{}}.
+              power(s: X) <- r(d: Y), append(X, {{}}, Y).
+              power(s: X) <- power(s: Y), power(s: Z), union(X, Y, Z).
+        "#
+        ))
+        .unwrap();
+        let (inst, _) = db.instance().unwrap();
+        assert_eq!(inst.assoc_len(Sym::new("power")), 1 << n, "n = {n}");
+        let _ = &mut db;
+    }
+}
+
+/// Example 3.4 — interesting pairs: the association eliminates duplicates,
+/// then one IP object is invented per remaining tuple.
+#[test]
+fn example_3_4_interesting_pairs() {
+    let db = Database::from_source(
+        r#"
+        classes
+          ip = (employee: string, manager: string);
+        associations
+          emp  = (ename: string, works: string);
+          dept = (dname: string, depmgr: string);
+          pair = (employee: string, manager: string);
+        facts
+          emp(ename: "smith", works: "d1").
+          emp(ename: "smith", works: "d2").
+          emp(ename: "jones", works: "d1").
+          dept(dname: "d1", depmgr: "smith").
+          dept(dname: "d2", depmgr: "smith").
+        rules
+          pair(employee: E, manager: M)
+            <- emp(ename: E, works: D), dept(dname: D, depmgr: M), emp(ename: M).
+          ip(self: X, C) <- pair(C).
+    "#,
+    )
+    .unwrap();
+    let (inst, _) = db.instance().unwrap();
+    // smith appears via two departments but the PAIR association
+    // deduplicates; jones/smith is the other pair.
+    assert_eq!(inst.assoc_len(Sym::new("pair")), 2);
+    assert_eq!(inst.class_len(Sym::new("ip")), 2);
+}
+
+/// Example 4.1 — an RIDV module whose rules act as triggers.
+#[test]
+fn example_4_1_ridv_triggers() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          italian = (name: string);
+          roman   = (name: string);
+        facts
+          italian(name: "sara").
+    "#,
+    )
+    .unwrap();
+    db.apply_source(
+        r#"
+        rules
+          italian(name: "luca") <- .
+          roman(name: "ugo") <- .
+          italian(name: X) <- roman(name: X).
+        "#,
+        Mode::Ridv,
+    )
+    .unwrap();
+    // The paper's outcome: El = I1 = {italian(sara), italian(luca),
+    // italian(ugo), roman(ugo)}.
+    let it = Sym::new("italian");
+    assert_eq!(db.edb().assoc_len(it), 3);
+    for name in ["sara", "luca", "ugo"] {
+        assert!(db
+            .edb()
+            .has_tuple(it, &Value::tuple([("name", Value::str(name))])));
+    }
+    assert_eq!(db.edb().assoc_len(Sym::new("roman")), 1);
+}
+
+/// Example 4.2 — updating tuples in place through an RIDV module with a
+/// deleting head.
+#[test]
+fn example_4_2_in_place_update() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          p = (d1: integer, d2: integer);
+        facts
+          p(d1: 1, d2: 1).
+          p(d1: 2, d2: 2).
+          p(d1: 3, d2: 3).
+          p(d1: 4, d2: 4).
+    "#,
+    )
+    .unwrap();
+    db.apply_source(
+        r#"
+        associations
+          mod_t = (d1: integer, d2: integer);
+        rules
+          p(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                             not mod_t(d1: X, d2: Y).
+          mod_t(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                                 not mod_t(d1: X, d2: Y).
+          -p(Y) <- p(Y, d1: X), even(X), not mod_t(Y).
+        "#,
+        Mode::Ridv,
+    )
+    .unwrap();
+    // The paper's printed result: {p(1,1), p(2,3), p(3,3), p(4,5)}.
+    let p = Sym::new("p");
+    assert_eq!(db.edb().assoc_len(p), 4);
+    for (a, b) in [(1, 1), (2, 3), (3, 3), (4, 5)] {
+        assert!(
+            db.edb().has_tuple(
+                p,
+                &Value::tuple([("d1", Value::Int(a)), ("d2", Value::Int(b))])
+            ),
+            "missing p({a},{b})"
+        );
+    }
+}
+
+/// Section 4.2 — passive constraints: `<- married(X), divorced(X)`.
+#[test]
+fn section_4_2_passive_constraints() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          married  = (who: string);
+          divorced = (who: string);
+        facts
+          married(who: "anna").
+        constraints
+          <- married(who: X), divorced(who: X).
+    "#,
+    )
+    .unwrap();
+    // Consistent update passes…
+    db.apply_source(
+        r#"rules divorced(who: "franco") <- ."#,
+        Mode::Ridv,
+    )
+    .expect("unrelated divorce is fine");
+    // …the violating one is rejected atomically.
+    let before = db.edb().clone();
+    let err = db
+        .apply_source(r#"rules divorced(who: "anna") <- ."#, Mode::Ridv)
+        .unwrap_err();
+    assert!(matches!(err, logres::CoreError::Rejected { .. }));
+    assert_eq!(db.edb(), &before);
+}
+
+/// Section 2.1 — the EMPL double-embedding with a labeled isa
+/// (`EMPL emp ISA PERSON`).
+#[test]
+fn section_2_1_empl_labeled_isa() {
+    let db = Database::from_source(
+        r#"
+        classes
+          person = (name: string);
+          empl   = (emp: person, manager: person);
+          empl via emp isa person;
+    "#,
+    )
+    .unwrap();
+    let eff = db.schema().effective(Sym::new("empl")).unwrap();
+    let labels: Vec<&str> = eff
+        .as_tuple()
+        .unwrap()
+        .iter()
+        .map(|f| f.label.as_str())
+        .collect();
+    assert_eq!(labels, vec!["name", "manager"]);
+}
+
+/// Section 2.1 — generalization with inherited attributes: STUDENT isa
+/// PERSON makes bdate/address properties of STUDENT.
+#[test]
+fn section_2_1_inheritance_of_attributes() {
+    let mut db = Database::from_source(
+        r#"
+        classes
+          person  = (name: string, bdate: string, address: string);
+          student = (person: person, school: string);
+          student isa person;
+    "#,
+    )
+    .unwrap();
+    db.apply_source(
+        r#"
+        rules
+          student(self: S, name: "john", bdate: "1970", address: "x", school: "pdm") <- .
+        "#,
+        Mode::Ridv,
+    )
+    .unwrap();
+    // Query the subclass by an inherited attribute.
+    let rows = db
+        .query(r#"goal student(bdate: B, school: K)?"#)
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0].1, Value::str("1970"));
+    // The same oid answers person queries (π(student) ⊆ π(person)).
+    let rows = db.query(r#"goal person(name: N)?"#).unwrap();
+    assert_eq!(rows.len(), 1);
+}
