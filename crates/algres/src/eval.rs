@@ -209,8 +209,7 @@ pub fn eval(expr: &AlgExpr, env: &Env) -> Result<Relation, AlgError> {
                     .map(|c| t.field(*c).expect("shared column").clone())
                     .collect()
             };
-            let right_keys: rustc_hash::FxHashSet<Vec<Value>> =
-                r.iter().map(key).collect();
+            let right_keys: rustc_hash::FxHashSet<Vec<Value>> = r.iter().map(key).collect();
             let mut out = Relation::new(l.cols().to_vec());
             for t in l.iter() {
                 // With no shared columns the right side acts as an
@@ -260,24 +259,20 @@ pub fn eval(expr: &AlgExpr, env: &Env) -> Result<Relation, AlgError> {
                     })
                     .collect::<Result<_, _>>()?;
                 let elem = if cols.len() == 1 {
-                    t.field(cols[0])
-                        .cloned()
-                        .ok_or(AlgError::UnknownColumn {
-                            rel: format!("{:?}", rel.cols()),
-                            col: cols[0],
-                        })?
+                    t.field(cols[0]).cloned().ok_or(AlgError::UnknownColumn {
+                        rel: format!("{:?}", rel.cols()),
+                        col: cols[0],
+                    })?
                 } else {
                     Value::tuple(
                         cols.iter()
                             .map(|c| {
                                 Ok((
                                     *c,
-                                    t.field(*c)
-                                        .cloned()
-                                        .ok_or(AlgError::UnknownColumn {
-                                            rel: format!("{:?}", rel.cols()),
-                                            col: *c,
-                                        })?,
+                                    t.field(*c).cloned().ok_or(AlgError::UnknownColumn {
+                                        rel: format!("{:?}", rel.cols()),
+                                        col: *c,
+                                    })?,
                                 ))
                             })
                             .collect::<Result<Vec<_>, AlgError>>()?,
@@ -293,11 +288,7 @@ pub fn eval(expr: &AlgExpr, env: &Env) -> Result<Relation, AlgError> {
             let mut out = Relation::new(out_cols);
             for key in order {
                 let elems = groups.remove(&key).expect("group exists");
-                let mut fields: Vec<(Sym, Value)> = group_cols
-                    .iter()
-                    .cloned()
-                    .zip(key)
-                    .collect();
+                let mut fields: Vec<(Sym, Value)> = group_cols.iter().cloned().zip(key).collect();
                 fields.push((*into, Value::set(elems)));
                 out.insert(Value::tuple(fields));
             }
@@ -314,9 +305,7 @@ pub fn eval(expr: &AlgExpr, env: &Env) -> Result<Relation, AlgError> {
             let mut out = Relation::new(rel.cols().to_vec());
             for t in rel.iter() {
                 let coll = t.field(*col).expect("checked column");
-                let elems = coll
-                    .elements()
-                    .ok_or(AlgError::NotACollection(*col))?;
+                let elems = coll.elements().ok_or(AlgError::NotACollection(*col))?;
                 for e in elems {
                     let fields: Vec<(Sym, Value)> = t
                         .as_tuple()
@@ -370,8 +359,7 @@ pub fn eval(expr: &AlgExpr, env: &Env) -> Result<Relation, AlgError> {
             for key in order {
                 let vals = groups.remove(&key).expect("group exists");
                 let agg_v = apply_agg(*agg, &vals)?;
-                let mut fields: Vec<(Sym, Value)> =
-                    group.iter().cloned().zip(key).collect();
+                let mut fields: Vec<(Sym, Value)> = group.iter().cloned().zip(key).collect();
                 fields.push((*into, agg_v));
                 out.insert(Value::tuple(fields));
             }
@@ -604,7 +592,9 @@ mod tests {
         let env = env_with("e", edges(&[(1, 2), (2, 3)]));
         // e(src, dst) ⋈ e(dst → src', …) — rename to share the middle node.
         let left = AlgExpr::Rel(Sym::new("e")).rename("dst", "mid");
-        let right = AlgExpr::Rel(Sym::new("e")).rename("src", "mid").rename("dst", "far");
+        let right = AlgExpr::Rel(Sym::new("e"))
+            .rename("src", "mid")
+            .rename("dst", "far");
         let joined = left.join(right).project(["src", "far"]);
         let r = eval(&joined, &env).unwrap();
         assert_eq!(r.len(), 1);
@@ -654,7 +644,10 @@ mod tests {
     fn union_requires_same_columns() {
         let mut env = Env::new();
         env.bind("a", edges(&[(1, 1)]));
-        env.bind("b", Relation::from_rows(["x"], [Value::tuple([("x", Value::Int(1))])]));
+        env.bind(
+            "b",
+            Relation::from_rows(["x"], [Value::tuple([("x", Value::Int(1))])]),
+        );
         let err = eval(
             &AlgExpr::Rel(Sym::new("a")).union(AlgExpr::Rel(Sym::new("b"))),
             &env,
@@ -858,10 +851,7 @@ mod tests {
             ])],
         );
         let env = env_with("r", rel);
-        let expr = AlgExpr::Rel(Sym::new("r")).select(Pred::In(
-            Scalar::col("x"),
-            Scalar::col("s"),
-        ));
+        let expr = AlgExpr::Rel(Sym::new("r")).select(Pred::In(Scalar::col("x"), Scalar::col("s")));
         assert_eq!(eval(&expr, &env).unwrap().len(), 1);
     }
 

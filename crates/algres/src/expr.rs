@@ -95,12 +95,10 @@ impl Pred {
 
     /// Conjunction of a list of predicates.
     pub fn all(preds: impl IntoIterator<Item = Pred>) -> Pred {
-        preds
-            .into_iter()
-            .fold(Pred::True, |acc, p| match acc {
-                Pred::True => p,
-                acc => Pred::And(Box::new(acc), Box::new(p)),
-            })
+        preds.into_iter().fold(Pred::True, |acc, p| match acc {
+            Pred::True => p,
+            acc => Pred::And(Box::new(acc), Box::new(p)),
+        })
     }
 
     /// All columns the predicate reads.
@@ -165,15 +163,9 @@ pub enum AlgExpr {
     /// A literal relation.
     Const(Relation),
     /// σ — keep tuples satisfying the predicate.
-    Select {
-        input: Box<AlgExpr>,
-        pred: Pred,
-    },
+    Select { input: Box<AlgExpr>, pred: Pred },
     /// π — keep (and reorder) the listed columns; duplicates collapse.
-    Project {
-        input: Box<AlgExpr>,
-        cols: Vec<Sym>,
-    },
+    Project { input: Box<AlgExpr>, cols: Vec<Sym> },
     /// ρ — rename a column.
     Rename {
         input: Box<AlgExpr>,
@@ -234,10 +226,7 @@ pub enum AlgExpr {
     },
     /// NF² unnest: replace the collection-valued column `col` by one row
     /// per element.
-    Unnest {
-        input: Box<AlgExpr>,
-        col: Sym,
-    },
+    Unnest { input: Box<AlgExpr>, col: Sym },
     /// Grouped aggregation: group by `group`, apply `agg` to column `on`,
     /// emitting `group ∪ {into}`.
     Aggregate {
@@ -323,10 +312,10 @@ impl AlgExpr {
             | AlgExpr::Diff { left, right }
             | AlgExpr::Intersect { left, right }
             | AlgExpr::SemiJoin { left, right }
-            | AlgExpr::AntiJoin { left, right } => {
-                left.count_refs(name) + right.count_refs(name)
-            }
-            AlgExpr::Fixpoint { rec, base, step, .. } => {
+            | AlgExpr::AntiJoin { left, right } => left.count_refs(name) + right.count_refs(name),
+            AlgExpr::Fixpoint {
+                rec, base, step, ..
+            } => {
                 // An inner fixpoint shadows `name` if it reuses the symbol.
                 base.count_refs(name)
                     + if *rec == name {

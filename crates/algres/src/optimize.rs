@@ -300,11 +300,9 @@ mod tests {
         let b = AlgExpr::Const(edges(&[(2, 3)]))
             .rename("src", "mid")
             .rename("dst", "far");
-        let joined = a.join(b).select(Pred::Cmp(
-            CmpOp::Lt,
-            Scalar::col("src"),
-            Scalar::col("far"),
-        ));
+        let joined = a
+            .join(b)
+            .select(Pred::Cmp(CmpOp::Lt, Scalar::col("src"), Scalar::col("far")));
         let optimized = push_selections(joined.clone());
         assert!(matches!(optimized, AlgExpr::Select { .. }));
         let env = Env::new();

@@ -17,18 +17,17 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [500usize, 2_000] {
         let base = kv_database(n);
-        for (name, module) in [("ridv_in_place", UPDATE_MODULE), ("full_rederive", REDERIVE)] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &module,
-                |b, module| {
-                    b.iter_batched(
-                        || Database::from_source(&base).unwrap(),
-                        |mut db| db.apply_source(module, Mode::Ridv).unwrap(),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+        for (name, module) in [
+            ("ridv_in_place", UPDATE_MODULE),
+            ("full_rederive", REDERIVE),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &module, |b, module| {
+                b.iter_batched(
+                    || Database::from_source(&base).unwrap(),
+                    |mut db| db.apply_source(module, Mode::Ridv).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();

@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
             (Semantics::Stratified, "stratified"),
         ] {
             group.bench_with_input(BenchmarkId::new(name, k), &sem, |b, &sem| {
-                b.iter(|| {
-                    evaluate(&p.schema, &p.rules, &edb, sem, EvalOptions::default()).unwrap()
-                })
+                b.iter(|| evaluate(&p.schema, &p.rules, &edb, sem, EvalOptions::default()).unwrap())
             });
         }
     }

@@ -37,8 +37,7 @@ fn bench(c: &mut Criterion) {
     load_facts(&flat.schema, &mut edb2, &flat.facts, &mut gen2).unwrap();
     group.bench_with_input(BenchmarkId::new("algres_nest", n), &n, |b, _| {
         b.iter(|| {
-            let compiled =
-                compile_ruleset(&flat.schema, &flat.rules, FixpointMode::Delta).unwrap();
+            let compiled = compile_ruleset(&flat.schema, &flat.rules, FixpointMode::Delta).unwrap();
             let out = compiled.run(&flat.schema, &edb2).unwrap();
             let env = env_from_instance(&flat.schema, &out);
             let nest = AlgExpr::Nest {

@@ -65,9 +65,8 @@ pub fn e1_closure() -> Table {
         let tc = Sym::new("tc");
 
         if heavy_engines {
-            let (d, (inst, _)) = time(|| {
-                evaluate_inflationary(&schema, &rules, &edb, opts).expect("naive")
-            });
+            let (d, (inst, _)) =
+                time(|| evaluate_inflationary(&schema, &rules, &edb, opts).expect("naive"));
             t.row(vec![
                 workload.into(),
                 n.to_string(),
@@ -172,8 +171,8 @@ pub fn e4_modes() -> Table {
     for mode in Mode::all() {
         let (mut db, module) = e4_setup(&base, mode);
         let (d, out) = time(|| db.apply(&module, mode).expect("mode applies"));
-        let e_count: usize = db.edb().assoc_len(Sym::new("parent"))
-            + db.edb().assoc_len(Sym::new("ancestor"));
+        let e_count: usize =
+            db.edb().assoc_len(Sym::new("parent")) + db.edb().assoc_len(Sym::new("ancestor"));
         t.row(vec![
             format!("{mode:?}").to_uppercase(),
             fmt_duration(d),
@@ -197,16 +196,12 @@ pub fn e5_updates() -> Table {
         // Two selectivities: the paper's even(X) (≈50 %) and a sparse
         // threshold (≈10 %). The update condition is swapped textually.
         let sparse = n / 10;
-        let conditions = [
-            ("even(X)", "~50%"),
-            (&*format!("X < {sparse}"), "~10%"),
-        ];
+        let conditions = [("even(X)", "~50%"), (&*format!("X < {sparse}"), "~10%")];
         for (cond, touched) in conditions {
             // Strategy A: the paper's RIDV in-place module.
             let in_place = UPDATE_MODULE.replace("even(X)", cond);
             let mut db = Database::from_source(&kv_database(n)).expect("kv loads");
-            let (d, _) =
-                time(|| db.apply_source(&in_place, Mode::Ridv).expect("update runs"));
+            let (d, _) = time(|| db.apply_source(&in_place, Mode::Ridv).expect("update runs"));
             t.row(vec![
                 n.to_string(),
                 touched.into(),
@@ -238,8 +233,10 @@ pub fn e5_updates() -> Table {
                     "#
                 )
             };
-            let (d, _) =
-                time(|| db2.apply_source(&rederive, Mode::Ridv).expect("rederive runs"));
+            let (d, _) = time(|| {
+                db2.apply_source(&rederive, Mode::Ridv)
+                    .expect("rederive runs")
+            });
             t.row(vec![
                 n.to_string(),
                 touched.into(),
@@ -258,7 +255,13 @@ pub fn e5_updates() -> Table {
 pub fn e6_integrity() -> Table {
     let mut t = Table::new(
         "E6 — generated referential integrity: checking cost and violations",
-        &["fixtures", "dangling %", "insert", "insert + check", "violations"],
+        &[
+            "fixtures",
+            "dangling %",
+            "insert",
+            "insert + check",
+            "violations",
+        ],
     );
     let schema = e6_schema();
     let constraints = integrity::generate(&schema);
@@ -274,8 +277,7 @@ pub fn e6_integrity() -> Table {
                 Value::tuple([("name", Value::str(format!("t{o}")))]),
             );
         }
-        let tuples: Vec<Value> =
-            (0..n).map(|i| e6_fixture(i, teams, dangling_pct)).collect();
+        let tuples: Vec<Value> = (0..n).map(|i| e6_fixture(i, teams, dangling_pct)).collect();
 
         let (d_plain, _) = time(|| {
             let mut i = base.clone();
@@ -307,7 +309,13 @@ pub fn e6_integrity() -> Table {
 pub fn e7_isa() -> Table {
     let mut t = Table::new(
         "E7 — isa chains: object creation and superclass queries vs depth",
-        &["depth", "objects", "create+propagate", "top-class query", "π(c0) size"],
+        &[
+            "depth",
+            "objects",
+            "create+propagate",
+            "top-class query",
+            "π(c0) size",
+        ],
     );
     for depth in [2usize, 4, 8, 12] {
         let n = 200;
@@ -319,9 +327,8 @@ pub fn e7_isa() -> Table {
         let goal_src = "goal c0(a0: V)?";
         let p = logres::lang::parse_rules(goal_src, &schema).expect("goal parses");
         let goal = p.goal.expect("has goal");
-        let (d_query, rows) = time(|| {
-            logres::engine::answer_goal(&schema, &inst, &goal).expect("query runs")
-        });
+        let (d_query, rows) =
+            time(|| logres::engine::answer_goal(&schema, &inst, &goal).expect("query runs"));
         t.row(vec![
             depth.to_string(),
             n.to_string(),
@@ -396,9 +403,7 @@ pub fn e9_nesting() -> Table {
         ]);
 
         // Method B: flat closure compiled to ALGRES, then one nest.
-        let flat_src = closure_program(
-            &(0..n as i64).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        );
+        let flat_src = closure_program(&(0..n as i64).map(|i| (i, i + 1)).collect::<Vec<_>>());
         let (schema2, edb2, rules2) = loaded(&flat_src);
         let (d, nested_len) = time(|| {
             let compiled =
@@ -510,8 +515,7 @@ pub fn e10_football() -> Table {
                     Scalar::Const(Value::Int(games as i64 / 2)),
                 )),
             ));
-        let (d_plain, n_plain) =
-            time(|| algres::eval(&join, &env).expect("Q3 plain").len());
+        let (d_plain, n_plain) = time(|| algres::eval(&join, &env).expect("Q3 plain").len());
         let catalog = |name: Sym| env.get(name).map(|r| r.cols().to_vec());
         let optimized = algres::push_selections_with(join, &catalog);
         let (d_opt, n_opt) = time(|| algres::eval(&optimized, &env).expect("Q3 opt").len());

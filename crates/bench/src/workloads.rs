@@ -95,12 +95,8 @@ pub fn ip_program(n: usize, dup_pct: usize, seed: u64) -> String {
     "#,
     );
     for d in 0..depts {
-        src.push_str(&format!(
-            "  dept(dname: \"d{d}\", depmgr: \"mgr{d}\").\n",
-        ));
-        src.push_str(&format!(
-            "  emp(ename: \"mgr{d}\", works: \"d{d}\").\n",
-        ));
+        src.push_str(&format!("  dept(dname: \"d{d}\", depmgr: \"mgr{d}\").\n",));
+        src.push_str(&format!("  emp(ename: \"mgr{d}\", works: \"d{d}\").\n",));
     }
     for i in 0..n {
         let d = rng.gen_range(0..depts);
@@ -160,10 +156,7 @@ pub const ANCESTOR_MODULE: &str = r#"
 /// delete) and the module to apply — goal-bearing only for the two
 /// goal-answering modes. Shared by the E4 experiment and its Criterion
 /// bench so the two cannot diverge.
-pub fn e4_setup(
-    base: &str,
-    mode: logres::Mode,
-) -> (logres::Database, logres::Module) {
+pub fn e4_setup(base: &str, mode: logres::Mode) -> (logres::Database, logres::Module) {
     use logres::Mode;
     let mut db = logres::Database::from_source(base).expect("base loads");
     if matches!(mode, Mode::Rddi) {
@@ -268,9 +261,7 @@ pub fn isa_chain_program(depth: usize, n: usize) -> String {
         .map(|i| format!("a{i}: V"))
         .collect::<Vec<_>>()
         .join(", ");
-    src.push_str(&format!(
-        "  c{depth}(self: X, {attrs}) <- seed(v: V).\n"
-    ));
+    src.push_str(&format!("  c{depth}(self: X, {attrs}) <- seed(v: V).\n"));
     src
 }
 
@@ -295,9 +286,7 @@ pub fn strata_program(k: usize, n: usize) -> String {
         src.push_str(&format!(
             "  m{i}(v: X) <- l{prev}(v: X), X < {threshold}.\n"
         ));
-        src.push_str(&format!(
-            "  l{i}(v: X) <- l{prev}(v: X), not m{i}(v: X).\n"
-        ));
+        src.push_str(&format!("  l{i}(v: X) <- l{prev}(v: X), not m{i}(v: X).\n"));
     }
     src
 }

@@ -8,9 +8,7 @@
 //! semantics of the rules they support" — so every application may override
 //! the database's default semantics.
 
-use logres_engine::{
-    answer_goal, evaluate, load_facts, EvalOptions, EvalReport, Semantics,
-};
+use logres_engine::{answer_goal, evaluate, load_facts, EvalOptions, EvalReport, Semantics};
 use logres_lang::{parse_program, RuleSet};
 use logres_model::{integrity, Instance, IntegrityConstraint, Schema, Sym, Value};
 
@@ -169,8 +167,9 @@ impl Database {
                 // persists.
                 let schema = self.union_schema(module)?;
                 let rules = self.state.rules.union(&module.rules);
-                let (inst, report) = evaluate(&schema, &rules, &self.state.edb, semantics, self.opts)
-                    .map_err(CoreError::Engine)?;
+                let (inst, report) =
+                    evaluate(&schema, &rules, &self.state.edb, semantics, self.opts)
+                        .map_err(CoreError::Engine)?;
                 let answer = self.answer(&schema, &inst, module)?;
                 Ok(ApplicationOutcome { answer, report })
             }
@@ -221,9 +220,14 @@ impl Database {
                 // persistent rules are untouched but S gains the module's
                 // new type equations (the paper's S_M(EDB)).
                 let schema = self.union_schema(module)?;
-                let (new_edb, report) =
-                    evaluate(&schema, &module.rules, &self.state.edb, semantics, self.opts)
-                        .map_err(CoreError::Engine)?;
+                let (new_edb, report) = evaluate(
+                    &schema,
+                    &module.rules,
+                    &self.state.edb,
+                    semantics,
+                    self.opts,
+                )
+                .map_err(CoreError::Engine)?;
                 let candidate = DatabaseState {
                     schema,
                     rules: self.state.rules.clone(),
@@ -239,9 +243,14 @@ impl Database {
             }
             Mode::Radv => {
                 let schema = self.union_schema(module)?;
-                let (new_edb, report) =
-                    evaluate(&schema, &module.rules, &self.state.edb, semantics, self.opts)
-                        .map_err(CoreError::Engine)?;
+                let (new_edb, report) = evaluate(
+                    &schema,
+                    &module.rules,
+                    &self.state.edb,
+                    semantics,
+                    self.opts,
+                )
+                .map_err(CoreError::Engine)?;
                 let rules = self.state.rules.union(&module.rules);
                 let mut constraints = self.state.constraints.clone();
                 for d in &module.constraints {
@@ -265,9 +274,14 @@ impl Database {
             Mode::Rddv => {
                 // E_M = the instance of (∅, R_M); E' = E − E_M.
                 let schema = self.union_schema(module)?;
-                let (em, report) =
-                    evaluate(&schema, &module.rules, &Instance::new(), semantics, self.opts)
-                        .map_err(CoreError::Engine)?;
+                let (em, report) = evaluate(
+                    &schema,
+                    &module.rules,
+                    &Instance::new(),
+                    semantics,
+                    self.opts,
+                )
+                .map_err(CoreError::Engine)?;
                 let mut new_edb = self.state.edb.clone();
                 for fact in em.facts(&schema) {
                     new_edb.remove_fact(&schema, &fact);

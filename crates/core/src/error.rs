@@ -55,7 +55,10 @@ impl fmt::Display for CoreError {
                 Ok(())
             }
             CoreError::GoalNotAllowed(mode) => {
-                write!(f, "mode {mode:?} is data-variant: the module must not specify a goal")
+                write!(
+                    f,
+                    "mode {mode:?} is data-variant: the module must not specify a goal"
+                )
             }
         }
     }

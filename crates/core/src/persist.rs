@@ -82,8 +82,7 @@ pub fn save(state: &DatabaseState) -> String {
     let mut funs: Vec<Sym> = state.schema.functions_iter().map(|(n, _)| n).collect();
     funs.sort();
     for f in funs {
-        let mut args_list: Vec<Vec<Value>> =
-            state.edb.fun_args(f).cloned().collect();
+        let mut args_list: Vec<Vec<Value>> = state.edb.fun_args(f).cloned().collect();
         args_list.sort();
         for args in args_list {
             let set = state.edb.fun_value(f, &args);
@@ -100,9 +99,8 @@ pub fn save(state: &DatabaseState) -> String {
 
 /// Restore a state from text produced by [`save`].
 pub fn load(text: &str) -> Result<DatabaseState, CoreError> {
-    let err = |msg: String| {
-        CoreError::Lang(vec![logres_lang::LangError::new(Default::default(), msg)])
-    };
+    let err =
+        |msg: String| CoreError::Lang(vec![logres_lang::LangError::new(Default::default(), msg)]);
     let mut lines = text.lines();
     if lines.next().map(str::trim) != Some(HEADER) {
         return Err(err(format!("missing `{HEADER}` header")));
@@ -137,11 +135,9 @@ pub fn load(text: &str) -> Result<DatabaseState, CoreError> {
         }
     }
 
-    let schema_program =
-        logres_lang::parse_program(&schema_src).map_err(CoreError::Lang)?;
+    let schema_program = logres_lang::parse_program(&schema_src).map_err(CoreError::Lang)?;
     let schema = schema_program.schema;
-    let program =
-        logres_lang::parse_rules(&program_src, &schema).map_err(CoreError::Lang)?;
+    let program = logres_lang::parse_rules(&program_src, &schema).map_err(CoreError::Lang)?;
 
     let mut edb = Instance::new();
     // Two passes: collect ν first so that π insertions carry complete

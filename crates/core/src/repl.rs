@@ -101,9 +101,10 @@ impl Repl {
             "quit" | "q" => return Step::Quit,
             "help" | "h" => HELP.to_owned(),
             "new" => {
-                self.db = Some(Database::from_source("").unwrap_or_else(|_| {
-                    Database::new(logres_model::Schema::new())
-                }));
+                self.db = Some(
+                    Database::from_source("")
+                        .unwrap_or_else(|_| Database::new(logres_model::Schema::new())),
+                );
                 "empty database created".to_owned()
             }
             "load" => match std::fs::read_to_string(arg) {
@@ -331,10 +332,7 @@ mod tests {
         );
         assert!(msg.contains("database created"), "{msg}");
 
-        let msg = feed_all(
-            &mut repl,
-            "rules\n  parent(par: \"a\", chil: \"b\") <- .",
-        );
+        let msg = feed_all(&mut repl, "rules\n  parent(par: \"a\", chil: \"b\") <- .");
         assert!(msg.contains("applied (Ridv)"), "{msg}");
 
         let msg = out(repl.feed("goal parent(par: X, chil: Y)?"));

@@ -88,12 +88,10 @@ impl DatabaseState {
                 vars: Vec::new(),
                 span: denial.span,
             };
-            let rows = logres_engine::answer_goal(&self.schema, inst, &goal)
-                .map_err(CoreError::Engine)?;
+            let rows =
+                logres_engine::answer_goal(&self.schema, inst, &goal).map_err(CoreError::Engine)?;
             if !rows.is_empty() {
-                report
-                    .violations
-                    .push(format!("denial violated: {denial}"));
+                report.violations.push(format!("denial violated: {denial}"));
             }
         }
         Ok(report)

@@ -7,14 +7,15 @@
 //! the oid of the class, though this part is not visible to the user");
 //! helper coercions let such a binding flow into oid positions.
 
-use logres_model::{Instance, Oid, Sym, Value};
 use logres_lang::{BinOp, Term};
+use logres_model::{Instance, Oid, Sym, Value};
 use rustc_hash::FxHashMap;
 
 /// Reserved tuple-field label carrying the invisible oid of a class tuple
-/// variable. `@` cannot appear in source identifiers, so user labels never
-/// collide with it.
-pub const SELF_LABEL: &str = "@self";
+/// variable. Defined in the model so [`logres_model::Value::index_key`]
+/// normalizes tagged tuples identically to [`values_unify`]; re-exported
+/// here for the engine-side users.
+pub use logres_model::SELF_LABEL;
 
 /// The hidden-oid label as a symbol.
 pub fn self_label() -> Sym {
@@ -242,10 +243,7 @@ mod tests {
 
     #[test]
     fn tagged_tuple_unifies_with_its_oid() {
-        let tagged = Value::tuple([
-            (SELF_LABEL, Value::Oid(Oid(7))),
-            ("name", Value::str("x")),
-        ]);
+        let tagged = Value::tuple([(SELF_LABEL, Value::Oid(Oid(7))), ("name", Value::str("x"))]);
         assert!(values_unify(&tagged, &Value::Oid(Oid(7))));
         assert!(values_unify(&Value::Oid(Oid(7)), &tagged));
         assert!(!values_unify(&tagged, &Value::Oid(Oid(8))));
@@ -286,10 +284,7 @@ mod tests {
             fun: Sym::new("desc"),
             args: vec![var("X")],
         };
-        assert_eq!(
-            eval_term(&t, &s, &inst),
-            Some(Value::set([Value::Int(2)]))
-        );
+        assert_eq!(eval_term(&t, &s, &inst), Some(Value::set([Value::Int(2)])));
     }
 
     #[test]
@@ -309,7 +304,12 @@ mod tests {
         assert_eq!(s2.get(Sym::new("B")), Some(&Value::Int(2)));
         // Length mismatch fails.
         let mut s3 = Subst::new();
-        assert!(!match_term(&qpat, &Value::seq([Value::Int(1)]), &mut s3, &inst));
+        assert!(!match_term(
+            &qpat,
+            &Value::seq([Value::Int(1)]),
+            &mut s3,
+            &inst
+        ));
     }
 
     #[test]

@@ -39,14 +39,12 @@ pub fn solve(
     use Builtin::*;
     let ev = |t: &Term| eval_term(t, subst, inst);
     match builtin {
-        Eq => {
-            match (ev(&args[0]), ev(&args[1])) {
-                (Some(a), Some(b)) => Ok(BuiltinOutcome::Test(values_unify(&a, &b))),
-                (Some(a), None) => bind_side(&args[1], &a, subst, inst),
-                (None, Some(b)) => bind_side(&args[0], &b, subst, inst),
-                (None, None) => Ok(BuiltinOutcome::NotReady),
-            }
-        }
+        Eq => match (ev(&args[0]), ev(&args[1])) {
+            (Some(a), Some(b)) => Ok(BuiltinOutcome::Test(values_unify(&a, &b))),
+            (Some(a), None) => bind_side(&args[1], &a, subst, inst),
+            (None, Some(b)) => bind_side(&args[0], &b, subst, inst),
+            (None, None) => Ok(BuiltinOutcome::NotReady),
+        },
         Ne => binary_test(ev(&args[0]), ev(&args[1]), |a, b| Ok(a != b)),
         Lt => cmp_test(ev(&args[0]), ev(&args[1]), |o| o.is_lt()),
         Le => cmp_test(ev(&args[0]), ev(&args[1]), |o| o.is_le()),
@@ -483,16 +481,113 @@ mod tests {
             other => panic!("expected bindings, got {other:?}"),
         }
         match solve1(Builtin::TailQ, &[var("T"), q], &s) {
-            BuiltinOutcome::Bindings(bs) => assert_eq!(
-                bs[0].get(Sym::new("T")),
-                Some(&Value::seq([Value::Int(2)]))
-            ),
+            BuiltinOutcome::Bindings(bs) => {
+                assert_eq!(bs[0].get(Sym::new("T")), Some(&Value::seq([Value::Int(2)])))
+            }
             other => panic!("expected bindings, got {other:?}"),
         }
         // head of empty sequence fails.
         assert_eq!(
             solve1(Builtin::HeadQ, &[var("H"), cst(Value::seq([]))], &s),
             BuiltinOutcome::Test(false)
+        );
+    }
+
+    #[test]
+    fn count_over_empty_collections_binds_zero() {
+        // `count` (and `length`) must bind exactly 0 for every empty
+        // collection kind — not fail like min/max/avg do.
+        let s = Subst::new();
+        for empty in [Value::empty_set(), Value::multiset([]), Value::seq([])] {
+            match solve1(Builtin::Count, &[var("N"), cst(empty.clone())], &s) {
+                BuiltinOutcome::Bindings(bs) => {
+                    assert_eq!(bs[0].get(Sym::new("N")), Some(&Value::Int(0)), "{empty}")
+                }
+                other => panic!("count over {empty}: expected bindings, got {other:?}"),
+            }
+            // Testing against a wrong bound count is a clean failure.
+            assert_eq!(
+                solve1(Builtin::Count, &[cst(Value::Int(1)), cst(empty)], &s),
+                BuiltinOutcome::Test(false)
+            );
+        }
+    }
+
+    #[test]
+    fn union_and_append_accumulate_duplicate_multiset_elements() {
+        let s = Subst::new();
+        // [1, 1] ∪ [1, 2] adds multiplicities: [1, 1, 1, 2].
+        let a = cst(Value::multiset([Value::Int(1), Value::Int(1)]));
+        let b = cst(Value::multiset([Value::Int(1), Value::Int(2)]));
+        match solve1(Builtin::Union, &[var("X"), a, b], &s) {
+            BuiltinOutcome::Bindings(bs) => assert_eq!(
+                bs[0].get(Sym::new("X")),
+                Some(&Value::multiset([
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(2)
+                ]))
+            ),
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        // Appending an element already present raises its multiplicity...
+        let m = cst(Value::multiset([Value::Int(7), Value::Int(7)]));
+        match solve1(Builtin::Append, &[var("X"), m, cst(Value::Int(7))], &s) {
+            BuiltinOutcome::Bindings(bs) => assert_eq!(
+                bs[0].get(Sym::new("X")),
+                Some(&Value::multiset([
+                    Value::Int(7),
+                    Value::Int(7),
+                    Value::Int(7)
+                ]))
+            ),
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        // ...while the same append on a *set* is idempotent.
+        let set = cst(Value::set([Value::Int(7)]));
+        match solve1(Builtin::Append, &[var("X"), set, cst(Value::Int(7))], &s) {
+            BuiltinOutcome::Bindings(bs) => {
+                assert_eq!(bs[0].get(Sym::new("X")), Some(&Value::set([Value::Int(7)])))
+            }
+            other => panic!("expected bindings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_on_tuples_are_type_errors() {
+        // Ordering is defined on integers and strings only; tuples — of any
+        // arity, matching or not — must error rather than silently order by
+        // the structural Ord on Value.
+        let s = Subst::new();
+        let t1 = Value::tuple([("a", Value::Int(1))]);
+        let t2 = Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let inst = Instance::new();
+        for (lhs, rhs) in [
+            (t1.clone(), t2.clone()),         // mixed arity
+            (t1.clone(), t1.clone()),         // same tuple
+            (t2.clone(), Value::Int(3)),      // tuple vs scalar
+            (Value::str("x"), Value::Int(3)), // string vs int
+        ] {
+            for b in [Builtin::Lt, Builtin::Le, Builtin::Gt, Builtin::Ge] {
+                let err = solve(b, &[cst(lhs.clone()), cst(rhs.clone())], &s, &inst)
+                    .expect_err("tuple comparison must error");
+                assert!(
+                    matches!(
+                        err,
+                        EngineError::BuiltinError {
+                            builtin: "comparison",
+                            ..
+                        }
+                    ),
+                    "unexpected error: {err:?}"
+                );
+            }
+        }
+        // Disequality is *not* an ordering: it stays a plain test on tuples.
+        assert_eq!(
+            solve1(Builtin::Ne, &[cst(t1), cst(t2)], &s),
+            BuiltinOutcome::Test(true)
         );
     }
 

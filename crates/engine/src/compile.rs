@@ -45,8 +45,8 @@ impl CompiledRules {
                 out.insert_assoc(*pred, t.clone());
             }
             // Later predicates (and re-binding) see base ∪ derived.
-            let mut combined = relation_of(schema, &out, *pred)
-                .ok_or(EngineError::UnknownPredicate(*pred))?;
+            let mut combined =
+                relation_of(schema, &out, *pred).ok_or(EngineError::UnknownPredicate(*pred))?;
             combined.extend_from(&rel);
             env.bind(*pred, combined);
         }
@@ -133,9 +133,10 @@ pub fn compile_ruleset(
         let mut step: Option<AlgExpr> = None;
         for r in &by_pred[&p] {
             let expr = compile_rule(schema, r)?;
-            let recursive = r.body.iter().any(|lit| {
-                matches!(&lit.atom, Atom::Pred { pred, .. } if *pred == p)
-            });
+            let recursive = r
+                .body
+                .iter()
+                .any(|lit| matches!(&lit.atom, Atom::Pred { pred, .. } if *pred == p));
             let slot = if recursive { &mut step } else { &mut base };
             *slot = Some(match slot.take() {
                 Some(acc) => acc.union(expr),
@@ -203,8 +204,7 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
                     }
                     if *pred == *head_pred {
                         return Err(unsupported(
-                            "negation of the rule's own head predicate cannot be compiled"
-                                .into(),
+                            "negation of the rule's own head predicate cannot be compiled".into(),
                         ));
                     }
                     negations.push((*pred, args));
@@ -229,20 +229,15 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
                             if let Some(first) = lit_vars.get(v) {
                                 // Repeated variable inside one literal: keep
                                 // one column, select equality.
-                                expr = expr.select(APred::eq(
-                                    Scalar::Col(*l),
-                                    Scalar::Col(*first),
-                                ));
+                                expr = expr.select(APred::eq(Scalar::Col(*l), Scalar::Col(*first)));
                             } else {
                                 lit_vars.insert(*v, *l);
                                 keep.push(*l);
                             }
                         }
                         PredArg::Labeled(l, Term::Const(c)) => {
-                            expr = expr.select(APred::eq(
-                                Scalar::Col(*l),
-                                Scalar::Const(c.clone()),
-                            ));
+                            expr =
+                                expr.select(APred::eq(Scalar::Col(*l), Scalar::Const(c.clone())));
                         }
                         other => {
                             return Err(unsupported(format!(
@@ -280,9 +275,7 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
             Builtin::Eq => {
                 let (lhs, rhs) = (&args[0], &args[1]);
                 match (lhs, rhs) {
-                    (Term::Var(v), other) | (other, Term::Var(v))
-                        if !bound_vars.contains(v) =>
-                    {
+                    (Term::Var(v), other) | (other, Term::Var(v)) if !bound_vars.contains(v) => {
                         let scalar = compile_scalar(other, &bound_vars)?;
                         expr = AlgExpr::Extend {
                             input: Box::new(expr),
@@ -566,18 +559,11 @@ mod tests {
         let out = compiled.run(&schema, &edb).unwrap();
         // The perfect model: only node 3 is isolated.
         assert_eq!(out.assoc_len(Sym::new("isolated")), 1);
-        assert!(out.has_tuple(
-            Sym::new("isolated"),
-            &Value::tuple([("n", Value::Int(3))])
-        ));
+        assert!(out.has_tuple(Sym::new("isolated"), &Value::tuple([("n", Value::Int(3))])));
         // Agrees with the stratified interpreter.
-        let (interp, _) = crate::stratified::evaluate_stratified(
-            &schema,
-            &rules,
-            &edb,
-            EvalOptions::default(),
-        )
-        .unwrap();
+        let (interp, _) =
+            crate::stratified::evaluate_stratified(&schema, &rules, &edb, EvalOptions::default())
+                .unwrap();
         assert_eq!(
             out.assoc_len(Sym::new("isolated")),
             interp.assoc_len(Sym::new("isolated"))

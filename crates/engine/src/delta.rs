@@ -64,6 +64,9 @@ pub struct DeltaSets {
     pub plus: Vec<Fact>,
     /// `Δ⁻`: facts to delete.
     pub minus: Vec<Fact>,
+    /// Satisfying body valuations found across all rules this step (before
+    /// the valuation-domain check filters already-satisfied heads).
+    pub firings: usize,
 }
 
 impl DeltaSets {
@@ -97,17 +100,36 @@ impl<'a> OneStep<'a> {
         }
     }
 
-    /// Compute `Δ⁺(R, F)` and `Δ⁻(R, F)`.
+    /// Compute `Δ⁺(R, F)` and `Δ⁻(R, F)` serially.
     pub fn deltas(&mut self, inst: &Instance) -> Result<DeltaSets, EngineError> {
-        let mut plus: Vec<Fact> = Vec::new();
-        let mut minus: Vec<Fact> = Vec::new();
+        self.deltas_with(inst, 1)
+    }
+
+    /// Compute `Δ⁺(R, F)` and `Δ⁻(R, F)` with up to `threads` worker
+    /// threads matching rule bodies against the (immutable) instance.
+    ///
+    /// Only the match phase is parallel; head instantiation — which
+    /// consumes the invention memo and the oid generator — always runs
+    /// serially in canonical rule order over the order-preserved valuation
+    /// lists, so the deltas (and every invented oid) are byte-for-byte
+    /// identical for every thread count.
+    pub fn deltas_with(
+        &mut self,
+        inst: &Instance,
+        threads: usize,
+    ) -> Result<DeltaSets, EngineError> {
+        let schema = self.schema;
+        let valuations = crate::parallel::ordered_map(threads, &self.rules.rules, |_, rule| {
+            eval_body(schema, BodyView::plain(inst), &rule.body, Subst::new())
+        });
+
+        let mut out = DeltaSets::default();
         let mut plus_seen: FxHashSet<Fact> = FxHashSet::default();
         let mut minus_seen: FxHashSet<Fact> = FxHashSet::default();
 
-        for (idx, rule) in self.rules.rules.iter().enumerate() {
-            let valuations =
-                eval_body(self.schema, BodyView::plain(inst), &rule.body, Subst::new())?;
-            for theta in valuations {
+        for (idx, (rule, thetas)) in self.rules.rules.iter().zip(valuations).enumerate() {
+            for theta in thetas? {
+                out.firings += 1;
                 let facts = instantiate_head(
                     self.schema,
                     inst,
@@ -120,15 +142,15 @@ impl<'a> OneStep<'a> {
                 for f in facts {
                     if rule.head.negated {
                         if minus_seen.insert(f.clone()) {
-                            minus.push(f);
+                            out.minus.push(f);
                         }
                     } else if plus_seen.insert(f.clone()) {
-                        plus.push(f);
+                        out.plus.push(f);
                     }
                 }
             }
         }
-        Ok(DeltaSets { plus, minus })
+        Ok(out)
     }
 
     /// Apply `F' = ((F ⊕ Δ⁺) − Δ⁻) ⊕ (F ∩ Δ⁺ ∩ Δ⁻)`. Returns whether
@@ -175,9 +197,7 @@ pub fn instantiate_head(
             Some(PredKind::Class) => {
                 instantiate_class_head(schema, inst, rule, rule_idx, *pred, args, theta, memo, gen)
             }
-            Some(PredKind::Assoc) => {
-                instantiate_assoc_head(schema, inst, rule, *pred, args, theta)
-            }
+            Some(PredKind::Assoc) => instantiate_assoc_head(schema, inst, rule, *pred, args, theta),
             _ => Err(EngineError::UnknownPredicate(*pred)),
         },
         Atom::Member {
@@ -191,11 +211,11 @@ pub fn instantiate_head(
             let a: Vec<Value> = args
                 .iter()
                 .map(|t| {
-                    eval_term(t, theta, inst)
-                        .map(normalize_arg)
-                        .ok_or_else(|| EngineError::Unevaluable {
+                    eval_term(t, theta, inst).map(normalize_arg).ok_or_else(|| {
+                        EngineError::Unevaluable {
                             detail: format!("member head argument of rule {rule}"),
-                        })
+                        }
+                    })
                 })
                 .collect::<Result<_, _>>()?;
             let present = inst.fun_contains(*fun, &a, &e);
@@ -281,11 +301,12 @@ fn instantiate_class_head(
                 }
             }
             PredArg::TupleVar(v) => {
-                let bound = theta.get(*v).cloned().ok_or_else(|| {
-                    EngineError::Unevaluable {
+                let bound = theta
+                    .get(*v)
+                    .cloned()
+                    .ok_or_else(|| EngineError::Unevaluable {
                         detail: format!("unbound head tuple variable `{v}` in {rule}"),
-                    }
-                })?;
+                    })?;
                 // Same-hierarchy source object: the head object *is* that
                 // object (Section 3.1 case b). Otherwise only values copy.
                 if let Some(o) = bound.field(self_label()).and_then(Value::as_oid) {
@@ -424,11 +445,12 @@ fn instantiate_assoc_head(
                 }
             }
             PredArg::TupleVar(v) => {
-                let bound = theta.get(*v).cloned().ok_or_else(|| {
-                    EngineError::Unevaluable {
+                let bound = theta
+                    .get(*v)
+                    .cloned()
+                    .ok_or_else(|| EngineError::Unevaluable {
                         detail: format!("unbound head tuple variable `{v}` in {rule}"),
-                    }
-                })?;
+                    })?;
                 let stripped = strip_self(&bound);
                 if let Some(fs) = stripped.as_tuple() {
                     for (l, val) in fs {
@@ -489,11 +511,9 @@ fn coerce_value(schema: &Schema, v: Value, ty: &TypeDesc) -> Value {
             None => v,
         },
         TypeDesc::Set(e) => match v {
-            Value::Set(s) => Value::Set(
-                s.into_iter()
-                    .map(|x| coerce_value(schema, x, e))
-                    .collect(),
-            ),
+            Value::Set(s) => {
+                Value::Set(s.into_iter().map(|x| coerce_value(schema, x, e)).collect())
+            }
             other => other,
         },
         TypeDesc::Multiset(e) => match v {
@@ -505,21 +525,17 @@ fn coerce_value(schema: &Schema, v: Value, ty: &TypeDesc) -> Value {
             other => other,
         },
         TypeDesc::Seq(e) => match v {
-            Value::Seq(q) => Value::Seq(
-                q.into_iter()
-                    .map(|x| coerce_value(schema, x, e))
-                    .collect(),
-            ),
+            Value::Seq(q) => {
+                Value::Seq(q.into_iter().map(|x| coerce_value(schema, x, e)).collect())
+            }
             other => other,
         },
         TypeDesc::Tuple(fs) => match v {
             Value::Tuple(vfs) => Value::Tuple(
                 vfs.into_iter()
-                    .map(|(l, x)| {
-                        match fs.iter().find(|f| f.label == l) {
-                            Some(f) => (l, coerce_value(schema, x, &f.ty)),
-                            None => (l, x),
-                        }
+                    .map(|(l, x)| match fs.iter().find(|f| f.label == l) {
+                        Some(f) => (l, coerce_value(schema, x, &f.ty)),
+                        None => (l, x),
                     })
                     .collect(),
             ),
@@ -554,8 +570,8 @@ fn inst_class_of(inst: &Instance, schema: &Schema, oid: Oid) -> Option<Sym> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logres_lang::parse_program;
     use crate::load::load_facts;
+    use logres_lang::parse_program;
 
     fn setup(src: &str) -> (Schema, Instance, RuleSet) {
         let p = parse_program(src).expect("parses");
@@ -760,10 +776,6 @@ mod tests {
         assert_eq!(d.plus.len(), 1);
         let mut next = inst.clone();
         step.apply(&mut next, &d);
-        assert!(next.fun_contains(
-            Sym::new("children"),
-            &[Value::str("a")],
-            &Value::str("b")
-        ));
+        assert!(next.fun_contains(Sym::new("children"), &[Value::str("a")], &Value::str("b")));
     }
 }

@@ -20,7 +20,10 @@ pub enum EngineError {
     /// bound and no active domain could be computed for them.
     Unevaluable { detail: String },
     /// A builtin was applied to values of the wrong shape.
-    BuiltinError { builtin: &'static str, detail: String },
+    BuiltinError {
+        builtin: &'static str,
+        detail: String,
+    },
     /// The rule set falls outside the fragment a specialized evaluator or
     /// the ALGRES compiler supports.
     UnsupportedFragment { detail: String },

@@ -34,11 +34,7 @@ pub fn answer_goal(
             rows.push(row);
         }
     }
-    rows.sort_by(|a, b| {
-        a.iter()
-            .map(|(_, v)| v)
-            .cmp(b.iter().map(|(_, v)| v))
-    });
+    rows.sort_by(|a, b| a.iter().map(|(_, v)| v).cmp(b.iter().map(|(_, v)| v)));
     Ok(rows)
 }
 
@@ -91,10 +87,7 @@ mod tests {
         let rows = answer_goal(&p.schema, &inst, p.goal.as_ref().unwrap()).unwrap();
         assert_eq!(rows.len(), 1);
         // The binding is the visible tuple only — no oid leakage.
-        assert_eq!(
-            rows[0][0].1,
-            Value::tuple([("name", Value::str("ceri"))])
-        );
+        assert_eq!(rows[0][0].1, Value::tuple([("name", Value::str("ceri"))]));
     }
 
     #[test]

@@ -4,19 +4,28 @@
 //! driver carries fuel: a step limit and a fact-count limit. Reaching
 //! either reports an error instead of looping.
 
+use std::time::Instant;
+
 use logres_lang::RuleSet;
 use logres_model::{Instance, Schema};
 
 use crate::delta::OneStep;
 use crate::error::EngineError;
+use crate::parallel::effective_threads;
 
-/// Fuel limits for an evaluation run.
+/// Fuel limits and execution knobs for an evaluation run.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
     /// Maximum number of one-step applications.
     pub max_steps: usize,
     /// Maximum number of stored facts.
     pub max_facts: usize,
+    /// Worker threads for the per-rule body-match phase of each step:
+    /// `1` = serial (the default), `0` = one per available core. The merge
+    /// phase is always serial in canonical rule order, so the produced
+    /// instance — including invented-oid numbering — is identical for every
+    /// setting.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -24,12 +33,29 @@ impl Default for EvalOptions {
         EvalOptions {
             max_steps: 100_000,
             max_facts: 10_000_000,
+            threads: 1,
         }
     }
 }
 
-/// What a run did.
+/// Counters and wall-clock timings for one application of the one-step
+/// operator (or one semi-naive round).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterationStats {
+    /// Satisfying body valuations found across all rules.
+    pub firings: usize,
+    /// Facts derived (`Δ⁺`, or newly inserted facts in a semi-naive round).
+    pub derived: usize,
+    /// Facts deleted (`Δ⁻`; always 0 for semi-naive).
+    pub deleted: usize,
+    /// Nanoseconds spent matching bodies and instantiating heads.
+    pub match_nanos: u64,
+    /// Nanoseconds spent applying the composition to the instance.
+    pub apply_nanos: u64,
+}
+
+/// What a run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvalReport {
     /// Steps until the fixpoint (0 = the EDB was already closed).
     pub steps: usize,
@@ -38,6 +64,9 @@ pub struct EvalReport {
     /// Set by the stratified driver when it fell back to whole-program
     /// inflationary evaluation.
     pub fallback_inflationary: bool,
+    /// One entry per invocation of the one-step operator (including the
+    /// final invocation that confirms the fixpoint by deriving nothing).
+    pub iterations: Vec<IterationStats>,
 }
 
 /// Run the inflationary semantics of `rules` over `edb`; returns the
@@ -51,16 +80,32 @@ pub fn evaluate_inflationary(
     let mut step = OneStep::new(schema, rules, edb);
     let mut inst = edb.clone();
     let mut report = EvalReport::default();
+    let threads = effective_threads(opts.threads);
 
     for i in 0..opts.max_steps {
-        let deltas = step.deltas(&inst)?;
+        let match_start = Instant::now();
+        let deltas = step.deltas_with(&inst, threads)?;
+        let match_nanos = match_start.elapsed().as_nanos() as u64;
         if deltas.is_empty() {
+            report.iterations.push(IterationStats {
+                firings: deltas.firings,
+                match_nanos,
+                ..IterationStats::default()
+            });
             report.steps = i;
             report.facts = inst.fact_count();
             return Ok((inst, report));
         }
         let before = inst.clone();
+        let apply_start = Instant::now();
         step.apply(&mut inst, &deltas);
+        report.iterations.push(IterationStats {
+            firings: deltas.firings,
+            derived: deltas.plus.len(),
+            deleted: deltas.minus.len(),
+            match_nanos,
+            apply_nanos: apply_start.elapsed().as_nanos() as u64,
+        });
         if inst == before {
             // Δ⁺ and Δ⁻ cancelled exactly: a fixpoint of the operator.
             report.steps = i + 1;
@@ -99,8 +144,7 @@ mod tests {
 
     #[test]
     fn transitive_closure_of_a_chain() {
-        let (_, inst, report) = run(
-            r#"
+        let (_, inst, report) = run(r#"
             associations
               e  = (a: integer, b: integer);
               tc = (a: integer, b: integer);
@@ -111,8 +155,7 @@ mod tests {
             rules
               tc(a: X, b: Y) <- e(a: X, b: Y).
               tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
-        "#,
-        );
+        "#);
         assert_eq!(inst.assoc_len(Sym::new("tc")), 6);
         assert!(report.steps >= 3);
     }
@@ -121,8 +164,7 @@ mod tests {
     fn example_4_1_rules_as_triggers() {
         // E0 = {italian(sara)}; module adds luca, roman ugo, and the
         // propagation rule. Expected: italian = {sara, luca, ugo}.
-        let (_, inst, _) = run(
-            r#"
+        let (_, inst, _) = run(r#"
             associations
               italian = (name: string);
               roman   = (name: string);
@@ -132,8 +174,7 @@ mod tests {
               italian(name: "luca") <- .
               roman(name: "ugo") <- .
               italian(name: X) <- roman(name: X).
-        "#,
-        );
+        "#);
         assert_eq!(inst.assoc_len(Sym::new("italian")), 3);
         assert_eq!(inst.assoc_len(Sym::new("roman")), 1);
     }
@@ -143,8 +184,7 @@ mod tests {
         // Add 1 to the second field of all tuples with an even first field.
         // `mod_t` records the already-updated tuples: the rewrite rules skip
         // them and the deletion removes the not-yet-protected originals.
-        let (_, inst, _) = run(
-            r#"
+        let (_, inst, _) = run(r#"
             associations
               p     = (d1: integer, d2: integer);
               mod_t = (d1: integer, d2: integer);
@@ -159,8 +199,7 @@ mod tests {
               mod_t(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
                                      not mod_t(d1: X, d2: Y).
               -p(Y) <- p(Y, d1: X), even(X), not mod_t(Y).
-        "#,
-        );
+        "#);
         // Paper: El = {p(1,1), p(2,3), p(3,3), p(4,5)}.
         let p = Sym::new("p");
         let want = [(1, 1), (2, 3), (3, 3), (4, 5)];
@@ -178,8 +217,7 @@ mod tests {
 
     #[test]
     fn powerset_of_example_3_3() {
-        let (_, inst, _) = run(
-            r#"
+        let (_, inst, _) = run(r#"
             associations
               r     = (d: integer);
               power = (s: {integer});
@@ -191,16 +229,14 @@ mod tests {
               power(s: X) <- X = {}.
               power(s: X) <- r(d: Y), append(X, {}, Y).
               power(s: X) <- power(s: Y), power(s: Z), union(X, Y, Z).
-        "#,
-        );
+        "#);
         // The powerset of a 3-element set has 8 elements.
         assert_eq!(inst.assoc_len(Sym::new("power")), 8);
     }
 
     #[test]
     fn descendants_with_data_functions_example_3_2() {
-        let (_, inst, _) = run(
-            r#"
+        let (_, inst, _) = run(r#"
             classes
               person = (name: string);
             associations
@@ -215,8 +251,7 @@ mod tests {
               member(X, desc(Y)) <- parent(par: Y, chil: X).
               member(X, desc(Y)) <- parent(par: Y, chil: Z), member(X, T), T = desc(Z).
               ancestor(anc: X, des: Y) <- parent(par: X), Y = desc(X).
-        "#,
-        );
+        "#);
         let desc = Sym::new("desc");
         assert_eq!(
             inst.fun_value(desc, &[Value::str("a")]),
@@ -260,6 +295,7 @@ mod tests {
             EvalOptions {
                 max_steps: 50,
                 max_facts: 1_000_000,
+                ..EvalOptions::default()
             },
         )
         .unwrap_err();
@@ -268,14 +304,12 @@ mod tests {
 
     #[test]
     fn empty_ruleset_returns_edb() {
-        let (_, inst, report) = run(
-            r#"
+        let (_, inst, report) = run(r#"
             associations
               p = (d: integer);
             facts
               p(d: 1).
-        "#,
-        );
+        "#);
         assert_eq!(inst.assoc_len(Sym::new("p")), 1);
         assert_eq!(report.steps, 0);
     }

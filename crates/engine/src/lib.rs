@@ -45,6 +45,7 @@ pub mod goal;
 pub mod inflationary;
 pub mod load;
 pub mod matcher;
+pub mod parallel;
 pub mod seminaive;
 pub mod stratified;
 
@@ -53,7 +54,8 @@ pub use compile::{compile_ruleset, env_from_instance, CompiledRules};
 pub use delta::{DeltaSets, OneStep};
 pub use error::EngineError;
 pub use goal::answer_goal;
-pub use inflationary::{evaluate_inflationary, EvalOptions, EvalReport};
+pub use inflationary::{evaluate_inflationary, EvalOptions, EvalReport, IterationStats};
 pub use load::load_facts;
+pub use parallel::{effective_threads, ordered_map};
 pub use seminaive::{evaluate_seminaive, seminaive_applicable};
 pub use stratified::{evaluate, evaluate_stratified, Semantics};

@@ -158,8 +158,7 @@ fn literal_readiness(
                 // hash lookup instead of an extension scan — this is what
                 // keeps Example 4.2-style updates linear.
                 if schema.kind(*pred) == Some(PredKind::Assoc) {
-                    if let Some(tuple) = ground_assoc_tuple(schema, *pred, args, subst, view.full)
-                    {
+                    if let Some(tuple) = ground_assoc_tuple(schema, *pred, args, subst, view.full) {
                         return Ok(if view.full.has_tuple(*pred, &tuple) {
                             Readiness::Fail
                         } else {
@@ -198,14 +197,12 @@ fn literal_readiness(
         } => {
             if lit.negated {
                 let ev = |t: &Term| eval_term(t, subst, view.full);
-                let (Some(e), Some(a)) = (
-                    ev(elem),
-                    args.iter().map(ev).collect::<Option<Vec<_>>>(),
-                ) else {
+                let (Some(e), Some(a)) =
+                    (ev(elem), args.iter().map(ev).collect::<Option<Vec<_>>>())
+                else {
                     return Ok(Readiness::NotReady);
                 };
-                let a: Vec<Value> =
-                    a.into_iter().map(crate::binding::normalize_arg).collect();
+                let a: Vec<Value> = a.into_iter().map(crate::binding::normalize_arg).collect();
                 Ok(if view.full.fun_contains(*fun, &a, &e) {
                     Readiness::Fail
                 } else {
@@ -282,10 +279,8 @@ pub fn match_pred(
                             }
                         },
                         PredArg::TupleVar(v) => {
-                            let mut fields = view
-                                .as_tuple()
-                                .map(|fs| fs.to_vec())
-                                .unwrap_or_default();
+                            let mut fields =
+                                view.as_tuple().map(|fs| fs.to_vec()).unwrap_or_default();
                             fields.push((self_label(), Value::Oid(oid)));
                             let tagged = Value::tuple(fields);
                             if !s.unify_var(*v, tagged) {
@@ -301,7 +296,7 @@ pub fn match_pred(
             }
         }
         Some(PredKind::Assoc) => {
-            for tuple in src.tuples_of(pred) {
+            let try_tuple = |tuple: &Value, out: &mut Vec<Subst>| {
                 let mut s = subst.clone();
                 let mut ok = true;
                 for arg in args {
@@ -334,6 +329,24 @@ pub fn match_pred(
                 if ok {
                     out.push(s);
                 }
+            };
+            // Index probe: the first labeled argument already ground under
+            // `subst` selects a hash bucket instead of scanning the whole
+            // extension. Candidates are still verified by the full match
+            // above, so the probe only has to be a superset filter.
+            match first_probe(args, subst, src) {
+                Some((label, key)) => {
+                    if let Some(bucket) = src.tuples_matching(pred, label, &key) {
+                        for tuple in bucket.iter() {
+                            try_tuple(tuple, &mut out);
+                        }
+                    }
+                }
+                None => {
+                    for tuple in src.tuples_of(pred) {
+                        try_tuple(tuple, &mut out);
+                    }
+                }
             }
         }
         Some(PredKind::Function) | Some(PredKind::Domain) | None => {
@@ -341,6 +354,29 @@ pub fn match_pred(
         }
     }
     Ok(out)
+}
+
+/// The first association argument usable as an index probe: a labeled
+/// argument whose term is ground under `subst` *and* whose match semantics
+/// coincide with normalized-key equality.
+///
+/// `Tuple` patterns are excluded (they match any tuple carrying a superset
+/// of their fields) and so are `Seq` patterns (element-wise matching may
+/// bind variables); every other term kind falls through to
+/// "evaluate, then [`values_unify`]" in [`match_term`], which is exactly
+/// the equivalence [`Value::index_key`] buckets by.
+fn first_probe(args: &[PredArg], subst: &Subst, inst: &Instance) -> Option<(Sym, Value)> {
+    args.iter().find_map(|arg| {
+        let PredArg::Labeled(l, t) = arg else {
+            return None;
+        };
+        let key = match t {
+            Term::Tuple(_) | Term::Seq(_) => return None,
+            Term::Var(v) => subst.get(*v).cloned(),
+            _ => eval_term(t, subst, inst),
+        }?;
+        Some((*l, crate::binding::normalize_arg(key)))
+    })
 }
 
 /// Build the complete ground tuple a (negated) association literal denotes,
@@ -374,8 +410,7 @@ fn ground_assoc_tuple(
                 let stripped = crate::binding::strip_self(bound);
                 let fs = stripped.as_tuple()?;
                 for (l, val) in fs {
-                    if attrs.iter().any(|f| f.label == *l)
-                        && !fields.iter().any(|(fl, _)| fl == l)
+                    if attrs.iter().any(|f| f.label == *l) && !fields.iter().any(|(fl, _)| fl == l)
                     {
                         fields.push((*l, val.clone()));
                     }

@@ -1,0 +1,105 @@
+//! Order-preserving parallel map over scoped threads.
+//!
+//! The evaluation drivers split every step into a *match phase* (pure reads
+//! of an immutable [`logres_model::Instance`], one task per rule) and a
+//! *merge phase* (serial, in canonical rule order, where the invention memo
+//! and oid generator live). Only the match phase runs here; because
+//! [`ordered_map`] returns results in input order regardless of which worker
+//! computed them, the merge phase — and therefore the produced instance,
+//! including invented-oid numbering — is bit-identical for every thread
+//! count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a thread-count option: `0` means one worker per available core,
+/// any other value is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Apply `f` to every item on up to `threads` scoped worker threads and
+/// return the results **in input order**.
+///
+/// Work is claimed dynamically (an atomic cursor), so uneven task costs
+/// balance across workers; each worker buffers `(index, result)` pairs
+/// locally and the buffers are merged and sorted once at the end. With
+/// `threads <= 1` (or a single item) no thread is spawned at all.
+pub fn ordered_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(i, item)));
+                }
+                if !local.is_empty() {
+                    done.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut slots = done.into_inner().unwrap();
+    slots.sort_unstable_by_key(|(i, _)| *i);
+    slots.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = ordered_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(ordered_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(ordered_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_cores() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn uneven_workloads_still_order() {
+        // Later items finish first (cheaper), exercising the sort.
+        let items: Vec<u64> = (0..32).rev().collect();
+        let out = ordered_map(4, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(x * 10));
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

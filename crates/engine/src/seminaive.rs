@@ -17,11 +17,14 @@ use logres_lang::{Atom, PredArg, Rule, RuleSet};
 use logres_model::{Fact, Instance, PredKind, Schema, Sym};
 use rustc_hash::FxHashSet;
 
+use std::time::Instant;
+
 use crate::binding::Subst;
 use crate::delta::{instantiate_head, InventionMemo};
 use crate::error::EngineError;
-use crate::inflationary::{EvalOptions, EvalReport};
+use crate::inflationary::{EvalOptions, EvalReport, IterationStats};
 use crate::matcher::{eval_body, BodyView};
+use crate::parallel::{effective_threads, ordered_map};
 
 /// Is the rule set inside the semi-naive fragment?
 pub fn seminaive_applicable(schema: &Schema, rules: &RuleSet) -> bool {
@@ -35,9 +38,7 @@ fn rule_applicable(schema: &Schema, rule: &Rule) -> bool {
     let head_ok = match &rule.head.atom {
         Atom::Pred { pred, args, .. } => {
             schema.kind(*pred) == Some(PredKind::Assoc)
-                && args
-                    .iter()
-                    .all(|a| !matches!(a, PredArg::SelfArg(_)))
+                && args.iter().all(|a| !matches!(a, PredArg::SelfArg(_)))
         }
         _ => false,
     };
@@ -72,21 +73,33 @@ pub fn evaluate_seminaive(
 
     // Intensional predicates: those defined by some rule head.
     let idb: FxHashSet<Sym> = rules.rules.iter().map(|r| r.head.target()).collect();
+    let threads = effective_threads(opts.threads);
 
     let mut total = edb.clone();
     let mut memo = InventionMemo::new();
     let mut gen = edb.oid_gen();
     let mut report = EvalReport::default();
 
-    // Round 0: evaluate every rule over the EDB in full.
+    // Round 0: evaluate every rule over the EDB snapshot, then merge the
+    // order-preserved valuation lists serially in rule order (the match
+    // phase reads an immutable instance, so it parallelizes; the positive
+    // fragment is monotone, so snapshot rounds reach the same fixpoint).
     let mut delta = Instance::new();
-    for (idx, rule) in rules.rules.iter().enumerate() {
-        let subs = eval_body(schema, BodyView::plain(&total), &rule.body, Subst::new())?;
-        for theta in subs {
-            for fact in
-                instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)?
-            {
+    let match_start = Instant::now();
+    let subs_per_rule = ordered_map(threads, &rules.rules, |_, rule| {
+        eval_body(schema, BodyView::plain(&total), &rule.body, Subst::new())
+    });
+    let mut stats = IterationStats {
+        match_nanos: match_start.elapsed().as_nanos() as u64,
+        ..IterationStats::default()
+    };
+    let apply_start = Instant::now();
+    for (idx, (rule, subs)) in rules.rules.iter().zip(subs_per_rule).enumerate() {
+        for theta in subs? {
+            stats.firings += 1;
+            for fact in instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)? {
                 if total.insert_fact(schema, &fact) {
+                    stats.derived += 1;
                     if let Fact::Assoc { assoc, tuple } = &fact {
                         delta.insert_assoc(*assoc, tuple.clone());
                     }
@@ -94,9 +107,27 @@ pub fn evaluate_seminaive(
             }
         }
     }
+    stats.apply_nanos = apply_start.elapsed().as_nanos() as u64;
+    report.iterations.push(stats);
     report.steps = 1;
 
-    // Delta rounds.
+    // Delta rounds: one task per (rule, intensional body literal), with
+    // that literal bound to the delta.
+    let jobs: Vec<(usize, usize)> = rules
+        .rules
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, rule)| {
+            let idb = &idb;
+            rule.body.iter().enumerate().filter_map(move |(li, lit)| {
+                let Atom::Pred { pred, .. } = &lit.atom else {
+                    return None;
+                };
+                idb.contains(pred).then_some((idx, li))
+            })
+        })
+        .collect();
+
     while !delta_is_empty(&delta, &idb) {
         if report.steps >= opts.max_steps {
             return Err(EngineError::NoFixpoint {
@@ -108,35 +139,38 @@ pub fn evaluate_seminaive(
                 limit: opts.max_facts,
             });
         }
+        let match_start = Instant::now();
+        let subs_per_job = ordered_map(threads, &jobs, |_, &(idx, li)| {
+            let view = BodyView {
+                full: &total,
+                delta: Some((li, &delta)),
+            };
+            eval_body(schema, view, &rules.rules[idx].body, Subst::new())
+        });
+        let mut stats = IterationStats {
+            match_nanos: match_start.elapsed().as_nanos() as u64,
+            ..IterationStats::default()
+        };
+        let apply_start = Instant::now();
         let mut next_delta = Instance::new();
-        for (idx, rule) in rules.rules.iter().enumerate() {
-            // One pass per intensional body literal, with that literal bound
-            // to the delta.
-            for (li, lit) in rule.body.iter().enumerate() {
-                let Atom::Pred { pred, .. } = &lit.atom else {
-                    continue;
-                };
-                if !idb.contains(pred) {
-                    continue;
-                }
-                let view = BodyView {
-                    full: &total,
-                    delta: Some((li, &delta)),
-                };
-                let subs = eval_body(schema, view, &rule.body, Subst::new())?;
-                for theta in subs {
-                    for fact in instantiate_head(
-                        schema, &total, rule, idx, &theta, &mut memo, &mut gen,
-                    )? {
-                        if total.insert_fact(schema, &fact) {
-                            if let Fact::Assoc { assoc, tuple } = &fact {
-                                next_delta.insert_assoc(*assoc, tuple.clone());
-                            }
+        for (&(idx, _), subs) in jobs.iter().zip(subs_per_job) {
+            let rule = &rules.rules[idx];
+            for theta in subs? {
+                stats.firings += 1;
+                for fact in
+                    instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)?
+                {
+                    if total.insert_fact(schema, &fact) {
+                        stats.derived += 1;
+                        if let Fact::Assoc { assoc, tuple } = &fact {
+                            next_delta.insert_assoc(*assoc, tuple.clone());
                         }
                     }
                 }
             }
         }
+        stats.apply_nanos = apply_start.elapsed().as_nanos() as u64;
+        report.iterations.push(stats);
         delta = next_delta;
         report.steps += 1;
     }
@@ -187,8 +221,7 @@ mod tests {
     #[test]
     fn matches_inflationary_on_transitive_closure() {
         let (schema, edb, rules) = setup(&chain_edb(12));
-        let (semi, _) =
-            evaluate_seminaive(&schema, &rules, &edb, EvalOptions::default()).unwrap();
+        let (semi, _) = evaluate_seminaive(&schema, &rules, &edb, EvalOptions::default()).unwrap();
         let (infl, _) =
             evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default()).unwrap();
         let tc = Sym::new("tc");
@@ -217,8 +250,7 @@ mod tests {
               tc(a: X, b: Z) <- tc(a: X, b: Y), tc(a: Y, b: Z).
         "#;
         let (schema, edb, rules) = setup(src);
-        let (semi, _) =
-            evaluate_seminaive(&schema, &rules, &edb, EvalOptions::default()).unwrap();
+        let (semi, _) = evaluate_seminaive(&schema, &rules, &edb, EvalOptions::default()).unwrap();
         assert_eq!(semi.assoc_len(Sym::new("tc")), 5 * 4 / 2);
     }
 

@@ -54,14 +54,12 @@ pub fn evaluate_stratified(
             let mut total = EvalReport::default();
             for stratum in strata {
                 let sub = RuleSet {
-                    rules: stratum
-                        .iter()
-                        .map(|&i| rules.rules[i].clone())
-                        .collect(),
+                    rules: stratum.iter().map(|&i| rules.rules[i].clone()).collect(),
                 };
                 let (next, report) = evaluate_inflationary(schema, &sub, &inst, opts)?;
                 inst = next;
                 total.steps += report.steps;
+                total.iterations.extend(report.iterations);
             }
             total.facts = inst.fact_count();
             Ok((inst, total))
@@ -114,10 +112,7 @@ mod tests {
             evaluate_stratified(&schema, &rules, &edb, EvalOptions::default()).unwrap();
         assert!(!report.fallback_inflationary);
         assert_eq!(inst.assoc_len(Sym::new("isolated")), 1);
-        assert!(inst.has_tuple(
-            Sym::new("isolated"),
-            &Value::tuple([("n", Value::Int(3))])
-        ));
+        assert!(inst.has_tuple(Sym::new("isolated"), &Value::tuple([("n", Value::Int(3))])));
     }
 
     #[test]

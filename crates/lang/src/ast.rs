@@ -90,9 +90,7 @@ impl Term {
             Term::Var(_) | Term::FunApp { .. } => false,
             Term::Const(_) | Term::Nil => true,
             Term::Tuple(fs) => fs.iter().all(|(_, t)| t.is_ground()),
-            Term::Set(ts) | Term::Multiset(ts) | Term::Seq(ts) => {
-                ts.iter().all(Term::is_ground)
-            }
+            Term::Set(ts) | Term::Multiset(ts) | Term::Seq(ts) => ts.iter().all(Term::is_ground),
             Term::BinOp { lhs, rhs, .. } => lhs.is_ground() && rhs.is_ground(),
         }
     }
@@ -306,16 +304,38 @@ impl PartialEq for Atom {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (
-                Atom::Pred { pred: p1, args: a1, .. },
-                Atom::Pred { pred: p2, args: a2, .. },
+                Atom::Pred {
+                    pred: p1, args: a1, ..
+                },
+                Atom::Pred {
+                    pred: p2, args: a2, ..
+                },
             ) => p1 == p2 && a1 == a2,
             (
-                Atom::Member { elem: e1, fun: f1, args: a1, .. },
-                Atom::Member { elem: e2, fun: f2, args: a2, .. },
+                Atom::Member {
+                    elem: e1,
+                    fun: f1,
+                    args: a1,
+                    ..
+                },
+                Atom::Member {
+                    elem: e2,
+                    fun: f2,
+                    args: a2,
+                    ..
+                },
             ) => e1 == e2 && f1 == f2 && a1 == a2,
             (
-                Atom::Builtin { builtin: b1, args: a1, .. },
-                Atom::Builtin { builtin: b2, args: a2, .. },
+                Atom::Builtin {
+                    builtin: b1,
+                    args: a1,
+                    ..
+                },
+                Atom::Builtin {
+                    builtin: b2,
+                    args: a2,
+                    ..
+                },
             ) => b1 == b2 && a1 == a2,
             _ => false,
         }
@@ -370,7 +390,9 @@ impl Atom {
                     }
                 }
             }
-            Atom::Member { fun, elem, args, .. } => {
+            Atom::Member {
+                fun, elem, args, ..
+            } => {
                 out.push(*fun);
                 elem.collect_functions(&mut out);
                 for t in args {

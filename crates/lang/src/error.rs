@@ -67,8 +67,18 @@ mod tests {
 
     #[test]
     fn span_join_covers_both() {
-        let a = Span { start: 3, end: 7, line: 1, col: 4 };
-        let b = Span { start: 10, end: 12, line: 2, col: 1 };
+        let a = Span {
+            start: 3,
+            end: 7,
+            line: 1,
+            col: 4,
+        };
+        let b = Span {
+            start: 10,
+            end: 12,
+            line: 2,
+            col: 1,
+        };
         let j = a.to(b);
         assert_eq!(j.start, 3);
         assert_eq!(j.end, 12);
@@ -77,7 +87,15 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = LangError::new(Span { start: 0, end: 1, line: 3, col: 9 }, "boom");
+        let e = LangError::new(
+            Span {
+                start: 0,
+                end: 1,
+                line: 3,
+                col: 9,
+            },
+            "boom",
+        );
         assert_eq!(e.to_string(), "3:9: boom");
     }
 }

@@ -171,8 +171,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let s0 = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                     col += 1;

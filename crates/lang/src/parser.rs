@@ -1276,7 +1276,10 @@ mod tests {
         assert_eq!(p.rules.len(), 3);
         assert!(matches!(
             &p.rules.rules[2].body[2].atom,
-            Atom::Builtin { builtin: Builtin::Union, .. }
+            Atom::Builtin {
+                builtin: Builtin::Union,
+                ..
+            }
         ));
     }
 
@@ -1410,7 +1413,10 @@ mod tests {
         assert_eq!(r.body.len(), 3);
         assert!(matches!(
             &r.body[2].atom,
-            Atom::Builtin { builtin: Builtin::Lt, .. }
+            Atom::Builtin {
+                builtin: Builtin::Lt,
+                ..
+            }
         ));
     }
 
@@ -1435,10 +1441,7 @@ mod tests {
         let v = eval_ground(&t).unwrap();
         assert_eq!(
             v,
-            Value::tuple([
-                ("a", Value::Int(1)),
-                ("b", Value::set([Value::Nil]))
-            ])
+            Value::tuple([("a", Value::Int(1)), ("b", Value::set([Value::Nil]))])
         );
         assert_eq!(eval_ground(&Term::Var(Sym::new("X"))), None);
     }

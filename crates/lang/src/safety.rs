@@ -98,9 +98,7 @@ pub fn check_rule(schema: &Schema, rule: &Rule) -> Result<(), Vec<LangError>> {
                             if !is_class_pos {
                                 errs.push(LangError::new(
                                     *span,
-                                    format!(
-                                        "unbound variable `{v}` in head argument `{label}`"
-                                    ),
+                                    format!("unbound variable `{v}` in head argument `{label}`"),
                                 ));
                             }
                         }
@@ -111,7 +109,11 @@ pub fn check_rule(schema: &Schema, rule: &Rule) -> Result<(), Vec<LangError>> {
         Atom::Member {
             elem, args, span, ..
         } => {
-            for v in elem.vars().into_iter().chain(args.iter().flat_map(Term::vars)) {
+            for v in elem
+                .vars()
+                .into_iter()
+                .chain(args.iter().flat_map(Term::vars))
+            {
                 if !bound.contains(&v) {
                     errs.push(LangError::new(
                         *span,
@@ -231,8 +233,13 @@ fn binds_of_builtin(b: Builtin, args: &[Term], bound: &mut FxHashSet<Sym>) {
             }
         }
         // Tests bind nothing.
-        Builtin::Ne | Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge
-        | Builtin::Even | Builtin::Odd => {}
+        Builtin::Ne
+        | Builtin::Lt
+        | Builtin::Le
+        | Builtin::Gt
+        | Builtin::Ge
+        | Builtin::Even
+        | Builtin::Odd => {}
     }
 }
 

@@ -129,9 +129,9 @@ impl Ctx<'_> {
                     ))
                 }
             }
-            (SelfOf(c), Val(t)) | (Val(t), SelfOf(c)) => Some(format!(
-                "oid of `{c}` vs ordinary value of type `{t}`"
-            )),
+            (SelfOf(c), Val(t)) | (Val(t), SelfOf(c)) => {
+                Some(format!("oid of `{c}` vs ordinary value of type `{t}`"))
+            }
             (TupleOf(p1), TupleOf(p2)) => {
                 match (tuple_ty(*p1), tuple_ty(*p2)) {
                     (Some(t1), Some(t2)) => {
@@ -194,9 +194,7 @@ impl Ctx<'_> {
                                 ));
                             }
                             match t {
-                                Term::Var(v) => {
-                                    self.uses.push((*v, VarUse::SelfOf(*pred), *span))
-                                }
+                                Term::Var(v) => self.uses.push((*v, VarUse::SelfOf(*pred), *span)),
                                 Term::Nil => {}
                                 _ => self.errs.push(LangError::new(
                                     *span,
@@ -208,9 +206,8 @@ impl Ctx<'_> {
                             self.uses.push((*v, VarUse::TupleOf(*pred), *span));
                         }
                         PredArg::Labeled(label, t) => {
-                            let attr_ty = tuple_ty
-                                .as_ref()
-                                .and_then(|tt| tt.field(*label).cloned());
+                            let attr_ty =
+                                tuple_ty.as_ref().and_then(|tt| tt.field(*label).cloned());
                             match attr_ty {
                                 Some(ty) => self.constrain(t, &ty, *span),
                                 None => {
@@ -230,7 +227,9 @@ impl Ctx<'_> {
                 if is_head && kind == Some(PredKind::Function) {
                     self.errs.push(LangError::new(
                         *span,
-                        format!("data function `{pred}` can only be defined through member(…) heads"),
+                        format!(
+                            "data function `{pred}` can only be defined through member(…) heads"
+                        ),
                     ));
                 }
             }
@@ -460,30 +459,27 @@ impl Ctx<'_> {
                     format!("sequence term where `{expected}` was expected"),
                 )),
             },
-            Term::FunApp { fun, args } => {
-                match self.schema.function(*fun).cloned() {
-                    Some(sig) => {
-                        let result =
-                            TypeDesc::set(self.schema.expand(&sig.result_elem));
-                        if !self.schema.compatible(&result, expected) {
-                            self.errs.push(LangError::new(
-                                span,
-                                format!(
-                                    "function `{fun}` yields `{result}` but `{expected}` was expected"
-                                ),
-                            ));
-                        }
-                        for (a, p) in args.iter().zip(&sig.params) {
-                            let pt = self.schema.expand(p);
-                            self.constrain(a, &pt, span);
-                        }
+            Term::FunApp { fun, args } => match self.schema.function(*fun).cloned() {
+                Some(sig) => {
+                    let result = TypeDesc::set(self.schema.expand(&sig.result_elem));
+                    if !self.schema.compatible(&result, expected) {
+                        self.errs.push(LangError::new(
+                            span,
+                            format!(
+                                "function `{fun}` yields `{result}` but `{expected}` was expected"
+                            ),
+                        ));
                     }
-                    None => self.errs.push(LangError::new(
-                        span,
-                        format!("`{fun}` is not a declared data function"),
-                    )),
+                    for (a, p) in args.iter().zip(&sig.params) {
+                        let pt = self.schema.expand(p);
+                        self.constrain(a, &pt, span);
+                    }
                 }
-            }
+                None => self.errs.push(LangError::new(
+                    span,
+                    format!("`{fun}` is not a declared data function"),
+                )),
+            },
             Term::BinOp { lhs, rhs, .. } => {
                 if !matches!(expected, TypeDesc::Int) {
                     self.errs.push(LangError::new(

@@ -78,9 +78,15 @@ impl fmt::Display for ModelError {
                 write!(f, "type equation of `{owner}` references association `{assoc}` (associations cannot be nested)")
             }
             RecursiveDomain(d) => write!(f, "domain `{d}` is recursively defined"),
-            NonTupleTop(n) => write!(f, "type equation of `{n}` must have a tuple constructor at top level"),
+            NonTupleTop(n) => write!(
+                f,
+                "type equation of `{n}` must have a tuple constructor at top level"
+            ),
             IsaWithoutRefinement { sub, sup } => {
-                write!(f, "`{sub} isa {sup}` declared but Σ({sub}) is not a refinement of Σ({sup})")
+                write!(
+                    f,
+                    "`{sub} isa {sup}` declared but Σ({sub}) is not a refinement of Σ({sup})"
+                )
             }
             IsaCycle(c) => write!(f, "isa hierarchy contains a cycle through `{c}`"),
             NoCommonAncestor { class, parents } => write!(
@@ -108,7 +114,10 @@ impl fmt::Display for ModelError {
             }
             ReferentialViolation(msg) => write!(f, "referential integrity violation: {msg}"),
             NonSetFunctionResult(name) => {
-                write!(f, "data function `{name}` must have a set result type {{T}}")
+                write!(
+                    f,
+                    "data function `{name}` must have a set result type {{T}}"
+                )
             }
             Invalid(msg) => f.write_str(msg),
         }

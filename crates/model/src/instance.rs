@@ -20,6 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -114,8 +115,25 @@ impl fmt::Display for Fact {
     }
 }
 
+/// One per-argument hash index over an association extension: normalized
+/// key value → the tuples carrying that key (see [`Value::index_key`]).
+type ArgIndex = Arc<FxHashMap<Value, Arc<Vec<Value>>>>;
+
+/// Lazily built secondary indexes over the association assignment ρ.
+///
+/// Entries are valid only while `built_at` equals the owning instance's
+/// `epoch`; any mutation bumps the epoch, so stale entries are discarded
+/// wholesale the next time an index is requested.
+#[derive(Debug, Default)]
+struct IndexCache {
+    /// The `Instance::epoch` these entries were built against.
+    built_at: u64,
+    /// (association, attribute label) → per-key tuple buckets.
+    by_arg: FxHashMap<(Sym, Sym), ArgIndex>,
+}
+
 /// A database instance `(π, ν, ρ)` plus data-function extensions.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct Instance {
     /// π: class → oids.
     pi: FxHashMap<Sym, FxHashSet<Oid>>,
@@ -126,6 +144,32 @@ pub struct Instance {
     rho: FxHashMap<Sym, FxHashSet<Value>>,
     /// Data-function extensions: f → (args → elements).
     fun: FxHashMap<Sym, FxHashMap<Vec<Value>, BTreeSet<Value>>>,
+    /// Mutation counter: bumped by every state change so [`IndexCache`]
+    /// staleness is a single integer comparison.
+    epoch: u64,
+    /// Lazy secondary indexes. Deliberately excluded from `Clone` (a clone
+    /// starts with a cold cache) and from `PartialEq` (the cache is derived
+    /// state), so the fixpoint loop's clone-and-compare stays cheap.
+    cache: RwLock<IndexCache>,
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        Instance {
+            pi: self.pi.clone(),
+            nu: self.nu.clone(),
+            rho: self.rho.clone(),
+            fun: self.fun.clone(),
+            epoch: self.epoch,
+            cache: RwLock::new(IndexCache::default()),
+        }
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        self.pi == other.pi && self.nu == other.nu && self.rho == other.rho && self.fun == other.fun
+    }
 }
 
 impl Instance {
@@ -194,6 +238,55 @@ impl Instance {
     /// Does the association contain this tuple?
     pub fn has_tuple(&self, assoc: Sym, tuple: &Value) -> bool {
         self.rho.get(&assoc).is_some_and(|s| s.contains(tuple))
+    }
+
+    /// Tuples of `assoc` whose attribute `label` has `key` as its
+    /// normalized value ([`Value::index_key`]). Probes a per-(association,
+    /// label) hash index built lazily on first use and invalidated by any
+    /// mutation, turning a selective literal match from an extension scan
+    /// into a bucket lookup. `None` means no tuple matches.
+    ///
+    /// The returned bucket preserves the extension's iteration order, so a
+    /// probe enumerates candidates in the same relative order a full scan
+    /// would — evaluation stays deterministic whichever path runs.
+    pub fn tuples_matching(&self, assoc: Sym, label: Sym, key: &Value) -> Option<Arc<Vec<Value>>> {
+        self.arg_index(assoc, label).get(key).map(Arc::clone)
+    }
+
+    /// The per-key index for `(assoc, label)`, building it if the cache is
+    /// cold or stale. Concurrent readers may race to build the same index;
+    /// both compute identical maps and the first writer wins.
+    fn arg_index(&self, assoc: Sym, label: Sym) -> ArgIndex {
+        {
+            let cache = self.cache.read().expect("index cache poisoned");
+            if cache.built_at == self.epoch {
+                if let Some(idx) = cache.by_arg.get(&(assoc, label)) {
+                    return Arc::clone(idx);
+                }
+            }
+        }
+        let mut buckets: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+        for tuple in self.tuples_of(assoc) {
+            if let Some(fv) = tuple.field(label) {
+                buckets
+                    .entry(fv.index_key())
+                    .or_default()
+                    .push(tuple.clone());
+            }
+        }
+        let built: ArgIndex =
+            Arc::new(buckets.into_iter().map(|(k, v)| (k, Arc::new(v))).collect());
+        let mut cache = self.cache.write().expect("index cache poisoned");
+        if cache.built_at != self.epoch {
+            cache.by_arg.clear();
+            cache.built_at = self.epoch;
+        }
+        Arc::clone(cache.by_arg.entry((assoc, label)).or_insert(built))
+    }
+
+    /// Record a state change: invalidates every cached index.
+    fn touch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// The materialized set value `f(args)` of a data function (empty set if
@@ -312,13 +405,7 @@ impl Instance {
     /// its isa ancestors) and merge `value`'s attributes into ν(oid).
     /// Attributes already present with a different value are overwritten
     /// (`⊕`-style right bias). Returns whether anything changed.
-    pub fn insert_object(
-        &mut self,
-        schema: &Schema,
-        class: Sym,
-        oid: Oid,
-        value: Value,
-    ) -> bool {
+    pub fn insert_object(&mut self, schema: &Schema, class: Sym, oid: Oid, value: Value) -> bool {
         let mut changed = self.pi.entry(class).or_default().insert(oid);
         for sup in schema.ancestors(class) {
             changed |= self.pi.entry(sup).or_default().insert(oid);
@@ -351,6 +438,9 @@ impl Instance {
                 changed = true;
             }
         }
+        if changed {
+            self.touch();
+        }
         changed
     }
 
@@ -374,35 +464,56 @@ impl Instance {
         if !still_member && self.nu.remove(&oid).is_some() {
             changed = true;
         }
+        if changed {
+            self.touch();
+        }
         changed
     }
 
     /// Insert an association tuple. Returns whether it was new.
     pub fn insert_assoc(&mut self, assoc: Sym, tuple: Value) -> bool {
-        self.rho.entry(assoc).or_default().insert(tuple)
+        let changed = self.rho.entry(assoc).or_default().insert(tuple);
+        if changed {
+            self.touch();
+        }
+        changed
     }
 
     /// Remove an association tuple. Returns whether it was present.
     pub fn remove_assoc(&mut self, assoc: Sym, tuple: &Value) -> bool {
-        self.rho.get_mut(&assoc).is_some_and(|s| s.remove(tuple))
+        let changed = self.rho.get_mut(&assoc).is_some_and(|s| s.remove(tuple));
+        if changed {
+            self.touch();
+        }
+        changed
     }
 
     /// Insert a data-function member. Returns whether it was new.
     pub fn insert_member(&mut self, fun: Sym, args: Vec<Value>, elem: Value) -> bool {
-        self.fun
+        let changed = self
+            .fun
             .entry(fun)
             .or_default()
             .entry(args)
             .or_default()
-            .insert(elem)
+            .insert(elem);
+        if changed {
+            self.touch();
+        }
+        changed
     }
 
     /// Remove a data-function member. Returns whether it was present.
     pub fn remove_member(&mut self, fun: Sym, args: &[Value], elem: &Value) -> bool {
-        self.fun
+        let changed = self
+            .fun
             .get_mut(&fun)
             .and_then(|m| m.get_mut(args))
-            .is_some_and(|s| s.remove(elem))
+            .is_some_and(|s| s.remove(elem));
+        if changed {
+            self.touch();
+        }
+        changed
     }
 
     /// Enumerate every fact in a deterministic order. Class facts are
@@ -438,8 +549,7 @@ impl Instance {
         let mut funs: Vec<Sym> = self.fun.keys().copied().collect();
         funs.sort();
         for fun in funs {
-            let mut entries: Vec<(&Vec<Value>, &BTreeSet<Value>)> =
-                self.fun[&fun].iter().collect();
+            let mut entries: Vec<(&Vec<Value>, &BTreeSet<Value>)> = self.fun[&fun].iter().collect();
             entries.sort_by(|a, b| a.0.cmp(b.0));
             for (args, elems) in entries {
                 for elem in elems {
@@ -463,7 +573,10 @@ impl Instance {
     pub fn compose(&self, right: &Instance) -> Instance {
         let mut out = self.clone();
         for (class, oids) in &right.pi {
-            out.pi.entry(*class).or_default().extend(oids.iter().copied());
+            out.pi
+                .entry(*class)
+                .or_default()
+                .extend(oids.iter().copied());
         }
         for (oid, v) in &right.nu {
             out.nu.insert(*oid, v.clone()); // right wins
@@ -483,6 +596,8 @@ impl Instance {
                     .extend(elems.iter().cloned());
             }
         }
+        // The maps were edited directly, bypassing the tracked mutators.
+        out.touch();
         out
     }
 
@@ -537,9 +652,7 @@ impl Instance {
                     None => errs.push(ModelError::MissingOValue { class }),
                     Some(_) => {
                         if let Some(view) = self.o_value_in(schema, class, *oid) {
-                            if let Err(e) =
-                                self.conforms(schema, &view, &expanded, true)
-                            {
+                            if let Err(e) = self.conforms(schema, &view, &expanded, true) {
                                 errs.push(e);
                             }
                         }
@@ -690,8 +803,7 @@ impl Instance {
             format!("{classes:?}|{masked}")
         };
         {
-            let mut sigs: Vec<(String, Oid)> =
-                oids.iter().map(|&o| (sig0(o), o)).collect();
+            let mut sigs: Vec<(String, Oid)> = oids.iter().map(|&o| (sig0(o), o)).collect();
             sigs.sort();
             let mut next = 0u64;
             let mut last: Option<&str> = None;
@@ -719,8 +831,7 @@ impl Instance {
                     .unwrap_or_default();
                 format!("{base}|{ctx}")
             };
-            let mut sigs: Vec<(String, Oid)> =
-                oids.iter().map(|&o| (recolor(o), o)).collect();
+            let mut sigs: Vec<(String, Oid)> = oids.iter().map(|&o| (recolor(o), o)).collect();
             sigs.sort();
             let mut newc: BTreeMap<Oid, u64> = BTreeMap::new();
             let mut next = 0u64;
@@ -754,11 +865,9 @@ impl Instance {
             .facts(schema)
             .into_iter()
             .map(|f| match f {
-                Fact::Class { class, oid, value } => format!(
-                    "C|{class}|{}|{}",
-                    rename(oid),
-                    value.rename_oids(&rename)
-                ),
+                Fact::Class { class, oid, value } => {
+                    format!("C|{class}|{}|{}", rename(oid), value.rename_oids(&rename))
+                }
                 Fact::Assoc { assoc, tuple } => {
                     format!("A|{assoc}|{}", tuple.rename_oids(&rename))
                 }
@@ -783,11 +892,8 @@ mod tests {
 
     fn schema() -> Schema {
         let mut s = Schema::new();
-        s.add_class(
-            "person",
-            TypeDesc::tuple([("name", TypeDesc::Str)]),
-        )
-        .unwrap();
+        s.add_class("person", TypeDesc::tuple([("name", TypeDesc::Str)]))
+            .unwrap();
         s.add_class(
             "student",
             TypeDesc::tuple([
@@ -1043,6 +1149,85 @@ mod tests {
         assert_eq!(i.fun_value(f, &[Value::Int(7)]), Value::empty_set());
         assert!(i.remove_member(f, &[Value::Int(1)], &Value::Int(2)));
         assert!(!i.remove_member(f, &[Value::Int(1)], &Value::Int(2)));
+    }
+
+    #[test]
+    fn arg_index_probes_and_invalidates() {
+        let mut i = Instance::new();
+        let a = sym("edge");
+        let (fa, fb) = (sym("a"), sym("b"));
+        for (x, y) in [(1, 2), (1, 3), (2, 3)] {
+            i.insert_assoc(
+                a,
+                Value::tuple([("a", Value::Int(x)), ("b", Value::Int(y))]),
+            );
+        }
+        let bucket = i.tuples_matching(a, fa, &Value::Int(1)).unwrap();
+        assert_eq!(bucket.len(), 2);
+        assert!(bucket.iter().all(|t| t.field(fa) == Some(&Value::Int(1))));
+        assert!(i.tuples_matching(a, fa, &Value::Int(9)).is_none());
+        assert_eq!(i.tuples_matching(a, fb, &Value::Int(3)).unwrap().len(), 2);
+
+        // A mutation invalidates the cache; the next probe sees new state.
+        i.insert_assoc(
+            a,
+            Value::tuple([("a", Value::Int(1)), ("b", Value::Int(9))]),
+        );
+        assert_eq!(i.tuples_matching(a, fa, &Value::Int(1)).unwrap().len(), 3);
+        i.remove_assoc(
+            a,
+            &Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))]),
+        );
+        assert_eq!(i.tuples_matching(a, fa, &Value::Int(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arg_index_normalizes_tagged_tuples_to_oids() {
+        let mut i = Instance::new();
+        let a = sym("likes");
+        let who = sym("who");
+        // A tuple whose `who` field is a tagged class tuple must be found
+        // when probed with the bare oid (and vice versa).
+        let tagged = Value::tuple([
+            (crate::value::SELF_LABEL, Value::Oid(Oid(7))),
+            ("name", Value::str("x")),
+        ]);
+        i.insert_assoc(a, Value::tuple([("who", tagged.clone())]));
+        i.insert_assoc(a, Value::tuple([("who", Value::Oid(Oid(8)))]));
+        assert_eq!(tagged.index_key(), Value::Oid(Oid(7)));
+        assert_eq!(
+            i.tuples_matching(a, who, &Value::Oid(Oid(7)))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            i.tuples_matching(a, who, &Value::Oid(Oid(8)))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_index_cache() {
+        let mut i = Instance::new();
+        let a = sym("edge");
+        i.insert_assoc(
+            a,
+            Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))]),
+        );
+        // Warm the cache, then clone: the clone starts cold but compares
+        // equal and serves identical probes.
+        let _ = i.tuples_matching(a, sym("a"), &Value::Int(1));
+        let j = i.clone();
+        assert_eq!(i, j);
+        assert_eq!(
+            j.tuples_matching(a, sym("a"), &Value::Int(1))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

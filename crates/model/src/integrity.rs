@@ -98,13 +98,25 @@ pub fn generate(schema: &Schema) -> Vec<IntegrityConstraint> {
     for class in schema.classes() {
         if let Some(eff) = schema.effective(class) {
             let expanded = schema.expand(eff);
-            walk(class, RefTarget::FromClass, &expanded, Path::root(), &mut out);
+            walk(
+                class,
+                RefTarget::FromClass,
+                &expanded,
+                Path::root(),
+                &mut out,
+            );
         }
     }
     for assoc in schema.assocs() {
         if let Some(ty) = schema.assoc_type(assoc) {
             let expanded = schema.expand(ty);
-            walk(assoc, RefTarget::FromAssoc, &expanded, Path::root(), &mut out);
+            walk(
+                assoc,
+                RefTarget::FromAssoc,
+                &expanded,
+                Path::root(),
+                &mut out,
+            );
         }
     }
     out.sort_by(|a, b| (a.owner, &a.path).cmp(&(b.owner, &b.path)));
@@ -153,14 +165,13 @@ pub fn check(
                     };
                     for hit in c.path.resolve(&v) {
                         match hit {
-                            Value::Oid(o)
-                                if !instance.is_member(c.target, *o) => {
-                                    out.push(Violation {
-                                        constraint: c.clone(),
-                                        oid: Some(*o),
-                                        tuple: None,
-                                    });
-                                }
+                            Value::Oid(o) if !instance.is_member(c.target, *o) => {
+                                out.push(Violation {
+                                    constraint: c.clone(),
+                                    oid: Some(*o),
+                                    tuple: None,
+                                });
+                            }
                             Value::Nil => {} // legal inside classes
                             _ => {}
                         }
@@ -171,14 +182,13 @@ pub fn check(
                 for t in instance.tuples_of(c.owner) {
                     for hit in c.path.resolve(t) {
                         match hit {
-                            Value::Oid(o)
-                                if !instance.is_member(c.target, *o) => {
-                                    out.push(Violation {
-                                        constraint: c.clone(),
-                                        oid: Some(*o),
-                                        tuple: Some(t.clone()),
-                                    });
-                                }
+                            Value::Oid(o) if !instance.is_member(c.target, *o) => {
+                                out.push(Violation {
+                                    constraint: c.clone(),
+                                    oid: Some(*o),
+                                    tuple: Some(t.clone()),
+                                });
+                            }
                             Value::Nil => out.push(Violation {
                                 constraint: c.clone(),
                                 oid: None,
@@ -419,10 +429,7 @@ mod tests {
             .unwrap();
         s.add_class(
             "school",
-            TypeDesc::tuple([
-                ("name", TypeDesc::Str),
-                ("dean", TypeDesc::class("prof")),
-            ]),
+            TypeDesc::tuple([("name", TypeDesc::Str), ("dean", TypeDesc::class("prof"))]),
         )
         .unwrap();
         s.validate().unwrap();

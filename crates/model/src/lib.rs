@@ -53,4 +53,4 @@ pub use refine::Refiner;
 pub use schema::{FunctionSig, PredKind, Schema};
 pub use sym::Sym;
 pub use types::{Field, TypeDesc};
-pub use value::Value;
+pub use value::{Value, SELF_LABEL};

@@ -148,10 +148,7 @@ impl P<'_> {
         if self.peek() == Some('-') {
             self.i += 1;
         }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit())
-        {
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
             self.i += 1;
         }
         std::str::from_utf8(&self.s[start..self.i])
@@ -206,13 +203,11 @@ impl P<'_> {
                             while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
                                 self.i += 1;
                             }
-                            let hex =
-                                std::str::from_utf8(&self.s[start..self.i]).expect("hex");
+                            let hex = std::str::from_utf8(&self.s[start..self.i]).expect("hex");
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|e| format!("bad unicode escape: {e}"))?;
                             out.push(
-                                char::from_u32(code)
-                                    .ok_or("invalid unicode scalar".to_owned())?,
+                                char::from_u32(code).ok_or("invalid unicode scalar".to_owned())?,
                             );
                             self.eat('}')?;
                         }
@@ -226,8 +221,8 @@ impl P<'_> {
                     } else {
                         // Back up and decode properly.
                         self.i -= 1;
-                        let rest = std::str::from_utf8(&self.s[self.i..])
-                            .map_err(|e| e.to_string())?;
+                        let rest =
+                            std::str::from_utf8(&self.s[self.i..]).map_err(|e| e.to_string())?;
                         let ch = rest.chars().next().expect("non-empty");
                         out.push(ch);
                         self.i += ch.len_utf8();
@@ -245,8 +240,7 @@ mod tests {
 
     fn round_trip(v: &Value) {
         let text = v.to_string();
-        let parsed = parse_value(&text)
-            .unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
+        let parsed = parse_value(&text).unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
         assert_eq!(&parsed, v, "round-trip through {text:?}");
     }
 

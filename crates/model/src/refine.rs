@@ -136,8 +136,11 @@ mod tests {
 
     fn schema() -> Schema {
         let mut s = Schema::new();
-        s.add_domain("score", TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)]))
-            .unwrap();
+        s.add_domain(
+            "score",
+            TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)]),
+        )
+        .unwrap();
         s.add_class(
             "person",
             TypeDesc::tuple([("name", TypeDesc::Str), ("bdate", TypeDesc::Str)]),
@@ -206,10 +209,7 @@ mod tests {
     #[test]
     fn rule4_width_and_depth_subtyping() {
         let s = schema();
-        let wide = TypeDesc::tuple([
-            ("x", TypeDesc::class("student")),
-            ("y", TypeDesc::Int),
-        ]);
+        let wide = TypeDesc::tuple([("x", TypeDesc::class("student")), ("y", TypeDesc::Int)]);
         let narrow = TypeDesc::tuple([("x", TypeDesc::class("person"))]);
         assert!(s.refines(&wide, &narrow));
         assert!(!s.refines(&narrow, &wide));
@@ -230,7 +230,10 @@ mod tests {
         ));
         assert!(s.refines(&TypeDesc::seq(sub.clone()), &TypeDesc::seq(sup.clone())));
         // Different constructors never refine each other.
-        assert!(!s.refines(&TypeDesc::set(sub.clone()), &TypeDesc::multiset(sup.clone())));
+        assert!(!s.refines(
+            &TypeDesc::set(sub.clone()),
+            &TypeDesc::multiset(sup.clone())
+        ));
         assert!(!s.refines(&TypeDesc::seq(sub), &TypeDesc::set(sup)));
     }
 

@@ -281,11 +281,7 @@ impl Schema {
 
     /// Reflexive-transitive `sub isa sup`.
     pub fn isa_holds(&self, sub: Sym, sup: Sym) -> bool {
-        sub == sup
-            || self
-                .ancestors
-                .get(&sub)
-                .is_some_and(|a| a.contains(&sup))
+        sub == sup || self.ancestors.get(&sub).is_some_and(|a| a.contains(&sup))
     }
 
     /// Are two classes in the same generalization hierarchy? (The oid
@@ -482,10 +478,7 @@ impl Schema {
                     continue;
                 }
                 if self.assocs.contains_key(&name) {
-                    errs.push(ModelError::AssocInType {
-                        owner,
-                        assoc: name,
-                    });
+                    errs.push(ModelError::AssocInType { owner, assoc: name });
                 }
                 // A `Class(name)` node must actually reference a class; the
                 // parser resolves this, but programmatic construction may not.
@@ -563,9 +556,7 @@ impl Schema {
                         walk(owner, &f.ty, errs);
                     }
                 }
-                TypeDesc::Set(t) | TypeDesc::Multiset(t) | TypeDesc::Seq(t) => {
-                    walk(owner, t, errs)
-                }
+                TypeDesc::Set(t) | TypeDesc::Multiset(t) | TypeDesc::Seq(t) => walk(owner, t, errs),
                 _ => {}
             }
         }
@@ -927,8 +918,10 @@ mod tests {
     #[test]
     fn isa_cycles_are_rejected() {
         let mut s = Schema::new();
-        s.add_class("a", TypeDesc::tuple([("x", TypeDesc::Int)])).unwrap();
-        s.add_class("b", TypeDesc::tuple([("x", TypeDesc::Int)])).unwrap();
+        s.add_class("a", TypeDesc::tuple([("x", TypeDesc::Int)]))
+            .unwrap();
+        s.add_class("b", TypeDesc::tuple([("x", TypeDesc::Int)]))
+            .unwrap();
         s.add_isa("a", "b", None);
         s.add_isa("b", "a", None);
         let errs = s.validate().unwrap_err();
@@ -951,8 +944,11 @@ mod tests {
     #[test]
     fn recursive_domains_are_rejected() {
         let mut s = Schema::new();
-        s.add_domain("list", TypeDesc::tuple([("tail", TypeDesc::domain("list"))]))
-            .unwrap();
+        s.add_domain(
+            "list",
+            TypeDesc::tuple([("tail", TypeDesc::domain("list"))]),
+        )
+        .unwrap();
         let errs = s.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -1012,11 +1008,8 @@ mod tests {
             TypeDesc::tuple([("being", TypeDesc::class("being"))]),
         )
         .unwrap();
-        s.add_class(
-            "cyborg",
-            TypeDesc::tuple([("name", TypeDesc::Str)]),
-        )
-        .unwrap();
+        s.add_class("cyborg", TypeDesc::tuple([("name", TypeDesc::Str)]))
+            .unwrap();
         s.add_isa("person", "being", None);
         s.add_isa("robot", "being", None);
         s.add_isa("cyborg", "person", None);
@@ -1039,15 +1032,14 @@ mod tests {
     #[test]
     fn renaming_resolves_inherited_conflicts() {
         let mut s = Schema::new();
-        s.add_class("a", TypeDesc::tuple([("id", TypeDesc::Int)])).unwrap();
-        s.add_class("b", TypeDesc::tuple([("id", TypeDesc::Str)])).unwrap();
+        s.add_class("a", TypeDesc::tuple([("id", TypeDesc::Int)]))
+            .unwrap();
+        s.add_class("b", TypeDesc::tuple([("id", TypeDesc::Str)]))
+            .unwrap();
         // c embeds both a and b; their `id` attributes clash by type.
         s.add_class(
             "c",
-            TypeDesc::tuple([
-                ("a", TypeDesc::class("a")),
-                ("b", TypeDesc::class("b")),
-            ]),
+            TypeDesc::tuple([("a", TypeDesc::class("a")), ("b", TypeDesc::class("b"))]),
         )
         .unwrap();
         // Give a and b a common ancestor so multiple inheritance is legal.

@@ -68,12 +68,7 @@ impl TypeDesc {
         I: IntoIterator<Item = (L, TypeDesc)>,
         L: Into<Sym>,
     {
-        TypeDesc::Tuple(
-            fields
-                .into_iter()
-                .map(|(l, t)| Field::new(l, t))
-                .collect(),
-        )
+        TypeDesc::Tuple(fields.into_iter().map(|(l, t)| Field::new(l, t)).collect())
     }
 
     /// `{τ}`
@@ -203,17 +198,20 @@ mod tests {
     #[test]
     fn display_matches_paper_notation() {
         assert_eq!(score().to_string(), "(first: integer, second: integer)");
-        assert_eq!(TypeDesc::set(TypeDesc::domain("role")).to_string(), "{role}");
-        assert_eq!(TypeDesc::seq(TypeDesc::class("player")).to_string(), "<player>");
+        assert_eq!(
+            TypeDesc::set(TypeDesc::domain("role")).to_string(),
+            "{role}"
+        );
+        assert_eq!(
+            TypeDesc::seq(TypeDesc::class("player")).to_string(),
+            "<player>"
+        );
         assert_eq!(TypeDesc::multiset(TypeDesc::Str).to_string(), "[string]");
     }
 
     #[test]
     fn mentions_class_sees_through_constructors() {
-        let t = TypeDesc::tuple([(
-            "base_players",
-            TypeDesc::seq(TypeDesc::class("player")),
-        )]);
+        let t = TypeDesc::tuple([("base_players", TypeDesc::seq(TypeDesc::class("player")))]);
         assert!(t.mentions_class());
         assert!(!score().mentions_class());
     }

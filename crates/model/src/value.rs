@@ -16,6 +16,16 @@ use std::fmt;
 use crate::oid::Oid;
 use crate::sym::Sym;
 
+/// Reserved tuple-field label carrying the invisible oid of a class tuple
+/// variable (the paper: "tuple variables defined for a class include the oid
+/// of the class, though this part is not visible to the user"). `@` cannot
+/// appear in source identifiers, so user labels never collide with it.
+///
+/// Lives in the model (rather than the engine that coined it) because the
+/// instance's argument indexes must normalize tagged tuples to their oid the
+/// same way the engine's unification does — see [`Value::index_key`].
+pub const SELF_LABEL: &str = "@self";
+
 /// A ground value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
@@ -54,8 +64,7 @@ impl Value {
         I: IntoIterator<Item = (L, Value)>,
         L: Into<Sym>,
     {
-        let mut fs: Vec<(Sym, Value)> =
-            fields.into_iter().map(|(l, v)| (l.into(), v)).collect();
+        let mut fs: Vec<(Sym, Value)> = fields.into_iter().map(|(l, v)| (l.into(), v)).collect();
         fs.sort_by_key(|a| a.0);
         for w in fs.windows(2) {
             assert!(
@@ -108,6 +117,23 @@ impl Value {
             Value::Oid(o) => Some(*o),
             _ => None,
         }
+    }
+
+    /// The normalized form used as a hash-index key: a tuple carrying the
+    /// hidden [`SELF_LABEL`] oid field collapses to the bare oid; every
+    /// other value is itself.
+    ///
+    /// This mirrors the engine's oid-coercion equivalence (`values_unify`):
+    /// two values that unify always have equal index keys, so probing an
+    /// index built over `index_key` returns a superset of the matching
+    /// tuples and never loses a match.
+    pub fn index_key(&self) -> Value {
+        if matches!(self, Value::Tuple(_)) {
+            if let Some(o) = self.field(Sym::new(SELF_LABEL)).and_then(Value::as_oid) {
+                return Value::Oid(o);
+            }
+        }
+        self.clone()
     }
 
     /// The underlying integer, if this value is one.
@@ -229,17 +255,13 @@ impl Value {
         match self {
             Value::Oid(o) => Value::Oid(map(*o)),
             Value::Int(_) | Value::Str(_) | Value::Nil => self.clone(),
-            Value::Tuple(fs) => Value::Tuple(
-                fs.iter()
-                    .map(|(l, v)| (*l, v.rename_oids(map)))
-                    .collect(),
-            ),
+            Value::Tuple(fs) => {
+                Value::Tuple(fs.iter().map(|(l, v)| (*l, v.rename_oids(map))).collect())
+            }
             Value::Set(s) => Value::Set(s.iter().map(|v| v.rename_oids(map)).collect()),
-            Value::Multiset(m) => Value::Multiset(
-                m.iter()
-                    .map(|(v, n)| (v.rename_oids(map), *n))
-                    .collect(),
-            ),
+            Value::Multiset(m) => {
+                Value::Multiset(m.iter().map(|(v, n)| (v.rename_oids(map), *n)).collect())
+            }
             Value::Seq(s) => Value::Seq(s.iter().map(|v| v.rename_oids(map)).collect()),
         }
     }
@@ -392,7 +414,10 @@ mod tests {
     fn oids_are_collected_at_any_depth() {
         let v = Value::tuple([(
             "team",
-            Value::set([Value::Oid(Oid(1)), Value::tuple([("p", Value::Oid(Oid(2)))])]),
+            Value::set([
+                Value::Oid(Oid(1)),
+                Value::tuple([("p", Value::Oid(Oid(2)))]),
+            ]),
         )]);
         let mut oids = v.oids();
         oids.sort();
@@ -412,7 +437,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Nil.to_string(), "nil");
-        assert_eq!(Value::set([Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
+        assert_eq!(
+            Value::set([Value::Int(2), Value::Int(1)]).to_string(),
+            "{1, 2}"
+        );
         assert_eq!(
             Value::multiset([Value::Int(1), Value::Int(1)]).to_string(),
             "[1, 1]"

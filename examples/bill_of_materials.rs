@@ -155,7 +155,8 @@ fn main() {
     }
     // wheel: 32 spokes + 1 rim = 40; bike direct: frame 40 + saddle 12.
     let wheel_spokes = rows.iter().any(|r| {
-        r.iter().any(|(v, val)| *v == Sym::new("X") && *val == Value::Int(32))
+        r.iter()
+            .any(|(v, val)| *v == Sym::new("X") && *val == Value::Int(32))
     });
     assert!(wheel_spokes);
 
@@ -176,7 +177,10 @@ fn main() {
                     contains(asm: A, comp: C), part(self: C, pname: N)?"#,
         )
         .expect("post-recall query");
-    println!("\nafter the saddle recall, a bike contains {} parts", rows.len());
+    println!(
+        "\nafter the saddle recall, a bike contains {} parts",
+        rows.len()
+    );
     assert_eq!(rows.len(), 4);
 
     // The self-containment constraint holds throughout; a cyclic insert is

@@ -112,9 +112,7 @@ fn main() {
     )
     .expect("junior function installs");
 
-    let rows = db
-        .query("goal member(X, junior())?")
-        .expect("junior query");
+    let rows = db.query("goal member(X, junior())?").expect("junior query");
     println!("\n== juniors (nullary data function) ==");
     for r in &rows {
         println!("  {}", r[0].1);

@@ -98,7 +98,10 @@ fn main() {
         .expect("role query");
     println!("\n== teams fielding a #10 ==");
     for row in &rows {
-        println!("  {}", row.iter().find(|(v, _)| v.as_str() == "N").unwrap().1);
+        println!(
+            "  {}",
+            row.iter().find(|(v, _)| v.as_str() == "N").unwrap().1
+        );
     }
 
     // Scores are complex domain values.

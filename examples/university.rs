@@ -51,9 +51,7 @@ fn main() {
 
     // Inherited attributes are attributes of the subclass: professors and
     // students answer person queries through π(student) ⊆ π(person).
-    let rows = db
-        .query("goal person(name: N)?")
-        .expect("person query");
+    let rows = db.query("goal person(name: N)?").expect("person query");
     println!("== persons (two of them are also student/professor) ==");
     for r in &rows {
         println!("  {}", r[0].1);

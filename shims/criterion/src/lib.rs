@@ -1,0 +1,220 @@
+//! Vendored stand-in for the `criterion` crate (offline build).
+//!
+//! Implements the API surface the `benches/` targets use — benchmark
+//! groups, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!` — with plain
+//! wall-clock timing instead of criterion's statistical analysis. Each
+//! benchmark runs `sample_size` samples and reports min / median / max
+//! per-iteration time on stdout, which is enough for the coarse
+//! before/after comparisons the experiment tables make.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point so `criterion::black_box(x)` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Controls how `iter_batched` amortizes setup cost. The shim times the
+/// routine per batch element either way, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to bench closures; `iter`/`iter_batched` record one sample.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            sample: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine` once and record the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.sample += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    /// Build an input with `setup` (untimed), then time `routine` on it.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.sample += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    fn per_iter(&self) -> Option<Duration> {
+        (self.iters > 0).then(|| self.sample / self.iters as u32)
+    }
+}
+
+/// A named set of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_samples(&id.label, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        self.run_samples(&label, |b| f(b));
+        self
+    }
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        // One untimed warmup pass, then the measured samples.
+        let mut warmup = Bencher::new();
+        f(&mut warmup);
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::new();
+            f(&mut b);
+            if let Some(t) = b.per_iter() {
+                samples.push(t);
+            }
+        }
+        if samples.is_empty() {
+            println!("{}/{label}: no samples recorded", self.name);
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{label}: min {:?} / median {:?} / max {:?} ({} samples)",
+            self.name,
+            samples[0],
+            median,
+            samples[samples.len() - 1],
+            samples.len(),
+        );
+    }
+
+    /// Ends the group. Consuming `self` keeps call sites identical to
+    /// upstream; all reporting already happened per benchmark.
+    pub fn finish(self) {}
+}
+
+/// The top-level driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _parent: self,
+        }
+    }
+}
+
+/// Bundles bench functions under one group function, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n)
+            .fold((0u64, 1u64), |(a, b), _| (b, a.wrapping_add(b)))
+            .0
+    }
+
+    fn bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        for n in [5u64, 10] {
+            group.bench_with_input(BenchmarkId::new("fib", n), &n, |b, &n| {
+                b.iter(|| fib(n));
+            });
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(|| n, fib, BatchSize::LargeInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,197 @@
+//! Vendored stand-in for the `rand` crate (offline build).
+//!
+//! Implements the slice of the rand 0.8 API this workspace uses —
+//! `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over half-open integer ranges — on top of a
+//! xoshiro256** generator seeded through SplitMix64.
+//!
+//! The workloads only need *deterministic, well-mixed* streams, not
+//! compatibility with upstream rand's exact value sequences: every caller
+//! seeds explicitly and compares runs against each other, never against
+//! hard-coded expected samples.
+
+use std::ops::Range;
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers (blanket-implemented for every source).
+pub trait Rng: RngCore {
+    /// A uniform sample from a half-open range. Panics on empty ranges.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// A uniformly distributed value of a sampleable type.
+    fn gen<T: UniformFull>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_full(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer types that can be drawn uniformly from a half-open range.
+pub trait UniformInt: Copy {
+    /// Draw uniformly from `[range.start, range.end)`.
+    fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Types with a "whole domain" uniform distribution.
+pub trait UniformFull {
+    /// Draw uniformly from the full domain.
+    fn sample_full<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// Unbiased sample in `[0, span)` by rejection (Lemire-style widening
+/// multiply kept simple: plain rejection on the top of the range).
+fn uniform_u64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                (range.start as i64).wrapping_add(uniform_u64(rng, span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_full_int {
+    ($($t:ty),*) => {$(
+        impl UniformFull for $t {
+            fn sample_full<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_full_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformFull for bool {
+    fn sample_full<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded via
+    /// SplitMix64 (upstream `StdRng` is also a seedable, unspecified
+    /// algorithm; only determinism is contractual).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let first: Vec<i64> = (0..8).map(|_| a.gen_range(0..1000)).collect();
+        let other: Vec<i64> = (0..8).map(|_| c.gen_range(0..1000)).collect();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0usize..5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..100 {
+            let v = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+}

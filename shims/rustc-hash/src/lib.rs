@@ -1,0 +1,118 @@
+//! Vendored stand-in for the `rustc-hash` crate.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors the small dependencies it needs. This shim
+//! implements the classic FxHash multiply-rotate scheme (the same algorithm
+//! rustc uses for its interner tables) behind the exact type aliases the
+//! real crate exports: [`FxHashMap`], [`FxHashSet`], [`FxHasher`],
+//! [`FxBuildHasher`].
+//!
+//! FxHash is *not* collision-resistant against adversarial keys; it is used
+//! here exactly as upstream intends — fast hashing of trusted, internal
+//! keys (interned symbols, oids, ground values).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speed-oriented, non-cryptographic hasher (the rustc FxHash scheme).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 64-bit multiply constant from the upstream implementation (derived from
+/// the golden ratio, as in Fibonacci hashing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`BuildHasher`](std::hash::BuildHasher) producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".to_owned(), 1);
+        m.insert("b".to_owned(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_length_sensitive() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_eq!(h(b"hello"), h(b"hello"));
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgi"));
+    }
+}

@@ -250,9 +250,7 @@ fn goals_can_use_negation_and_builtins() {
     "#,
     )
     .unwrap();
-    let rows = db
-        .query("goal p(d: X), not q(d: X), even(X)?")
-        .unwrap();
+    let rows = db.query("goal p(d: X), not q(d: X), even(X)?").unwrap();
     assert_eq!(rows, vec![vec![(Sym::new("X"), Value::Int(4))]]);
 }
 
@@ -270,6 +268,7 @@ fn fuel_exhaustion_is_an_error_not_a_hang() {
     db.set_options(logres::EvalOptions {
         max_steps: 25,
         max_facts: 1_000_000,
+        ..logres::EvalOptions::default()
     });
     let err = db
         .apply_source(

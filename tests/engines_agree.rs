@@ -20,12 +20,33 @@ fn closure_with_all_engines(edges: &[(i64, i64)]) {
     let mut gen = OidGen::new();
     load_facts(&program.schema, &mut edb, &program.facts, &mut gen).unwrap();
 
-    let (interp, _) =
-        evaluate_inflationary(&program.schema, &program.rules, &edb, EvalOptions::default())
-            .expect("interpreter");
-    let (semi, _) =
-        evaluate_seminaive(&program.schema, &program.rules, &edb, EvalOptions::default())
-            .expect("semi-naive");
+    let (interp, _) = evaluate_inflationary(
+        &program.schema,
+        &program.rules,
+        &edb,
+        EvalOptions::default(),
+    )
+    .expect("interpreter");
+    let par_opts = EvalOptions {
+        threads: 4,
+        ..EvalOptions::default()
+    };
+    let (par_interp, _) = evaluate_inflationary(&program.schema, &program.rules, &edb, par_opts)
+        .expect("parallel interpreter");
+    assert_eq!(
+        par_interp, interp,
+        "parallel interpreter diverged from serial"
+    );
+    let (semi, _) = evaluate_seminaive(
+        &program.schema,
+        &program.rules,
+        &edb,
+        EvalOptions::default(),
+    )
+    .expect("semi-naive");
+    let (par_semi, _) = evaluate_seminaive(&program.schema, &program.rules, &edb, par_opts)
+        .expect("parallel semi-naive");
+    assert_eq!(par_semi, semi, "parallel semi-naive diverged from serial");
     let naive_compiled = compile_ruleset(&program.schema, &program.rules, FixpointMode::Naive)
         .expect("compiles")
         .run(&program.schema, &edb)
@@ -131,13 +152,9 @@ fn semantics_coincide_on_positive_programs() {
     load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
     let (infl, _) =
         evaluate_inflationary(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap();
-    let (strat, _) = logres::engine::evaluate_stratified(
-        &p.schema,
-        &p.rules,
-        &edb,
-        EvalOptions::default(),
-    )
-    .unwrap();
+    let (strat, _) =
+        logres::engine::evaluate_stratified(&p.schema, &p.rules, &edb, EvalOptions::default())
+            .unwrap();
     let tc = Sym::new("tc");
     assert_eq!(infl.assoc_len(tc), strat.assoc_len(tc));
     for t in infl.tuples_of(tc) {

@@ -65,17 +65,12 @@ fn ridv_keeps_rules_invariant() {
     let mut db = fresh();
     db.apply_source(VIEW, Mode::Radi).unwrap();
     let rules_before = db.rules().clone();
-    db.apply_source(
-        r#"rules parent(par: "c", chil: "d") <- ."#,
-        Mode::Ridv,
-    )
-    .unwrap();
+    db.apply_source(r#"rules parent(par: "c", chil: "d") <- ."#, Mode::Ridv)
+        .unwrap();
     assert_eq!(db.rules(), &rules_before);
     assert_eq!(db.edb().assoc_len(Sym::new("parent")), 3);
     // The persistent view rules see the new tuple on the next query.
-    let rows = db
-        .query(r#"goal ancestor(anc: "a", des: D)?"#)
-        .unwrap();
+    let rows = db.query(r#"goal ancestor(anc: "a", des: D)?"#).unwrap();
     assert_eq!(rows.len(), 3);
 }
 
@@ -145,9 +140,7 @@ fn rejected_applications_leave_every_component_untouched() {
     let rules_before = db.rules().len();
     let edb_before = db.edb().clone();
     for mode in [Mode::Radi, Mode::Ridv, Mode::Radv] {
-        let err = db
-            .apply_source(r#"rules p(d: 13) <- ."#, mode)
-            .unwrap_err();
+        let err = db.apply_source(r#"rules p(d: 13) <- ."#, mode).unwrap_err();
         assert!(matches!(err, CoreError::Rejected { .. }), "{mode:?}");
         assert_eq!(format!("{}", db.schema()), schema_before, "{mode:?}");
         assert_eq!(db.rules().len(), rules_before, "{mode:?}");
@@ -252,11 +245,8 @@ fn oids_never_leak_into_answers() {
     "#,
     )
     .unwrap();
-    db.apply_source(
-        r#"rules person(self: P, name: "eva") <- ."#,
-        Mode::Ridv,
-    )
-    .unwrap();
+    db.apply_source(r#"rules person(self: P, name: "eva") <- ."#, Mode::Ridv)
+        .unwrap();
     let rows = db.query("goal person(P)?").unwrap();
     assert_eq!(rows.len(), 1);
     // The tuple-variable binding is the visible tuple; no oid field, no

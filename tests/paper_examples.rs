@@ -137,8 +137,16 @@ fn example_3_1_predicate_occurrences() {
         rows.iter()
             .map(|r| {
                 (
-                    r.iter().find(|(v, _)| *v == Sym::new("PN")).unwrap().1.clone(),
-                    r.iter().find(|(v, _)| *v == Sym::new("SN")).unwrap().1.clone(),
+                    r.iter()
+                        .find(|(v, _)| *v == Sym::new("PN"))
+                        .unwrap()
+                        .1
+                        .clone(),
+                    r.iter()
+                        .find(|(v, _)| *v == Sym::new("SN"))
+                        .unwrap()
+                        .1
+                        .clone(),
                 )
             })
             .collect()
@@ -337,11 +345,8 @@ fn section_4_2_passive_constraints() {
     )
     .unwrap();
     // Consistent update passes…
-    db.apply_source(
-        r#"rules divorced(who: "franco") <- ."#,
-        Mode::Ridv,
-    )
-    .expect("unrelated divorce is fine");
+    db.apply_source(r#"rules divorced(who: "franco") <- ."#, Mode::Ridv)
+        .expect("unrelated divorce is fine");
     // …the violating one is rejected atomically.
     let before = db.edb().clone();
     let err = db
@@ -396,9 +401,7 @@ fn section_2_1_inheritance_of_attributes() {
     )
     .unwrap();
     // Query the subclass by an inherited attribute.
-    let rows = db
-        .query(r#"goal student(bdate: B, school: K)?"#)
-        .unwrap();
+    let rows = db.query(r#"goal student(bdate: B, school: K)?"#).unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0][0].1, Value::str("1970"));
     // The same oid answers person queries (π(student) ⊆ π(person)).

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use logres::lang::parse_program;
 use logres::engine::{evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions};
+use logres::lang::parse_program;
 use logres::model::{Instance, Oid, OidGen, Schema, Sym, TypeDesc, Value};
 use logres_repro::generators::{closure_program, reference_closure};
 
@@ -16,8 +16,11 @@ use logres_repro::generators::{closure_program, reference_closure};
 /// that generated types can reference named types.
 fn test_schema() -> Schema {
     let mut s = Schema::new();
-    s.add_domain("d_score", TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)]))
-        .unwrap();
+    s.add_domain(
+        "d_score",
+        TypeDesc::tuple([("a", TypeDesc::Int), ("b", TypeDesc::Int)]),
+    )
+    .unwrap();
     s.add_class("c_person", TypeDesc::tuple([("name", TypeDesc::Str)]))
         .unwrap();
     s.add_class(
@@ -193,8 +196,10 @@ proptest! {
 
 fn small_instance(seed: u64) -> (Schema, Instance) {
     let mut s = Schema::new();
-    s.add_class("c", TypeDesc::tuple([("n", TypeDesc::Int)])).unwrap();
-    s.add_assoc("a", TypeDesc::tuple([("v", TypeDesc::Int)])).unwrap();
+    s.add_class("c", TypeDesc::tuple([("n", TypeDesc::Int)]))
+        .unwrap();
+    s.add_assoc("a", TypeDesc::tuple([("v", TypeDesc::Int)]))
+        .unwrap();
     s.validate().unwrap();
     let mut i = Instance::new();
     for k in 0..(seed % 5) {
@@ -284,6 +289,78 @@ proptest! {
             prop_assert!(interp.has_tuple(tc, &t));
             prop_assert!(semi.has_tuple(tc, &t));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing on random positive-fragment rule sets
+// ---------------------------------------------------------------------------
+
+/// Render a random positive association program from rule-template picks.
+/// Every template is positive, association-only and builtin-free, so the
+/// whole program stays inside the semi-naive fragment, and the value domain
+/// is finite (no arithmetic), so every program terminates.
+fn ruleset_src(
+    rules: &[(usize, usize, usize, usize)],
+    facts: &std::collections::BTreeSet<(usize, i64, i64)>,
+) -> String {
+    const P: [&str; 3] = ["p", "q", "r"];
+    let mut src = String::from(
+        "associations\n  \
+           p = (a: integer, b: integer);\n  \
+           q = (a: integer, b: integer);\n  \
+           r = (a: integer, b: integer);\nfacts\n",
+    );
+    for &(pi, a, b) in facts {
+        src.push_str(&format!("  {}(a: {a}, b: {b}).\n", P[pi]));
+    }
+    src.push_str("rules\n");
+    for &(t, h, b1, b2) in rules {
+        let (h, b1, b2) = (P[h], P[b1], P[b2]);
+        let line = match t {
+            0 => format!("  {h}(a: X, b: Y) <- {b1}(a: X, b: Y).\n"),
+            1 => format!("  {h}(a: Y, b: X) <- {b1}(a: X, b: Y).\n"),
+            2 => format!("  {h}(a: X, b: Z) <- {b1}(a: X, b: Y), {b2}(a: Y, b: Z).\n"),
+            3 => format!("  {h}(a: X, b: X) <- {b1}(a: X).\n"),
+            _ => format!("  {h}(a: X, b: Y) <- {b1}(a: X, b: Y), {b2}(b: Y).\n"),
+        };
+        src.push_str(&line);
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On random positive rule sets the semi-naive evaluator, the serial
+    /// inflationary interpreter, and the parallel inflationary interpreter
+    /// all produce the same instance.
+    #[test]
+    fn random_positive_rulesets_agree(
+        rules in proptest::collection::vec(
+            (0usize..5, 0usize..3, 0usize..3, 0usize..3),
+            1..5,
+        ),
+        facts in proptest::collection::btree_set(
+            (0usize..3, 0i64..4, 0i64..4),
+            1..12,
+        ),
+    ) {
+        let src = ruleset_src(&rules, &facts);
+        let p = parse_program(&src).unwrap();
+        prop_assert!(logres::engine::seminaive_applicable(&p.schema, &p.rules));
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+        let (infl, _) =
+            evaluate_inflationary(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap();
+        let (semi, _) =
+            evaluate_seminaive(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap();
+        prop_assert_eq!(&infl, &semi, "semi-naive disagrees on:\n{}", src);
+        let par_opts = EvalOptions { threads: 8, ..EvalOptions::default() };
+        let (par, _) =
+            evaluate_inflationary(&p.schema, &p.rules, &edb, par_opts).unwrap();
+        prop_assert_eq!(&par, &infl, "parallel run disagrees on:\n{}", src);
     }
 }
 
