@@ -53,7 +53,7 @@ fn bench(c: &mut Criterion) {
             ..EvalOptions::default()
         };
         group.bench_with_input(BenchmarkId::new("interpreter_par", n), &n, |b, _| {
-            b.iter(|| evaluate_inflationary(&p.schema, &p.rules, &edb, par_opts).unwrap())
+            b.iter(|| evaluate_inflationary(&p.schema, &p.rules, &edb, par_opts.clone()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
             b.iter(|| {
@@ -61,7 +61,7 @@ fn bench(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("seminaive_par", n), &n, |b, _| {
-            b.iter(|| evaluate_seminaive(&p.schema, &p.rules, &edb, par_opts).unwrap())
+            b.iter(|| evaluate_seminaive(&p.schema, &p.rules, &edb, par_opts.clone()).unwrap())
         });
         for (mode, name) in [
             (FixpointMode::Naive, "compiled_naive"),
@@ -89,7 +89,7 @@ fn bench(c: &mut Criterion) {
                 ..EvalOptions::default()
             };
             group.bench_with_input(BenchmarkId::new(name, relations), &relations, |b, _| {
-                b.iter(|| evaluate_inflationary(&p.schema, &p.rules, &edb, opts).unwrap())
+                b.iter(|| evaluate_inflationary(&p.schema, &p.rules, &edb, opts.clone()).unwrap())
             });
         }
     }

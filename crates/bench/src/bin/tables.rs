@@ -1,15 +1,32 @@
-//! Regenerate every experiment table (E1–E10) for EXPERIMENTS.md.
+//! Regenerate every experiment table (E1–E11) for EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
 //! cargo run -p logres-bench --release --bin tables            # all tables
 //! cargo run -p logres-bench --release --bin tables -- e1 e4   # a subset
+//! cargo run -p logres-bench --release --bin tables -- --deadline-ms 5000
 //! ```
+//!
+//! `--deadline-ms <n>` gives every experiment evaluation a wall-clock
+//! budget via the governor: a run that exceeds it aborts with a structured
+//! cancellation instead of hanging the sweep (useful as a CI smoke test).
 
 use logres_bench::experiments;
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--deadline-ms" {
+            let ms: u64 = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--deadline-ms takes a number of milliseconds");
+            experiments::set_deadline(std::time::Duration::from_millis(ms));
+        } else {
+            filter.push(arg);
+        }
+    }
     println!("# LOGRES reproduction — experiment tables\n");
     for (id, run) in experiments::all() {
         if !filter.is_empty() && !filter.iter().any(|f| f == id) {

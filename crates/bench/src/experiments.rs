@@ -1,6 +1,7 @@
-//! Experiment runners E1–E10 (DESIGN.md §4): each returns a printable
+//! Experiment runners E1–E11 (DESIGN.md §4): each returns a printable
 //! [`Table`] whose rows are recorded in EXPERIMENTS.md.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use algres::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred as APred, Scalar};
@@ -19,6 +20,25 @@ fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     let t0 = Instant::now();
     let r = f();
     (t0.elapsed(), r)
+}
+
+static DEADLINE: OnceLock<Duration> = OnceLock::new();
+
+/// Give every experiment evaluation a wall-clock deadline (the `tables`
+/// binary's `--deadline-ms` flag). Call once, before running experiments;
+/// a tripped deadline aborts the run with [`logres::engine::EngineError::Cancelled`]
+/// rather than hanging a sweep.
+pub fn set_deadline(d: Duration) {
+    let _ = DEADLINE.set(d);
+}
+
+/// The options experiment evaluations run under: defaults, plus the
+/// process-wide deadline when one was set via [`set_deadline`].
+pub fn bench_opts() -> EvalOptions {
+    EvalOptions {
+        deadline: DEADLINE.get().copied(),
+        ..EvalOptions::default()
+    }
 }
 
 fn loaded(src: &str) -> (logres::Schema, Instance, logres::lang::RuleSet) {
@@ -45,6 +65,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e8", e8_semantics),
         ("e9", e9_nesting),
         ("e10", e10_football),
+        ("e11", e11_governor),
     ]
 }
 
@@ -57,7 +78,7 @@ pub fn e1_closure() -> Table {
         "E1 — transitive closure over chains and random graphs",
         &["workload", "n", "engine", "time", "tc tuples"],
     );
-    let opts = EvalOptions::default();
+    let opts = bench_opts();
     let mut run = |workload: &str, edges: Vec<(i64, i64)>, heavy_engines: bool| {
         let n = edges.len();
         let src = closure_program(&edges);
@@ -66,7 +87,7 @@ pub fn e1_closure() -> Table {
 
         if heavy_engines {
             let (d, (inst, _)) =
-                time(|| evaluate_inflationary(&schema, &rules, &edb, opts).expect("naive"));
+                time(|| evaluate_inflationary(&schema, &rules, &edb, opts.clone()).expect("naive"));
             t.row(vec![
                 workload.into(),
                 n.to_string(),
@@ -76,7 +97,7 @@ pub fn e1_closure() -> Table {
             ]);
         }
         let (d, (inst, _)) =
-            time(|| evaluate_seminaive(&schema, &rules, &edb, opts).expect("semi-naive"));
+            time(|| evaluate_seminaive(&schema, &rules, &edb, opts.clone()).expect("semi-naive"));
         t.row(vec![
             workload.into(),
             n.to_string(),
@@ -122,8 +143,7 @@ pub fn e2_powerset() -> Table {
     for n in 4..=8 {
         let (schema, edb, rules) = loaded(&powerset_program(n));
         let (d, (inst, report)) = time(|| {
-            evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default())
-                .expect("powerset evaluates")
+            evaluate_inflationary(&schema, &rules, &edb, bench_opts()).expect("powerset evaluates")
         });
         t.row(vec![
             n.to_string(),
@@ -146,8 +166,7 @@ pub fn e3_invention() -> Table {
     for (n, dup) in [(100, 10), (100, 50), (400, 10), (400, 50), (800, 25)] {
         let (schema, edb, rules) = loaded(&ip_program(n, dup, 42));
         let (d, (inst, _)) = time(|| {
-            evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default())
-                .expect("ip evaluates")
+            evaluate_inflationary(&schema, &rules, &edb, bench_opts()).expect("ip evaluates")
         });
         t.row(vec![
             n.to_string(),
@@ -321,8 +340,7 @@ pub fn e7_isa() -> Table {
         let n = 200;
         let (schema, edb, rules) = loaded(&isa_chain_program(depth, n));
         let (d_create, (inst, _)) = time(|| {
-            evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default())
-                .expect("objects create")
+            evaluate_inflationary(&schema, &rules, &edb, bench_opts()).expect("objects create")
         });
         let goal_src = "goal c0(a0: V)?";
         let p = logres::lang::parse_rules(goal_src, &schema).expect("goal parses");
@@ -360,7 +378,7 @@ pub fn e8_semantics() -> Table {
             (Semantics::Stratified, "stratified"),
         ] {
             let (d, (inst, _)) = time(|| {
-                logres::engine::evaluate(&schema, &rules, &edb, sem, EvalOptions::default())
+                logres::engine::evaluate(&schema, &rules, &edb, sem, bench_opts())
                     .expect("evaluates")
             });
             t.row(vec![
@@ -386,14 +404,8 @@ pub fn e9_nesting() -> Table {
         // Method A: the paper's data-function program, perfect-model.
         let (schema, edb, rules) = loaded(&genealogy_program(n));
         let (d, (inst, _)) = time(|| {
-            logres::engine::evaluate(
-                &schema,
-                &rules,
-                &edb,
-                Semantics::Stratified,
-                EvalOptions::default(),
-            )
-            .expect("genealogy evaluates")
+            logres::engine::evaluate(&schema, &rules, &edb, Semantics::Stratified, bench_opts())
+                .expect("genealogy evaluates")
         });
         t.row(vec![
             n.to_string(),
@@ -538,6 +550,87 @@ pub fn e10_football() -> Table {
     t
 }
 
+/// E11 — the evaluation governor (DESIGN.md §7): deadline and value-budget
+/// cancellation over a diverging oid-inventing counter program, and the
+/// overhead of running governed when no budget trips.
+pub fn e11_governor() -> Table {
+    let mut t = Table::new(
+        "E11 — governor: cancellation on divergence, overhead when idle",
+        &["workload", "budget", "outcome", "steps", "time"],
+    );
+    let diverging = r#"
+        classes
+          c = (n: integer);
+        rules
+          c(self: X, n: 0) <- .
+          c(self: X, n: N) <- c(n: M), N = M + 1.
+    "#;
+    let (schema, edb, rules) = loaded(diverging);
+    let mut run = |budget: String, opts: EvalOptions| {
+        let (d, res) = time(|| evaluate_inflationary(&schema, &rules, &edb, opts));
+        let (outcome, steps) = match res {
+            Err(logres::engine::EngineError::Cancelled { cause, partial }) => {
+                (cause.to_string(), partial.steps)
+            }
+            Ok((_, report)) => ("fixpoint".to_owned(), report.steps),
+            Err(e) => (e.to_string(), 0),
+        };
+        t.row(vec![
+            "counter (diverging)".into(),
+            budget,
+            outcome,
+            steps.to_string(),
+            fmt_duration(d),
+        ]);
+    };
+    for ms in [5u64, 25, 100] {
+        run(
+            format!("{ms}ms"),
+            EvalOptions {
+                deadline: Some(Duration::from_millis(ms)),
+                ..EvalOptions::default()
+            },
+        );
+    }
+    run(
+        "2k nodes".to_owned(),
+        EvalOptions {
+            max_value_nodes: Some(2_000),
+            ..EvalOptions::default()
+        },
+    );
+
+    // Overhead: a terminating closure under a never-tripping deadline must
+    // cost the same as an ungoverned run (and produce the same instance).
+    let (schema2, edb2, rules2) = loaded(&closure_program(&chain_edges(128)));
+    let (d_plain, (inst_plain, report)) = time(|| {
+        evaluate_seminaive(&schema2, &rules2, &edb2, EvalOptions::default()).expect("closure runs")
+    });
+    t.row(vec![
+        "chain 128 (terminating)".into(),
+        "none".into(),
+        "fixpoint".into(),
+        report.steps.to_string(),
+        fmt_duration(d_plain),
+    ]);
+    let governed = EvalOptions {
+        deadline: Some(Duration::from_secs(3_600)),
+        max_value_nodes: Some(usize::MAX),
+        ..EvalOptions::default()
+    };
+    let (d_gov, (inst_gov, report)) =
+        time(|| evaluate_seminaive(&schema2, &rules2, &edb2, governed).expect("closure runs"));
+    assert_eq!(inst_plain, inst_gov, "governed run must not change results");
+    t.row(vec![
+        "chain 128 (terminating)".into(),
+        "1h (never trips)".into(),
+        "fixpoint".into(),
+        report.steps.to_string(),
+        fmt_duration(d_gov),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +662,26 @@ mod tests {
         assert_eq!(t.rows[1][4], "100");
         assert_eq!(t.rows[3][4], "400");
         assert_eq!(t.rows[0][4], "0");
+    }
+
+    #[test]
+    fn e11_governor_cancels_divergence_and_idles_cheaply() {
+        let t = e11_governor();
+        // Three deadline rows + one value-budget row over the diverging
+        // counter, then ungoverned/governed rows for the terminating chain.
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows[..3] {
+            assert!(row[2].contains("deadline"), "{row:?}");
+        }
+        assert!(
+            t.rows[3][2].contains("value-node budget"),
+            "{:?}",
+            t.rows[3]
+        );
+        assert_eq!(t.rows[4][2], "fixpoint");
+        assert_eq!(t.rows[5][2], "fixpoint");
+        // Cancelled runs still report progress.
+        assert!(t.rows[2][3].parse::<usize>().unwrap() > 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Workload generators and experiment runners for the LOGRES reproduction.
 //!
 //! The paper (SIGMOD 1990) is a design overview and publishes **no
-//! measured tables or figures**; the experiment suite E1–E10 defined in
+//! measured tables or figures**; the experiment suite E1–E11 defined in
 //! DESIGN.md §4 turns every worked example and every performance-relevant
 //! prose claim into a measured table. Each experiment exists twice:
 //!

@@ -112,9 +112,14 @@ impl Database {
         self.semantics = semantics;
     }
 
-    /// Fuel limits for evaluations.
+    /// Fuel limits, governor budgets, and trace sink for evaluations.
     pub fn set_options(&mut self, opts: EvalOptions) {
         self.opts = opts;
+    }
+
+    /// The database's current evaluation options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
     }
 
     /// The referential integrity constraints generated from the current
@@ -126,7 +131,7 @@ impl Database {
     /// Materialize the database instance: compute `I` from `(E, R)`.
     pub fn instance(&self) -> Result<(Instance, EvalReport), CoreError> {
         self.state
-            .instance(self.semantics, self.opts)
+            .instance(self.semantics, self.opts.clone())
             .map_err(CoreError::Engine)
     }
 
@@ -167,9 +172,14 @@ impl Database {
                 // persists.
                 let schema = self.union_schema(module)?;
                 let rules = self.state.rules.union(&module.rules);
-                let (inst, report) =
-                    evaluate(&schema, &rules, &self.state.edb, semantics, self.opts)
-                        .map_err(CoreError::Engine)?;
+                let (inst, report) = evaluate(
+                    &schema,
+                    &rules,
+                    &self.state.edb,
+                    semantics,
+                    self.opts.clone(),
+                )
+                .map_err(CoreError::Engine)?;
                 let answer = self.answer(&schema, &inst, module)?;
                 Ok(ApplicationOutcome { answer, report })
             }
@@ -225,7 +235,7 @@ impl Database {
                     &module.rules,
                     &self.state.edb,
                     semantics,
-                    self.opts,
+                    self.opts.clone(),
                 )
                 .map_err(CoreError::Engine)?;
                 let candidate = DatabaseState {
@@ -248,7 +258,7 @@ impl Database {
                     &module.rules,
                     &self.state.edb,
                     semantics,
-                    self.opts,
+                    self.opts.clone(),
                 )
                 .map_err(CoreError::Engine)?;
                 let rules = self.state.rules.union(&module.rules);
@@ -279,7 +289,7 @@ impl Database {
                     &module.rules,
                     &Instance::new(),
                     semantics,
-                    self.opts,
+                    self.opts.clone(),
                 )
                 .map_err(CoreError::Engine)?;
                 let mut new_edb = self.state.edb.clone();
@@ -318,6 +328,22 @@ impl Database {
         Ok(outcome.answer.unwrap_or_default())
     }
 
+    /// [`Database::query`] under one-off evaluation options (deadline,
+    /// budgets, trace sink, thread count) without disturbing the database's
+    /// defaults; returns the rows together with the evaluation report so
+    /// callers can inspect profiles and budget consumption.
+    pub fn query_with_options(
+        &mut self,
+        src: &str,
+        opts: EvalOptions,
+    ) -> Result<(Rows, EvalReport), CoreError> {
+        let saved = std::mem::replace(&mut self.opts, opts);
+        let result = self.apply_source(src, Mode::Ridi);
+        self.opts = saved;
+        let outcome = result?;
+        Ok((outcome.answer.unwrap_or_default(), outcome.report))
+    }
+
     // ----- helpers ----------------------------------------------------------
 
     fn union_schema(&self, module: &Module) -> Result<Schema, CoreError> {
@@ -338,7 +364,7 @@ impl Database {
         semantics: Semantics,
     ) -> Result<(Instance, EvalReport), CoreError> {
         let (inst, report) = candidate
-            .instance(semantics, self.opts)
+            .instance(semantics, self.opts.clone())
             .map_err(CoreError::Engine)?;
         let consistency = candidate.check_consistency(&inst)?;
         if !consistency.is_consistent() {

@@ -70,5 +70,8 @@ pub use logres_engine as engine;
 pub use logres_lang as lang;
 pub use logres_model as model;
 
-pub use logres_engine::{EvalOptions, EvalReport, IterationStats, Semantics};
+pub use logres_engine::{
+    CancelCause, EvalOptions, EvalReport, IterationStats, RuleProfile, Semantics, TraceEvent,
+    Tracer,
+};
 pub use logres_model::{Instance, Oid, Schema, Sym, TypeDesc, Value};

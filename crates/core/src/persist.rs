@@ -22,6 +22,7 @@
 //! ```
 
 use logres_model::{parse_value, Instance, Oid, Sym, Value};
+use rustc_hash::FxHashSet;
 
 use crate::error::CoreError;
 use crate::state::DatabaseState;
@@ -34,6 +35,11 @@ pub fn save(state: &DatabaseState) -> String {
     out.push_str(HEADER);
     out.push_str("\n%%schema\n");
     out.push_str(&state.schema.to_string());
+    // An empty schema prints as "" and a custom Display may omit the final
+    // newline; guard it so the next section header always starts a line.
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
     out.push_str("%%program\n");
     if !state.rules.is_empty() {
         out.push_str("rules\n");
@@ -50,18 +56,18 @@ pub fn save(state: &DatabaseState) -> String {
     // π: memberships per class (sorted for determinism).
     let mut classes: Vec<Sym> = state.schema.classes().collect();
     classes.sort();
-    let mut oids_seen: Vec<Oid> = Vec::new();
+    let mut oids_seen: FxHashSet<Oid> = FxHashSet::default();
     for c in &classes {
         let mut oids: Vec<Oid> = state.edb.oids_of(*c).collect();
         oids.sort();
         for o in oids {
             out.push_str(&format!("pi\t{c}\t{}\n", o.0));
-            if !oids_seen.contains(&o) {
-                oids_seen.push(o);
-            }
+            oids_seen.insert(o);
         }
     }
-    // ν: one o-value per oid.
+    // ν: one o-value per oid (sorted, so the set iteration order is
+    // irrelevant and the output stays canonical).
+    let mut oids_seen: Vec<Oid> = oids_seen.into_iter().collect();
     oids_seen.sort();
     for o in oids_seen {
         if let Some(v) = state.edb.o_value(o) {
@@ -113,9 +119,18 @@ pub fn load(text: &str) -> Result<DatabaseState, CoreError> {
     let mut section = "";
     for line in lines {
         match line.trim() {
-            "%%schema" => section = "schema",
-            "%%program" => section = "program",
-            "%%instance" => section = "instance",
+            "%%schema" if section.is_empty() => section = "schema",
+            "%%program" if section == "schema" => section = "program",
+            "%%instance" if section == "program" => section = "instance",
+            s if s.starts_with("%%") => {
+                // A corrupted, repeated, or out-of-order section header must
+                // be a hard error: silently treating it as content would
+                // misparse everything after it.
+                return Err(err(format!(
+                    "malformed or out-of-order section header {s:?} \
+                     (expected %%schema, %%program, %%instance, in order)"
+                )));
+            }
             _ => match section {
                 "schema" => {
                     schema_src.push_str(line);
@@ -133,6 +148,18 @@ pub fn load(text: &str) -> Result<DatabaseState, CoreError> {
                 _ => return Err(err(format!("content before any section: {line:?}"))),
             },
         }
+    }
+
+    if section != "instance" {
+        return Err(err(format!(
+            "truncated state: expected %%schema, %%program and %%instance \
+             sections, got as far as {:?}",
+            if section.is_empty() {
+                "<header>"
+            } else {
+                section
+            }
+        )));
     }
 
     let schema_program = logres_lang::parse_program(&schema_src).map_err(CoreError::Lang)?;
@@ -301,5 +328,34 @@ mod tests {
         // …but a truncated value line is a parse error.
         let broken2 = text.replace("nu\t0\t", "nu\t0\t(((");
         assert!(load(&broken2).is_err());
+    }
+
+    #[test]
+    fn malformed_section_headers_are_rejected() {
+        let db = demo_db();
+        let text = save(db.state());
+        // A typo'd section header is a hard error, not silent content.
+        let typo = text.replace("%%program", "%%prog");
+        assert!(load(&typo).is_err());
+        // Out-of-order sections are rejected.
+        assert!(load("%%logres-state v1\n%%instance\n").is_err());
+        // Repeated sections are rejected.
+        let doubled = text.replace("%%instance\n", "%%schema\n%%instance\n");
+        assert!(load(&doubled).is_err());
+        // Truncated states (missing sections) are rejected.
+        assert!(load("%%logres-state v1\n").is_err());
+        assert!(load("%%logres-state v1\n%%schema\n").is_err());
+    }
+
+    #[test]
+    fn empty_schema_keeps_section_headers_on_their_own_lines() {
+        // Regression: `save` relied on the schema's Display ending with a
+        // newline — an empty schema glued `%%program` onto the previous
+        // line and corrupted the format.
+        let state = DatabaseState::new(logres_model::Schema::new());
+        let text = save(&state);
+        assert!(text.lines().any(|l| l == "%%program"), "text: {text:?}");
+        let restored = load(&text).expect("empty state loads");
+        assert_eq!(save(&restored), text);
     }
 }

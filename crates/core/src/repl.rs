@@ -11,7 +11,10 @@
 //!   automatically when the buffer is a pure goal.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
+use logres_engine::{EngineError, EvalReport, Tracer};
 use logres_model::Sym;
 
 use crate::database::Database;
@@ -28,11 +31,25 @@ pub enum Step {
     Quit,
 }
 
+/// Where trace events go, if anywhere (`:trace`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TraceSetting {
+    Off,
+    /// In-memory sink, replaced per evaluation so `:trace show` reflects
+    /// the latest run only.
+    Memory,
+    /// JSON lines appended to a file for the rest of the session.
+    Json(String),
+}
+
 /// An interactive LOGRES session.
 pub struct Repl {
     db: Option<Database>,
     mode: Mode,
     buffer: String,
+    trace: TraceSetting,
+    mem_tracer: Option<Arc<Tracer>>,
+    last_report: Option<EvalReport>,
 }
 
 impl Default for Repl {
@@ -48,6 +65,9 @@ impl Repl {
             db: None,
             mode: Mode::Ridv,
             buffer: String::new(),
+            trace: TraceSetting::Off,
+            mem_tracer: None,
+            last_report: None,
         }
     }
 
@@ -55,8 +75,7 @@ impl Repl {
     pub fn with_database(db: Database) -> Repl {
         Repl {
             db: Some(db),
-            mode: Mode::Ridv,
-            buffer: String::new(),
+            ..Repl::new()
         }
     }
 
@@ -105,6 +124,7 @@ impl Repl {
                     Database::from_source("")
                         .unwrap_or_else(|_| Database::new(logres_model::Schema::new())),
                 );
+                self.sync_trace_sink();
                 "empty database created".to_owned()
             }
             "load" => match std::fs::read_to_string(arg) {
@@ -182,14 +202,21 @@ impl Repl {
             },
             "materialize" => match &mut self.db {
                 Some(db) => match db.materialize() {
-                    Ok(report) => format!(
-                        "materialized: {} facts in {} steps",
-                        report.facts, report.steps
-                    ),
+                    Ok(report) => {
+                        let msg = format!(
+                            "materialized: {} facts in {} steps",
+                            report.facts, report.steps
+                        );
+                        self.last_report = Some(report);
+                        msg
+                    }
                     Err(e) => format!("error: {e}"),
                 },
                 None => "no database loaded".to_owned(),
             },
+            "trace" => self.trace_command(arg),
+            "profile" => self.profile_command(),
+            "deadline" => self.deadline_command(arg),
             other => format!("unknown command `:{other}` (try :help)"),
         };
         Step::Output(out)
@@ -200,28 +227,164 @@ impl Repl {
         format!("mode set to {mode:?}")
     }
 
-    /// Load either a saved state or a bootstrap program.
-    fn load_text(&mut self, text: &str) -> Result<String, CoreError> {
-        if text.trim_start().starts_with("%%logres-state") {
-            self.db = Some(Database::load(text)?);
-            Ok("state restored".to_owned())
-        } else {
-            self.db = Some(Database::from_source(text)?);
-            Ok("program loaded".to_owned())
+    fn trace_command(&mut self, arg: &str) -> String {
+        let mut words = arg.split_whitespace();
+        match (words.next().unwrap_or_default(), words.next()) {
+            ("", None) => match &self.trace {
+                TraceSetting::Off => "trace: off".to_owned(),
+                TraceSetting::Memory => "trace: on (in memory; :trace show)".to_owned(),
+                TraceSetting::Json(path) => format!("trace: json lines to {path}"),
+            },
+            ("on", None) => {
+                self.trace = TraceSetting::Memory;
+                self.sync_trace_sink();
+                "tracing on (in memory; :trace show after a run)".to_owned()
+            }
+            ("off", None) => {
+                self.trace = TraceSetting::Off;
+                self.mem_tracer = None;
+                self.sync_trace_sink();
+                "tracing off".to_owned()
+            }
+            ("json", Some(path)) => match std::fs::File::create(path) {
+                Ok(file) => {
+                    self.trace = TraceSetting::Json(path.to_owned());
+                    self.mem_tracer = None;
+                    if let Some(db) = &mut self.db {
+                        let mut opts = db.options().clone();
+                        opts.trace = Some(Tracer::json(file));
+                        db.set_options(opts);
+                    }
+                    format!("tracing as JSON lines to {path}")
+                }
+                Err(e) => format!("error opening {path}: {e}"),
+            },
+            ("show", None) => match &self.mem_tracer {
+                Some(t) => {
+                    let events = t.events();
+                    if events.is_empty() {
+                        "(no trace events recorded yet)".to_owned()
+                    } else {
+                        let mut out = String::new();
+                        for ev in events {
+                            let _ = writeln!(out, "{}", ev.to_json_line());
+                        }
+                        out
+                    }
+                }
+                None => "tracing is not on (use :trace on first)".to_owned(),
+            },
+            _ => "usage: :trace [on|off|show|json <file>]".to_owned(),
         }
     }
 
-    fn apply(&mut self, src: &str) -> String {
+    /// Point the database's trace sink at the current setting. For the
+    /// in-memory setting this installs a *fresh* sink, so each evaluation
+    /// starts with an empty event list.
+    fn sync_trace_sink(&mut self) {
+        let Some(db) = &mut self.db else { return };
+        let mut opts = db.options().clone();
+        opts.trace = match self.trace {
+            TraceSetting::Off => None,
+            TraceSetting::Memory => {
+                let t = Tracer::memory();
+                self.mem_tracer = Some(t.clone());
+                Some(t)
+            }
+            // The JSON sink persists across runs; leave it in place.
+            TraceSetting::Json(_) => return,
+        };
+        db.set_options(opts);
+    }
+
+    fn profile_command(&self) -> String {
+        let Some(report) = &self.last_report else {
+            return "no evaluation has run yet".to_owned();
+        };
+        let mut profiles: Vec<_> = report
+            .rule_profiles
+            .iter()
+            .filter(|p| p.firings > 0 || p.match_nanos > 0)
+            .collect();
+        if profiles.is_empty() {
+            return "no rule fired in the last evaluation".to_owned();
+        }
+        profiles.sort_by_key(|p| std::cmp::Reverse(p.match_nanos));
+        let mut out = format!(
+            "{:>8} {:>8} {:>8} {:>10}  rule\n",
+            "firings", "derived", "deleted", "match ms"
+        );
+        for p in profiles {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>8} {:>8} {:>10.3}  {}",
+                p.firings,
+                p.derived,
+                p.deleted,
+                p.match_nanos as f64 / 1.0e6,
+                p.rule
+            );
+        }
+        if let Some(rule) = &report.cancelled_in_rule {
+            let _ = writeln!(out, "cancelled while matching: {rule}");
+        }
+        out
+    }
+
+    fn deadline_command(&mut self, arg: &str) -> String {
         let Some(db) = &mut self.db else {
+            return "no database loaded".to_owned();
+        };
+        match arg {
+            "" => match db.options().deadline {
+                Some(d) => format!("deadline: {}ms", d.as_millis()),
+                None => "deadline: none".to_owned(),
+            },
+            "off" => {
+                let mut opts = db.options().clone();
+                opts.deadline = None;
+                db.set_options(opts);
+                "deadline cleared".to_owned()
+            }
+            ms => match ms.parse::<u64>() {
+                Ok(ms) => {
+                    let mut opts = db.options().clone();
+                    opts.deadline = Some(Duration::from_millis(ms));
+                    db.set_options(opts);
+                    format!("deadline set to {ms}ms")
+                }
+                Err(_) => "usage: :deadline <ms>|off".to_owned(),
+            },
+        }
+    }
+
+    /// Load either a saved state or a bootstrap program.
+    fn load_text(&mut self, text: &str) -> Result<String, CoreError> {
+        let msg = if text.trim_start().starts_with("%%logres-state") {
+            self.db = Some(Database::load(text)?);
+            "state restored"
+        } else {
+            self.db = Some(Database::from_source(text)?);
+            "program loaded"
+        };
+        self.sync_trace_sink();
+        Ok(msg.to_owned())
+    }
+
+    fn apply(&mut self, src: &str) -> String {
+        if self.db.is_none() {
             // A schema-bearing first input bootstraps the database.
             return match Database::from_source(src) {
                 Ok(db) => {
                     self.db = Some(db);
+                    self.sync_trace_sink();
                     "database created".to_owned()
                 }
                 Err(e) => format!("error: {e}"),
             };
-        };
+        }
+        self.sync_trace_sink();
+        let db = self.db.as_mut().expect("checked above");
         let is_goal_only = src
             .lines()
             .map(str::trim)
@@ -248,7 +411,16 @@ impl Repl {
                         mode, outcome.report.facts, outcome.report.steps
                     );
                 }
+                self.last_report = Some(outcome.report);
                 out
+            }
+            Err(CoreError::Engine(EngineError::Cancelled { cause, partial })) => {
+                let msg = format!(
+                    "cancelled: {cause} (partial: {} steps, {} facts; :profile for details)",
+                    partial.steps, partial.facts
+                );
+                self.last_report = Some(*partial);
+                msg
             }
             Err(e) => format!("error: {e}"),
         }
@@ -300,6 +472,13 @@ LOGRES interactive session
   :facts <pred>         print a predicate's extension
   :check                consistency report
   :materialize          make E coincide with the instance I
+  :trace [on|off|show|json <file>]
+                        structured evaluation tracing (in memory, or as
+                        JSON lines to a file)
+  :profile              per-rule firing/derivation/timing table for the
+                        last evaluation (partial if it was cancelled)
+  :deadline <ms>|off    wall-clock budget for evaluations; runs that
+                        exceed it stop with a partial report
 Anything else is module source: it accumulates until an empty line (or a
 line ending in `?`) and is then applied — goals run as RIDI queries.";
 
@@ -399,5 +578,59 @@ mod tests {
         assert!(msg.contains("unknown command"));
         let help = out(repl.feed(":help"));
         assert!(help.contains(":materialize"));
+        assert!(help.contains(":trace"));
+        assert!(help.contains(":deadline"));
+    }
+
+    #[test]
+    fn trace_and_profile_follow_an_evaluation() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, "associations\n  p = (d: integer);");
+        let msg = out(repl.feed(":trace on"));
+        assert!(msg.contains("tracing on"), "{msg}");
+
+        feed_all(&mut repl, "rules\n  p(d: 1) <- .");
+        let shown = out(repl.feed(":trace show"));
+        assert!(shown.contains("\"event\":\"eval_start\""), "{shown}");
+        assert!(shown.contains("\"event\":\"eval_end\""), "{shown}");
+
+        let profile = out(repl.feed(":profile"));
+        assert!(profile.contains("p(d: 1) <- ."), "{profile}");
+
+        // Each run replaces the in-memory sink: show reflects the latest
+        // run only (same event count as the first, not accumulated).
+        feed_all(&mut repl, "rules\n  p(d: 2) <- .");
+        let shown2 = out(repl.feed(":trace show"));
+        assert_eq!(
+            shown2.matches("\"event\":\"eval_start\"").count(),
+            shown.matches("\"event\":\"eval_start\"").count()
+        );
+
+        let msg = out(repl.feed(":trace off"));
+        assert!(msg.contains("tracing off"), "{msg}");
+        let shown3 = out(repl.feed(":trace show"));
+        assert!(shown3.contains("not on"), "{shown3}");
+    }
+
+    #[test]
+    fn deadline_cancellation_reports_partially() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, "classes\n  c = (n: integer);");
+        let msg = out(repl.feed(":deadline 30"));
+        assert!(msg.contains("30ms"), "{msg}");
+
+        // A diverging ruleset: every step invents a fresh oid.
+        let msg = feed_all(
+            &mut repl,
+            "rules\n  c(self: X, n: 0) <- .\n  c(self: X, n: N) <- c(n: M), N = M + 1.",
+        );
+        assert!(msg.contains("cancelled"), "{msg}");
+        assert!(msg.contains("deadline of 30ms"), "{msg}");
+
+        let profile = out(repl.feed(":profile"));
+        assert!(profile.contains("c(self: X, n: N)"), "{profile}");
+
+        let msg = out(repl.feed(":deadline off"));
+        assert!(msg.contains("cleared"), "{msg}");
     }
 }

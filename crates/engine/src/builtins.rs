@@ -141,16 +141,20 @@ pub fn solve(
                 detail: "collection contains non-integers".to_owned(),
             })?;
             let result = match builtin {
-                Sum => Some(ints.iter().sum()),
+                // Like `BinOp` arithmetic in `binding.rs`, sums are fully
+                // checked: overflow fails the literal instead of panicking
+                // (debug) or wrapping (release).
+                Sum => checked_sum(&ints),
                 Min => ints.iter().copied().min(),
                 Max => ints.iter().copied().max(),
                 Avg if ints.is_empty() => None,
-                Avg => Some(ints.iter().sum::<i64>() / ints.len() as i64),
+                Avg => checked_sum(&ints).map(|s| s / ints.len() as i64),
                 _ => unreachable!(),
             };
             match result {
                 Some(n) => produce(&args[0], Value::Int(n), subst, inst),
-                // min/max/avg of an empty collection: the literal fails.
+                // min/max/avg of an empty collection, or an overflowing
+                // sum: the literal fails.
                 None => Ok(BuiltinOutcome::Test(false)),
             }
         }
@@ -185,6 +189,12 @@ pub fn solve(
             }
         }
     }
+}
+
+/// `Σ ints` with overflow detection; `None` on overflow (an empty slice
+/// sums to 0).
+fn checked_sum(ints: &[i64]) -> Option<i64> {
+    ints.iter().try_fold(0i64, |acc, &n| acc.checked_add(n))
 }
 
 /// Unify a computed result with the output term: test when bound, bind when
@@ -468,6 +478,50 @@ mod tests {
             solve1(Builtin::Count, &[var("N"), empty], &s),
             BuiltinOutcome::Bindings(_)
         ));
+    }
+
+    #[test]
+    fn overflowing_aggregates_fail_the_literal() {
+        // Regression: `sum`/`avg` used an unchecked `iter().sum::<i64>()`,
+        // which panicked in debug builds and wrapped in release. Overflow
+        // must fail the literal like checked `BinOp` arithmetic does.
+        let s = Subst::new();
+        let huge = cst(Value::seq([
+            Value::Int(i64::MAX),
+            Value::Int(i64::MAX),
+            Value::Int(1),
+        ]));
+        for b in [Builtin::Sum, Builtin::Avg] {
+            assert_eq!(
+                solve1(b, &[var("N"), huge.clone()], &s),
+                BuiltinOutcome::Test(false),
+                "{b:?} must fail on overflow"
+            );
+        }
+        // Negative overflow fails too.
+        let negative = cst(Value::seq([Value::Int(i64::MIN), Value::Int(-1)]));
+        for b in [Builtin::Sum, Builtin::Avg] {
+            assert_eq!(
+                solve1(b, &[var("N"), negative.clone()], &s),
+                BuiltinOutcome::Test(false),
+                "{b:?} must fail on negative overflow"
+            );
+        }
+        // min/max of the same collection are unaffected.
+        match solve1(Builtin::Max, &[var("N"), huge], &s) {
+            BuiltinOutcome::Bindings(bs) => {
+                assert_eq!(bs[0].get(Sym::new("N")), Some(&Value::Int(i64::MAX)))
+            }
+            other => panic!("expected bindings, got {other:?}"),
+        }
+        // An i64::MAX element alone still sums exactly.
+        let exact = cst(Value::seq([Value::Int(i64::MAX)]));
+        match solve1(Builtin::Sum, &[var("N"), exact], &s) {
+            BuiltinOutcome::Bindings(bs) => {
+                assert_eq!(bs[0].get(Sym::new("N")), Some(&Value::Int(i64::MAX)))
+            }
+            other => panic!("expected bindings, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::binding::{as_oid_like, eval_term, normalize_arg, self_label, strip_self, Subst};
 use crate::error::EngineError;
+use crate::governor::CancelToken;
+use crate::inflationary::IterationStats;
 use crate::matcher::{eval_body, BodyView};
+use crate::trace::{self, TraceEvent, Tracer};
 
 /// One invented oid per (rule index, canonical body valuation) —
 /// Definition 8(b)'s uniqueness condition.
@@ -67,6 +70,15 @@ pub struct DeltaSets {
     /// Satisfying body valuations found across all rules this step (before
     /// the valuation-domain check filters already-satisfied heads).
     pub firings: usize,
+    /// Per-rule stats for this step, in canonical rule order
+    /// (`apply_nanos` is unused at rule granularity and stays 0).
+    pub per_rule: Vec<IterationStats>,
+    /// Total [`Value::node_count`] of the `Δ⁺` facts — what the governor
+    /// charges against its value-node budget.
+    pub plus_nodes: usize,
+    /// Set when a cancellation token tripped during the match phase; the
+    /// deltas are then incomplete and must not be applied.
+    pub cancelled: bool,
 }
 
 impl DeltaSets {
@@ -118,18 +130,57 @@ impl<'a> OneStep<'a> {
         inst: &Instance,
         threads: usize,
     ) -> Result<DeltaSets, EngineError> {
-        let schema = self.schema;
-        let valuations = crate::parallel::ordered_map(threads, &self.rules.rules, |_, rule| {
-            eval_body(schema, BodyView::plain(inst), &rule.body, Subst::new())
-        });
+        self.deltas_governed(inst, threads, &CancelToken::unlimited(), None, 0)
+    }
 
-        let mut out = DeltaSets::default();
+    /// [`OneStep::deltas_with`] under a governor: workers poll `token`
+    /// between rules (and record which rule they are matching), and the
+    /// serial merge emits per-rule trace events. When the token trips
+    /// mid-phase the returned sets carry `cancelled = true` and stop at the
+    /// last contiguously matched rule; a token that never cancels produces
+    /// byte-identical deltas to the ungoverned path.
+    pub fn deltas_governed(
+        &mut self,
+        inst: &Instance,
+        threads: usize,
+        token: &CancelToken,
+        tracer: Option<&Tracer>,
+        step: usize,
+    ) -> Result<DeltaSets, EngineError> {
+        let schema = self.schema;
+        let valuations = crate::parallel::ordered_map_cancellable(
+            threads,
+            &self.rules.rules,
+            token,
+            |i, rule| {
+                token.note_item(i);
+                let start = std::time::Instant::now();
+                let thetas = eval_body(schema, BodyView::plain(inst), &rule.body, Subst::new());
+                (thetas, start.elapsed().as_nanos() as u64)
+            },
+        );
+
+        let mut out = DeltaSets {
+            per_rule: vec![IterationStats::default(); self.rules.rules.len()],
+            ..DeltaSets::default()
+        };
         let mut plus_seen: FxHashSet<Fact> = FxHashSet::default();
         let mut minus_seen: FxHashSet<Fact> = FxHashSet::default();
 
-        for (idx, (rule, thetas)) in self.rules.rules.iter().zip(valuations).enumerate() {
+        for (idx, (rule, slot)) in self.rules.rules.iter().zip(valuations).enumerate() {
+            let Some((thetas, match_nanos)) = slot else {
+                // The match phase was cut short: later rules may have
+                // results, but the merge must stop at the first gap to keep
+                // whatever it produced meaningful.
+                out.cancelled = true;
+                break;
+            };
+            let stats = &mut out.per_rule[idx];
+            stats.match_nanos = match_nanos;
             for theta in thetas? {
                 out.firings += 1;
+                stats.firings += 1;
+                let memo_before = self.memo.len();
                 let facts = instantiate_head(
                     self.schema,
                     inst,
@@ -139,15 +190,39 @@ impl<'a> OneStep<'a> {
                     &mut self.memo,
                     &mut self.gen,
                 )?;
+                if self.memo.len() > memo_before {
+                    if let Some(Fact::Class { oid, .. }) = facts.first() {
+                        let oid = oid.0;
+                        trace::emit(tracer, || TraceEvent::Invention {
+                            step,
+                            rule: idx,
+                            oid,
+                        });
+                    }
+                }
                 for f in facts {
                     if rule.head.negated {
                         if minus_seen.insert(f.clone()) {
+                            stats.deleted += 1;
                             out.minus.push(f);
                         }
                     } else if plus_seen.insert(f.clone()) {
+                        stats.derived += 1;
+                        out.plus_nodes += fact_nodes(&f);
                         out.plus.push(f);
                     }
                 }
+            }
+            if stats.firings > 0 {
+                let (firings, derived, deleted) = (stats.firings, stats.derived, stats.deleted);
+                trace::emit(tracer, || TraceEvent::RuleFired {
+                    step,
+                    rule: idx,
+                    firings,
+                    derived,
+                    deleted,
+                    match_nanos,
+                });
             }
         }
         Ok(out)
@@ -542,6 +617,18 @@ fn coerce_value(schema: &Schema, v: Value, ty: &TypeDesc) -> Value {
             other => other,
         },
         TypeDesc::Int | TypeDesc::Str => v,
+    }
+}
+
+/// Value-node footprint of one fact — what the governor's memory budget
+/// charges (class facts add one node for the oid itself).
+pub(crate) fn fact_nodes(f: &Fact) -> usize {
+    match f {
+        Fact::Class { value, .. } => 1 + value.node_count(),
+        Fact::Assoc { tuple, .. } => tuple.node_count(),
+        Fact::Member { args, elem, .. } => {
+            args.iter().map(Value::node_count).sum::<usize>() + elem.node_count()
+        }
     }
 }
 

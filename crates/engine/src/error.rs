@@ -4,6 +4,9 @@ use std::fmt;
 
 use logres_model::Sym;
 
+use crate::governor::CancelCause;
+use crate::inflationary::EvalReport;
+
 /// Runtime errors of the evaluation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 // Field names are self-documenting; variant docs carry the semantics.
@@ -29,6 +32,15 @@ pub enum EngineError {
     UnsupportedFragment { detail: String },
     /// An error bubbled up from the ALGRES substrate.
     Algebra(String),
+    /// The evaluation governor stopped the run (wall-clock deadline or
+    /// value-node budget). Unlike the fuel errors above, the partial
+    /// [`EvalReport`] of the work completed before the abort travels with
+    /// the error — steps taken, facts stored, per-rule profiles, and the
+    /// rule that was firing when the budget tripped.
+    Cancelled {
+        cause: CancelCause,
+        partial: Box<EvalReport>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -51,6 +63,11 @@ impl fmt::Display for EngineError {
                 write!(f, "outside the supported fragment: {detail}")
             }
             EngineError::Algebra(msg) => write!(f, "algebra error: {msg}"),
+            EngineError::Cancelled { cause, partial } => write!(
+                f,
+                "evaluation cancelled: {cause} (after {} steps, {} facts)",
+                partial.steps, partial.facts
+            ),
         }
     }
 }

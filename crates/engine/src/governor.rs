@@ -1,0 +1,271 @@
+//! Evaluation governor: wall-clock deadlines, value-node memory budgets,
+//! and cooperative cancellation.
+//!
+//! Termination of the inflationary fixpoint is undecidable once rules invent
+//! oids (Appendix B of the paper), so every driver runs under a [`Governor`]
+//! built from its [`crate::EvalOptions`]. The governor owns a [`CancelToken`]
+//! that is shared with parallel match workers; workers poll it between match
+//! tasks, which bounds the latency of a deadline abort to one step boundary
+//! plus one in-flight rule match.
+//!
+//! Cancellation never corrupts state: the instance under construction is
+//! discarded and the partial [`crate::EvalReport`] travels inside
+//! [`crate::EngineError::Cancelled`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::inflationary::EvalOptions;
+
+/// Why the governor stopped an evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The wall-clock deadline elapsed.
+    Deadline {
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The cumulative value-node budget was exhausted.
+    ValueBudget {
+        /// The configured node limit.
+        limit: usize,
+        /// Nodes charged when the limit was hit.
+        used: usize,
+    },
+}
+
+impl fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelCause::Deadline { budget_ms } => {
+                write!(f, "deadline of {budget_ms}ms elapsed")
+            }
+            CancelCause::ValueBudget { limit, used } => {
+                write!(
+                    f,
+                    "value-node budget exhausted ({used} nodes > limit {limit})"
+                )
+            }
+        }
+    }
+}
+
+/// Sentinel for "no rule recorded" in [`CancelToken::last_item`].
+const NO_ITEM: usize = usize::MAX;
+
+/// A cheap, cloneable cancellation token shared between the driver and the
+/// parallel match workers.
+///
+/// Workers call [`CancelToken::cancelled`] before claiming each match task;
+/// the check is one atomic load on the fast path, plus a clock read when a
+/// deadline is set. Workers also record which rule they are matching via
+/// [`CancelToken::note_item`], so a cancelled run can report the rule that
+/// was firing.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    last_item: Arc<AtomicUsize>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (no deadline, never flagged).
+    pub fn unlimited() -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+            last_item: Arc::new(AtomicUsize::new(NO_ITEM)),
+        }
+    }
+
+    fn with_deadline(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            deadline,
+            ..CancelToken::unlimited()
+        }
+    }
+
+    /// Has the run been cancelled (explicitly, or by deadline expiry)?
+    ///
+    /// Observing an expired deadline latches the flag so later checks stay
+    /// cheap and all clones agree.
+    pub fn cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Latch the cancellation flag.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Record that item (rule) `i` is being matched. Under races the highest
+    /// index wins, keeping the value deterministic enough for diagnostics.
+    pub fn note_item(&self, i: usize) {
+        let mut cur = self.last_item.load(Ordering::Relaxed);
+        while cur == NO_ITEM || cur < i {
+            match self
+                .last_item
+                .compare_exchange_weak(cur, i, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The highest item index recorded via [`CancelToken::note_item`], if any.
+    pub fn last_item(&self) -> Option<usize> {
+        match self.last_item.load(Ordering::Relaxed) {
+            NO_ITEM => None,
+            i => Some(i),
+        }
+    }
+
+    /// Reset the recorded item at a step boundary.
+    pub fn reset_item(&self) {
+        self.last_item.store(NO_ITEM, Ordering::Relaxed);
+    }
+}
+
+/// Per-run budget bookkeeping for one evaluation driver.
+pub struct Governor {
+    start: Instant,
+    budget: Option<Duration>,
+    max_value_nodes: Option<usize>,
+    value_nodes: usize,
+    token: CancelToken,
+}
+
+impl Governor {
+    /// Build a governor from the run's options, starting the clock now.
+    pub fn new(opts: &EvalOptions) -> Governor {
+        let start = Instant::now();
+        let deadline = opts.deadline.map(|d| start + d);
+        Governor {
+            start,
+            budget: opts.deadline,
+            max_value_nodes: opts.max_value_nodes,
+            value_nodes: 0,
+            token: CancelToken::with_deadline(deadline),
+        }
+    }
+
+    /// The cancellation token to hand to match workers.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Charge `n` value nodes of derived-fact footprint against the budget.
+    pub fn charge_nodes(&mut self, n: usize) {
+        self.value_nodes = self.value_nodes.saturating_add(n);
+    }
+
+    /// Cumulative value nodes charged so far.
+    pub fn value_nodes(&self) -> usize {
+        self.value_nodes
+    }
+
+    /// Milliseconds since the run started (a timing field in trace events).
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Check every budget; `Some(cause)` means the run must stop now.
+    pub fn check(&self) -> Option<CancelCause> {
+        if let (Some(limit), used) = (self.max_value_nodes, self.value_nodes) {
+            if used > limit {
+                self.token.cancel();
+                return Some(CancelCause::ValueBudget { limit, used });
+            }
+        }
+        if self.token.cancelled() {
+            let budget_ms = self
+                .budget
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or_default();
+            return Some(CancelCause::Deadline { budget_ms });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_token_never_cancels() {
+        let t = CancelToken::unlimited();
+        assert!(!t.cancelled());
+        assert_eq!(t.last_item(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_latches_across_clones() {
+        let t = CancelToken::unlimited();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_cancels() {
+        let t = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(t.cancelled());
+        // Latched: a second check is true without consulting the clock.
+        assert!(t.cancelled());
+    }
+
+    #[test]
+    fn note_item_keeps_highest() {
+        let t = CancelToken::unlimited();
+        t.note_item(3);
+        t.note_item(1);
+        assert_eq!(t.last_item(), Some(3));
+        t.reset_item();
+        assert_eq!(t.last_item(), None);
+    }
+
+    #[test]
+    fn value_budget_trips_check() {
+        let opts = EvalOptions {
+            max_value_nodes: Some(10),
+            ..EvalOptions::default()
+        };
+        let mut g = Governor::new(&opts);
+        g.charge_nodes(5);
+        assert_eq!(g.check(), None);
+        g.charge_nodes(6);
+        assert_eq!(
+            g.check(),
+            Some(CancelCause::ValueBudget {
+                limit: 10,
+                used: 11
+            })
+        );
+        // Tripping the value budget also latches the shared token.
+        assert!(g.token().cancelled());
+    }
+
+    #[test]
+    fn deadline_reported_with_budget() {
+        let opts = EvalOptions {
+            deadline: Some(Duration::from_millis(0)),
+            ..EvalOptions::default()
+        };
+        let g = Governor::new(&opts);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(g.check(), Some(CancelCause::Deadline { budget_ms: 0 }));
+    }
+}

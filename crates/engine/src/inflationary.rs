@@ -4,17 +4,20 @@
 //! driver carries fuel: a step limit and a fact-count limit. Reaching
 //! either reports an error instead of looping.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use logres_lang::RuleSet;
 use logres_model::{Instance, Schema};
 
 use crate::delta::OneStep;
 use crate::error::EngineError;
+use crate::governor::Governor;
 use crate::parallel::effective_threads;
+use crate::trace::{self, TraceEvent, Tracer};
 
 /// Fuel limits and execution knobs for an evaluation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EvalOptions {
     /// Maximum number of one-step applications.
     pub max_steps: usize,
@@ -26,6 +29,18 @@ pub struct EvalOptions {
     /// instance — including invented-oid numbering — is identical for every
     /// setting.
     pub threads: usize,
+    /// Wall-clock budget for the whole run. When it elapses the governor
+    /// cancels cooperatively — within one step boundary plus one in-flight
+    /// rule match — and the driver returns [`EngineError::Cancelled`]
+    /// carrying the partial report.
+    pub deadline: Option<Duration>,
+    /// Budget on cumulative [`logres_model::Value::node_count`] of derived
+    /// facts — a machine-independent memory proxy checked at step
+    /// boundaries.
+    pub max_value_nodes: Option<usize>,
+    /// Structured trace sink; `None` (the default) emits nothing and costs
+    /// nothing.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl Default for EvalOptions {
@@ -34,6 +49,9 @@ impl Default for EvalOptions {
             max_steps: 100_000,
             max_facts: 10_000_000,
             threads: 1,
+            deadline: None,
+            max_value_nodes: None,
+            trace: None,
         }
     }
 }
@@ -54,6 +72,24 @@ pub struct IterationStats {
     pub apply_nanos: u64,
 }
 
+/// Cumulative per-rule profiling counters across a whole run.
+///
+/// All fields except `match_nanos` are deterministic: the same program and
+/// options produce the same counters at every thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleProfile {
+    /// The rule, rendered by its `Display` impl.
+    pub rule: String,
+    /// Satisfying body valuations across all steps.
+    pub firings: usize,
+    /// Facts this rule contributed to `Δ⁺`.
+    pub derived: usize,
+    /// Facts this rule contributed to `Δ⁻`.
+    pub deleted: usize,
+    /// Nanoseconds spent matching this rule's body (timing field).
+    pub match_nanos: u64,
+}
+
 /// What a run did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvalReport {
@@ -67,6 +103,37 @@ pub struct EvalReport {
     /// One entry per invocation of the one-step operator (including the
     /// final invocation that confirms the fixpoint by deriving nothing).
     pub iterations: Vec<IterationStats>,
+    /// Cumulative per-rule counters, in canonical rule order.
+    pub rule_profiles: Vec<RuleProfile>,
+    /// On a cancelled run, the rule whose body was being matched when the
+    /// governor tripped (if the abort landed inside a match phase).
+    pub cancelled_in_rule: Option<String>,
+}
+
+impl EvalReport {
+    pub(crate) fn with_rules(rules: &RuleSet) -> EvalReport {
+        EvalReport {
+            rule_profiles: rules
+                .rules
+                .iter()
+                .map(|r| RuleProfile {
+                    rule: r.to_string(),
+                    ..RuleProfile::default()
+                })
+                .collect(),
+            ..EvalReport::default()
+        }
+    }
+
+    /// Fold one step's per-rule stats into the cumulative profiles.
+    pub(crate) fn absorb_rule_stats(&mut self, per_rule: &[IterationStats]) {
+        for (profile, stats) in self.rule_profiles.iter_mut().zip(per_rule) {
+            profile.firings += stats.firings;
+            profile.derived += stats.derived;
+            profile.deleted += stats.deleted;
+            profile.match_nanos += stats.match_nanos;
+        }
+    }
 }
 
 /// Run the inflationary semantics of `rules` over `edb`; returns the
@@ -79,14 +146,28 @@ pub fn evaluate_inflationary(
 ) -> Result<(Instance, EvalReport), EngineError> {
     let mut step = OneStep::new(schema, rules, edb);
     let mut inst = edb.clone();
-    let mut report = EvalReport::default();
+    let mut report = EvalReport::with_rules(rules);
     let threads = effective_threads(opts.threads);
+    let mut governor = Governor::new(&opts);
+    let tracer = opts.trace.as_deref();
+    trace::emit(tracer, || TraceEvent::EvalStart {
+        engine: "inflationary",
+        rules: rules.rules.len(),
+        facts: edb.fact_count(),
+    });
 
     for i in 0..opts.max_steps {
+        governor.token().reset_item();
+        trace::emit(tracer, || TraceEvent::StepStart {
+            step: i,
+            facts: inst.fact_count(),
+        });
         let match_start = Instant::now();
-        let deltas = step.deltas_with(&inst, threads)?;
+        let deltas = step.deltas_governed(&inst, threads, governor.token(), tracer, i)?;
         let match_nanos = match_start.elapsed().as_nanos() as u64;
-        if deltas.is_empty() {
+        report.absorb_rule_stats(&deltas.per_rule);
+        governor.charge_nodes(deltas.plus_nodes);
+        if !deltas.cancelled && deltas.is_empty() {
             report.iterations.push(IterationStats {
                 firings: deltas.firings,
                 match_nanos,
@@ -94,22 +175,74 @@ pub fn evaluate_inflationary(
             });
             report.steps = i;
             report.facts = inst.fact_count();
+            trace::emit(tracer, || TraceEvent::EvalEnd {
+                steps: report.steps,
+                facts: report.facts,
+                fixpoint: true,
+            });
             return Ok((inst, report));
+        }
+        if let Some(cause) = governor.check() {
+            // Cooperative abort: the instance under construction is
+            // discarded; the report of completed steps travels with the
+            // error.
+            report.steps = i;
+            report.facts = inst.fact_count();
+            report.cancelled_in_rule = governor
+                .token()
+                .last_item()
+                .and_then(|r| rules.rules.get(r))
+                .map(|r| r.to_string());
+            trace::emit(tracer, || TraceEvent::Cancelled {
+                step: i,
+                cause: cause.to_string(),
+            });
+            return Err(EngineError::Cancelled {
+                cause,
+                partial: Box::new(report),
+            });
         }
         let before = inst.clone();
         let apply_start = Instant::now();
         step.apply(&mut inst, &deltas);
+        let apply_nanos = apply_start.elapsed().as_nanos() as u64;
         report.iterations.push(IterationStats {
             firings: deltas.firings,
             derived: deltas.plus.len(),
             deleted: deltas.minus.len(),
             match_nanos,
-            apply_nanos: apply_start.elapsed().as_nanos() as u64,
+            apply_nanos,
+        });
+        if !deltas.minus.is_empty() {
+            trace::emit(tracer, || TraceEvent::Deletion {
+                step: i,
+                count: deltas.minus.len(),
+            });
+        }
+        trace::emit(tracer, || TraceEvent::StepEnd {
+            step: i,
+            firings: deltas.firings,
+            derived: deltas.plus.len(),
+            deleted: deltas.minus.len(),
+            facts: inst.fact_count(),
+            match_nanos,
+            apply_nanos,
+        });
+        trace::emit(tracer, || TraceEvent::Budget {
+            step: i,
+            facts: inst.fact_count(),
+            value_nodes: governor.value_nodes(),
+            elapsed_ms: governor.elapsed_ms(),
         });
         if inst == before {
             // Δ⁺ and Δ⁻ cancelled exactly: a fixpoint of the operator.
             report.steps = i + 1;
             report.facts = inst.fact_count();
+            trace::emit(tracer, || TraceEvent::EvalEnd {
+                steps: report.steps,
+                facts: report.facts,
+                fixpoint: true,
+            });
             return Ok((inst, report));
         }
         if inst.fact_count() > opts.max_facts {

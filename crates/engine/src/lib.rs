@@ -42,20 +42,26 @@ pub mod compile;
 pub mod delta;
 pub mod error;
 pub mod goal;
+pub mod governor;
 pub mod inflationary;
 pub mod load;
 pub mod matcher;
 pub mod parallel;
 pub mod seminaive;
 pub mod stratified;
+pub mod trace;
 
 pub use binding::{Binding, Subst, SELF_LABEL};
 pub use compile::{compile_ruleset, env_from_instance, CompiledRules};
 pub use delta::{DeltaSets, OneStep};
 pub use error::EngineError;
 pub use goal::answer_goal;
-pub use inflationary::{evaluate_inflationary, EvalOptions, EvalReport, IterationStats};
+pub use governor::{CancelCause, CancelToken, Governor};
+pub use inflationary::{
+    evaluate_inflationary, EvalOptions, EvalReport, IterationStats, RuleProfile,
+};
 pub use load::load_facts;
-pub use parallel::{effective_threads, ordered_map};
+pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};
 pub use seminaive::{evaluate_seminaive, seminaive_applicable};
 pub use stratified::{evaluate, evaluate_stratified, Semantics};
+pub use trace::{TraceEvent, Tracer};

@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::governor::CancelToken;
+
 /// Resolve a thread-count option: `0` means one worker per available core,
 /// any other value is taken literally.
 pub fn effective_threads(requested: usize) -> usize {
@@ -63,6 +65,61 @@ where
     slots.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`ordered_map`] with cooperative cancellation: each worker polls `token`
+/// before claiming the next item and stops claiming once it is cancelled.
+///
+/// The result vector always has `items.len()` slots, in input order; a slot
+/// is `None` when its item was skipped because of cancellation. In-flight
+/// items finish normally (cancellation latency is therefore bounded by one
+/// item), and with a token that never cancels the output is exactly
+/// `ordered_map`'s with every slot `Some` — which is what keeps governed
+/// runs bit-identical to ungoverned ones.
+pub fn ordered_map_cancellable<T, R, F>(
+    threads: usize,
+    items: &[T],
+    token: &CancelToken,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (!token.cancelled()).then(|| f(i, t)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    if token.cancelled() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(i, item)));
+                }
+                if !local.is_empty() {
+                    done.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    for (i, r) in done.into_inner().unwrap() {
+        out[i] = Some(r);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +147,59 @@ mod tests {
     fn effective_threads_resolves_zero_to_cores() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn cancellable_map_without_cancellation_matches_plain() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 4] {
+            let token = CancelToken::unlimited();
+            let out = ordered_map_cancellable(threads, &items, &token, |_, &x| x * 3);
+            let want: Vec<Option<usize>> = (0..50).map(|x| Some(x * 3)).collect();
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_skips_unclaimed_items() {
+        let items: Vec<usize> = (0..50).collect();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        for threads in [1, 4] {
+            let out = ordered_map_cancellable(threads, &items, &token, |_, &x| x);
+            assert!(out.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_leaves_a_prefix_superset() {
+        // Cancel from inside item 5: everything produced must still land in
+        // its input-order slot.
+        let items: Vec<usize> = (0..64).collect();
+        let token = CancelToken::unlimited();
+        let out = ordered_map_cancellable(2, &items, &token, |i, &x| {
+            if i == 5 {
+                token.cancel();
+            }
+            // Items past 30 hold until the flag is up (item 5 is always
+            // claimed first — the cursor hands out indices in order), so
+            // each worker finishes at most one in-flight late item and the
+            // tail is provably skipped.
+            if i > 30 {
+                while !token.cancelled() {
+                    std::thread::yield_now();
+                }
+            }
+            x
+        });
+        assert_eq!(out.len(), items.len());
+        assert!(out[5].is_some(), "in-flight item finishes");
+        for (i, slot) in out.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v, i);
+            }
+        }
+        assert!(out.iter().any(Option::is_none), "tail was skipped");
     }
 
     #[test]

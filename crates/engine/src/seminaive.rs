@@ -22,9 +22,11 @@ use std::time::Instant;
 use crate::binding::Subst;
 use crate::delta::{instantiate_head, InventionMemo};
 use crate::error::EngineError;
+use crate::governor::Governor;
 use crate::inflationary::{EvalOptions, EvalReport, IterationStats};
 use crate::matcher::{eval_body, BodyView};
-use crate::parallel::{effective_threads, ordered_map};
+use crate::parallel::{effective_threads, ordered_map_cancellable};
+use crate::trace::{self, TraceEvent};
 
 /// Is the rule set inside the semi-naive fragment?
 pub fn seminaive_applicable(schema: &Schema, rules: &RuleSet) -> bool {
@@ -78,36 +80,119 @@ pub fn evaluate_seminaive(
     let mut total = edb.clone();
     let mut memo = InventionMemo::new();
     let mut gen = edb.oid_gen();
-    let mut report = EvalReport::default();
+    let mut report = EvalReport::with_rules(rules);
+    let mut governor = Governor::new(&opts);
+    let token = governor.token().clone();
+    let tracer = opts.trace.as_deref();
+    trace::emit(tracer, || TraceEvent::EvalStart {
+        engine: "seminaive",
+        rules: rules.rules.len(),
+        facts: edb.fact_count(),
+    });
+
+    // Cancellation exit shared by round 0 and the delta rounds: close the
+    // report over the work completed so far and ship it with the error.
+    let cancel =
+        |mut report: EvalReport, facts: usize, in_rule: Option<String>, governor: &Governor| {
+            let cause = governor.check().expect("cancel taken only when tripped");
+            let step = report.steps;
+            report.facts = facts;
+            report.cancelled_in_rule = in_rule;
+            trace::emit(tracer, || TraceEvent::Cancelled {
+                step,
+                cause: cause.to_string(),
+            });
+            EngineError::Cancelled {
+                cause,
+                partial: Box::new(report),
+            }
+        };
+    let rule_of = |token: &crate::governor::CancelToken| {
+        token
+            .last_item()
+            .and_then(|r| rules.rules.get(r))
+            .map(|r| r.to_string())
+    };
 
     // Round 0: evaluate every rule over the EDB snapshot, then merge the
     // order-preserved valuation lists serially in rule order (the match
     // phase reads an immutable instance, so it parallelizes; the positive
     // fragment is monotone, so snapshot rounds reach the same fixpoint).
     let mut delta = Instance::new();
+    token.reset_item();
+    trace::emit(tracer, || TraceEvent::StepStart {
+        step: 0,
+        facts: total.fact_count(),
+    });
     let match_start = Instant::now();
-    let subs_per_rule = ordered_map(threads, &rules.rules, |_, rule| {
-        eval_body(schema, BodyView::plain(&total), &rule.body, Subst::new())
+    let subs_per_rule = ordered_map_cancellable(threads, &rules.rules, &token, |i, rule| {
+        token.note_item(i);
+        let start = Instant::now();
+        let subs = eval_body(schema, BodyView::plain(&total), &rule.body, Subst::new());
+        (subs, start.elapsed().as_nanos() as u64)
     });
     let mut stats = IterationStats {
         match_nanos: match_start.elapsed().as_nanos() as u64,
         ..IterationStats::default()
     };
+    let mut per_rule = vec![IterationStats::default(); rules.rules.len()];
+    let mut round_nodes = 0usize;
+    let mut cancelled = false;
     let apply_start = Instant::now();
-    for (idx, (rule, subs)) in rules.rules.iter().zip(subs_per_rule).enumerate() {
+    for (idx, (rule, slot)) in rules.rules.iter().zip(subs_per_rule).enumerate() {
+        let Some((subs, rule_nanos)) = slot else {
+            cancelled = true;
+            break;
+        };
+        per_rule[idx].match_nanos = rule_nanos;
         for theta in subs? {
             stats.firings += 1;
+            per_rule[idx].firings += 1;
             for fact in instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)? {
                 if total.insert_fact(schema, &fact) {
                     stats.derived += 1;
+                    per_rule[idx].derived += 1;
+                    round_nodes += crate::delta::fact_nodes(&fact);
                     if let Fact::Assoc { assoc, tuple } = &fact {
                         delta.insert_assoc(*assoc, tuple.clone());
                     }
                 }
             }
         }
+        if per_rule[idx].firings > 0 {
+            let s = per_rule[idx];
+            trace::emit(tracer, || TraceEvent::RuleFired {
+                step: 0,
+                rule: idx,
+                firings: s.firings,
+                derived: s.derived,
+                deleted: 0,
+                match_nanos: s.match_nanos,
+            });
+        }
     }
     stats.apply_nanos = apply_start.elapsed().as_nanos() as u64;
+    report.absorb_rule_stats(&per_rule);
+    governor.charge_nodes(round_nodes);
+    if cancelled || governor.check().is_some() {
+        let in_rule = rule_of(&token);
+        return Err(cancel(report, total.fact_count(), in_rule, &governor));
+    }
+    trace::emit(tracer, || TraceEvent::StepEnd {
+        step: 0,
+        firings: stats.firings,
+        derived: stats.derived,
+        deleted: 0,
+        facts: total.fact_count(),
+        match_nanos: stats.match_nanos,
+        apply_nanos: stats.apply_nanos,
+    });
+    trace::emit(tracer, || TraceEvent::Budget {
+        step: 0,
+        facts: total.fact_count(),
+        value_nodes: governor.value_nodes(),
+        elapsed_ms: governor.elapsed_ms(),
+    });
     report.iterations.push(stats);
     report.steps = 1;
 
@@ -139,29 +224,49 @@ pub fn evaluate_seminaive(
                 limit: opts.max_facts,
             });
         }
+        let round = report.steps;
+        token.reset_item();
+        trace::emit(tracer, || TraceEvent::StepStart {
+            step: round,
+            facts: total.fact_count(),
+        });
         let match_start = Instant::now();
-        let subs_per_job = ordered_map(threads, &jobs, |_, &(idx, li)| {
+        let subs_per_job = ordered_map_cancellable(threads, &jobs, &token, |_, &(idx, li)| {
+            token.note_item(idx);
+            let start = Instant::now();
             let view = BodyView {
                 full: &total,
                 delta: Some((li, &delta)),
             };
-            eval_body(schema, view, &rules.rules[idx].body, Subst::new())
+            let subs = eval_body(schema, view, &rules.rules[idx].body, Subst::new());
+            (subs, start.elapsed().as_nanos() as u64)
         });
         let mut stats = IterationStats {
             match_nanos: match_start.elapsed().as_nanos() as u64,
             ..IterationStats::default()
         };
+        let mut per_rule = vec![IterationStats::default(); rules.rules.len()];
+        let mut round_nodes = 0usize;
+        let mut cancelled = false;
         let apply_start = Instant::now();
         let mut next_delta = Instance::new();
-        for (&(idx, _), subs) in jobs.iter().zip(subs_per_job) {
+        for (&(idx, _), slot) in jobs.iter().zip(subs_per_job) {
+            let Some((subs, rule_nanos)) = slot else {
+                cancelled = true;
+                break;
+            };
             let rule = &rules.rules[idx];
+            per_rule[idx].match_nanos += rule_nanos;
             for theta in subs? {
                 stats.firings += 1;
+                per_rule[idx].firings += 1;
                 for fact in
                     instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)?
                 {
                     if total.insert_fact(schema, &fact) {
                         stats.derived += 1;
+                        per_rule[idx].derived += 1;
+                        round_nodes += crate::delta::fact_nodes(&fact);
                         if let Fact::Assoc { assoc, tuple } = &fact {
                             next_delta.insert_assoc(*assoc, tuple.clone());
                         }
@@ -169,13 +274,51 @@ pub fn evaluate_seminaive(
                 }
             }
         }
+        for (idx, s) in per_rule.iter().enumerate() {
+            if s.firings > 0 {
+                trace::emit(tracer, || TraceEvent::RuleFired {
+                    step: round,
+                    rule: idx,
+                    firings: s.firings,
+                    derived: s.derived,
+                    deleted: 0,
+                    match_nanos: s.match_nanos,
+                });
+            }
+        }
         stats.apply_nanos = apply_start.elapsed().as_nanos() as u64;
+        report.absorb_rule_stats(&per_rule);
+        governor.charge_nodes(round_nodes);
+        if cancelled || governor.check().is_some() {
+            let in_rule = rule_of(&token);
+            return Err(cancel(report, total.fact_count(), in_rule, &governor));
+        }
+        trace::emit(tracer, || TraceEvent::StepEnd {
+            step: round,
+            firings: stats.firings,
+            derived: stats.derived,
+            deleted: 0,
+            facts: total.fact_count(),
+            match_nanos: stats.match_nanos,
+            apply_nanos: stats.apply_nanos,
+        });
+        trace::emit(tracer, || TraceEvent::Budget {
+            step: round,
+            facts: total.fact_count(),
+            value_nodes: governor.value_nodes(),
+            elapsed_ms: governor.elapsed_ms(),
+        });
         report.iterations.push(stats);
         delta = next_delta;
         report.steps += 1;
     }
 
     report.facts = total.fact_count();
+    trace::emit(tracer, || TraceEvent::EvalEnd {
+        steps: report.steps,
+        facts: report.facts,
+        fixpoint: true,
+    });
     Ok((total, report))
 }
 

@@ -8,6 +8,8 @@
 //! semantics per application — "LOGRES modules and databases are parametric
 //! with respect to the semantics of the rules they support".
 
+use std::time::Instant;
+
 use logres_lang::{stratify, RuleSet, Stratification};
 use logres_model::{Instance, Schema};
 
@@ -52,22 +54,58 @@ pub fn evaluate_stratified(
         Stratification::Stratified(strata) => {
             let mut inst = edb.clone();
             let mut total = EvalReport::default();
+            // One wall-clock budget spans all strata: each stratum gets the
+            // time remaining, so a deadline bounds the whole run, not each
+            // stratum independently.
+            let overall_deadline = opts.deadline.map(|d| Instant::now() + d);
             for stratum in strata {
                 let sub = RuleSet {
                     rules: stratum.iter().map(|&i| rules.rules[i].clone()).collect(),
                 };
-                let (next, report) = evaluate_inflationary(schema, &sub, &inst, opts)?;
-                inst = next;
-                total.steps += report.steps;
-                total.iterations.extend(report.iterations);
+                let mut stratum_opts = opts.clone();
+                stratum_opts.deadline =
+                    overall_deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                match evaluate_inflationary(schema, &sub, &inst, stratum_opts) {
+                    Ok((next, report)) => {
+                        inst = next;
+                        total.steps += report.steps;
+                        total.iterations.extend(report.iterations);
+                        total.rule_profiles.extend(report.rule_profiles);
+                    }
+                    Err(EngineError::Cancelled { cause, partial }) => {
+                        // Fold the completed strata into the partial report
+                        // so the error describes the whole run.
+                        let mut partial = *partial;
+                        partial.steps += total.steps;
+                        let mut iterations = total.iterations;
+                        iterations.extend(partial.iterations);
+                        partial.iterations = iterations;
+                        let mut rule_profiles = total.rule_profiles;
+                        rule_profiles.extend(partial.rule_profiles);
+                        partial.rule_profiles = rule_profiles;
+                        return Err(EngineError::Cancelled {
+                            cause,
+                            partial: Box::new(partial),
+                        });
+                    }
+                    Err(other) => return Err(other),
+                }
             }
             total.facts = inst.fact_count();
             Ok((inst, total))
         }
         Stratification::Unstratifiable { .. } => {
-            let (inst, mut report) = evaluate_inflationary(schema, rules, edb, opts)?;
-            report.fallback_inflationary = true;
-            Ok((inst, report))
+            match evaluate_inflationary(schema, rules, edb, opts) {
+                Ok((inst, mut report)) => {
+                    report.fallback_inflationary = true;
+                    Ok((inst, report))
+                }
+                Err(EngineError::Cancelled { cause, mut partial }) => {
+                    partial.fallback_inflationary = true;
+                    Err(EngineError::Cancelled { cause, partial })
+                }
+                Err(other) => Err(other),
+            }
         }
     }
 }

@@ -214,6 +214,19 @@ impl Value {
         }
     }
 
+    /// Number of nodes in the value tree: one per constructor or scalar.
+    /// This is the unit of the evaluation governor's memory budget — a
+    /// machine-independent proxy for the allocation footprint of a value.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Str(_) | Value::Nil | Value::Oid(_) => 1,
+            Value::Tuple(fs) => 1 + fs.iter().map(|(_, v)| v.node_count()).sum::<usize>(),
+            Value::Set(s) => 1 + s.iter().map(Value::node_count).sum::<usize>(),
+            Value::Multiset(m) => 1 + m.keys().map(Value::node_count).sum::<usize>(),
+            Value::Seq(s) => 1 + s.iter().map(Value::node_count).sum::<usize>(),
+        }
+    }
+
     /// All oids occurring anywhere inside this value.
     pub fn oids(&self) -> Vec<Oid> {
         let mut out = Vec::new();

@@ -1,0 +1,113 @@
+//! The evaluation governor (DESIGN.md §7): Appendix B leaves fixpoint
+//! termination undecidable once rules invent oids, so every run can carry a
+//! wall-clock deadline and a value-node budget. This example drives a
+//! *diverging* counter program into a deadline abort, shows the partial
+//! report and per-rule profile that come back with the structured error,
+//! and prints the structured trace of a small terminating run.
+//!
+//! Run with: `cargo run --example governor [deadline_ms]` (default 50)
+
+use std::time::Duration;
+
+use logres::engine::EngineError;
+use logres::{CoreError, Database, EvalOptions, Tracer};
+
+fn main() {
+    let deadline_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+
+    // Every step invents a fresh counter object: the inflationary fixpoint
+    // never closes.
+    let mut db = Database::from_source(
+        r#"
+        classes
+          c = (n: integer);
+        "#,
+    )
+    .expect("schema is legal");
+
+    println!("== a diverging oid-inventing program under a {deadline_ms}ms deadline ==");
+    let opts = EvalOptions {
+        deadline: Some(Duration::from_millis(deadline_ms)),
+        ..EvalOptions::default()
+    };
+    let err = db
+        .query_with_options(
+            r#"
+            rules
+              c(self: X, n: 0) <- .
+              c(self: X, n: N) <- c(n: M), N = M + 1.
+            goal c(n: 0)?
+            "#,
+            opts,
+        )
+        .expect_err("the diverging run must be cancelled, not hang");
+    match err {
+        CoreError::Engine(EngineError::Cancelled { cause, partial }) => {
+            println!("cancelled: {cause}");
+            println!(
+                "partial report: {} steps completed, {} facts derived",
+                partial.steps, partial.facts
+            );
+            if let Some(rule) = &partial.cancelled_in_rule {
+                println!("was matching: {rule}");
+            }
+            println!("per-rule profile:");
+            for p in &partial.rule_profiles {
+                println!(
+                    "  {:>6} firings  {:>6} derived  {:>8.3} ms   {}",
+                    p.firings,
+                    p.derived,
+                    p.match_nanos as f64 / 1.0e6,
+                    p.rule
+                );
+            }
+        }
+        other => panic!("expected a governor cancellation, got {other}"),
+    }
+    // The cancelled application left the database state untouched.
+    assert!(db.rules().is_empty(), "cancellation must not commit rules");
+
+    println!("\n== the same budgets on a terminating run: trace, no abort ==");
+    let mut db = Database::from_source(
+        r#"
+        associations
+          edge = (a: integer, b: integer);
+          tc   = (a: integer, b: integer);
+        facts
+          edge(a: 1, b: 2).
+          edge(a: 2, b: 3).
+          edge(a: 3, b: 4).
+        "#,
+    )
+    .expect("closure schema is legal");
+    let tracer = Tracer::memory();
+    let opts = EvalOptions {
+        deadline: Some(Duration::from_millis(deadline_ms)),
+        trace: Some(tracer.clone()),
+        ..EvalOptions::default()
+    };
+    let (rows, report) = db
+        .query_with_options(
+            r#"
+            rules
+              tc(a: X, b: Y) <- edge(a: X, b: Y).
+              tc(a: X, b: Z) <- edge(a: X, b: Y), tc(a: Y, b: Z).
+            goal tc(a: 1, b: B)?
+            "#,
+            opts,
+        )
+        .expect("the closure fits comfortably in the budget");
+    println!(
+        "fixpoint in {} steps, {} facts, {} answers",
+        report.steps,
+        report.facts,
+        rows.len()
+    );
+    println!("trace (JSON lines):");
+    for ev in tracer.events() {
+        println!("  {}", ev.to_json_line());
+    }
+}

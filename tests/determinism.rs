@@ -1,5 +1,6 @@
-//! Thread-count determinism: evaluation with `threads` = 1, 2, and 8 must
-//! produce **bit-identical** instances — including invented-oid numbering —
+//! Thread-count determinism: evaluation with `threads` = 1, 2, 8, and 0
+//! (auto: one worker per core) must produce **bit-identical** instances —
+//! including invented-oid numbering —
 //! because only the body-match phase is parallel; head instantiation (which
 //! consumes the invention memo and the oid generator) always runs serially
 //! in canonical rule order.
@@ -11,7 +12,7 @@ use logres::lang::parse_program;
 use logres::model::{Instance, Oid, OidGen, Sym};
 use logres_repro::generators::{closure_program, random_edges};
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 8, 0]; // 0 = one worker per core
 
 fn edb_of(src: &str) -> (logres::Schema, Instance, logres::lang::RuleSet) {
     let p = parse_program(src).expect("parses");

@@ -31,8 +31,9 @@ fn closure_with_all_engines(edges: &[(i64, i64)]) {
         threads: 4,
         ..EvalOptions::default()
     };
-    let (par_interp, _) = evaluate_inflationary(&program.schema, &program.rules, &edb, par_opts)
-        .expect("parallel interpreter");
+    let (par_interp, _) =
+        evaluate_inflationary(&program.schema, &program.rules, &edb, par_opts.clone())
+            .expect("parallel interpreter");
     assert_eq!(
         par_interp, interp,
         "parallel interpreter diverged from serial"

@@ -1,0 +1,247 @@
+//! The evaluation governor (DESIGN.md §7): deadline and value-budget
+//! cancellation must return a structured error with a partial report — no
+//! panic, no hang — at every thread count, and a governed run whose budgets
+//! never trip must be **bit-identical** to an ungoverned one. Structured
+//! traces must likewise agree across thread counts modulo timing fields.
+
+use std::time::Duration;
+
+use logres::engine::{
+    evaluate, evaluate_inflationary, load_facts, CancelCause, EngineError, EvalOptions, Semantics,
+    TraceEvent, Tracer,
+};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen, Sym};
+use logres_repro::generators::{closure_program, random_edges};
+
+/// A diverging program: every step invents a fresh counter object, so the
+/// inflationary fixpoint never closes (termination is undecidable in
+/// general — Appendix B; this instance visibly diverges).
+const DIVERGING: &str = r#"
+    classes
+      c = (n: integer);
+    rules
+      c(self: X, n: 0) <- .
+      c(self: X, n: N) <- c(n: M), N = M + 1.
+"#;
+
+/// A terminating program that still exercises oid invention.
+const INVENTING: &str = r#"
+    classes
+      copy = (v: integer);
+    associations
+      src_t = (v: integer);
+    facts
+      src_t(v: 1).
+      src_t(v: 2).
+      src_t(v: 3).
+    rules
+      copy(self: X, v: V) <- src_t(v: V).
+"#;
+
+fn edb_of(src: &str) -> (logres::Schema, Instance, logres::lang::RuleSet) {
+    let p = parse_program(src).expect("parses");
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("loads");
+    (p.schema, edb, p.rules)
+}
+
+/// The acceptance scenario: a 50ms deadline over the diverging ruleset
+/// returns a structured cancellation carrying a partial report, both
+/// serially and with one worker per core.
+#[test]
+fn deadline_cancels_diverging_run_with_partial_report() {
+    let (schema, edb, rules) = edb_of(DIVERGING);
+    for threads in [1usize, 0] {
+        let opts = EvalOptions {
+            threads,
+            deadline: Some(Duration::from_millis(50)),
+            ..EvalOptions::default()
+        };
+        let err = evaluate_inflationary(&schema, &rules, &edb, opts)
+            .expect_err("the diverging run must be cancelled");
+        let EngineError::Cancelled { cause, partial } = err else {
+            panic!("expected Cancelled, got {err}");
+        };
+        assert_eq!(
+            cause,
+            CancelCause::Deadline { budget_ms: 50 },
+            "threads={threads}"
+        );
+        assert!(partial.steps > 0, "threads={threads}: no progress recorded");
+        assert!(partial.facts > 0, "threads={threads}: no facts recorded");
+        // Per-rule profiles cover every rule and show real firings.
+        assert_eq!(partial.rule_profiles.len(), rules.rules.len());
+        let firings: usize = partial.rule_profiles.iter().map(|p| p.firings).sum();
+        assert!(firings > 0, "threads={threads}: profiles are empty");
+        // The error formats without panicking and names the cause.
+        let msg = EngineError::Cancelled { cause, partial }.to_string();
+        assert!(msg.contains("deadline of 50ms"), "{msg}");
+    }
+}
+
+#[test]
+fn value_budget_cancels_with_cause_and_usage() {
+    let (schema, edb, rules) = edb_of(DIVERGING);
+    let opts = EvalOptions {
+        max_value_nodes: Some(64),
+        ..EvalOptions::default()
+    };
+    let err =
+        evaluate_inflationary(&schema, &rules, &edb, opts).expect_err("the value budget must trip");
+    let EngineError::Cancelled { cause, partial } = err else {
+        panic!("expected Cancelled, got {err}");
+    };
+    let CancelCause::ValueBudget { limit, used } = cause else {
+        panic!("expected ValueBudget, got {cause:?}");
+    };
+    assert_eq!(limit, 64);
+    assert!(used > limit);
+    assert!(partial.steps > 0);
+}
+
+/// The deadline spans all strata of a stratified run and the partial report
+/// folds in the strata that completed before the abort.
+#[test]
+fn stratified_runs_share_one_deadline() {
+    let (schema, edb, rules) = edb_of(DIVERGING);
+    let opts = EvalOptions {
+        deadline: Some(Duration::from_millis(50)),
+        ..EvalOptions::default()
+    };
+    let err = evaluate(&schema, &rules, &edb, Semantics::Stratified, opts)
+        .expect_err("the diverging run must be cancelled under any semantics");
+    let EngineError::Cancelled { partial, .. } = err else {
+        panic!("expected Cancelled, got {err}");
+    };
+    assert!(partial.steps > 0);
+}
+
+/// A governor whose budgets never trip must not change the result: the
+/// instance (including invented-oid numbering) and the non-timing report
+/// fields are bit-identical to an ungoverned run.
+#[test]
+fn unhit_budgets_leave_results_bit_identical() {
+    let src = closure_program(&random_edges(24, 48, 3));
+    let (schema, edb, rules) = edb_of(&src);
+    let (plain, plain_report) =
+        evaluate_inflationary(&schema, &rules, &edb, EvalOptions::default()).expect("plain");
+    let governed_opts = EvalOptions {
+        deadline: Some(Duration::from_secs(3_600)),
+        max_value_nodes: Some(usize::MAX),
+        trace: Some(Tracer::memory()),
+        ..EvalOptions::default()
+    };
+    let (governed, governed_report) =
+        evaluate_inflationary(&schema, &rules, &edb, governed_opts).expect("governed");
+    assert_eq!(plain, governed);
+    assert_eq!(plain_report.steps, governed_report.steps);
+    assert_eq!(plain_report.facts, governed_report.facts);
+}
+
+fn traced_run(src: &str, threads: usize) -> (Instance, Vec<TraceEvent>) {
+    let (schema, edb, rules) = edb_of(src);
+    let tracer = Tracer::memory();
+    let opts = EvalOptions {
+        threads,
+        trace: Some(tracer.clone()),
+        ..EvalOptions::default()
+    };
+    let (inst, _) = evaluate_inflationary(&schema, &rules, &edb, opts).expect("runs");
+    (inst, tracer.events())
+}
+
+/// PR-1 determinism extends to traces: the event *sequence* is identical at
+/// every thread count; only timing fields may differ.
+#[test]
+fn traces_agree_across_thread_counts_modulo_timing() {
+    for src in [INVENTING, &closure_program(&random_edges(16, 32, 9))] {
+        let (base_inst, base_events) = traced_run(src, 1);
+        let base: Vec<TraceEvent> = base_events.iter().map(TraceEvent::normalized).collect();
+        assert!(
+            base.iter().any(|e| matches!(e, TraceEvent::StepEnd { .. })),
+            "trace has no step events"
+        );
+        for threads in [2usize, 8] {
+            let (inst, events) = traced_run(src, threads);
+            assert_eq!(inst, base_inst, "instance differs at threads={threads}");
+            let normalized: Vec<TraceEvent> = events.iter().map(TraceEvent::normalized).collect();
+            assert_eq!(
+                normalized, base,
+                "trace sequence differs at threads={threads}"
+            );
+        }
+    }
+}
+
+/// Invention shows up in the trace, once per invented object.
+#[test]
+fn invention_events_count_invented_oids() {
+    let (_, events) = traced_run(INVENTING, 1);
+    let inventions = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Invention { .. }))
+        .count();
+    assert_eq!(inventions, 3, "one invention per src_t tuple");
+}
+
+/// Cancelled traced runs end with a `cancelled` event naming the cause.
+#[test]
+fn cancelled_runs_emit_a_cancelled_event() {
+    let (schema, edb, rules) = edb_of(DIVERGING);
+    let tracer = Tracer::memory();
+    let opts = EvalOptions {
+        deadline: Some(Duration::from_millis(30)),
+        trace: Some(tracer.clone()),
+        ..EvalOptions::default()
+    };
+    evaluate_inflationary(&schema, &rules, &edb, opts).expect_err("cancelled");
+    let events = tracer.events();
+    let last = events.last().expect("trace is non-empty");
+    let TraceEvent::Cancelled { cause, .. } = last else {
+        panic!("expected a trailing Cancelled event, got {last:?}");
+    };
+    assert!(cause.contains("deadline"), "{cause}");
+    // Rendered JSON lines stay one-per-event and well-formed-ish.
+    for ev in &events {
+        let line = ev.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'), "{line}");
+    }
+}
+
+/// The diverging counter touches no associations, so semi-naive evaluation
+/// does not apply — but the seminaive driver still honors deadlines on the
+/// workloads it does run (exercised via the closure program).
+#[test]
+fn seminaive_honors_the_deadline() {
+    // A big enough random graph that a 0ms deadline trips before the
+    // fixpoint: the budget is checked at round boundaries.
+    let src = closure_program(&random_edges(64, 256, 5));
+    let (schema, edb, rules) = edb_of(&src);
+    let opts = EvalOptions {
+        deadline: Some(Duration::from_millis(0)),
+        ..EvalOptions::default()
+    };
+    let err = logres::engine::evaluate_seminaive(&schema, &rules, &edb, opts)
+        .expect_err("0ms must cancel");
+    assert!(matches!(err, EngineError::Cancelled { .. }), "{err}");
+}
+
+/// Sanity for the Sym import lint: the counter program really does invent.
+#[test]
+fn diverging_program_makes_progress_before_cancellation() {
+    let (schema, edb, rules) = edb_of(DIVERGING);
+    let opts = EvalOptions {
+        max_value_nodes: Some(200),
+        ..EvalOptions::default()
+    };
+    let err = evaluate_inflationary(&schema, &rules, &edb, opts).expect_err("trips");
+    let EngineError::Cancelled { partial, .. } = err else {
+        panic!("expected Cancelled");
+    };
+    // Each step inserts one more counter object than the last instance had.
+    assert!(partial.facts >= partial.steps, "{partial:?}");
+    let _ = Sym::new("c");
+}
