@@ -1,20 +1,25 @@
-//! Regenerate every experiment table (E1–E11) for EXPERIMENTS.md.
+//! Regenerate every experiment table (E1–E12) for EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
 //! cargo run -p logres-bench --release --bin tables            # all tables
 //! cargo run -p logres-bench --release --bin tables -- e1 e4   # a subset
 //! cargo run -p logres-bench --release --bin tables -- --deadline-ms 5000
+//! cargo run -p logres-bench --release --bin tables -- e1 --metrics
 //! ```
 //!
 //! `--deadline-ms <n>` gives every experiment evaluation a wall-clock
 //! budget via the governor: a run that exceeds it aborts with a structured
 //! cancellation instead of hanging the sweep (useful as a CI smoke test).
+//!
+//! `--metrics` records every experiment evaluation on a shared registry
+//! and prints its Prometheus text exposition after the sweep.
 
 use logres_bench::experiments;
 
 fn main() {
     let mut filter: Vec<String> = Vec::new();
+    let mut metrics = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--deadline-ms" {
@@ -23,6 +28,8 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--deadline-ms takes a number of milliseconds");
             experiments::set_deadline(std::time::Duration::from_millis(ms));
+        } else if arg == "--metrics" {
+            metrics = Some(experiments::enable_metrics());
         } else {
             filter.push(arg);
         }
@@ -36,5 +43,11 @@ fn main() {
         let table = run();
         println!("{table}");
         println!("_({id} regenerated in {:.2?})_\n", t0.elapsed());
+    }
+    if let Some(registry) = metrics {
+        println!("## Metrics (Prometheus text exposition)\n");
+        println!("```");
+        print!("{}", registry.render_text());
+        println!("```");
     }
 }

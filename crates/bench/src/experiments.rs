@@ -1,13 +1,13 @@
 //! Experiment runners E1–E11 (DESIGN.md §4): each returns a printable
 //! [`Table`] whose rows are recorded in EXPERIMENTS.md.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use algres::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred as APred, Scalar};
 use logres::engine::{
     compile_ruleset, env_from_instance, evaluate_inflationary, evaluate_seminaive, load_facts,
-    EvalOptions,
+    EvalOptions, MetricsRegistry,
 };
 use logres::lang::parse_program;
 use logres::model::{integrity, Instance, OidGen, Sym, Value};
@@ -23,6 +23,7 @@ fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
 }
 
 static DEADLINE: OnceLock<Duration> = OnceLock::new();
+static METRICS: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
 
 /// Give every experiment evaluation a wall-clock deadline (the `tables`
 /// binary's `--deadline-ms` flag). Call once, before running experiments;
@@ -32,11 +33,22 @@ pub fn set_deadline(d: Duration) {
     let _ = DEADLINE.set(d);
 }
 
+/// Record metrics for every experiment evaluation on a shared registry
+/// (the `tables` binary's `--metrics` flag). Call once, before running
+/// experiments; returns the registry for rendering after the sweep.
+pub fn enable_metrics() -> Arc<MetricsRegistry> {
+    METRICS
+        .get_or_init(|| Arc::new(MetricsRegistry::new()))
+        .clone()
+}
+
 /// The options experiment evaluations run under: defaults, plus the
-/// process-wide deadline when one was set via [`set_deadline`].
+/// process-wide deadline when one was set via [`set_deadline`] and the
+/// shared registry when [`enable_metrics`] was called.
 pub fn bench_opts() -> EvalOptions {
     EvalOptions {
         deadline: DEADLINE.get().copied(),
+        metrics: METRICS.get().cloned(),
         ..EvalOptions::default()
     }
 }
@@ -66,6 +78,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e9", e9_nesting),
         ("e10", e10_football),
         ("e11", e11_governor),
+        ("e12", e12_observability),
     ]
 }
 
@@ -631,6 +644,100 @@ pub fn e11_governor() -> Table {
     t
 }
 
+/// E12 — observability overhead: the E1 chain-128 closure with metrics
+/// off, metrics on, and metrics + provenance, on both engines (DESIGN.md
+/// §8). Claim: the pre-resolved atomic counter handles keep the
+/// metrics-on, provenance-off overhead small (target < 5% on this
+/// workload); provenance recording is the explicitly expensive tier.
+/// Setting `LOGRES_E12_MAX_OVERHEAD=<pct>` turns the combined metrics-on
+/// overhead into a hard failure (the CI smoke threshold).
+pub fn e12_observability() -> Table {
+    let mut t = Table::new(
+        "E12 — instrumentation overhead on the chain-128 closure",
+        &["engine", "variant", "time", "overhead %"],
+    );
+    let (schema, edb, rules) = loaded(&closure_program(&chain_edges(128)));
+
+    let best_of = |opts: &EvalOptions, seminaive: bool| {
+        let mut best: Option<(Duration, Instance)> = None;
+        for _ in 0..5 {
+            let (d, (inst, _)) = time(|| {
+                if seminaive {
+                    evaluate_seminaive(&schema, &rules, &edb, opts.clone()).expect("closure runs")
+                } else {
+                    evaluate_inflationary(&schema, &rules, &edb, opts.clone())
+                        .expect("closure runs")
+                }
+            });
+            if best.as_ref().is_none_or(|(b, _)| d < *b) {
+                best = Some((d, inst));
+            }
+        }
+        best.expect("five runs")
+    };
+
+    let mut base_total = 0f64;
+    let mut metrics_total = 0f64;
+    for (engine, seminaive) in [("inflationary", false), ("semi-naive", true)] {
+        let (d_base, inst_base) = best_of(&bench_opts(), seminaive);
+        base_total += d_base.as_secs_f64();
+        t.row(vec![
+            engine.into(),
+            "baseline".into(),
+            fmt_duration(d_base),
+            "—".into(),
+        ]);
+
+        let with_metrics = EvalOptions {
+            metrics: Some(Arc::new(MetricsRegistry::new())),
+            ..bench_opts()
+        };
+        let (d_m, inst_m) = best_of(&with_metrics, seminaive);
+        assert_eq!(inst_base, inst_m, "metrics must not change results");
+        metrics_total += d_m.as_secs_f64();
+        t.row(vec![
+            engine.into(),
+            "metrics".into(),
+            fmt_duration(d_m),
+            overhead_pct(d_base, d_m),
+        ]);
+
+        let with_prov = EvalOptions {
+            metrics: Some(Arc::new(MetricsRegistry::new())),
+            provenance: true,
+            ..bench_opts()
+        };
+        let (d_p, inst_p) = best_of(&with_prov, seminaive);
+        assert_eq!(inst_base, inst_p, "provenance must not change results");
+        t.row(vec![
+            engine.into(),
+            "metrics + provenance".into(),
+            fmt_duration(d_p),
+            overhead_pct(d_base, d_p),
+        ]);
+    }
+
+    if let Ok(max) = std::env::var("LOGRES_E12_MAX_OVERHEAD") {
+        let max: f64 = max
+            .parse()
+            .expect("LOGRES_E12_MAX_OVERHEAD is a percentage");
+        let pct = (metrics_total - base_total) / base_total * 100.0;
+        assert!(
+            pct <= max,
+            "metrics-on overhead {pct:.1}% exceeds LOGRES_E12_MAX_OVERHEAD={max}%"
+        );
+    }
+    t
+}
+
+fn overhead_pct(base: Duration, variant: Duration) -> String {
+    let base_s = base.as_secs_f64();
+    if base_s <= 0.0 {
+        return "—".into();
+    }
+    format!("{:+.1}", (variant.as_secs_f64() - base_s) / base_s * 100.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +789,16 @@ mod tests {
         assert_eq!(t.rows[5][2], "fixpoint");
         // Cancelled runs still report progress.
         assert!(t.rows[2][3].parse::<usize>().unwrap() > 0);
+    }
+
+    #[test]
+    fn e12_is_registered_and_overhead_column_formats() {
+        assert!(all().iter().any(|(id, _)| *id == "e12"));
+        assert_eq!(
+            overhead_pct(Duration::from_millis(100), Duration::from_millis(104)),
+            "+4.0"
+        );
+        assert_eq!(overhead_pct(Duration::ZERO, Duration::from_millis(1)), "—");
     }
 
     #[test]

@@ -8,9 +8,16 @@
 //! semantics of the rules they support" — so every application may override
 //! the database's default semantics.
 
-use logres_engine::{answer_goal, evaluate, load_facts, EvalOptions, EvalReport, Semantics};
+use std::sync::Arc;
+
+use logres_engine::{
+    answer_goal, evaluate, load_facts, Derivation, EvalOptions, EvalReport, MetricsRegistry,
+    Semantics,
+};
 use logres_lang::{parse_program, RuleSet};
-use logres_model::{integrity, Instance, IntegrityConstraint, Schema, Sym, Value};
+use logres_model::{
+    integrity, Fact, Instance, IntegrityConstraint, Oid, PredKind, Schema, Sym, Value,
+};
 
 use crate::error::CoreError;
 use crate::module::{Mode, Module};
@@ -120,6 +127,116 @@ impl Database {
     /// The database's current evaluation options.
     pub fn options(&self) -> &EvalOptions {
         &self.opts
+    }
+
+    /// Attach a dedicated metrics registry to this database (idempotent)
+    /// and return it. Every subsequent evaluation — queries, module
+    /// applications, materialization — records its counters, gauges, and
+    /// histograms there instead of only the process-wide registry.
+    pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
+        if self.opts.metrics.is_none() {
+            self.opts.metrics = Some(Arc::new(MetricsRegistry::new()));
+        }
+        self.opts
+            .metrics
+            .clone()
+            .expect("metrics registry was just attached")
+    }
+
+    /// Render the database's metrics in Prometheus text exposition format.
+    /// Falls back to the process-wide registry when
+    /// [`Database::enable_metrics`] was never called.
+    pub fn metrics(&self) -> String {
+        match &self.opts.metrics {
+            Some(registry) => registry.render_text(),
+            None => MetricsRegistry::global().render_text(),
+        }
+    }
+
+    /// Explain how `fact` enters the database instance: re-evaluate with
+    /// provenance recording on and walk the first derivation of the fact
+    /// back to its EDB leaves. `Ok(None)` means the fact is not in the
+    /// instance at all; an EDB fact comes back as a leaf derivation.
+    pub fn why(&self, fact: &Fact) -> Result<Option<Derivation>, CoreError> {
+        let mut opts = self.opts.clone();
+        opts.provenance = true;
+        let (inst, report) = self
+            .state
+            .instance(self.semantics, opts)
+            .map_err(CoreError::Engine)?;
+        if !inst.contains_fact(&self.state.schema, fact) {
+            return Ok(None);
+        }
+        let prov = report.provenance.unwrap_or_default();
+        Ok(Some(prov.explain(fact)))
+    }
+
+    /// [`Database::why`] over a textual fact such as `tc(a: 1, b: 3)` or
+    /// `emp(name: "smith")`, returning the rendered derivation chain (or a
+    /// message explaining why there is nothing to show).
+    pub fn why_source(&self, fact_src: &str) -> Result<String, CoreError> {
+        let mut opts = self.opts.clone();
+        opts.provenance = true;
+        let (inst, report) = self
+            .state
+            .instance(self.semantics, opts)
+            .map_err(CoreError::Engine)?;
+        let Some(fact) = self.resolve_fact_src(fact_src, &inst)? else {
+            return Ok(format!(
+                "no fact matching `{}` in the instance",
+                fact_src.trim()
+            ));
+        };
+        if !inst.contains_fact(&self.state.schema, &fact) {
+            return Ok(format!("{fact} is not in the instance"));
+        }
+        Ok(report
+            .provenance
+            .unwrap_or_default()
+            .explain(&fact)
+            .render())
+    }
+
+    /// Parse a textual ground fact and resolve it against `inst`. Class
+    /// facts name no oid in text form, so the smallest oid whose o-value
+    /// agrees on every written attribute is chosen (deterministically).
+    fn resolve_fact_src(&self, src: &str, inst: &Instance) -> Result<Option<Fact>, CoreError> {
+        let lang_err = |msg: String| {
+            CoreError::Lang(vec![logres_lang::LangError::new(Default::default(), msg)])
+        };
+        let schema = &self.state.schema;
+        let trimmed = src.trim().trim_end_matches('.');
+        let wrapped = format!("facts\n  {trimmed}.\n");
+        let program = logres_lang::parse_rules(&wrapped, schema).map_err(CoreError::Lang)?;
+        let Some(gf) = program.facts.first() else {
+            return Err(lang_err(format!("expected a ground fact, got `{trimmed}`")));
+        };
+        match schema.kind(gf.pred) {
+            Some(PredKind::Assoc) => Ok(Some(Fact::Assoc {
+                assoc: gf.pred,
+                tuple: Value::tuple(gf.args.iter().map(|(l, v)| (*l, v.clone()))),
+            })),
+            Some(PredKind::Class) => {
+                let mut oids: Vec<Oid> = inst.oids_of(gf.pred).collect();
+                oids.sort();
+                for oid in oids {
+                    if let Some(view) = inst.o_value_in(schema, gf.pred, oid) {
+                        if gf.args.iter().all(|(l, v)| view.field(*l) == Some(v)) {
+                            return Ok(Some(Fact::Class {
+                                class: gf.pred,
+                                oid,
+                                value: view,
+                            }));
+                        }
+                    }
+                }
+                Ok(None)
+            }
+            _ => Err(lang_err(format!(
+                "`{}` is not a class or association of the schema",
+                gf.pred
+            ))),
+        }
     }
 
     /// The referential integrity constraints generated from the current
@@ -685,6 +802,68 @@ mod tests {
             .unwrap();
         assert_eq!(strat.answer.unwrap().len(), 1);
         assert!(infl.answer.unwrap().len() > 1);
+    }
+
+    #[test]
+    fn why_walks_a_derived_fact_to_edb() {
+        let db = Database::from_source(
+            r#"
+            associations
+              parent   = (par: string, chil: string);
+              ancestor = (anc: string, des: string);
+            facts
+              parent(par: "adam", chil: "cain").
+              parent(par: "cain", chil: "enoch").
+            rules
+              ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+              ancestor(anc: X, des: Z) <- parent(par: X, chil: Y),
+                                          ancestor(anc: Y, des: Z).
+            "#,
+        )
+        .unwrap();
+        let fact = Fact::Assoc {
+            assoc: Sym::new("ancestor"),
+            tuple: Value::tuple([("anc", Value::str("adam")), ("des", Value::str("enoch"))]),
+        };
+        let d = db.why(&fact).unwrap().expect("fact is derived");
+        assert!(!d.is_edb());
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.edb_leaves(), 2);
+        // The textual form resolves to the same chain.
+        let text = db
+            .why_source(r#"ancestor(anc: "adam", des: "enoch")"#)
+            .unwrap();
+        assert!(text.contains("via rule #"), "text: {text}");
+        assert_eq!(text.matches("[EDB]").count(), 2, "text: {text}");
+        // An EDB fact is a leaf; an absent fact is None / a message.
+        let edb = db
+            .why_source(r#"parent(par: "adam", chil: "cain")"#)
+            .unwrap();
+        assert!(edb.contains("[EDB]"));
+        let missing = db
+            .why_source(r#"ancestor(anc: "enoch", des: "adam")"#)
+            .unwrap();
+        assert!(missing.contains("not in the instance"), "text: {missing}");
+    }
+
+    #[test]
+    fn enable_metrics_records_evaluations() {
+        let mut db = Database::from_source(PEOPLE).unwrap();
+        let registry = db.enable_metrics();
+        db.query("goal parent(par: X, chil: Y)?").unwrap();
+        let snapshot = registry.counter_snapshot();
+        let steps = snapshot
+            .iter()
+            .find(|(name, _)| name == "logres_eval_steps_total")
+            .map(|(_, v)| *v)
+            .unwrap_or_default();
+        assert!(steps > 0, "snapshot: {snapshot:?}");
+        assert!(db
+            .metrics()
+            .contains("# TYPE logres_eval_steps_total counter"));
+        // Idempotent: a second call returns the same registry.
+        let again = db.enable_metrics();
+        assert!(Arc::ptr_eq(&registry, &again));
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub fn save(state: &DatabaseState) -> String {
     // irrelevant and the output stays canonical).
     let mut oids_seen: Vec<Oid> = oids_seen.into_iter().collect();
     oids_seen.sort();
+    let oid_count = oids_seen.len();
     for o in oids_seen {
         if let Some(v) = state.edb.o_value(o) {
             out.push_str(&format!("nu\t{}\t{v}\n", o.0));
@@ -100,6 +101,15 @@ pub fn save(state: &DatabaseState) -> String {
             }
         }
     }
+    // Observability: persistence volume lands on the process-wide registry
+    // (there is no per-evaluation registry in scope during a save).
+    let registry = logres_engine::MetricsRegistry::global();
+    registry
+        .counter("logres_persist_bytes_total")
+        .add(out.len() as u64);
+    registry
+        .counter("logres_persist_oids_total")
+        .add(oid_count as u64);
     out
 }
 
@@ -282,6 +292,21 @@ mod tests {
         )
         .unwrap();
         db
+    }
+
+    #[test]
+    fn save_accounts_volume_on_the_global_registry() {
+        // The global registry is shared process-wide (other tests may also
+        // save), so assert on deltas, not absolute values.
+        let registry = logres_engine::MetricsRegistry::global();
+        let bytes = registry.counter("logres_persist_bytes_total");
+        let oids = registry.counter("logres_persist_oids_total");
+        let (b0, o0) = (bytes.get(), oids.get());
+        let db = demo_db();
+        let text = save(db.state());
+        assert!(bytes.get() >= b0 + text.len() as u64);
+        // demo_db invents player/team oids; all of them are serialised.
+        assert!(oids.get() >= o0 + 4);
     }
 
     #[test]

@@ -124,6 +124,7 @@ impl Repl {
                     Database::from_source("")
                         .unwrap_or_else(|_| Database::new(logres_model::Schema::new())),
                 );
+                self.attach_metrics();
                 self.sync_trace_sink();
                 "empty database created".to_owned()
             }
@@ -217,6 +218,21 @@ impl Repl {
             "trace" => self.trace_command(arg),
             "profile" => self.profile_command(),
             "deadline" => self.deadline_command(arg),
+            "metrics" => match &self.db {
+                Some(db) => db.metrics(),
+                None => "no database loaded".to_owned(),
+            },
+            "why" => match &self.db {
+                Some(_) if arg.is_empty() => {
+                    "usage: :why <fact>   e.g. :why tc(a: 1, b: 3)".to_owned()
+                }
+                Some(db) => match db.why_source(arg) {
+                    Ok(text) => text,
+                    Err(e) => format!("error: {e}"),
+                },
+                None => "no database loaded".to_owned(),
+            },
+            "explain" => self.explain_command(),
             other => format!("unknown command `:{other}` (try :help)"),
         };
         Step::Output(out)
@@ -278,6 +294,14 @@ impl Repl {
         }
     }
 
+    /// Give a freshly created database its own metrics registry, so
+    /// `:metrics` reflects this session rather than the whole process.
+    fn attach_metrics(&mut self) {
+        if let Some(db) = &mut self.db {
+            db.enable_metrics();
+        }
+    }
+
     /// Point the database's trace sink at the current setting. For the
     /// in-memory setting this installs a *fresh* sink, so each evaluation
     /// starts with an empty event list.
@@ -311,22 +335,56 @@ impl Repl {
         }
         profiles.sort_by_key(|p| std::cmp::Reverse(p.match_nanos));
         let mut out = format!(
-            "{:>8} {:>8} {:>8} {:>10}  rule\n",
-            "firings", "derived", "deleted", "match ms"
+            "{:>8} {:>8} {:>8} {:>8} {:>10}  rule\n",
+            "firings", "derived", "deleted", "invented", "match ms"
         );
         for p in profiles {
             let _ = writeln!(
                 out,
-                "{:>8} {:>8} {:>8} {:>10.3}  {}",
+                "{:>8} {:>8} {:>8} {:>8} {:>10.3}  {}",
                 p.firings,
                 p.derived,
                 p.deleted,
+                p.invented,
                 p.match_nanos as f64 / 1.0e6,
                 p.rule
             );
         }
         if let Some(rule) = &report.cancelled_in_rule {
             let _ = writeln!(out, "cancelled while matching: {rule}");
+        }
+        out
+    }
+
+    /// `:explain` — a static evaluation plan: the strata rules run in, and
+    /// per body literal whether the matcher can probe an index or must
+    /// scan. The per-literal plan is a textual-order approximation of the
+    /// matcher's greedy scheduling, erring toward scans.
+    fn explain_command(&self) -> String {
+        let Some(db) = &self.db else {
+            return "no database loaded".to_owned();
+        };
+        let rules = db.rules();
+        if rules.is_empty() {
+            return "(no persistent rules)".to_owned();
+        }
+        let mut out = String::new();
+        let strata: Vec<Vec<usize>> = match logres_lang::stratify(rules) {
+            logres_lang::Stratification::Stratified(s) => s,
+            logres_lang::Stratification::Unstratifiable { .. } => {
+                let _ = writeln!(out, "unstratifiable: evaluated whole-program inflationary");
+                vec![(0..rules.rules.len()).collect()]
+            }
+        };
+        for (i, stratum) in strata.iter().enumerate() {
+            let _ = writeln!(out, "stratum {i}:");
+            for &idx in stratum {
+                let rule = &rules.rules[idx];
+                let _ = writeln!(out, "  rule #{idx}: {rule}");
+                for (pred, plan) in logres_engine::rule_access_plan(db.schema(), rule) {
+                    let _ = writeln!(out, "    {pred}: {plan}");
+                }
+            }
         }
         out
     }
@@ -367,6 +425,7 @@ impl Repl {
             self.db = Some(Database::from_source(text)?);
             "program loaded"
         };
+        self.attach_metrics();
         self.sync_trace_sink();
         Ok(msg.to_owned())
     }
@@ -377,6 +436,7 @@ impl Repl {
             return match Database::from_source(src) {
                 Ok(db) => {
                     self.db = Some(db);
+                    self.attach_metrics();
                     self.sync_trace_sink();
                     "database created".to_owned()
                 }
@@ -475,8 +535,15 @@ LOGRES interactive session
   :trace [on|off|show|json <file>]
                         structured evaluation tracing (in memory, or as
                         JSON lines to a file)
-  :profile              per-rule firing/derivation/timing table for the
-                        last evaluation (partial if it was cancelled)
+  :profile              per-rule firing/derivation/invention/timing table
+                        for the last evaluation, sorted by match time
+                        (partial if the run was cancelled)
+  :metrics              Prometheus text exposition of this session's
+                        counters, gauges, and histograms
+  :why <fact>           derivation chain of a fact in the instance, walked
+                        back to its EDB leaves (e.g. :why tc(a: 1, b: 3))
+  :explain              static plan: strata, and per body literal whether
+                        the matcher probes an index or scans
   :deadline <ms>|off    wall-clock budget for evaluations; runs that
                         exceed it stop with a partial report
 Anything else is module source: it accumulates until an empty line (or a
@@ -610,6 +677,76 @@ mod tests {
         assert!(msg.contains("tracing off"), "{msg}");
         let shown3 = out(repl.feed(":trace show"));
         assert!(shown3.contains("not on"), "{shown3}");
+    }
+
+    const GENEALOGY: &str = "associations\n  \
+        parent = (par: string, chil: string);\n  \
+        anc = (a: string, d: string);\n\
+        facts\n  \
+        parent(par: \"adam\", chil: \"cain\").\n  \
+        parent(par: \"cain\", chil: \"enoch\").\n\
+        rules\n  \
+        anc(a: X, d: Y) <- parent(par: X, chil: Y).\n  \
+        anc(a: X, d: Z) <- parent(par: X, chil: Y), anc(a: Y, d: Z).";
+
+    #[test]
+    fn metrics_command_renders_the_session_registry() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, GENEALOGY);
+        out(repl.feed("goal anc(a: X, d: Y)?"));
+        let metrics = out(repl.feed(":metrics"));
+        assert!(
+            metrics.contains("# TYPE logres_eval_steps_total counter"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("logres_firings_total"), "{metrics}");
+        assert!(
+            metrics.contains("# TYPE logres_step_match_ms histogram"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn why_walks_derivations_and_reports_misses() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, GENEALOGY);
+        let why = out(repl.feed(":why anc(a: \"adam\", d: \"enoch\")"));
+        assert!(why.contains("via rule #"), "{why}");
+        assert_eq!(why.matches("[EDB]").count(), 2, "{why}");
+        let edb = out(repl.feed(":why parent(par: \"adam\", chil: \"cain\")"));
+        assert!(edb.contains("[EDB]"), "{edb}");
+        let missing = out(repl.feed(":why anc(a: \"enoch\", d: \"adam\")"));
+        assert!(missing.contains("not in the instance"), "{missing}");
+        let usage = out(repl.feed(":why"));
+        assert!(usage.contains("usage"), "{usage}");
+    }
+
+    #[test]
+    fn explain_shows_strata_and_access_plans() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, GENEALOGY);
+        let plan = out(repl.feed(":explain"));
+        assert!(plan.contains("stratum 0:"), "{plan}");
+        assert!(plan.contains("rule #0:"), "{plan}");
+        // The recursive rule binds Y through parent before reaching anc,
+        // so at least one literal probes an index while others scan.
+        assert!(plan.contains("probe"), "{plan}");
+        assert!(plan.contains("scan"), "{plan}");
+    }
+
+    #[test]
+    fn profile_reports_invented_oids() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, "classes\n  c = (n: integer);");
+        feed_all(&mut repl, "rules\n  c(self: X, n: 0) <- .");
+        let profile = out(repl.feed(":profile"));
+        assert!(profile.contains("invented"), "{profile}");
+        let row = profile
+            .lines()
+            .find(|l| l.contains("c(self: X, n: 0)"))
+            .expect("rule row present");
+        // firings derived deleted invented — one oid invented.
+        assert!(row.split_whitespace().nth(3) == Some("1"), "{row}");
     }
 
     #[test]

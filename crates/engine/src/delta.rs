@@ -27,6 +27,8 @@ use crate::error::EngineError;
 use crate::governor::CancelToken;
 use crate::inflationary::IterationStats;
 use crate::matcher::{eval_body, BodyView};
+use crate::metrics::EngineMetrics;
+use crate::provenance::Provenance;
 use crate::trace::{self, TraceEvent, Tracer};
 
 /// One invented oid per (rule index, canonical body valuation) —
@@ -98,6 +100,13 @@ pub struct OneStep<'a> {
     pub memo: InventionMemo,
     /// Fresh-oid source.
     pub gen: OidGen,
+    /// Engine metric handles, when the driver runs with
+    /// `EvalOptions::metrics` set.
+    pub metrics: Option<EngineMetrics>,
+    /// Provenance store, when the driver runs with
+    /// `EvalOptions::provenance` set. The serial merge records every `Δ⁺`
+    /// fact and invented oid here.
+    pub prov: Option<Provenance>,
 }
 
 impl<'a> OneStep<'a> {
@@ -109,6 +118,8 @@ impl<'a> OneStep<'a> {
             rules,
             memo: InventionMemo::new(),
             gen: edb.oid_gen(),
+            metrics: None,
+            prov: None,
         }
     }
 
@@ -148,6 +159,7 @@ impl<'a> OneStep<'a> {
         step: usize,
     ) -> Result<DeltaSets, EngineError> {
         let schema = self.schema;
+        let metrics = self.metrics.clone();
         let valuations = crate::parallel::ordered_map_cancellable(
             threads,
             &self.rules.rules,
@@ -155,7 +167,15 @@ impl<'a> OneStep<'a> {
             |i, rule| {
                 token.note_item(i);
                 let start = std::time::Instant::now();
-                let thetas = eval_body(schema, BodyView::plain(inst), &rule.body, Subst::new());
+                // Probe counts accumulate locally and flush once per rule:
+                // per-event updates on the shared atomics would dominate the
+                // match phase on probe-heavy workloads.
+                let tally = crate::metrics::ProbeTally::default();
+                let view = BodyView::plain(inst).with_tally(metrics.as_ref().map(|_| &tally));
+                let thetas = eval_body(schema, view, &rule.body, Subst::new());
+                if let Some(m) = metrics.as_ref() {
+                    tally.flush(m);
+                }
                 (thetas, start.elapsed().as_nanos() as u64)
             },
         );
@@ -191,15 +211,24 @@ impl<'a> OneStep<'a> {
                     &mut self.gen,
                 )?;
                 if self.memo.len() > memo_before {
+                    stats.invented += 1;
                     if let Some(Fact::Class { oid, .. }) = facts.first() {
-                        let oid = oid.0;
+                        let oid = *oid;
                         trace::emit(tracer, || TraceEvent::Invention {
                             step,
                             rule: idx,
-                            oid,
+                            oid: oid.0,
                         });
+                        if let Some(p) = self.prov.as_mut() {
+                            p.record_invention(oid, idx, step);
+                        }
                     }
                 }
+                let premises = if self.prov.is_some() && !rule.head.negated && !facts.is_empty() {
+                    crate::provenance::premises_of(self.schema, inst, rule, &theta)
+                } else {
+                    Vec::new()
+                };
                 for f in facts {
                     if rule.head.negated {
                         if minus_seen.insert(f.clone()) {
@@ -209,9 +238,21 @@ impl<'a> OneStep<'a> {
                     } else if plus_seen.insert(f.clone()) {
                         stats.derived += 1;
                         out.plus_nodes += fact_nodes(&f);
+                        if let Some(p) = self.prov.as_mut() {
+                            p.record(f.clone(), idx, step, premises.clone());
+                        }
                         out.plus.push(f);
                     }
                 }
+            }
+            if let Some(m) = &self.metrics {
+                m.record_rule_step(
+                    idx,
+                    stats.firings as u64,
+                    stats.derived as u64,
+                    stats.deleted as u64,
+                    stats.invented as u64,
+                );
             }
             if stats.firings > 0 {
                 let (firings, derived, deleted) = (stats.firings, stats.derived, stats.deleted);

@@ -181,6 +181,14 @@ impl Governor {
         self.start.elapsed().as_millis() as u64
     }
 
+    /// Milliseconds left before the deadline (saturating at 0), or `None`
+    /// when the run has no deadline. A timing value, exempt from the
+    /// determinism contract; feeds the deadline-headroom gauge.
+    pub fn deadline_headroom_ms(&self) -> Option<u64> {
+        self.budget
+            .map(|b| (b.as_millis() as u64).saturating_sub(self.elapsed_ms()))
+    }
+
     /// Check every budget; `Some(cause)` means the run must stop now.
     pub fn check(&self) -> Option<CancelCause> {
         if let (Some(limit), used) = (self.max_value_nodes, self.value_nodes) {

@@ -13,7 +13,9 @@ use logres_model::{Instance, Schema};
 use crate::delta::OneStep;
 use crate::error::EngineError;
 use crate::governor::Governor;
+use crate::metrics::{EngineMetrics, MetricsRegistry};
 use crate::parallel::effective_threads;
+use crate::provenance::Provenance;
 use crate::trace::{self, TraceEvent, Tracer};
 
 /// Fuel limits and execution knobs for an evaluation run.
@@ -41,6 +43,15 @@ pub struct EvalOptions {
     /// Structured trace sink; `None` (the default) emits nothing and costs
     /// nothing.
     pub trace: Option<Arc<Tracer>>,
+    /// Metrics registry the run reports into; `None` (the default) counts
+    /// nothing and costs nothing on the hot paths. Counting metrics are
+    /// deterministic across thread counts; timing metrics are not.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Record derivation provenance (rule, stratum, step, ground premises)
+    /// for every `Δ⁺` fact and invented oid, attached to the report as
+    /// [`EvalReport::provenance`]. Off by default: it clones every derived
+    /// fact and its premises.
+    pub provenance: bool,
 }
 
 impl Default for EvalOptions {
@@ -52,6 +63,8 @@ impl Default for EvalOptions {
             deadline: None,
             max_value_nodes: None,
             trace: None,
+            metrics: None,
+            provenance: false,
         }
     }
 }
@@ -66,6 +79,8 @@ pub struct IterationStats {
     pub derived: usize,
     /// Facts deleted (`Δ⁻`; always 0 for semi-naive).
     pub deleted: usize,
+    /// Fresh oids invented this iteration.
+    pub invented: usize,
     /// Nanoseconds spent matching bodies and instantiating heads.
     pub match_nanos: u64,
     /// Nanoseconds spent applying the composition to the instance.
@@ -86,6 +101,8 @@ pub struct RuleProfile {
     pub derived: usize,
     /// Facts this rule contributed to `Δ⁻`.
     pub deleted: usize,
+    /// Fresh oids this rule invented.
+    pub invented: usize,
     /// Nanoseconds spent matching this rule's body (timing field).
     pub match_nanos: u64,
 }
@@ -108,6 +125,9 @@ pub struct EvalReport {
     /// On a cancelled run, the rule whose body was being matched when the
     /// governor tripped (if the abort landed inside a match phase).
     pub cancelled_in_rule: Option<String>,
+    /// Derivation provenance, when the run had `EvalOptions::provenance`
+    /// set (partial stores travel with cancelled runs too).
+    pub provenance: Option<Provenance>,
 }
 
 impl EvalReport {
@@ -131,6 +151,7 @@ impl EvalReport {
             profile.firings += stats.firings;
             profile.derived += stats.derived;
             profile.deleted += stats.deleted;
+            profile.invented += stats.invented;
             profile.match_nanos += stats.match_nanos;
         }
     }
@@ -144,7 +165,24 @@ pub fn evaluate_inflationary(
     edb: &Instance,
     opts: EvalOptions,
 ) -> Result<(Instance, EvalReport), EngineError> {
+    evaluate_inflationary_stratum(schema, rules, edb, opts, 0)
+}
+
+/// [`evaluate_inflationary`] with an explicit stratum index for provenance
+/// records (the stratified driver evaluates each stratum through here).
+pub(crate) fn evaluate_inflationary_stratum(
+    schema: &Schema,
+    rules: &RuleSet,
+    edb: &Instance,
+    opts: EvalOptions,
+    stratum: usize,
+) -> Result<(Instance, EvalReport), EngineError> {
     let mut step = OneStep::new(schema, rules, edb);
+    let em = opts.metrics.as_ref().map(EngineMetrics::new);
+    step.metrics = em.clone();
+    if opts.provenance {
+        step.prov = Some(Provenance::new(rules, stratum));
+    }
     let mut inst = edb.clone();
     let mut report = EvalReport::with_rules(rules);
     let threads = effective_threads(opts.threads);
@@ -167,6 +205,14 @@ pub fn evaluate_inflationary(
         let match_nanos = match_start.elapsed().as_nanos() as u64;
         report.absorb_rule_stats(&deltas.per_rule);
         governor.charge_nodes(deltas.plus_nodes);
+        if let Some(m) = &em {
+            m.steps.inc();
+            m.value_nodes.add(deltas.plus_nodes as u64);
+            m.step_match_ms.observe(match_nanos / 1_000_000);
+            if let Some(headroom) = governor.deadline_headroom_ms() {
+                m.deadline_headroom_ms.set(headroom);
+            }
+        }
         if !deltas.cancelled && deltas.is_empty() {
             report.iterations.push(IterationStats {
                 firings: deltas.firings,
@@ -175,6 +221,7 @@ pub fn evaluate_inflationary(
             });
             report.steps = i;
             report.facts = inst.fact_count();
+            report.provenance = step.prov.take();
             trace::emit(tracer, || TraceEvent::EvalEnd {
                 steps: report.steps,
                 facts: report.facts,
@@ -193,6 +240,7 @@ pub fn evaluate_inflationary(
                 .last_item()
                 .and_then(|r| rules.rules.get(r))
                 .map(|r| r.to_string());
+            report.provenance = step.prov.take();
             trace::emit(tracer, || TraceEvent::Cancelled {
                 step: i,
                 cause: cause.to_string(),
@@ -206,10 +254,14 @@ pub fn evaluate_inflationary(
         let apply_start = Instant::now();
         step.apply(&mut inst, &deltas);
         let apply_nanos = apply_start.elapsed().as_nanos() as u64;
+        if let Some(m) = &em {
+            m.step_apply_ms.observe(apply_nanos / 1_000_000);
+        }
         report.iterations.push(IterationStats {
             firings: deltas.firings,
             derived: deltas.plus.len(),
             deleted: deltas.minus.len(),
+            invented: deltas.per_rule.iter().map(|s| s.invented).sum(),
             match_nanos,
             apply_nanos,
         });
@@ -238,6 +290,7 @@ pub fn evaluate_inflationary(
             // Δ⁺ and Δ⁻ cancelled exactly: a fixpoint of the operator.
             report.steps = i + 1;
             report.facts = inst.fact_count();
+            report.provenance = step.prov.take();
             trace::emit(tracer, || TraceEvent::EvalEnd {
                 steps: report.steps,
                 facts: report.facts,

@@ -46,7 +46,9 @@ pub mod governor;
 pub mod inflationary;
 pub mod load;
 pub mod matcher;
+pub mod metrics;
 pub mod parallel;
+pub mod provenance;
 pub mod seminaive;
 pub mod stratified;
 pub mod trace;
@@ -61,7 +63,10 @@ pub use inflationary::{
     evaluate_inflationary, EvalOptions, EvalReport, IterationStats, RuleProfile,
 };
 pub use load::load_facts;
+pub use matcher::{rule_access_plan, AccessPlan};
+pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, ProbeTally};
 pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};
+pub use provenance::{Derivation, ProvEntry, Provenance};
 pub use seminaive::{evaluate_seminaive, seminaive_applicable};
 pub use stratified::{evaluate, evaluate_stratified, Semantics};
 pub use trace::{TraceEvent, Tracer};

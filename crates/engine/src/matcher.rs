@@ -9,6 +9,8 @@
 //! are only present in negated literals [are] restricted to their current
 //! active domain").
 
+use std::fmt;
+
 use logres_lang::{Atom, BodyLiteral, PredArg, Term};
 use logres_model::{Instance, PredKind, Schema, Sym, TypeDesc, Value};
 use rustc_hash::FxHashSet;
@@ -16,6 +18,7 @@ use rustc_hash::FxHashSet;
 use crate::binding::{eval_term, match_term, self_label, Subst};
 use crate::builtins::{solve, BuiltinOutcome};
 use crate::error::EngineError;
+use crate::metrics::ProbeTally;
 
 /// Cap on active-domain products for negated literals with several unbound
 /// variables.
@@ -30,12 +33,25 @@ pub struct BodyView<'a> {
     /// When set, the literal at this index enumerates from this instance
     /// instead of `full`.
     pub delta: Option<(usize, &'a Instance)>,
+    /// When set, probe/scan decisions are counted into this local tally
+    /// (the caller flushes it to the shared counters once per rule).
+    pub tally: Option<&'a ProbeTally>,
 }
 
 impl<'a> BodyView<'a> {
     /// A plain view over one instance.
     pub fn plain(full: &'a Instance) -> BodyView<'a> {
-        BodyView { full, delta: None }
+        BodyView {
+            full,
+            delta: None,
+            tally: None,
+        }
+    }
+
+    /// The same view with matcher instrumentation attached.
+    pub fn with_tally(mut self, tally: Option<&'a ProbeTally>) -> BodyView<'a> {
+        self.tally = tally;
+        self
     }
 
     fn source(&self, idx: usize) -> &'a Instance {
@@ -166,7 +182,7 @@ fn literal_readiness(
                         });
                     }
                 }
-                let matches = match_pred(schema, view.full, *pred, args, subst)?;
+                let matches = match_pred(schema, view.full, *pred, args, subst, view.tally)?;
                 Ok(if matches.is_empty() {
                     Readiness::Pass
                 } else {
@@ -188,7 +204,7 @@ fn literal_readiness(
                     }
                 }
                 Ok(Readiness::Branch(match_pred(
-                    schema, src, *pred, args, subst,
+                    schema, src, *pred, args, subst, view.tally,
                 )?))
             }
         }
@@ -241,12 +257,17 @@ fn literal_readiness(
 }
 
 /// Enumerate matches of a positive class/association literal.
+///
+/// `tally`, when present, counts the association access-path decision:
+/// one probe hit (bucket found), probe miss (key had no bucket), or scan
+/// fallback (no ground probe key) per call.
 pub fn match_pred(
     schema: &Schema,
     src: &Instance,
     pred: Sym,
     args: &[PredArg],
     subst: &Subst,
+    tally: Option<&ProbeTally>,
 ) -> Result<Vec<Subst>, EngineError> {
     let mut out = Vec::new();
     match schema.kind(pred) {
@@ -335,14 +356,25 @@ pub fn match_pred(
             // extension. Candidates are still verified by the full match
             // above, so the probe only has to be a superset filter.
             match first_probe(args, subst, src) {
-                Some((label, key)) => {
-                    if let Some(bucket) = src.tuples_matching(pred, label, &key) {
+                Some((label, key)) => match src.tuples_matching(pred, label, &key) {
+                    Some(bucket) => {
+                        if let Some(t) = tally {
+                            t.hit();
+                        }
                         for tuple in bucket.iter() {
                             try_tuple(tuple, &mut out);
                         }
                     }
-                }
+                    None => {
+                        if let Some(t) = tally {
+                            t.miss();
+                        }
+                    }
+                },
                 None => {
+                    if let Some(t) = tally {
+                        t.scan();
+                    }
                     for tuple in src.tuples_of(pred) {
                         try_tuple(tuple, &mut out);
                     }
@@ -383,7 +415,7 @@ fn first_probe(args: &[PredArg], subst: &Subst, inst: &Instance) -> Option<(Sym,
 /// when its arguments cover every attribute with evaluable terms. `None`
 /// when coverage is partial or a term is structured beyond evaluation (the
 /// caller then falls back to the extension scan).
-fn ground_assoc_tuple(
+pub(crate) fn ground_assoc_tuple(
     schema: &Schema,
     assoc: Sym,
     args: &[PredArg],
@@ -527,7 +559,7 @@ fn active_domain_negation(
         stack = next;
     }
     for s in stack {
-        if match_pred(schema, inst, *pred, args, &s)?.is_empty() {
+        if match_pred(schema, inst, *pred, args, &s, None)?.is_empty() {
             out.push(s);
         }
     }
@@ -600,6 +632,82 @@ pub fn active_domain(schema: &Schema, inst: &Instance, ty: &TypeDesc) -> Vec<Val
         }
     }
     out
+}
+
+/// The statically predicted access path for one body literal, used by the
+/// REPL's `:explain` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPlan {
+    /// An index probe on this attribute label of an association.
+    Probe(Sym),
+    /// A full scan of an association's extension.
+    Scan,
+    /// Enumeration without an index (class extents, data functions).
+    Enumerate,
+    /// A test that binds nothing new (builtins, negated literals).
+    Test,
+}
+
+impl fmt::Display for AccessPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPlan::Probe(l) => write!(f, "index probe on `{l}`"),
+            AccessPlan::Scan => write!(f, "extension scan"),
+            AccessPlan::Enumerate => write!(f, "enumerate"),
+            AccessPlan::Test => write!(f, "test"),
+        }
+    }
+}
+
+/// Predict, per body literal in textual order, the access path
+/// [`match_pred`] would choose: an index probe when the first labeled
+/// argument is a constant or an already-bound variable, otherwise a scan.
+///
+/// This is a *static approximation*: it simulates bindings accumulating in
+/// textual order, while the evaluator schedules literals greedily
+/// (first-ready) and re-enters `match_pred` once per candidate valuation,
+/// where more variables may be bound than this analysis assumes. It errs
+/// toward reporting scans, never phantom probes.
+pub fn rule_access_plan(schema: &Schema, rule: &logres_lang::Rule) -> Vec<(String, AccessPlan)> {
+    let mut bound: FxHashSet<Sym> = FxHashSet::default();
+    let mut out = Vec::new();
+    for lit in &rule.body {
+        let plan = if lit.negated {
+            AccessPlan::Test
+        } else {
+            match &lit.atom {
+                Atom::Pred { pred, args, .. } if schema.kind(*pred) == Some(PredKind::Assoc) => {
+                    static_probe_label(args, &bound)
+                        .map(AccessPlan::Probe)
+                        .unwrap_or(AccessPlan::Scan)
+                }
+                Atom::Pred { .. } | Atom::Member { .. } => AccessPlan::Enumerate,
+                Atom::Builtin { .. } => AccessPlan::Test,
+            }
+        };
+        if !lit.negated {
+            for v in lit.atom.vars() {
+                bound.insert(v);
+            }
+        }
+        out.push((lit.to_string(), plan));
+    }
+    out
+}
+
+/// Static counterpart of [`first_probe`]: the first labeled argument whose
+/// term is a literal constant or a variable in `bound`.
+fn static_probe_label(args: &[PredArg], bound: &FxHashSet<Sym>) -> Option<Sym> {
+    args.iter().find_map(|arg| {
+        let PredArg::Labeled(l, t) = arg else {
+            return None;
+        };
+        match t {
+            Term::Tuple(_) | Term::Seq(_) => None,
+            Term::Var(v) => bound.contains(v).then_some(*l),
+            _ => logres_lang::parser::eval_ground(t).map(|_| *l),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -806,11 +914,71 @@ mod tests {
         let view = BodyView {
             full: &full,
             delta: Some((0, &delta)),
+            tally: None,
         };
         let subs = eval_body(&schema, view, body, Subst::new()).unwrap();
         // Only (1,2) joins e, yielding X=1, Z=3. The (9,9) row is invisible.
         assert_eq!(subs.len(), 1);
         assert_eq!(subs[0].get(Sym::new("Z")), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn access_plan_distinguishes_probe_and_scan() {
+        let (schema, _, rules) = setup(
+            r#"
+            associations
+              e  = (a: integer, b: integer);
+              tc = (a: integer, b: integer);
+            rules
+              tc(a: X, b: Y) <- e(a: X, b: Y).
+              tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
+              tc(a: 1, b: Y) <- e(a: 1, b: Y).
+        "#,
+        );
+        // Rule 0: nothing bound, first literal scans.
+        let plan0 = rule_access_plan(&schema, &rules.rules[0]);
+        assert_eq!(plan0.len(), 1);
+        assert_eq!(plan0[0].1, AccessPlan::Scan);
+        // Rule 1: tc scans, then e probes on `a` (Y bound by then).
+        let plan1 = rule_access_plan(&schema, &rules.rules[1]);
+        assert_eq!(plan1[0].1, AccessPlan::Scan);
+        assert_eq!(plan1[1].1, AccessPlan::Probe(Sym::new("a")));
+        // Rule 2: the constant makes the very first literal a probe.
+        let plan2 = rule_access_plan(&schema, &rules.rules[2]);
+        assert_eq!(plan2[0].1, AccessPlan::Probe(Sym::new("a")));
+    }
+
+    #[test]
+    fn probe_metrics_count_hits_misses_and_scans() {
+        let (schema, inst, rules) = setup(
+            r#"
+            associations
+              e  = (a: integer, b: integer);
+              tc = (a: integer, b: integer);
+            facts
+              e(a: 1, b: 2).
+              e(a: 2, b: 3).
+            rules
+              tc(a: X, b: Y) <- e(a: X, b: Y).
+              tc(a: X, b: Z) <- e(a: X, b: Y), e(a: Y, b: Z).
+        "#,
+        );
+        let reg = std::sync::Arc::new(crate::metrics::MetricsRegistry::new());
+        let em = crate::metrics::EngineMetrics::new(&reg);
+        let tally = ProbeTally::default();
+        let view = BodyView::plain(&inst).with_tally(Some(&tally));
+        // Rule 0: one scan over e.
+        eval_body(&schema, view, &rules.rules[0].body, Subst::new()).unwrap();
+        tally.flush(&em);
+        assert_eq!(em.scan_fallbacks.get(), 1);
+        // Rule 1: the scan plus one probe per candidate Y (2 and 3); key 3
+        // has no bucket, so one hit and one miss. A second flush adds only
+        // the new counts (the tally resets on flush).
+        eval_body(&schema, view, &rules.rules[1].body, Subst::new()).unwrap();
+        tally.flush(&em);
+        assert_eq!(em.scan_fallbacks.get(), 2);
+        assert_eq!(em.probe_hits.get(), 1);
+        assert_eq!(em.probe_misses.get(), 1);
     }
 
     #[test]

@@ -25,7 +25,9 @@ use crate::error::EngineError;
 use crate::governor::Governor;
 use crate::inflationary::{EvalOptions, EvalReport, IterationStats};
 use crate::matcher::{eval_body, BodyView};
+use crate::metrics::EngineMetrics;
 use crate::parallel::{effective_threads, ordered_map_cancellable};
+use crate::provenance::Provenance;
 use crate::trace::{self, TraceEvent};
 
 /// Is the rule set inside the semi-naive fragment?
@@ -80,6 +82,12 @@ pub fn evaluate_seminaive(
     let mut total = edb.clone();
     let mut memo = InventionMemo::new();
     let mut gen = edb.oid_gen();
+    let em = opts.metrics.as_ref().map(EngineMetrics::new);
+    let mut prov = if opts.provenance {
+        Some(Provenance::new(rules, 0))
+    } else {
+        None
+    };
     let mut report = EvalReport::with_rules(rules);
     let mut governor = Governor::new(&opts);
     let token = governor.token().clone();
@@ -128,7 +136,12 @@ pub fn evaluate_seminaive(
     let subs_per_rule = ordered_map_cancellable(threads, &rules.rules, &token, |i, rule| {
         token.note_item(i);
         let start = Instant::now();
-        let subs = eval_body(schema, BodyView::plain(&total), &rule.body, Subst::new());
+        let tally = crate::metrics::ProbeTally::default();
+        let view = BodyView::plain(&total).with_tally(em.as_ref().map(|_| &tally));
+        let subs = eval_body(schema, view, &rule.body, Subst::new());
+        if let Some(m) = em.as_ref() {
+            tally.flush(m);
+        }
         (subs, start.elapsed().as_nanos() as u64)
     });
     let mut stats = IterationStats {
@@ -148,16 +161,34 @@ pub fn evaluate_seminaive(
         for theta in subs? {
             stats.firings += 1;
             per_rule[idx].firings += 1;
-            for fact in instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)? {
+            let facts = instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)?;
+            let premises = if prov.is_some() && !facts.is_empty() {
+                crate::provenance::premises_of(schema, &total, rule, &theta)
+            } else {
+                Vec::new()
+            };
+            for fact in facts {
                 if total.insert_fact(schema, &fact) {
                     stats.derived += 1;
                     per_rule[idx].derived += 1;
                     round_nodes += crate::delta::fact_nodes(&fact);
+                    if let Some(p) = prov.as_mut() {
+                        p.record(fact.clone(), idx, 0, premises.clone());
+                    }
                     if let Fact::Assoc { assoc, tuple } = &fact {
                         delta.insert_assoc(*assoc, tuple.clone());
                     }
                 }
             }
+        }
+        if let Some(m) = &em {
+            m.record_rule_step(
+                idx,
+                per_rule[idx].firings as u64,
+                per_rule[idx].derived as u64,
+                0,
+                0,
+            );
         }
         if per_rule[idx].firings > 0 {
             let s = per_rule[idx];
@@ -174,8 +205,18 @@ pub fn evaluate_seminaive(
     stats.apply_nanos = apply_start.elapsed().as_nanos() as u64;
     report.absorb_rule_stats(&per_rule);
     governor.charge_nodes(round_nodes);
+    if let Some(m) = &em {
+        m.steps.inc();
+        m.value_nodes.add(round_nodes as u64);
+        m.step_match_ms.observe(stats.match_nanos / 1_000_000);
+        m.step_apply_ms.observe(stats.apply_nanos / 1_000_000);
+        if let Some(headroom) = governor.deadline_headroom_ms() {
+            m.deadline_headroom_ms.set(headroom);
+        }
+    }
     if cancelled || governor.check().is_some() {
         let in_rule = rule_of(&token);
+        report.provenance = prov.take();
         return Err(cancel(report, total.fact_count(), in_rule, &governor));
     }
     trace::emit(tracer, || TraceEvent::StepEnd {
@@ -234,11 +275,16 @@ pub fn evaluate_seminaive(
         let subs_per_job = ordered_map_cancellable(threads, &jobs, &token, |_, &(idx, li)| {
             token.note_item(idx);
             let start = Instant::now();
+            let tally = crate::metrics::ProbeTally::default();
             let view = BodyView {
                 full: &total,
                 delta: Some((li, &delta)),
+                tally: em.as_ref().map(|_| &tally),
             };
             let subs = eval_body(schema, view, &rules.rules[idx].body, Subst::new());
+            if let Some(m) = em.as_ref() {
+                tally.flush(m);
+            }
             (subs, start.elapsed().as_nanos() as u64)
         });
         let mut stats = IterationStats {
@@ -260,13 +306,21 @@ pub fn evaluate_seminaive(
             for theta in subs? {
                 stats.firings += 1;
                 per_rule[idx].firings += 1;
-                for fact in
-                    instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)?
-                {
+                let facts =
+                    instantiate_head(schema, &total, rule, idx, &theta, &mut memo, &mut gen)?;
+                let premises = if prov.is_some() && !facts.is_empty() {
+                    crate::provenance::premises_of(schema, &total, rule, &theta)
+                } else {
+                    Vec::new()
+                };
+                for fact in facts {
                     if total.insert_fact(schema, &fact) {
                         stats.derived += 1;
                         per_rule[idx].derived += 1;
                         round_nodes += crate::delta::fact_nodes(&fact);
+                        if let Some(p) = prov.as_mut() {
+                            p.record(fact.clone(), idx, round, premises.clone());
+                        }
                         if let Fact::Assoc { assoc, tuple } = &fact {
                             next_delta.insert_assoc(*assoc, tuple.clone());
                         }
@@ -275,6 +329,9 @@ pub fn evaluate_seminaive(
             }
         }
         for (idx, s) in per_rule.iter().enumerate() {
+            if let Some(m) = &em {
+                m.record_rule_step(idx, s.firings as u64, s.derived as u64, 0, 0);
+            }
             if s.firings > 0 {
                 trace::emit(tracer, || TraceEvent::RuleFired {
                     step: round,
@@ -289,8 +346,18 @@ pub fn evaluate_seminaive(
         stats.apply_nanos = apply_start.elapsed().as_nanos() as u64;
         report.absorb_rule_stats(&per_rule);
         governor.charge_nodes(round_nodes);
+        if let Some(m) = &em {
+            m.steps.inc();
+            m.value_nodes.add(round_nodes as u64);
+            m.step_match_ms.observe(stats.match_nanos / 1_000_000);
+            m.step_apply_ms.observe(stats.apply_nanos / 1_000_000);
+            if let Some(headroom) = governor.deadline_headroom_ms() {
+                m.deadline_headroom_ms.set(headroom);
+            }
+        }
         if cancelled || governor.check().is_some() {
             let in_rule = rule_of(&token);
+            report.provenance = prov.take();
             return Err(cancel(report, total.fact_count(), in_rule, &governor));
         }
         trace::emit(tracer, || TraceEvent::StepEnd {
@@ -314,6 +381,7 @@ pub fn evaluate_seminaive(
     }
 
     report.facts = total.fact_count();
+    report.provenance = prov;
     trace::emit(tracer, || TraceEvent::EvalEnd {
         steps: report.steps,
         facts: report.facts,

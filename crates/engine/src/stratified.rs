@@ -14,7 +14,10 @@ use logres_lang::{stratify, RuleSet, Stratification};
 use logres_model::{Instance, Schema};
 
 use crate::error::EngineError;
-use crate::inflationary::{evaluate_inflationary, EvalOptions, EvalReport};
+use crate::inflationary::{
+    evaluate_inflationary, evaluate_inflationary_stratum, EvalOptions, EvalReport,
+};
+use crate::provenance::Provenance;
 
 /// Which semantics to evaluate a program under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,19 +61,30 @@ pub fn evaluate_stratified(
             // time remaining, so a deadline bounds the whole run, not each
             // stratum independently.
             let overall_deadline = opts.deadline.map(|d| Instant::now() + d);
-            for stratum in strata {
+            // Provenance rule indices re-base per stratum, mirroring how
+            // `rule_profiles` concatenate below.
+            let mut prov = if opts.provenance {
+                Some(Provenance::default())
+            } else {
+                None
+            };
+            for (stratum_idx, stratum) in strata.into_iter().enumerate() {
                 let sub = RuleSet {
                     rules: stratum.iter().map(|&i| rules.rules[i].clone()).collect(),
                 };
                 let mut stratum_opts = opts.clone();
                 stratum_opts.deadline =
                     overall_deadline.map(|d| d.saturating_duration_since(Instant::now()));
-                match evaluate_inflationary(schema, &sub, &inst, stratum_opts) {
+                match evaluate_inflationary_stratum(schema, &sub, &inst, stratum_opts, stratum_idx)
+                {
                     Ok((next, report)) => {
                         inst = next;
                         total.steps += report.steps;
                         total.iterations.extend(report.iterations);
                         total.rule_profiles.extend(report.rule_profiles);
+                        if let (Some(p), Some(sub_prov)) = (prov.as_mut(), report.provenance) {
+                            p.absorb(sub_prov);
+                        }
                     }
                     Err(EngineError::Cancelled { cause, partial }) => {
                         // Fold the completed strata into the partial report
@@ -83,6 +97,12 @@ pub fn evaluate_stratified(
                         let mut rule_profiles = total.rule_profiles;
                         rule_profiles.extend(partial.rule_profiles);
                         partial.rule_profiles = rule_profiles;
+                        if let (Some(mut p), Some(sub_prov)) =
+                            (prov.take(), partial.provenance.take())
+                        {
+                            p.absorb(sub_prov);
+                            partial.provenance = Some(p);
+                        }
                         return Err(EngineError::Cancelled {
                             cause,
                             partial: Box::new(partial),
@@ -92,6 +112,7 @@ pub fn evaluate_stratified(
                 }
             }
             total.facts = inst.fact_count();
+            total.provenance = prov;
             Ok((inst, total))
         }
         Stratification::Unstratifiable { .. } => {

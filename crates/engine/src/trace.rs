@@ -13,6 +13,7 @@
 
 use std::fmt;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One structured evaluation event.
@@ -207,6 +208,10 @@ enum Sink {
 /// A thread-safe trace sink shared by reference through [`crate::EvalOptions`].
 pub struct Tracer {
     sink: Mutex<Sink>,
+    /// Events lost to sink write errors. A JSON sink whose writer fails
+    /// must not silently swallow the event: the loss is counted here and
+    /// on the process-wide `logres_trace_dropped_events_total` metric.
+    dropped: AtomicU64,
 }
 
 impl fmt::Debug for Tracer {
@@ -220,18 +225,21 @@ impl fmt::Debug for Tracer {
 }
 
 impl Tracer {
+    fn with_sink(sink: Sink) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            sink: Mutex::new(sink),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
     /// A sink that collects events in memory (drain with [`Tracer::events`]).
     pub fn memory() -> Arc<Tracer> {
-        Arc::new(Tracer {
-            sink: Mutex::new(Sink::Memory(Vec::new())),
-        })
+        Tracer::with_sink(Sink::Memory(Vec::new()))
     }
 
     /// A sink that writes each event as one JSON line to `w`.
     pub fn json(w: impl Write + Send + 'static) -> Arc<Tracer> {
-        Arc::new(Tracer {
-            sink: Mutex::new(Sink::Json(Box::new(w))),
-        })
+        Tracer::with_sink(Sink::Json(Box::new(w)))
     }
 
     /// Record one event.
@@ -239,7 +247,12 @@ impl Tracer {
         match &mut *self.sink.lock().unwrap() {
             Sink::Memory(evs) => evs.push(ev),
             Sink::Json(w) => {
-                let _ = writeln!(w, "{}", ev.to_json_line());
+                if writeln!(w, "{}", ev.to_json_line()).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    crate::metrics::MetricsRegistry::global()
+                        .counter("logres_trace_dropped_events_total")
+                        .inc();
+                }
             }
         }
     }
@@ -250,6 +263,21 @@ impl Tracer {
             Sink::Memory(evs) => evs.clone(),
             Sink::Json(_) => Vec::new(),
         }
+    }
+
+    /// Events lost to sink write errors so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// One-line sink summary including the drop count, for REPL/status
+    /// output.
+    pub fn summary(&self) -> String {
+        let kind = match &*self.sink.lock().unwrap() {
+            Sink::Memory(evs) => format!("memory sink, {} events", evs.len()),
+            Sink::Json(_) => "json sink".to_owned(),
+        };
+        format!("{kind}, {} dropped", self.dropped_events())
     }
 }
 
@@ -323,6 +351,43 @@ mod tests {
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with('{')));
+    }
+
+    #[test]
+    fn failing_json_sink_counts_dropped_events() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let before = crate::metrics::MetricsRegistry::global()
+            .counter("logres_trace_dropped_events_total")
+            .get();
+        let t = Tracer::json(Broken);
+        t.emit(TraceEvent::StepStart { step: 0, facts: 0 });
+        t.emit(TraceEvent::EvalEnd {
+            steps: 1,
+            facts: 0,
+            fixpoint: true,
+        });
+        assert_eq!(t.dropped_events(), 2);
+        assert!(t.summary().contains("2 dropped"));
+        let after = crate::metrics::MetricsRegistry::global()
+            .counter("logres_trace_dropped_events_total")
+            .get();
+        assert!(after >= before + 2);
+    }
+
+    #[test]
+    fn healthy_sinks_drop_nothing() {
+        let t = Tracer::memory();
+        t.emit(TraceEvent::StepStart { step: 0, facts: 0 });
+        assert_eq!(t.dropped_events(), 0);
+        assert!(t.summary().contains("0 dropped"));
     }
 
     #[test]

@@ -140,6 +140,65 @@ fn invention_is_determinate() {
     assert!(a.isomorphic(&schema, &b));
 }
 
+/// `:why` agrees across engines: the inflationary and semi-naive drivers
+/// record the same first derivation (rule text and ground premises,
+/// recursively) for every closure fact. Step and round numbering differ by
+/// construction — one counts inflationary steps, the other semi-naive
+/// rounds — so only the shape of the chain is compared.
+#[test]
+fn why_agrees_across_engines() {
+    use logres::engine::Derivation;
+
+    type Shape = (String, Option<String>, Vec<(String, Option<String>)>);
+    fn shape(d: &Derivation) -> Shape {
+        (
+            d.fact.to_string(),
+            d.rule_text.clone(),
+            d.premises
+                .iter()
+                .map(|p| (p.fact.to_string(), p.rule_text.clone()))
+                .collect(),
+        )
+    }
+    fn assert_same_shape(a: &Derivation, b: &Derivation) {
+        assert_eq!(shape(a), shape(b));
+        for (pa, pb) in a.premises.iter().zip(&b.premises) {
+            assert_same_shape(pa, pb);
+        }
+    }
+
+    let src = closure_program(&chain_edges(8));
+    let p = parse_program(&src).unwrap();
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+    let opts = EvalOptions {
+        provenance: true,
+        ..EvalOptions::default()
+    };
+    let (infl, infl_report) =
+        evaluate_inflationary(&p.schema, &p.rules, &edb, opts.clone()).unwrap();
+    let (semi, semi_report) = evaluate_seminaive(&p.schema, &p.rules, &edb, opts).unwrap();
+    assert_eq!(infl, semi);
+    let infl_prov = infl_report.provenance.expect("inflationary provenance");
+    let semi_prov = semi_report.provenance.expect("semi-naive provenance");
+    let tc = Sym::new("tc");
+    let mut tuples: Vec<_> = infl.tuples_of(tc).collect();
+    tuples.sort();
+    assert!(!tuples.is_empty());
+    for tuple in tuples {
+        let fact = logres::model::Fact::Assoc {
+            assoc: tc,
+            tuple: tuple.clone(),
+        };
+        let a = infl_prov.explain(&fact);
+        let b = semi_prov.explain(&fact);
+        assert!(!a.is_edb(), "{fact} should be derived");
+        assert_same_shape(&a, &b);
+        assert_eq!(a.edb_leaves(), b.edb_leaves());
+    }
+}
+
 /// The stratified driver and the inflationary driver agree on negation-free
 /// programs (stratification only matters for negation / data functions /
 /// deletion).

@@ -1,0 +1,223 @@
+//! Observability determinism and exposition-format goldens.
+//!
+//! Counting metrics and derivation provenance are part of the determinism
+//! contract (DESIGN.md §8): the merge phase runs serially in canonical
+//! rule order at every thread count, so `counter_snapshot()` (counters
+//! only — timing histograms and the headroom gauge are exempt) and the
+//! provenance store must be **bit-identical** at threads 1, 2, 8, and 0.
+
+use std::sync::Arc;
+
+use logres::engine::{
+    evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions, MetricsRegistry, Provenance,
+};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres_repro::generators::{closure_program, random_edges};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 8, 0]; // 0 = one worker per core
+
+/// Example 4.2 in miniature: derivation + deletion through Δ⁻.
+const UPDATE: &str = r#"
+    associations
+      p     = (d1: integer, d2: integer);
+      mod_t = (d1: integer, d2: integer);
+    facts
+      p(d1: 1, d2: 1).
+      p(d1: 2, d2: 2).
+      p(d1: 3, d2: 3).
+      p(d1: 4, d2: 4).
+    rules
+      p(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                         not mod_t(d1: X, d2: Y).
+      mod_t(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                             not mod_t(d1: X, d2: Y).
+      -p(Y) <- p(Y, d1: X), even(X), not mod_t(Y).
+"#;
+
+/// Oid invention through an association (Example 3.4 in miniature).
+const INVENTION: &str = r#"
+    classes
+      ip = (emp: string, mgr: string);
+    associations
+      pair = (emp: string, mgr: string);
+    facts
+      pair(emp: "e1", mgr: "m1").
+      pair(emp: "e2", mgr: "m2").
+      pair(emp: "e1", mgr: "m2").
+    rules
+      ip(self: X, C) <- pair(C).
+"#;
+
+fn edb_of(src: &str) -> (logres::Schema, Instance, logres::lang::RuleSet) {
+    let p = parse_program(src).expect("parses");
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("loads");
+    (p.schema, edb, p.rules)
+}
+
+/// One instrumented run on a fresh registry: the deterministic surface
+/// (counter snapshot + provenance store) plus the instance.
+fn instrumented_run(
+    src: &str,
+    seminaive: bool,
+    threads: usize,
+) -> (Vec<(String, u64)>, Option<Provenance>, Instance) {
+    let (schema, edb, rules) = edb_of(src);
+    let registry = Arc::new(MetricsRegistry::new());
+    let opts = EvalOptions {
+        threads,
+        metrics: Some(registry.clone()),
+        provenance: true,
+        ..EvalOptions::default()
+    };
+    let (inst, report) = if seminaive {
+        evaluate_seminaive(&schema, &rules, &edb, opts).expect("semi-naive runs")
+    } else {
+        evaluate_inflationary(&schema, &rules, &edb, opts).expect("inflationary runs")
+    };
+    (registry.counter_snapshot(), report.provenance, inst)
+}
+
+fn assert_observably_deterministic(src: &str, seminaive: bool) {
+    let (base_counters, base_prov, base_inst) = instrumented_run(src, seminaive, 1);
+    assert!(
+        base_prov.as_ref().is_some_and(|p| !p.is_empty()),
+        "provenance recorded something"
+    );
+    for threads in THREAD_COUNTS {
+        let (counters, prov, inst) = instrumented_run(src, seminaive, threads);
+        assert_eq!(inst, base_inst, "instance differs at threads={threads}");
+        assert_eq!(
+            counters, base_counters,
+            "counter snapshot differs at threads={threads}"
+        );
+        assert_eq!(prov, base_prov, "provenance differs at threads={threads}");
+    }
+}
+
+#[test]
+fn closure_metrics_are_thread_count_invariant() {
+    let src = closure_program(&random_edges(14, 28, 11));
+    assert_observably_deterministic(&src, false);
+    assert_observably_deterministic(&src, true);
+}
+
+#[test]
+fn deletion_metrics_are_thread_count_invariant() {
+    assert_observably_deterministic(UPDATE, false);
+}
+
+#[test]
+fn invention_metrics_are_thread_count_invariant() {
+    assert_observably_deterministic(INVENTION, false);
+}
+
+#[test]
+fn counters_reflect_the_work_done() {
+    let (counters, prov, inst) = instrumented_run(INVENTION, false, 1);
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{name} missing from snapshot: {counters:?}"))
+    };
+    assert_eq!(get("logres_invented_oids_total"), 3);
+    // Each pair fires the rule once in the deriving step; later steps may
+    // re-fire valuations that derive nothing new.
+    assert!(get("logres_firings_total") >= 3);
+    assert!(get("logres_eval_steps_total") >= 2); // one deriving step + fixpoint check
+    assert_eq!(
+        get("logres_invented_oids_total"),
+        prov.as_ref().unwrap().invented_count() as u64
+    );
+    assert_eq!(inst.class_len(logres::Sym::new("ip")), 3);
+    // The per-rule labeled series agrees with the aggregate.
+    assert_eq!(get(r#"logres_rule_invented_oids_total{rule="0"}"#), 3);
+}
+
+#[test]
+fn exposition_format_is_golden() {
+    let src = closure_program(&[(0, 1), (1, 2), (2, 3)]);
+    let (schema, edb, rules) = edb_of(&src);
+    let registry = Arc::new(MetricsRegistry::new());
+    let opts = EvalOptions {
+        metrics: Some(registry.clone()),
+        ..EvalOptions::default()
+    };
+    evaluate_inflationary(&schema, &rules, &edb, opts).expect("runs");
+    let text = registry.render_text();
+
+    // Golden family list: every series the engine pre-registers, in
+    // lexicographic order, each with `# HELP` and `# TYPE` headers. The
+    // labeled per-rule families appear because both rules fired.
+    let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+    assert_eq!(
+        type_lines,
+        vec![
+            "# TYPE logres_deleted_facts_total counter",
+            "# TYPE logres_derived_facts_total counter",
+            "# TYPE logres_eval_steps_total counter",
+            "# TYPE logres_firings_total counter",
+            "# TYPE logres_governor_deadline_headroom_ms gauge",
+            "# TYPE logres_governor_value_nodes_total counter",
+            "# TYPE logres_invented_oids_total counter",
+            "# TYPE logres_matcher_probe_hits_total counter",
+            "# TYPE logres_matcher_probe_misses_total counter",
+            "# TYPE logres_matcher_scan_fallbacks_total counter",
+            "# TYPE logres_rule_derived_facts_total counter",
+            "# TYPE logres_rule_firings_total counter",
+            "# TYPE logres_step_apply_ms histogram",
+            "# TYPE logres_step_match_ms histogram",
+        ],
+        "family list / order drifted:\n{text}"
+    );
+    // Every family carries a HELP line.
+    assert_eq!(
+        text.matches("# HELP ").count(),
+        type_lines.len(),
+        "one HELP per family:\n{text}"
+    );
+    // Histogram series: cumulative buckets ending at +Inf, plus sum/count.
+    assert!(
+        text.contains(r#"logres_step_match_ms_bucket{le="1"}"#),
+        "{text}"
+    );
+    assert!(
+        text.contains(r#"logres_step_match_ms_bucket{le="+Inf"}"#),
+        "{text}"
+    );
+    assert!(text.contains("logres_step_match_ms_sum"), "{text}");
+    assert!(text.contains("logres_step_match_ms_count"), "{text}");
+    // Labeled counters render with the rule index as the label value.
+    assert!(
+        text.contains(r#"logres_rule_firings_total{rule="0"}"#),
+        "{text}"
+    );
+    assert!(
+        text.contains(r#"logres_rule_firings_total{rule="1"}"#),
+        "{text}"
+    );
+}
+
+#[test]
+fn why_walks_a_deep_chain_to_edb() {
+    // A 6-link chain: tc(0,6) needs the full genealogy of hops.
+    let edges: Vec<(i64, i64)> = (0..6).map(|i| (i, i + 1)).collect();
+    let src = closure_program(&edges);
+    let (_, prov, _) = instrumented_run(&src, false, 1);
+    let prov = prov.expect("provenance on");
+    let fact = logres::model::Fact::Assoc {
+        assoc: logres::Sym::new("tc"),
+        tuple: logres::Value::tuple([("a", logres::Value::Int(0)), ("b", logres::Value::Int(6))]),
+    };
+    let d = prov.explain(&fact);
+    assert!(!d.is_edb());
+    assert!(d.depth() >= 3, "depth {} too shallow", d.depth());
+    assert!(d.edb_leaves() >= 2);
+    let text = d.render();
+    assert!(text.contains("via rule #"), "{text}");
+    assert!(text.contains("[EDB]"), "{text}");
+}
