@@ -1,20 +1,32 @@
-//! The LOGRES interactive shell.
+//! The LOGRES interactive shell and whole-program checker.
 //!
 //! ```text
 //! cargo run -p logres --bin logres            # fresh session
 //! cargo run -p logres --bin logres -- db.lgr  # load a program or state
+//!
+//! logres check <file> [--json] [--deny-warnings]
+//!     Run the static analyzer over a program (or a saved state) without
+//!     evaluating it. Exit 0 when clean, 1 on errors (or on warnings with
+//!     --deny-warnings), 2 on usage or I/O problems.
 //! ```
 
 use std::io::{BufRead, Write};
 
+use logres::lang::analyze::{render_all_human, render_all_json};
+use logres::lang::{analyze_program, parse_program, Diagnostic, Severity};
 use logres::repl::{Repl, Step};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        std::process::exit(run_check(&args[1..]));
+    }
+
     let mut repl = Repl::new();
     println!("LOGRES — deductive object-oriented database (SIGMOD 1990 reproduction)");
     println!("type :help for commands, :quit to leave");
 
-    if let Some(path) = std::env::args().nth(1) {
+    if let Some(path) = args.first() {
         match repl.feed(&format!(":load {path}")) {
             Step::Output(msg) => println!("{msg}"),
             Step::Quit => return,
@@ -38,5 +50,83 @@ fn main() {
             }
             Step::Quit => break,
         }
+    }
+}
+
+const CHECK_USAGE: &str = "usage: logres check <file> [--json] [--deny-warnings]";
+
+/// The `check` front-end: parse (or restore) the module, run the analyzer,
+/// render every diagnostic, and map the findings to an exit code the way
+/// rustc does — errors always fail, warnings fail only under
+/// `--deny-warnings`.
+fn run_check(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut path: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{CHECK_USAGE}");
+                return 2;
+            }
+            p if path.is_none() => path = Some(p),
+            extra => {
+                eprintln!("unexpected argument `{extra}`\n{CHECK_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{CHECK_USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return 2;
+        }
+    };
+
+    // A saved state is analyzed through the database (its EDB set comes
+    // from the live extensions); a program is analyzed as written. Parse
+    // and restore failures flow through the same diagnostics renderer as
+    // `E000` so front-ends see one format either way.
+    let is_state = text.trim_start().starts_with("%%logres-state");
+    let diags: Vec<Diagnostic> = if is_state {
+        match logres::Database::load(&text) {
+            Ok(db) => db.check(),
+            Err(e) => {
+                eprintln!("error restoring {path}: {e}");
+                return 2;
+            }
+        }
+    } else {
+        match parse_program(&text) {
+            Ok(program) => analyze_program(&program),
+            Err(errs) => errs
+                .into_iter()
+                .map(|e| Diagnostic::error("E000", e.span, e.message))
+                .collect(),
+        }
+    };
+
+    if json {
+        print!("{}", render_all_json(&diags));
+    } else {
+        // Spans in a restored state point into the persisted rules
+        // section, not the file as a whole, so the caret excerpt is only
+        // shown for program sources.
+        let source = if is_state { None } else { Some(text.as_str()) };
+        print!("{}", render_all_human(&diags, source));
+    }
+    let errors = diags.iter().any(|d| d.severity == Severity::Error);
+    let warnings = diags.iter().any(|d| d.severity == Severity::Warning);
+    if errors || (warnings && deny_warnings) {
+        1
+    } else {
+        0
     }
 }

@@ -14,10 +14,11 @@ use logres_engine::{
     answer_goal, evaluate, load_facts, Derivation, EvalOptions, EvalReport, MetricsRegistry,
     Semantics,
 };
-use logres_lang::{parse_program, RuleSet};
+use logres_lang::{parse_program, AnalysisInput, Diagnostic, RuleSet};
 use logres_model::{
     integrity, Fact, Instance, IntegrityConstraint, Oid, PredKind, Schema, Sym, Value,
 };
+use rustc_hash::FxHashSet;
 
 use crate::error::CoreError;
 use crate::module::{Mode, Module};
@@ -151,6 +152,48 @@ impl Database {
             Some(registry) => registry.render_text(),
             None => MetricsRegistry::global().render_text(),
         }
+    }
+
+    /// Run the whole-program static analyzer over the persistent state
+    /// `(E, R, S)`: the Section 3.1 error checks (typing, safety) plus the
+    /// `L001`–`L007` lint pass, computed on one shared dependency graph.
+    /// A predicate or data function counts as extensionally defined when
+    /// its stored extension in `E` is non-empty. When metrics are enabled
+    /// ([`Database::enable_metrics`]), each diagnostic bumps
+    /// `logres_check_diagnostics_total{code=...}`.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        let state = &self.state;
+        let mut edb: FxHashSet<Sym> = FxHashSet::default();
+        for class in state.schema.classes() {
+            if state.edb.class_len(class) > 0 {
+                edb.insert(class);
+            }
+        }
+        for assoc in state.schema.assocs() {
+            if state.edb.assoc_len(assoc) > 0 {
+                edb.insert(assoc);
+            }
+        }
+        for (fun, _) in state.schema.functions_iter() {
+            if state.edb.fun_args(fun).next().is_some() {
+                edb.insert(fun);
+            }
+        }
+        let diags = logres_lang::analyze::analyze(&AnalysisInput {
+            schema: &state.schema,
+            rules: &state.rules,
+            constraints: &state.constraints,
+            goal: None,
+            edb,
+        });
+        if let Some(registry) = &self.opts.metrics {
+            for d in &diags {
+                registry
+                    .counter_with("logres_check_diagnostics_total", "code", d.code)
+                    .inc();
+            }
+        }
+        diags
     }
 
     /// Explain how `fact` enters the database instance: re-evaluate with
@@ -864,6 +907,49 @@ mod tests {
         // Idempotent: a second call returns the same registry.
         let again = db.enable_metrics();
         assert!(Arc::ptr_eq(&registry, &again));
+    }
+
+    #[test]
+    fn check_analyzes_the_persistent_state() {
+        // A clean, rule-free database has nothing to report.
+        let db = Database::from_source(PEOPLE).unwrap();
+        assert!(db.check().is_empty());
+
+        // `ghost` has no facts and no deriving rule: L001. The derivation
+        // into `out_p` is never consulted by another rule or constraint:
+        // L002.
+        let mut db = Database::from_source(
+            r#"
+            associations
+              src   = (d: integer);
+              ghost = (d: integer);
+              out_p = (d: integer);
+            facts
+              src(d: 1).
+            rules
+              out_p(d: X) <- src(d: X), ghost(d: X).
+            "#,
+        )
+        .unwrap();
+        db.enable_metrics();
+        let codes: Vec<&str> = db.check().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["L001", "L002"]);
+        let metrics = db.metrics();
+        assert!(
+            metrics.contains(r#"logres_check_diagnostics_total{code="L001"} 1"#),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(r#"logres_check_diagnostics_total{code="L002"} 1"#),
+            "{metrics}"
+        );
+
+        // Facts loaded for `ghost` silence L001: the EDB set comes from the
+        // live extensions, not from any program text.
+        db.apply_source("rules\n  ghost(d: 5) <- .", Mode::Ridv)
+            .unwrap();
+        let codes: Vec<&str> = db.check().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["L002"]);
     }
 
     #[test]

@@ -74,4 +74,5 @@ pub use logres_engine::{
     CancelCause, EvalOptions, EvalReport, IterationStats, RuleProfile, Semantics, TraceEvent,
     Tracer,
 };
+pub use logres_lang::{Diagnostic, Severity};
 pub use logres_model::{Instance, Oid, Schema, Sym, TypeDesc, Value};

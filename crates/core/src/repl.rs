@@ -185,20 +185,35 @@ impl Repl {
                 None => "no database loaded".to_owned(),
             },
             "check" => match &self.db {
-                Some(db) => match db.instance() {
-                    Ok((inst, _)) => match db.state().check_consistency(&inst) {
-                        Ok(report) if report.is_consistent() => "consistent".to_owned(),
-                        Ok(report) => {
-                            let mut s = String::from("inconsistent:\n");
-                            for v in report.violations {
-                                let _ = writeln!(s, "  {v}");
+                Some(db) => {
+                    // Static diagnostics first (only when there are any, so
+                    // a clean database still reports the bare verdict),
+                    // then the dynamic consistency report.
+                    let mut s = String::new();
+                    let diags = db.check();
+                    if !diags.is_empty() {
+                        s.push_str(&logres_lang::analyze::render_all_human(&diags, None));
+                        s.push('\n');
+                    }
+                    match db.instance() {
+                        Ok((inst, _)) => match db.state().check_consistency(&inst) {
+                            Ok(report) if report.is_consistent() => s.push_str("consistent"),
+                            Ok(report) => {
+                                s.push_str("inconsistent:\n");
+                                for v in report.violations {
+                                    let _ = writeln!(s, "  {v}");
+                                }
                             }
-                            s
+                            Err(e) => {
+                                let _ = write!(s, "error: {e}");
+                            }
+                        },
+                        Err(e) => {
+                            let _ = write!(s, "error: {e}");
                         }
-                        Err(e) => format!("error: {e}"),
-                    },
-                    Err(e) => format!("error: {e}"),
-                },
+                    }
+                    s
+                }
                 None => "no database loaded".to_owned(),
             },
             "materialize" => match &mut self.db {
@@ -530,7 +545,8 @@ LOGRES interactive session
   :schema               print the schema
   :rules                print the persistent rules
   :facts <pred>         print a predicate's extension
-  :check                consistency report
+  :check                static diagnostics (lints L001-L007) and the
+                        dynamic consistency report
   :materialize          make E coincide with the instance I
   :trace [on|off|show|json <file>]
                         structured evaluation tracing (in memory, or as
@@ -602,6 +618,23 @@ mod tests {
         let mode = out(repl.feed(":mode ridi"));
         assert!(mode.contains("Ridi"));
         assert_eq!(repl.feed(":quit"), Step::Quit);
+    }
+
+    #[test]
+    fn check_prepends_static_diagnostics() {
+        let mut repl = Repl::new();
+        feed_all(
+            &mut repl,
+            "associations\n  src = (d: integer);\n  ghost = (d: integer);\n  \
+             out_p = (d: integer);\nfacts\n  src(d: 1).\nrules\n  \
+             out_p(d: X) <- src(d: X), ghost(d: X).",
+        );
+        let check = out(repl.feed(":check"));
+        assert!(check.contains("warning[L001]"), "{check}");
+        assert!(check.contains("warning[L002]"), "{check}");
+        assert!(check.contains("0 errors, 2 warnings"), "{check}");
+        // The dynamic consistency verdict still follows.
+        assert!(check.ends_with("consistent"), "{check}");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The diagnostics framework: one structured type for every static finding.
+//!
+//! Errors produced by the legacy per-rule checks (type checking, safety) and
+//! the warnings produced by the whole-program lints all flow through
+//! [`Diagnostic`], so front-ends (the `logres check` CLI, the `:check` REPL
+//! command, `Database::check()`) have exactly one rendering path.
+//!
+//! Codes are stable and documented in DESIGN.md §9:
+//!
+//! | code   | severity | meaning                                            |
+//! |--------|----------|----------------------------------------------------|
+//! | `E000` | error    | syntax error (emitted by the `check` front-end)    |
+//! | `E001` | error    | type error (Section 3.1 strong typing)             |
+//! | `E002` | error    | safety violation (Definition 8)                    |
+//! | `L001` | warning  | underivable body predicate / unreachable rule      |
+//! | `L002` | warning  | dead derivation (derived but never read)           |
+//! | `L003` | warning  | potential non-termination (invention in a cycle)   |
+//! | `L004` | warning  | derive/delete conflict in the same stratum         |
+//! | `L005` | warning  | rule subsumed by / duplicate of another rule       |
+//! | `L006` | warning  | singleton variable                                 |
+//! | `L007` | warning  | not stratifiable — inflationary fallback           |
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program is rejected (safety / typing — paper Section 3.1).
+    Error,
+    /// The program runs, but likely not as intended.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// A secondary location attached to a diagnostic (e.g. the other rule in a
+/// subsumption pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Where the related construct is.
+    pub span: Span,
+    /// What it contributes ("subsuming rule is here", …).
+    pub note: String,
+}
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`E001`–`E002`, `L001`–`L007`).
+    pub code: &'static str,
+    /// Error (rejects the program) or warning.
+    pub severity: Severity,
+    /// Primary location.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+    /// Secondary locations.
+    pub related: Vec<Related>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
+
+    /// Attach a secondary location.
+    pub fn with_related(mut self, span: Span, note: impl Into<String>) -> Diagnostic {
+        self.related.push(Related {
+            span,
+            note: note.into(),
+        });
+        self
+    }
+
+    /// Render in the rustc-like human format, with a source-line excerpt and
+    /// caret underline when `source` is provided:
+    ///
+    /// ```text
+    /// warning[L006]: variable `Y` occurs only once in this rule
+    ///   --> 4:33
+    ///    |
+    ///  4 |   covered(n: X) <- edge(a: X, b: Y).
+    ///    |                                  ^
+    ///    = note: subsuming rule is here (2:15)
+    /// ```
+    pub fn render_human(&self, source: Option<&str>) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}\n",
+            self.severity, self.code, self.message, self.span
+        );
+        if let Some(src) = source {
+            if let Some(excerpt) = excerpt(src, self.span) {
+                out.push_str(&excerpt);
+            }
+        }
+        for rel in &self.related {
+            out.push_str(&format!("   = note: {} ({})\n", rel.note, rel.span));
+        }
+        out
+    }
+
+    /// Render as one JSON object on a single line. Key order is fixed, so
+    /// output is byte-identical across runs:
+    ///
+    /// ```text
+    /// {"code":"L006","severity":"warning","line":4,"col":33,"message":"…","related":[]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"code\":");
+        json_str(&mut out, self.code);
+        out.push_str(",\"severity\":");
+        json_str(&mut out, &self.severity.to_string());
+        out.push_str(&format!(
+            ",\"line\":{},\"col\":{},\"message\":",
+            self.span.line, self.span.col
+        ));
+        json_str(&mut out, &self.message);
+        out.push_str(",\"related\":[");
+        for (i, rel) in self.related.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"line\":{},\"col\":{},\"note\":",
+                rel.span.line, rel.span.col
+            ));
+            json_str(&mut out, &rel.note);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render a batch in human format, separated by blank lines, followed by a
+/// `N error(s), M warning(s)` summary line (omitted when empty).
+pub fn render_all_human(diags: &[Diagnostic], source: Option<&str>) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_human(source));
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "{} error{}, {} warning{}\n",
+        errors,
+        if errors == 1 { "" } else { "s" },
+        warnings,
+        if warnings == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Render a batch as JSON lines: one object per line, no summary record.
+pub fn render_all_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// The `  |` / `N | <line>` / `  | ^^^` excerpt for a span, if the span's
+/// line exists in the source.
+fn excerpt(src: &str, span: Span) -> Option<String> {
+    if span.line == 0 {
+        return None;
+    }
+    let line_no = span.line as usize;
+    let line_text = src.lines().nth(line_no - 1)?;
+    let gutter = line_no.to_string();
+    let pad = " ".repeat(gutter.len());
+    // Caret width: the span's length, clamped to the rest of the line, at
+    // least one caret. col is 1-based.
+    let col0 = span.col.saturating_sub(1) as usize;
+    let span_len = span.end.saturating_sub(span.start).max(1);
+    let avail = line_text.chars().count().saturating_sub(col0).max(1);
+    let carets = "^".repeat(span_len.min(avail));
+    Some(format!(
+        "{pad} |\n{gutter} | {line_text}\n{pad} | {space}{carets}\n",
+        space = " ".repeat(col0)
+    ))
+}
+
+/// Append `s` as a JSON string literal (RFC 8259 escaping).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: usize, end: usize, line: u32, col: u32) -> Span {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    #[test]
+    fn human_rendering_includes_caret_excerpt() {
+        let src = "line one\npred(x: Y).\n";
+        let d = Diagnostic::warning("L006", span(14, 18, 2, 6), "variable `Y` occurs only once");
+        let r = d.render_human(Some(src));
+        assert!(
+            r.contains("warning[L006]: variable `Y` occurs only once"),
+            "{r}"
+        );
+        assert!(r.contains("2 | pred(x: Y)."), "{r}");
+        assert!(r.contains("  |      ^^^^"), "{r}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_orders_keys() {
+        let d = Diagnostic::error("E001", span(0, 1, 1, 1), "bad \"type\"\nhere")
+            .with_related(span(5, 6, 2, 3), "see declaration");
+        assert_eq!(
+            d.render_json(),
+            r#"{"code":"E001","severity":"error","line":1,"col":1,"message":"bad \"type\"\nhere","related":[{"line":2,"col":3,"note":"see declaration"}]}"#
+        );
+    }
+
+    #[test]
+    fn summary_counts_errors_and_warnings() {
+        let diags = vec![
+            Diagnostic::error("E002", span(0, 1, 1, 1), "unsafe"),
+            Diagnostic::warning("L001", span(0, 1, 1, 1), "underivable"),
+            Diagnostic::warning("L002", span(0, 1, 1, 1), "dead"),
+        ];
+        let r = render_all_human(&diags, None);
+        assert!(r.ends_with("1 error, 2 warnings\n"), "{r}");
+        assert_eq!(render_all_human(&[], None), "");
+    }
+
+    #[test]
+    fn json_lines_one_object_per_diagnostic() {
+        let diags = vec![
+            Diagnostic::warning("L001", span(0, 1, 1, 1), "a"),
+            Diagnostic::warning("L002", span(0, 1, 1, 1), "b"),
+        ];
+        let r = render_all_json(&diags);
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

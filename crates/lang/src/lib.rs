@@ -34,6 +34,7 @@
 //! * **stratification** with respect to negation *and* data functions,
 //!   used by the perfect-model evaluation mode.
 
+pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod lexer;
@@ -43,6 +44,7 @@ pub mod safety;
 pub mod stratify;
 pub mod typecheck;
 
+pub use analyze::{analyze_program, AnalysisInput, Diagnostic, Severity};
 pub use ast::{
     Atom, BinOp, BodyLiteral, Builtin, Denial, Goal, GroundFact, Head, PredArg, Program, Rule,
     RuleSet, Term,
@@ -51,28 +53,18 @@ pub use error::{LangError, Span};
 pub use parser::{parse_module, parse_program, parse_rules, ParsedModule};
 pub use stratify::{stratify, Stratification};
 
-/// Run the full static-analysis pipeline on a parsed program: type checking,
-/// safety, and hierarchy legality. Returns all diagnostics.
+/// Run the error-level static checks on a parsed program: type checking,
+/// safety, and hierarchy legality. Returns all diagnostics as [`LangError`]s.
+///
+/// This is the accept/reject gate used when loading programs and applying
+/// modules; it delegates to [`analyze::error_diagnostics`], so its verdict is
+/// by construction the error subset of the full [`analyze_program`] run
+/// (which additionally produces the warning-level lints).
 pub fn check_program(program: &Program) -> Result<(), Vec<LangError>> {
-    let mut errs = Vec::new();
-    for rule in &program.rules.rules {
-        if let Err(mut e) = typecheck::check_rule(&program.schema, rule) {
-            errs.append(&mut e);
-        }
-        if let Err(mut e) = safety::check_rule(&program.schema, rule) {
-            errs.append(&mut e);
-        }
-    }
-    for denial in &program.constraints {
-        if let Err(mut e) = typecheck::check_body(&program.schema, &denial.body) {
-            errs.append(&mut e);
-        }
-    }
-    if let Some(goal) = &program.goal {
-        if let Err(mut e) = typecheck::check_body(&program.schema, &goal.body) {
-            errs.append(&mut e);
-        }
-    }
+    let errs: Vec<LangError> = analyze::error_diagnostics(program)
+        .into_iter()
+        .map(|d| LangError::new(d.span, d.message))
+        .collect();
     if errs.is_empty() {
         Ok(())
     } else {

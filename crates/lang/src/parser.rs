@@ -643,6 +643,9 @@ impl RawParser {
             let op = match self.peek() {
                 Tok::Star => BinOp::Mul,
                 Tok::Slash => BinOp::Div,
+                // `mod` in operator position; elsewhere it stays an
+                // ordinary identifier.
+                Tok::Ident(s) if s == "mod" => BinOp::Mod,
                 _ => break,
             };
             self.bump();

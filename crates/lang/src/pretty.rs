@@ -5,6 +5,15 @@ use std::fmt;
 
 use crate::ast::*;
 
+/// Binding strength of an operator: `*`, `/`, `mod` bind tighter than
+/// `+`, `-` (mirrors the parser's `term`/`mul_term` split).
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 2,
+    }
+}
+
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -69,7 +78,22 @@ impl fmt::Display for Term {
                     BinOp::Div => "/",
                     BinOp::Mod => "mod",
                 };
-                write!(f, "{lhs} {sym} {rhs}")
+                // Parenthesize operands so the printed form reparses to the
+                // same tree: the parser is left-associative with `*`/`/`
+                // binding tighter than `+`/`-`, so a left operand needs
+                // parentheses when it binds looser than `op`, and a right
+                // operand also when it binds equally tight.
+                let p = prec(*op);
+                match lhs.as_ref() {
+                    Term::BinOp { op: lop, .. } if prec(*lop) < p => write!(f, "({lhs})")?,
+                    _ => write!(f, "{lhs}")?,
+                }
+                write!(f, " {sym} ")?;
+                match rhs.as_ref() {
+                    Term::BinOp { op: rop, .. } if prec(*rop) <= p => write!(f, "({rhs})")?,
+                    _ => write!(f, "{rhs}")?,
+                }
+                Ok(())
             }
         }
     }
@@ -171,6 +195,19 @@ impl fmt::Display for Denial {
     }
 }
 
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("goal ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        f.write_str("?")
+    }
+}
+
 impl fmt::Display for RuleSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in &self.rules {
@@ -219,6 +256,49 @@ mod tests {
         let p2 = parse_program(&src2).expect("printed program re-parses");
         let printed2: Vec<String> = p2.rules.rules.iter().map(|r| r.to_string()).collect();
         assert_eq!(printed, printed2);
+    }
+
+    #[test]
+    fn arithmetic_printing_preserves_grouping() {
+        // `(1 + 2) * 3` and `1 - (2 - 3)` must keep their parentheses, or
+        // the left-associative reparse builds a different tree.
+        let src = r#"
+            associations
+              p = (d: integer);
+            rules
+              p(d: X) <- p(d: Y), X = (Y + 2) * 3.
+              p(d: X) <- p(d: Y), X = Y - (2 - 3).
+              p(d: X) <- p(d: Y), X = Y * 2 + 1.
+              p(d: X) <- p(d: Y), X = Y mod 2.
+            goal p(d: Z)?
+        "#;
+        let p1 = parse_program(src).unwrap();
+        assert_eq!(
+            p1.rules.rules[0].to_string(),
+            "p(d: X) <- p(d: Y), X = (Y + 2) * 3."
+        );
+        assert_eq!(
+            p1.rules.rules[1].to_string(),
+            "p(d: X) <- p(d: Y), X = Y - (2 - 3)."
+        );
+        assert_eq!(
+            p1.rules.rules[2].to_string(),
+            "p(d: X) <- p(d: Y), X = Y * 2 + 1."
+        );
+        assert_eq!(
+            p1.rules.rules[3].to_string(),
+            "p(d: X) <- p(d: Y), X = Y mod 2."
+        );
+        assert_eq!(p1.goal.as_ref().unwrap().to_string(), "goal p(d: Z)?");
+        // Reparsing the printed rules yields the same ASTs (span-insensitive
+        // equality).
+        let printed: Vec<String> = p1.rules.rules.iter().map(|r| r.to_string()).collect();
+        let src2 = format!(
+            "associations\n  p = (d: integer);\nrules\n{}\ngoal p(d: Z)?",
+            printed.join("\n")
+        );
+        let p2 = parse_program(&src2).expect("printed program re-parses");
+        assert_eq!(p1.rules, p2.rules);
     }
 
     #[test]

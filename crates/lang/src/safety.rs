@@ -337,6 +337,97 @@ mod tests {
     }
 
     #[test]
+    fn nil_exception_combines_with_oid_invention() {
+        // Definition 8(c) together with invention: the head invents a new
+        // `school` object (unbound `self`) AND leaves its class-typed `dean`
+        // attribute unbound (→ nil). Both exceptions apply in one head.
+        check_src(
+            r#"
+            classes
+              prof   = (name: string);
+              school = (sname: string, dean: prof);
+            associations
+              names = (n: string);
+            rules
+              school(self: S, sname: N, dean: D) <- names(n: N).
+        "#,
+        )
+        .expect("invention + nil default are both legal");
+    }
+
+    #[test]
+    fn nil_exception_does_not_cover_nonclass_attributes() {
+        // The same head shape, but the unbound variable sits in a *string*
+        // attribute: Definition 8(c) only applies to class-typed positions.
+        let errs = check_src(
+            r#"
+            classes
+              prof   = (name: string);
+              school = (sname: string, dean: prof);
+            rules
+              school(self: S, sname: N, dean: D) <- school(self: S, dean: D).
+        "#,
+        )
+        .unwrap_err();
+        assert!(errs[0].message.contains('N'), "{errs:?}");
+        assert!(errs[0].message.contains("sname"), "{errs:?}");
+    }
+
+    #[test]
+    fn nil_exception_does_not_cover_collections_of_classes() {
+        // A set-of-class attribute is not a class-typed position: an unbound
+        // head variable there stays an error.
+        let errs = check_src(
+            r#"
+            classes
+              prof = (name: string);
+              team = (tname: string, members: {prof});
+            associations
+              names = (n: string);
+            rules
+              team(self: S, tname: N, members: M) <- names(n: N).
+        "#,
+        )
+        .unwrap_err();
+        assert!(errs[0].message.contains('M'), "{errs:?}");
+    }
+
+    #[test]
+    fn nil_exception_applies_in_deleting_heads() {
+        // Deletion matches the head tuple against stored facts; an unbound
+        // class-typed attribute is matched as nil, so the rule stays safe
+        // (the oid variable, by contrast, must be bound — see
+        // `unbound_oid_in_deleting_head_is_an_error`).
+        check_src(
+            r#"
+            classes
+              prof   = (name: string);
+              school = (sname: string, dean: prof);
+            rules
+              -school(self: S, sname: N, dean: D) <- school(self: S, sname: N).
+        "#,
+        )
+        .expect("nil default applies to deleting heads too");
+    }
+
+    #[test]
+    fn nil_exception_requires_a_plain_variable() {
+        // A structured term in a class-typed position is not the 8(c) shape:
+        // unbound variables inside it are still errors.
+        let errs = check_src(
+            r#"
+            classes
+              prof   = (name: string);
+              school = (sname: string, dean: prof);
+            rules
+              school(self: S, sname: N, dean: D + 1) <- school(self: S, sname: N).
+        "#,
+        )
+        .unwrap_err();
+        assert!(errs[0].message.contains('D'), "{errs:?}");
+    }
+
+    #[test]
     fn equalities_propagate_boundness() {
         check_src(
             r#"

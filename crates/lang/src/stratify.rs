@@ -8,24 +8,17 @@
 //! assigned a meaning, by computing it as a whole still under inflationary
 //! semantics."
 //!
-//! We build a dependency graph over predicates and data functions:
-//!
-//! * a positive body literal adds a *positive* edge body-pred → head-target;
-//! * a negated body literal adds a *strict* edge (the body predicate must be
-//!   completely evaluated first);
-//! * reading a data function (a `member` body literal or a function
-//!   application term) adds a *strict* edge — a set value is only meaningful
-//!   once the function's extension is complete;
-//! * a rule with a negative (deleting) head adds *strict* edges from every
-//!   body predicate to the deleted predicate.
-//!
-//! A program is stratified iff no strict edge lies inside a strongly
-//! connected component; strata are the condensation's topological order.
+//! The dependency graph itself lives in [`crate::analyze::graph`] (it is
+//! shared with the whole-program lints); this module layers its condensation
+//! into strata. A program is stratified iff no strict edge lies inside a
+//! strongly connected component; strata follow the condensation's
+//! longest-path order.
 
 use logres_model::Sym;
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashSet;
 
-use crate::ast::{Atom, RuleSet};
+use crate::analyze::graph::{DepGraph, EdgeKind};
+use crate::ast::RuleSet;
 
 /// Outcome of the analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +30,8 @@ pub enum Stratification {
     /// cycle through the named predicates; the program must be evaluated as
     /// a whole under inflationary semantics.
     Unstratifiable {
-        /// The predicates of the offending strongly connected component.
+        /// The predicates of the offending strongly connected component,
+        /// sorted by name so reports are stable across runs.
         cycle: Vec<Sym>,
     },
 }
@@ -52,109 +46,25 @@ impl Stratification {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum EdgeKind {
-    Positive,
-    Strict,
-}
-
 /// Analyze a rule set.
 pub fn stratify(rules: &RuleSet) -> Stratification {
-    // Collect nodes and edges.
-    let mut nodes: Vec<Sym> = Vec::new();
-    let mut index: FxHashMap<Sym, usize> = FxHashMap::default();
-    let add_node = |s: Sym, nodes: &mut Vec<Sym>, index: &mut FxHashMap<Sym, usize>| {
-        *index.entry(s).or_insert_with(|| {
-            nodes.push(s);
-            nodes.len() - 1
-        })
-    };
+    let graph = DepGraph::build(rules);
+    stratify_graph(rules, &graph)
+}
 
-    let mut edges: FxHashSet<(usize, usize, EdgeKind)> = FxHashSet::default();
-    for rule in &rules.rules {
-        let target = rule.head.target();
-        let t = add_node(target, &mut nodes, &mut index);
-        let head_strict = rule.head.negated;
-        let monotone = monotone_function_reads(rule);
-        for lit in &rule.body {
-            match &lit.atom {
-                Atom::Pred { pred, .. } => {
-                    let p = add_node(*pred, &mut nodes, &mut index);
-                    // A deleting head must run after the producers of the
-                    // predicates it consults — except the deleted predicate
-                    // itself, which it is allowed to read in place
-                    // (`-p(X) <- p(X), mark(X)` — Example 4.2).
-                    let kind = if lit.negated || (head_strict && *pred != target) {
-                        EdgeKind::Strict
-                    } else {
-                        EdgeKind::Positive
-                    };
-                    edges.insert((p, t, kind));
-                }
-                Atom::Member { fun, .. } => {
-                    let p = add_node(*fun, &mut nodes, &mut index);
-                    // An element-wise read of a function is monotone (the
-                    // rule fires again as the set grows) — it may stay in
-                    // the function's stratum, like positive recursion. A
-                    // *negated* member read needs completeness.
-                    let kind = if lit.negated {
-                        EdgeKind::Strict
-                    } else {
-                        EdgeKind::Positive
-                    };
-                    edges.insert((p, t, kind));
-                }
-                Atom::Builtin { .. } => {}
-            }
-            // Function applications inside any literal's terms: strict
-            // (the set is used as a whole value) unless the value provably
-            // flows only into element-wise `member` reads.
-            for fun in lit.atom.functions() {
-                if matches!(&lit.atom, Atom::Member { fun: f, .. } if *f == fun) {
-                    continue; // already added above
-                }
-                let p = add_node(fun, &mut nodes, &mut index);
-                let kind = if monotone.contains(&fun) && !lit.negated && !head_strict {
-                    EdgeKind::Positive
-                } else {
-                    EdgeKind::Strict
-                };
-                edges.insert((p, t, kind));
-            }
-        }
-        // Functions read in the *head* terms (e.g. `ancestor(des: Y)` with
-        // `Y = desc(X)` handles this in the body; a direct head FunApp also
-        // forces completeness).
-        for fun in rule.head.atom.functions() {
-            if matches!(&rule.head.atom, Atom::Member { fun: f, .. } if *f == fun) {
-                continue; // the head *defines* this function
-            }
-            let p = add_node(fun, &mut nodes, &mut index);
-            edges.insert((p, t, EdgeKind::Strict));
-        }
-    }
+/// Analyze a rule set against an already-built dependency graph (the
+/// whole-program analyzer builds the graph once and shares it).
+pub fn stratify_graph(rules: &RuleSet, graph: &DepGraph) -> Stratification {
+    let sccs = graph.sccs();
+    let comp_of = graph.component_of(&sccs);
 
-    // Tarjan SCC.
-    let n = nodes.len();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for &(a, b, _) in &edges {
-        adj[a].push(b);
-    }
-    let sccs = tarjan(n, &adj);
-    let comp_of: Vec<usize> = {
-        let mut c = vec![0usize; n];
-        for (ci, comp) in sccs.iter().enumerate() {
-            for &v in comp {
-                c[v] = ci;
-            }
-        }
-        c
-    };
-
-    // Strict edge inside an SCC → unstratifiable.
-    for &(a, b, kind) in &edges {
+    // Strict edge inside an SCC → unstratifiable. Scan edges in sorted order
+    // and report the component's predicates sorted by name, so the cycle is
+    // identical across runs regardless of hash-set iteration order.
+    for (a, b, kind) in graph.sorted_edges() {
         if kind == EdgeKind::Strict && comp_of[a] == comp_of[b] {
-            let cycle = sccs[comp_of[a]].iter().map(|&v| nodes[v]).collect();
+            let mut cycle: Vec<Sym> = sccs[comp_of[a]].iter().map(|&v| graph.sym(v)).collect();
+            cycle.sort();
             return Stratification::Unstratifiable { cycle };
         }
     }
@@ -164,7 +74,7 @@ pub fn stratify(rules: &RuleSet) -> Stratification {
     // raises it by one.
     let nc = sccs.len();
     let mut comp_edges: FxHashSet<(usize, usize, EdgeKind)> = FxHashSet::default();
-    for &(a, b, kind) in &edges {
+    for (a, b, kind) in graph.sorted_edges() {
         let (ca, cb) = (comp_of[a], comp_of[b]);
         if ca != cb || kind == EdgeKind::Strict {
             comp_edges.insert((ca, cb, kind));
@@ -193,7 +103,9 @@ pub fn stratify(rules: &RuleSet) -> Stratification {
     let max_level = level.iter().copied().max().unwrap_or(0);
     let mut strata: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
     for (ri, rule) in rules.rules.iter().enumerate() {
-        let t = index[&rule.head.target()];
+        let t = graph
+            .node(rule.head.target())
+            .expect("head target is a graph node");
         strata[level[comp_of[t]]].push(ri);
     }
     strata.retain(|s| !s.is_empty());
@@ -201,178 +113,6 @@ pub fn stratify(rules: &RuleSet) -> Stratification {
         strata.push(Vec::new());
     }
     Stratification::Stratified(strata)
-}
-
-/// Functions whose value, in this rule, provably flows only into
-/// element-wise `member` reads: every application occurs as
-/// `V = f(args)` with a plain variable `V` whose only other uses are as the
-/// collection argument of positive `member(…, V)` builtins. Such reads are
-/// monotone in the function's extension.
-fn monotone_function_reads(rule: &crate::ast::Rule) -> FxHashSet<Sym> {
-    use crate::ast::{Builtin, Term};
-
-    let mut good: FxHashSet<Sym> = FxHashSet::default();
-    let mut bad: FxHashSet<Sym> = FxHashSet::default();
-
-    for (li, lit) in rule.body.iter().enumerate() {
-        match &lit.atom {
-            Atom::Builtin {
-                builtin: Builtin::Eq,
-                args,
-                ..
-            } if !lit.negated => {
-                let var_fun = match (&args[0], &args[1]) {
-                    (Term::Var(v), Term::FunApp { fun, args: fargs })
-                    | (Term::FunApp { fun, args: fargs }, Term::Var(v)) => {
-                        // Nested applications inside the arguments are
-                        // whole-value uses of *those* functions.
-                        for a in fargs {
-                            for f in a.functions() {
-                                bad.insert(f);
-                            }
-                        }
-                        Some((*v, *fun))
-                    }
-                    _ => None,
-                };
-                match var_fun {
-                    Some((v, fun)) => {
-                        if var_only_feeds_member(rule, v, li) {
-                            good.insert(fun);
-                        } else {
-                            bad.insert(fun);
-                        }
-                    }
-                    None => {
-                        for f in lit.atom.functions() {
-                            bad.insert(f);
-                        }
-                    }
-                }
-            }
-            Atom::Member { .. } => {
-                // The member target itself is handled separately; nested
-                // applications in its terms are whole-value uses.
-                for f in lit.atom.functions() {
-                    if !matches!(&lit.atom, Atom::Member { fun, .. } if *fun == f) {
-                        bad.insert(f);
-                    }
-                }
-            }
-            _ => {
-                for f in lit.atom.functions() {
-                    bad.insert(f);
-                }
-            }
-        }
-    }
-    good.retain(|f| !bad.contains(f));
-    good
-}
-
-/// Is every use of `v` (outside body literal `def_idx`) the collection
-/// argument of a positive `member` builtin?
-fn var_only_feeds_member(rule: &crate::ast::Rule, v: Sym, def_idx: usize) -> bool {
-    use crate::ast::{Builtin, Term};
-    let head_uses = rule.head.atom.vars().iter().filter(|x| **x == v).count();
-    if head_uses > 0 {
-        return false;
-    }
-    for (li, lit) in rule.body.iter().enumerate() {
-        if li == def_idx {
-            continue;
-        }
-        let uses = lit.atom.vars().iter().filter(|x| **x == v).count();
-        if uses == 0 {
-            continue;
-        }
-        let ok = !lit.negated
-            && matches!(
-                &lit.atom,
-                Atom::Builtin {
-                    builtin: Builtin::Member,
-                    args,
-                    ..
-                } if args[1] == Term::Var(v)
-                    && !args[0].vars().contains(&v)
-            );
-        if !ok {
-            return false;
-        }
-    }
-    true
-}
-
-/// Iterative Tarjan strongly-connected components (returns components in
-/// reverse topological order of the condensation — consumers first — which
-/// is irrelevant here since we re-layer by longest path).
-fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    #[derive(Clone, Copy)]
-    struct NodeState {
-        index: i64,
-        lowlink: i64,
-        on_stack: bool,
-    }
-    let mut st = vec![
-        NodeState {
-            index: -1,
-            lowlink: -1,
-            on_stack: false
-        };
-        n
-    ];
-    let mut next_index = 0i64;
-    let mut stack: Vec<usize> = Vec::new();
-    let mut out: Vec<Vec<usize>> = Vec::new();
-
-    for root in 0..n {
-        if st[root].index != -1 {
-            continue;
-        }
-        // Explicit DFS stack: (node, next child position).
-        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
-        st[root].index = next_index;
-        st[root].lowlink = next_index;
-        next_index += 1;
-        stack.push(root);
-        st[root].on_stack = true;
-
-        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
-            if *ci < adj[v].len() {
-                let w = adj[v][*ci];
-                *ci += 1;
-                if st[w].index == -1 {
-                    st[w].index = next_index;
-                    st[w].lowlink = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    st[w].on_stack = true;
-                    dfs.push((w, 0));
-                } else if st[w].on_stack {
-                    st[v].lowlink = st[v].lowlink.min(st[w].index);
-                }
-            } else {
-                dfs.pop();
-                if let Some(&mut (u, _)) = dfs.last_mut() {
-                    let vl = st[v].lowlink;
-                    st[u].lowlink = st[u].lowlink.min(vl);
-                }
-                if st[v].lowlink == st[v].index {
-                    let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        st[w].on_stack = false;
-                        comp.push(w);
-                        if w == v {
-                            break;
-                        }
-                    }
-                    out.push(comp);
-                }
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -444,6 +184,29 @@ mod tests {
                 assert!(cycle.contains(&Sym::new("p")));
             }
             _ => panic!("should be unstratifiable"),
+        }
+    }
+
+    #[test]
+    fn unstratifiable_cycle_is_sorted_by_name() {
+        let s = strat(
+            r#"
+            associations
+              zeta  = (d: integer);
+              alpha = (d: integer);
+              mid   = (d: integer);
+            rules
+              zeta(d: X) <- alpha(d: X).
+              mid(d: X) <- zeta(d: X).
+              alpha(d: X) <- mid(d: X), not zeta(d: X).
+        "#,
+        );
+        match s {
+            Stratification::Unstratifiable { cycle } => {
+                let names: Vec<&str> = cycle.iter().map(|s| s.as_str()).collect();
+                assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+            }
+            other => panic!("expected unstratifiable, got {other:?}"),
         }
     }
 

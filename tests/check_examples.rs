@@ -1,0 +1,75 @@
+//! The shipped example modules under `examples/modules/` stay clean under
+//! the whole-program analyzer — except `warnings.lgr`, the intentionally
+//! warning module, whose diagnostics are pinned byte-for-byte against
+//! `warnings.golden.jsonl`. The CI `check` job re-asserts the same facts
+//! through the `logres check` binary.
+
+use std::path::PathBuf;
+
+use logres::lang::analyze::render_all_json;
+use logres::lang::{analyze_program, parse_program};
+
+fn modules() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/modules");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/modules exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lgr"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no example modules found in {dir:?}");
+    paths
+}
+
+fn analyze_file(path: &PathBuf) -> String {
+    let text = std::fs::read_to_string(path).expect("example module reads");
+    let program =
+        parse_program(&text).unwrap_or_else(|e| panic!("{} fails to parse: {e:?}", path.display()));
+    render_all_json(&analyze_program(&program))
+}
+
+#[test]
+fn clean_example_modules_have_no_diagnostics() {
+    for path in modules() {
+        if path.file_name().is_some_and(|n| n == "warnings.lgr") {
+            continue;
+        }
+        let rendered = analyze_file(&path);
+        assert!(
+            rendered.is_empty(),
+            "{} is not analyzer-clean:\n{rendered}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn warning_example_matches_its_golden_diagnostics() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/modules");
+    let rendered = analyze_file(&dir.join("warnings.lgr"));
+    let golden = std::fs::read_to_string(dir.join("warnings.golden.jsonl"))
+        .expect("golden diagnostics file reads");
+    assert_eq!(
+        rendered, golden,
+        "warnings.lgr diagnostics drifted from warnings.golden.jsonl; \
+         regenerate with `logres check examples/modules/warnings.lgr --json`"
+    );
+    // The intentional example exercises five distinct codes.
+    let codes: Vec<&str> = ["L001", "L002", "L004", "L005", "L006"]
+        .into_iter()
+        .filter(|c| golden.contains(&format!("\"code\":\"{c}\"")))
+        .collect();
+    assert_eq!(codes.len(), 5, "golden: {golden}");
+}
+
+#[test]
+fn analysis_of_examples_is_byte_identical_across_runs() {
+    for path in modules() {
+        assert_eq!(
+            analyze_file(&path),
+            analyze_file(&path),
+            "{} renders nondeterministically",
+            path.display()
+        );
+    }
+}

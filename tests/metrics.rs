@@ -221,3 +221,40 @@ fn why_walks_a_deep_chain_to_edb() {
     assert!(text.contains("via rule #"), "{text}");
     assert!(text.contains("[EDB]"), "{text}");
 }
+
+#[test]
+fn check_diagnostics_counter_labels_each_code() {
+    // `Database::check()` feeds the static analyzer's findings into the
+    // same registry the evaluations use, one series per diagnostic code.
+    let mut db = logres::Database::from_source(
+        r#"
+        associations
+          src   = (d: integer);
+          ghost = (d: integer);
+          out_p = (d: integer);
+        facts
+          src(d: 1).
+        rules
+          out_p(d: X) <- src(d: X), ghost(d: X).
+        "#,
+    )
+    .expect("program loads");
+    let registry = db.enable_metrics();
+    db.check();
+    db.check();
+    let snapshot = registry.counter_snapshot();
+    for code in ["L001", "L002"] {
+        let series = format!(r#"logres_check_diagnostics_total{{code="{code}"}}"#);
+        let count = snapshot
+            .iter()
+            .find(|(name, _)| *name == series)
+            .map(|(_, v)| *v);
+        assert_eq!(count, Some(2), "series {series} in {snapshot:?}");
+    }
+    assert!(
+        db.metrics()
+            .contains("# TYPE logres_check_diagnostics_total counter"),
+        "{}",
+        db.metrics()
+    );
+}

@@ -391,3 +391,45 @@ proptest! {
         prop_assert_eq!(restored.to_string(), base.to_string());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Pretty-printer round-trip over the analyzer's fixture corpus
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → pretty → parse is the identity on rules, constraints, and
+    /// goal (modulo spans) for every program in the analyzer's fixture
+    /// corpus, and re-analysis of the printed program yields the same
+    /// diagnostic codes.
+    #[test]
+    fn pretty_printing_round_trips_over_fixture_corpus(
+        idx in 0usize..logres::lang::analyze::fixtures::corpus().len()
+    ) {
+        let corpus = logres::lang::analyze::fixtures::corpus();
+        let fx = &corpus[idx];
+        let p1 = parse_program(&fx.source())
+            .unwrap_or_else(|e| panic!("fixture `{}` fails to parse: {e:?}", fx.name));
+        let printed: String = p1
+            .rules
+            .rules
+            .iter()
+            .map(|r| format!("  {r}\n"))
+            .collect();
+        let p2 = parse_program(&fx.rebuild(&printed))
+            .unwrap_or_else(|e| panic!("fixture `{}` fails to re-parse after printing: {e:?}", fx.name));
+        // Rule/Denial equality ignores spans; goals carry spans, so compare
+        // their printed forms instead.
+        prop_assert_eq!(&p1.rules, &p2.rules, "rules drift in `{}`", fx.name);
+        prop_assert_eq!(&p1.constraints, &p2.constraints, "constraints drift in `{}`", fx.name);
+        prop_assert_eq!(
+            p1.goal.as_ref().map(ToString::to_string),
+            p2.goal.as_ref().map(ToString::to_string),
+            "goal drifts in `{}`", fx.name
+        );
+        let codes1: Vec<&str> = logres::lang::analyze_program(&p1).iter().map(|d| d.code).collect();
+        let codes2: Vec<&str> = logres::lang::analyze_program(&p2).iter().map(|d| d.code).collect();
+        prop_assert_eq!(codes1, codes2, "diagnostics drift in `{}`", fx.name);
+    }
+}
