@@ -1,4 +1,4 @@
-//! Experiment runners E1–E11 (DESIGN.md §4): each returns a printable
+//! Experiment runners E1–E13 (DESIGN.md §4): each returns a printable
 //! [`Table`] whose rows are recorded in EXPERIMENTS.md.
 
 use std::sync::{Arc, OnceLock};
@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 
 use algres::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred as APred, Scalar};
 use logres::engine::{
-    compile_ruleset, env_from_instance, evaluate_inflationary, evaluate_seminaive, load_facts,
-    EvalOptions, MetricsRegistry,
+    answer_goal, compile_ruleset, env_from_instance, evaluate, evaluate_demand,
+    evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions, MetricsRegistry,
 };
 use logres::lang::parse_program;
 use logres::model::{integrity, Instance, OidGen, Sym, Value};
@@ -79,6 +79,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e10", e10_football),
         ("e11", e11_governor),
         ("e12", e12_observability),
+        ("e13", e13_goal_directed),
     ]
 }
 
@@ -725,6 +726,151 @@ pub fn e12_observability() -> Table {
         assert!(
             pct <= max,
             "metrics-on overhead {pct:.1}% exceeds LOGRES_E12_MAX_OVERHEAD={max}%"
+        );
+    }
+    t
+}
+
+/// E13 — goal-directed evaluation: the magic-set rewrite against the full
+/// fixpoint on a selective closure query. Claim (DESIGN.md §10): for a goal
+/// that binds the source of a transitive closure, demand-driven evaluation
+/// touches only the reachable cone, so its advantage grows with the part of
+/// the graph the goal never asks about.
+pub fn e13_goal_directed() -> Table {
+    let mut t = Table::new(
+        "E13 — goal-directed (magic-set) vs full fixpoint, selective closure query",
+        &[
+            "workload",
+            "n",
+            "strategy",
+            "time",
+            "tc tuples",
+            "answers",
+            "speedup",
+        ],
+    );
+    let opts = bench_opts();
+    let mut chain_128_speedup = None;
+
+    let mut run = |workload: &str, edges: Vec<(i64, i64)>| {
+        let n = edges.len();
+        let src = format!("{}\n        goal tc(a: 0, b: X)?", closure_program(&edges));
+        let p = parse_program(&src).expect("workload parses");
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("workload loads");
+        let goal = p.goal.as_ref().expect("workload has a goal");
+        let tc = Sym::new("tc");
+
+        type RowsAndTuples = (Vec<Vec<(Sym, Value)>>, usize);
+        let best_of = |f: &dyn Fn() -> RowsAndTuples| {
+            let mut best: Option<(Duration, RowsAndTuples)> = None;
+            for _ in 0..3 {
+                let (d, r) = time(f);
+                if best.as_ref().is_none_or(|(b, _)| d < *b) {
+                    best = Some((d, r));
+                }
+            }
+            best.expect("three runs")
+        };
+
+        // Full fixpoint: materialize the whole model, then answer the goal.
+        let (d_full, (full_rows, full_tc)) = best_of(&|| {
+            let (inst, _) = evaluate(
+                &p.schema,
+                &p.rules,
+                &edb,
+                Semantics::Stratified,
+                opts.clone(),
+            )
+            .expect("full evaluation runs");
+            let rows = answer_goal(&p.schema, &inst, goal).expect("goal answers");
+            let tuples = inst.assoc_len(tc);
+            (rows, tuples)
+        });
+        t.row(vec![
+            workload.into(),
+            n.to_string(),
+            "full fixpoint".into(),
+            fmt_duration(d_full),
+            full_tc.to_string(),
+            full_rows.len().to_string(),
+            "—".into(),
+        ]);
+
+        // Second reference point: the best full-materialization driver the
+        // engine has (semi-naive), so the speedup is not just an artifact
+        // of comparing against the naive interpreter.
+        let (d_sn, (sn_rows, sn_tc)) = best_of(&|| {
+            let (inst, _) = evaluate_seminaive(&p.schema, &p.rules, &edb, opts.clone())
+                .expect("semi-naive evaluation runs");
+            let rows = answer_goal(&p.schema, &inst, goal).expect("goal answers");
+            let tuples = inst.assoc_len(tc);
+            (rows, tuples)
+        });
+        assert_eq!(sn_rows, full_rows, "drivers must agree on answers");
+        t.row(vec![
+            workload.into(),
+            n.to_string(),
+            "full semi-naive".into(),
+            fmt_duration(d_sn),
+            sn_tc.to_string(),
+            sn_rows.len().to_string(),
+            format!(
+                "{:.1}x",
+                d_full.as_secs_f64() / d_sn.as_secs_f64().max(f64::EPSILON)
+            ),
+        ]);
+
+        // Demand-driven: rewrite for the goal, evaluate only the demanded
+        // cone, answer against the partial instance.
+        let (d_magic, (magic_rows, magic_tc)) = best_of(&|| {
+            let (inst, _) = evaluate_demand(
+                &p.schema,
+                &p.rules,
+                &edb,
+                goal,
+                Semantics::Stratified,
+                opts.clone(),
+            )
+            .expect("demand evaluation runs")
+            .expect("selective goal rewrites");
+            let rows = answer_goal(&p.schema, &inst, goal).expect("goal answers");
+            let tuples = inst.assoc_len(tc);
+            (rows, tuples)
+        });
+        assert_eq!(
+            magic_rows, full_rows,
+            "demand-driven answers must match the full fixpoint"
+        );
+        let speedup = d_full.as_secs_f64() / d_magic.as_secs_f64().max(f64::EPSILON);
+        if workload == "chain" && n == 128 {
+            chain_128_speedup = Some(speedup);
+        }
+        t.row(vec![
+            workload.into(),
+            n.to_string(),
+            "magic-set".into(),
+            fmt_duration(d_magic),
+            magic_tc.to_string(),
+            magic_rows.len().to_string(),
+            format!("{speedup:.1}x"),
+        ]);
+    };
+
+    for n in [64usize, 128] {
+        run("chain", chain_edges(n));
+    }
+    for n in [64usize, 128] {
+        run("tree", tree_edges(n));
+    }
+
+    if let Ok(min) = std::env::var("LOGRES_E13_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("LOGRES_E13_MIN_SPEEDUP is a factor");
+        let got = chain_128_speedup.expect("chain-128 row ran");
+        assert!(
+            got >= min,
+            "chain-128 magic-set speedup {got:.1}x is below LOGRES_E13_MIN_SPEEDUP={min}x"
         );
     }
     t

@@ -53,7 +53,7 @@ fn main() {
     }
 }
 
-const CHECK_USAGE: &str = "usage: logres check <file> [--json] [--deny-warnings]";
+const CHECK_USAGE: &str = "usage: logres check <file> [--json] [--deny-warnings] [--plan]";
 
 /// The `check` front-end: parse (or restore) the module, run the analyzer,
 /// render every diagnostic, and map the findings to an exit code the way
@@ -62,11 +62,13 @@ const CHECK_USAGE: &str = "usage: logres check <file> [--json] [--deny-warnings]
 fn run_check(args: &[String]) -> i32 {
     let mut json = false;
     let mut deny_warnings = false;
+    let mut plan = false;
     let mut path: Option<&str> = None;
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--plan" => plan = true,
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`\n{CHECK_USAGE}");
                 return 2;
@@ -95,6 +97,7 @@ fn run_check(args: &[String]) -> i32 {
     // and restore failures flow through the same diagnostics renderer as
     // `E000` so front-ends see one format either way.
     let is_state = text.trim_start().starts_with("%%logres-state");
+    let mut parsed: Option<logres::lang::Program> = None;
     let diags: Vec<Diagnostic> = if is_state {
         match logres::Database::load(&text) {
             Ok(db) => db.check(),
@@ -105,7 +108,11 @@ fn run_check(args: &[String]) -> i32 {
         }
     } else {
         match parse_program(&text) {
-            Ok(program) => analyze_program(&program),
+            Ok(program) => {
+                let diags = analyze_program(&program);
+                parsed = Some(program);
+                diags
+            }
             Err(errs) => errs
                 .into_iter()
                 .map(|e| Diagnostic::error("E000", e.span, e.message))
@@ -121,6 +128,18 @@ fn run_check(args: &[String]) -> i32 {
         // shown for program sources.
         let source = if is_state { None } else { Some(text.as_str()) };
         print!("{}", render_all_human(&diags, source));
+    }
+    if plan {
+        match parsed
+            .as_ref()
+            .and_then(|p| p.goal.as_ref().map(|g| (p, g)))
+        {
+            Some((p, g)) => print!(
+                "{}",
+                logres::lang::analyze::plan_goal(&p.schema, &p.rules, g).render(&p.rules)
+            ),
+            None => println!("no goal: nothing to plan"),
+        }
     }
     let errors = diags.iter().any(|d| d.severity == Severity::Error);
     let warnings = diags.iter().any(|d| d.severity == Severity::Warning);

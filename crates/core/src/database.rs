@@ -482,9 +482,17 @@ impl Database {
         }
     }
 
-    /// Evaluate a goal-only module (convenience for queries).
+    /// Evaluate a goal-only module (convenience for queries). Goals whose
+    /// plan admits the magic-set rewrite are answered demand-first over the
+    /// partial instance (bit-identical answers, see
+    /// [`logres_engine::magic`]); every other goal falls back to a full
+    /// transient (RIDI) application.
     pub fn query(&mut self, src: &str) -> Result<Rows, CoreError> {
-        let outcome = self.apply_source(src, Mode::Ridi)?;
+        let module = Module::parse(src, &self.state.schema)?;
+        if let Some((rows, _)) = self.try_demand_answer(&module)? {
+            return Ok(rows);
+        }
+        let outcome = self.apply(&module, Mode::Ridi)?;
         Ok(outcome.answer.unwrap_or_default())
     }
 
@@ -498,10 +506,51 @@ impl Database {
         opts: EvalOptions,
     ) -> Result<(Rows, EvalReport), CoreError> {
         let saved = std::mem::replace(&mut self.opts, opts);
-        let result = self.apply_source(src, Mode::Ridi);
+        let result = (|| {
+            let module = Module::parse(src, &self.state.schema)?;
+            if let Some((rows, report)) = self.try_demand_answer(&module)? {
+                return Ok((rows, report));
+            }
+            let outcome = self.apply(&module, Mode::Ridi)?;
+            Ok((outcome.answer.unwrap_or_default(), outcome.report))
+        })();
         self.opts = saved;
-        let outcome = result?;
-        Ok((outcome.answer.unwrap_or_default(), outcome.report))
+        result
+    }
+
+    /// Render the goal-directed evaluation plan for a query — adornments,
+    /// demand predicates, the rewritten rules, or the reason (and exempt
+    /// rules) for falling back to the full fixpoint — without evaluating
+    /// anything.
+    pub fn query_plan(&self, src: &str) -> Result<String, CoreError> {
+        let module = Module::parse(src, &self.state.schema)?;
+        let Some(goal) = &module.goal else {
+            return Ok("no goal: nothing to plan\n".to_owned());
+        };
+        let schema = self.union_schema(&module)?;
+        let rules = self.state.rules.union(&module.rules);
+        let plan = logres_lang::analyze::plan_goal(&schema, &rules, goal);
+        Ok(plan.render(&rules))
+    }
+
+    /// The demand-driven fast path shared by [`Database::query`] and
+    /// [`Database::query_with_options`]: `Ok(None)` means the goal's plan
+    /// fell back and the caller must run the full RIDI application.
+    fn try_demand_answer(&self, module: &Module) -> Result<Option<(Rows, EvalReport)>, CoreError> {
+        let Some(goal) = &module.goal else {
+            return Ok(None);
+        };
+        let schema = self.union_schema(module)?;
+        let rules = self.state.rules.union(&module.rules);
+        logres_engine::answer_goal_demand(
+            &schema,
+            &rules,
+            &self.state.edb,
+            goal,
+            self.semantics,
+            self.opts.clone(),
+        )
+        .map_err(CoreError::Engine)
     }
 
     // ----- helpers ----------------------------------------------------------
@@ -950,6 +999,69 @@ mod tests {
             .unwrap();
         let codes: Vec<&str> = db.check().iter().map(|d| d.code).collect();
         assert_eq!(codes, ["L002"]);
+    }
+
+    const ANCESTRY: &str = r#"
+        associations
+          parent   = (par: string, chil: string);
+          ancestor = (anc: string, des: string);
+        facts
+          parent(par: "adam", chil: "cain").
+          parent(par: "cain", chil: "enoch").
+          parent(par: "eve", chil: "abel").
+        rules
+          ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+          ancestor(anc: X, des: Z) <- ancestor(anc: X, des: Y),
+                                      parent(par: Y, chil: Z).
+    "#;
+
+    #[test]
+    fn selective_queries_take_the_demand_path() {
+        let mut db = Database::from_source(ANCESTRY).unwrap();
+        let registry = db.enable_metrics();
+        let rows = db.query(r#"goal ancestor(anc: "adam", des: D)?"#).unwrap();
+        assert_eq!(rows.len(), 2);
+        let snapshot = registry.counter_snapshot();
+        let rewrites = snapshot
+            .iter()
+            .find(|(name, _)| name == "logres_magic_rewrites_total")
+            .map(|(_, v)| *v)
+            .unwrap_or_default();
+        assert_eq!(rewrites, 1, "snapshot: {snapshot:?}");
+        // An all-free goal falls back to the full fixpoint, with the same
+        // transient semantics: nothing persists either way.
+        let all = db.query("goal ancestor(anc: X, des: Y)?").unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(db.rules().len(), 2);
+    }
+
+    #[test]
+    fn demand_and_full_answers_agree() {
+        let mut db = Database::from_source(ANCESTRY).unwrap();
+        let fast = db.query(r#"goal ancestor(anc: "adam", des: D)?"#).unwrap();
+        // Forcing the full path through apply_source must give the same rows.
+        let full = db
+            .apply_source(r#"goal ancestor(anc: "adam", des: D)?"#, Mode::Ridi)
+            .unwrap()
+            .answer
+            .unwrap();
+        assert_eq!(fast, full);
+    }
+
+    #[test]
+    fn query_plan_renders_rewrites_and_fallbacks() {
+        let db = Database::from_source(ANCESTRY).unwrap();
+        let plan = db
+            .query_plan(r#"goal ancestor(anc: "adam", des: D)?"#)
+            .unwrap();
+        assert!(plan.contains("ancestor[anc: bound, des: free]"), "{plan}");
+        assert!(plan.contains("@magic_ancestor"), "{plan}");
+        let fallback = db.query_plan("goal ancestor(anc: X, des: Y)?").unwrap();
+        assert!(fallback.contains("full fixpoint"), "{fallback}");
+        let no_goal = db
+            .query_plan("rules\n  parent(par: \"x\", chil: \"y\") <- .")
+            .unwrap();
+        assert!(no_goal.contains("nothing to plan"), "{no_goal}");
     }
 
     #[test]

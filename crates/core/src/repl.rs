@@ -248,6 +248,24 @@ impl Repl {
                 None => "no database loaded".to_owned(),
             },
             "explain" => self.explain_command(),
+            "plan" => match &self.db {
+                Some(_) if arg.is_empty() => {
+                    "usage: :plan <goal>   e.g. :plan tc(a: 0, b: X)".to_owned()
+                }
+                Some(db) => {
+                    // Accept both a bare goal body and full module source.
+                    let src = if arg.contains("goal") {
+                        arg.to_owned()
+                    } else {
+                        format!("goal {}?", arg.trim_end_matches('?'))
+                    };
+                    match db.query_plan(&src) {
+                        Ok(text) => text,
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+                None => "no database loaded".to_owned(),
+            },
             other => format!("unknown command `:{other}` (try :help)"),
         };
         Step::Output(out)
@@ -560,6 +578,9 @@ LOGRES interactive session
                         back to its EDB leaves (e.g. :why tc(a: 1, b: 3))
   :explain              static plan: strata, and per body literal whether
                         the matcher probes an index or scans
+  :plan <goal>          goal-directed plan: adornments, demand (magic)
+                        predicates and the rewritten rules, or why the
+                        goal falls back to the full fixpoint
   :deadline <ms>|off    wall-clock budget for evaluations; runs that
                         exceed it stop with a partial report
 Anything else is module source: it accumulates until an empty line (or a
@@ -765,6 +786,22 @@ mod tests {
         // so at least one literal probes an index while others scan.
         assert!(plan.contains("probe"), "{plan}");
         assert!(plan.contains("scan"), "{plan}");
+    }
+
+    #[test]
+    fn plan_shows_rewrites_and_fallbacks() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, GENEALOGY);
+        let plan = out(repl.feed(":plan anc(a: \"adam\", d: X)"));
+        assert!(plan.contains("anc[a: bound, d: free]"), "{plan}");
+        assert!(plan.contains("@magic_anc"), "{plan}");
+        assert!(plan.contains("demand-driven"), "{plan}");
+        // A full `goal …?` form works too, and all-free goals explain the
+        // fallback.
+        let fallback = out(repl.feed(":plan goal anc(a: X, d: Y)?"));
+        assert!(fallback.contains("full fixpoint"), "{fallback}");
+        let usage = out(repl.feed(":plan"));
+        assert!(usage.contains("usage"), "{usage}");
     }
 
     #[test]

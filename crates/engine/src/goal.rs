@@ -5,6 +5,8 @@
 //! invisible oid before they reach the user — "oids are not visible to
 //! users").
 
+use std::collections::BTreeSet;
+
 use logres_lang::Goal;
 use logres_model::{Instance, Schema, Sym, Value};
 
@@ -20,7 +22,10 @@ pub fn answer_goal(
     goal: &Goal,
 ) -> Result<Vec<Vec<(Sym, Value)>>, EngineError> {
     let subs = eval_body(schema, BodyView::plain(inst), &goal.body, Subst::new())?;
-    let mut rows: Vec<Vec<(Sym, Value)>> = Vec::new();
+    // Every row binds the same variables in the same order, so the set's
+    // lexicographic (Sym, Value) order coincides with the values-only order
+    // the answer is specified to be sorted by.
+    let mut rows: BTreeSet<Vec<(Sym, Value)>> = BTreeSet::new();
     for s in subs {
         let row: Vec<(Sym, Value)> = goal
             .vars
@@ -30,12 +35,9 @@ pub fn answer_goal(
                 (*v, strip_self(&val))
             })
             .collect();
-        if !rows.contains(&row) {
-            rows.push(row);
-        }
+        rows.insert(row);
     }
-    rows.sort_by(|a, b| a.iter().map(|(_, v)| v).cmp(b.iter().map(|(_, v)| v)));
-    Ok(rows)
+    Ok(rows.into_iter().collect())
 }
 
 #[cfg(test)]
@@ -88,6 +90,39 @@ mod tests {
         assert_eq!(rows.len(), 1);
         // The binding is the visible tuple only — no oid leakage.
         assert_eq!(rows[0][0].1, Value::tuple([("name", Value::str("ceri"))]));
+    }
+
+    #[test]
+    fn large_answers_deduplicate_and_stay_sorted() {
+        // Regression: dedup used to be O(n²) `Vec::contains`; 10k distinct
+        // rows (each derived twice) must come back quickly, deduplicated,
+        // and in sorted order.
+        let p = parse_program(
+            r#"
+            associations
+              e = (a: integer, b: integer);
+            goal e(a: X, b: Y)?
+        "#,
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        let e = Sym::new("e");
+        for i in 0..10_000i64 {
+            inst.insert_assoc(
+                e,
+                Value::tuple([("a", Value::Int(i)), ("b", Value::Int(0))]),
+            );
+            // A second literal-order path to the same answer row.
+            inst.insert_assoc(
+                e,
+                Value::tuple([("a", Value::Int(i)), ("b", Value::Int(0))]),
+            );
+        }
+        let rows = answer_goal(&p.schema, &inst, p.goal.as_ref().unwrap()).unwrap();
+        assert_eq!(rows.len(), 10_000);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], (Sym::new("X"), Value::Int(i as i64)));
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod goal;
 pub mod governor;
 pub mod inflationary;
 pub mod load;
+pub mod magic;
 pub mod matcher;
 pub mod metrics;
 pub mod parallel;
@@ -63,6 +64,7 @@ pub use inflationary::{
     evaluate_inflationary, EvalOptions, EvalReport, IterationStats, RuleProfile,
 };
 pub use load::load_facts;
+pub use magic::{answer_goal_demand, evaluate_demand};
 pub use matcher::{rule_access_plan, AccessPlan};
 pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, ProbeTally};
 pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};

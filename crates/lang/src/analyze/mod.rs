@@ -25,12 +25,14 @@
 //! Emission order is deterministic: first the error-level checks in source
 //! order, then L007, then the lints in code order.
 
+pub mod adorn;
 pub mod diag;
 #[doc(hidden)]
 pub mod fixtures;
 pub mod graph;
 mod lints;
 
+pub use adorn::{plan_goal, Adornment, ExemptReason, Exemption, GoalPlan, MagicRewrite};
 pub use diag::{render_all_human, render_all_json, Diagnostic, Related, Severity};
 pub use graph::{DepGraph, EdgeKind};
 

@@ -18,8 +18,11 @@ pub enum Tok {
     Ident(String),
     /// Upper-case-initial identifier (a variable in rule positions).
     Var(String),
-    /// Integer literal.
-    Int(i64),
+    /// Integer literal — the unsigned magnitude, so that
+    /// `-9223372036854775808` (`i64::MIN`, whose magnitude does not fit in
+    /// a positive `i64`) survives lexing. The parser rejects magnitudes
+    /// above `i64::MAX` outside a unary-minus position.
+    Int(u64),
     /// Quoted string literal.
     Str(String),
     LParen,
@@ -86,7 +89,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
     }
 
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        let c = src[i..].chars().next().expect("source is valid UTF-8");
         let (start, scol, sline) = (i, col, line);
         match c {
             '\n' => {
@@ -95,7 +98,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 col = 1;
             }
             c if c.is_whitespace() => {
-                i += 1;
+                i += c.len_utf8();
                 col += 1;
             }
             '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
@@ -114,23 +117,56 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 let mut s = String::new();
                 let mut closed = false;
                 while i < bytes.len() {
-                    let ch = bytes[i] as char;
-                    i += 1;
+                    let ch = src[i..].chars().next().expect("source is valid UTF-8");
+                    i += ch.len_utf8();
                     col += 1;
                     match ch {
                         '"' => {
                             closed = true;
                             break;
                         }
+                        // The escapes are the exact inverse of Rust's `{:?}`
+                        // string formatting, which is what `Value::Str`
+                        // prints — a persisted rule or fact must re-lex to
+                        // the original string.
                         '\\' if i < bytes.len() => {
-                            let esc = bytes[i] as char;
-                            i += 1;
+                            let esc = src[i..].chars().next().expect("source is valid UTF-8");
+                            i += esc.len_utf8();
                             col += 1;
-                            s.push(match esc {
-                                'n' => '\n',
-                                't' => '\t',
-                                other => other,
-                            });
+                            match esc {
+                                'n' => s.push('\n'),
+                                't' => s.push('\t'),
+                                'r' => s.push('\r'),
+                                '0' => s.push('\0'),
+                                'u' => {
+                                    if bytes.get(i) != Some(&b'{') {
+                                        return Err(LangError::new(
+                                            span!(start, scol, sline),
+                                            "expected `{` after `\\u` in string escape",
+                                        ));
+                                    }
+                                    i += 1;
+                                    col += 1;
+                                    let h0 = i;
+                                    while i < bytes.len() && bytes[i] != b'}' {
+                                        i += 1;
+                                        col += 1;
+                                    }
+                                    let decoded = u32::from_str_radix(&src[h0..i], 16)
+                                        .ok()
+                                        .and_then(char::from_u32);
+                                    let Some(decoded) = decoded.filter(|_| i < bytes.len()) else {
+                                        return Err(LangError::new(
+                                            span!(start, scol, sline),
+                                            "invalid `\\u{...}` string escape",
+                                        ));
+                                    };
+                                    i += 1; // closing `}`
+                                    col += 1;
+                                    s.push(decoded);
+                                }
+                                other => s.push(other),
+                            }
                         }
                         '\n' => {
                             return Err(LangError::new(
@@ -153,11 +189,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 });
             }
             c if c.is_ascii_digit() => {
-                let mut n: i64 = 0;
+                // Accumulate the unsigned magnitude, capped at |i64::MIN| =
+                // 2^63 so that `-9223372036854775808` lexes; the parser
+                // rejects a bare (non-negated) magnitude above i64::MAX.
+                let mut n: u64 = 0;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     n = n
                         .checked_mul(10)
-                        .and_then(|n| n.checked_add((bytes[i] - b'0') as i64))
+                        .and_then(|n| n.checked_add((bytes[i] - b'0') as u64))
+                        .filter(|&n| n <= i64::MIN.unsigned_abs())
                         .ok_or_else(|| {
                             LangError::new(span!(start, scol, sline), "integer literal overflows")
                         })?;
@@ -171,9 +211,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let s0 = i;
-                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
-                {
-                    i += 1;
+                while let Some(ch) = src[i..].chars().next() {
+                    if !(ch.is_alphanumeric() || ch == '_') {
+                        break;
+                    }
+                    i += ch.len_utf8();
                     col += 1;
                 }
                 let word = &src[s0..i];
@@ -188,11 +230,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 });
             }
             _ => {
-                let two = if i + 1 < bytes.len() {
-                    &src[i..i + 2]
-                } else {
-                    ""
-                };
+                let two = src.get(i..i + 2).unwrap_or("");
                 let (tok, len) = match two {
                     "<-" => (Tok::Arrow, 2),
                     "->" => (Tok::RArrow, 2),
@@ -350,5 +388,45 @@ mod tests {
     #[test]
     fn integer_overflow_is_reported() {
         assert!(lex("99999999999999999999999").is_err());
+        // One above |i64::MIN| is never representable, signed or negated.
+        assert!(lex("9223372036854775809").is_err());
+    }
+
+    #[test]
+    fn i64_min_magnitude_lexes() {
+        // 2^63: only valid under a unary minus, but the lexer must not
+        // reject it — the parser decides.
+        let ts = kinds("9223372036854775808");
+        assert_eq!(ts, vec![Tok::Int(9223372036854775808), Tok::Eof]);
+    }
+
+    #[test]
+    fn escape_debug_output_relexes_to_the_original() {
+        // The lexer must be the exact inverse of `{:?}` string formatting.
+        for original in [
+            "line\nbreak",
+            "\r\n",
+            "tab\there",
+            "nul\0byte",
+            "control\u{1}char",
+            "quote\"back\\slash",
+            "caffè häagen ∀x",
+            "\n%%program",
+        ] {
+            let src = format!("{original:?}");
+            let ts = kinds(&src);
+            assert_eq!(
+                ts,
+                vec![Tok::Str(original.to_owned()), Tok::Eof],
+                "escaped form {src} did not round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_unicode_escapes_are_rejected() {
+        assert!(lex(r#""\u1234""#).is_err()); // missing braces
+        assert!(lex(r#""\u{d800}""#).is_err()); // lone surrogate
+        assert!(lex(r#""\u{1""#).is_err()); // unterminated
     }
 }

@@ -662,15 +662,23 @@ impl RawParser {
     fn primary(&mut self) -> Result<Term, LangError> {
         match self.peek().clone() {
             Tok::Int(n) => {
+                // The lexer hands over the unsigned magnitude; only values
+                // up to i64::MAX are representable without a minus sign.
+                if n > i64::MAX as u64 {
+                    return Err(self.err("integer literal overflows"));
+                }
                 self.bump();
-                Ok(Term::Const(Value::Int(n)))
+                Ok(Term::Const(Value::Int(n as i64)))
             }
             Tok::Minus => {
                 self.bump();
                 match self.peek().clone() {
+                    // The magnitude is capped at |i64::MIN| = 2^63 by the
+                    // lexer, so the wrapping negation is exact: it maps
+                    // 2^63 to i64::MIN and smaller magnitudes to -n.
                     Tok::Int(n) => {
                         self.bump();
-                        Ok(Term::Const(Value::Int(-n)))
+                        Ok(Term::Const(Value::Int((n as i64).wrapping_neg())))
                     }
                     _ => Err(self.err("expected an integer after unary `-`")),
                 }

@@ -1,0 +1,329 @@
+//! Differential tests for goal-directed (magic-set) evaluation: every
+//! answer the demand-driven path produces must be bit-identical to the
+//! full-fixpoint answer, at every thread count, and every program the
+//! planner cannot soundly rewrite must fall back — never answer wrongly.
+
+use proptest::prelude::*;
+
+use logres::engine::{
+    answer_goal, answer_goal_demand, evaluate, evaluate_seminaive, load_facts, EvalOptions,
+};
+use logres::lang::analyze::fixtures;
+use logres::lang::{parse_program, Atom, Goal, PredArg, Term};
+use logres::model::{Instance, OidGen, Sym, Value};
+use logres::{Database, Mode, Semantics};
+
+type Rows = Vec<Vec<(Sym, Value)>>;
+
+/// Tight fuel: the corpus deliberately includes divergent programs (oid
+/// invention in a cycle); a run that exhausts this budget is skipped, not
+/// failed.
+fn bounded(threads: usize) -> EvalOptions {
+    EvalOptions {
+        max_steps: 60,
+        max_facts: 100_000,
+        threads,
+        ..EvalOptions::default()
+    }
+}
+
+fn subst_term(t: &mut Term, var: Sym, val: &Value) {
+    match t {
+        Term::Var(v) if *v == var => *t = Term::Const(val.clone()),
+        Term::Var(_) | Term::Const(_) | Term::Nil => {}
+        Term::Tuple(fields) => fields.iter_mut().for_each(|(_, t)| subst_term(t, var, val)),
+        Term::Set(ts) | Term::Multiset(ts) | Term::Seq(ts) => {
+            ts.iter_mut().for_each(|t| subst_term(t, var, val))
+        }
+        Term::FunApp { args, .. } => args.iter_mut().for_each(|t| subst_term(t, var, val)),
+        Term::BinOp { lhs, rhs, .. } => {
+            subst_term(lhs, var, val);
+            subst_term(rhs, var, val);
+        }
+    }
+}
+
+/// Bind one output variable of a goal to a concrete value, everywhere it
+/// occurs. `None` when the variable appears in a position that cannot hold
+/// a constant (a bare tuple variable).
+fn bind_goal_var(goal: &Goal, var: Sym, val: &Value) -> Option<Goal> {
+    let mut bound = goal.clone();
+    for lit in &mut bound.body {
+        match &mut lit.atom {
+            Atom::Pred { args, .. } => {
+                for arg in args.iter_mut() {
+                    match arg {
+                        PredArg::Labeled(_, t) => subst_term(t, var, val),
+                        PredArg::SelfArg(t) => subst_term(t, var, val),
+                        PredArg::TupleVar(v) if *v == var => return None,
+                        PredArg::TupleVar(_) => {}
+                    }
+                }
+            }
+            Atom::Member { elem, args, .. } => {
+                subst_term(elem, var, val);
+                args.iter_mut().for_each(|t| subst_term(t, var, val));
+            }
+            Atom::Builtin { args, .. } => args.iter_mut().for_each(|t| subst_term(t, var, val)),
+        }
+    }
+    bound.vars.retain(|v| *v != var);
+    Some(bound)
+}
+
+/// Full-fixpoint answer to a program's goal, or `None` when the program
+/// does not evaluate (corpus fixtures include deliberately broken ones).
+fn full_answer(src: &str, opts: &EvalOptions) -> Option<Rows> {
+    let p = parse_program(src).ok()?;
+    let goal = p.goal.clone()?;
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).ok()?;
+    let (inst, _) = evaluate(
+        &p.schema,
+        &p.rules,
+        &edb,
+        Semantics::Stratified,
+        opts.clone(),
+    )
+    .ok()?;
+    answer_goal(&p.schema, &inst, &goal).ok()
+}
+
+/// Demand-driven answer: `None` when the plan fell back.
+fn demand_answer(src: &str, opts: &EvalOptions) -> Option<Rows> {
+    let p = parse_program(src).ok()?;
+    let goal = p.goal.clone()?;
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).ok()?;
+    answer_goal_demand(
+        &p.schema,
+        &p.rules,
+        &edb,
+        &goal,
+        Semantics::Stratified,
+        opts.clone(),
+    )
+    .ok()?
+    .map(|(rows, _)| rows)
+}
+
+/// Every fixture in the analyzer corpus that carries a goal and evaluates:
+/// the corpus goals are all-free, so each is re-asked with its first output
+/// variable bound to a value drawn from the full answer. When the planner
+/// rewrites, the demanded answer must equal the full one — at one thread, a
+/// few, and auto. Exempt fixtures (negation, functions, invention …) must
+/// fall back, which the test counts but does not fail on.
+#[test]
+fn corpus_goals_agree_with_the_full_fixpoint_at_every_thread_count() {
+    let mut rewritten = 0usize;
+    for f in fixtures::corpus() {
+        let src = f.source();
+        let Ok(p) = parse_program(&src) else { continue };
+        let Some(goal) = p.goal.clone() else { continue };
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        if load_facts(&p.schema, &mut edb, &p.facts, &mut gen).is_err() {
+            continue;
+        }
+        let Ok((inst, _)) = evaluate(&p.schema, &p.rules, &edb, Semantics::Stratified, bounded(1))
+        else {
+            continue;
+        };
+        let Ok(free_rows) = answer_goal(&p.schema, &inst, &goal) else {
+            continue;
+        };
+        // Bind the first scalar output variable to its value in the first
+        // answer row, producing a selective variant of the same goal.
+        let Some((var, val)) = free_rows.first().and_then(|row| {
+            row.iter()
+                .find(|(_, v)| matches!(v, Value::Int(_) | Value::Str(_)))
+                .cloned()
+        }) else {
+            continue;
+        };
+        let Some(bound_goal) = bind_goal_var(&goal, var, &val) else {
+            continue;
+        };
+        let Ok(want) = answer_goal(&p.schema, &inst, &bound_goal) else {
+            continue;
+        };
+        for threads in [1usize, 2, 8, 0] {
+            let demand = answer_goal_demand(
+                &p.schema,
+                &p.rules,
+                &edb,
+                &bound_goal,
+                Semantics::Stratified,
+                bounded(threads),
+            );
+            if let Ok(Some((got, _))) = demand {
+                assert_eq!(
+                    got, want,
+                    "fixture {} diverges at threads={threads}",
+                    f.name
+                );
+                rewritten += 1;
+            }
+        }
+    }
+    // The corpus is not allowed to silently stop exercising the rewrite.
+    assert!(
+        rewritten > 0,
+        "no corpus fixture took the demand path — the differential test is vacuous"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random small graphs, random bound source: the demanded closure
+    /// answer is always identical to the full fixpoint's.
+    #[test]
+    fn random_closure_queries_agree(
+        edges in proptest::collection::vec((0i64..10, 0i64..10), 0..25),
+        src_node in 0i64..10,
+    ) {
+        let facts: String = edges
+            .iter()
+            .map(|(a, b)| format!("  e(a: {a}, b: {b}).\n"))
+            .collect();
+        let src = format!(
+            r#"
+            associations
+              e  = (a: integer, b: integer);
+              tc = (a: integer, b: integer);
+            rules
+              tc(a: X, b: Y) <- e(a: X, b: Y).
+              tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
+            facts
+            {facts}
+            goal tc(a: {src_node}, b: X)?
+            "#
+        );
+        for threads in [1usize, 0] {
+            let opts = EvalOptions { threads, ..EvalOptions::default() };
+            let want = full_answer(&src, &opts).expect("closure evaluates");
+            let got = demand_answer(&src, &opts).expect("bound source rewrites");
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+const INVENTION: &str = r#"
+    classes
+      person = (name: string);
+    associations
+      named = (name: string);
+    rules
+      person(name: N) <- named(name: N).
+    facts
+      named(name: "ada").
+      named(name: "bob").
+"#;
+
+/// Oid-inventing programs are exempt: the demand path declines (inventing
+/// only the demanded subset would mint different oids than the full run),
+/// and the query still answers correctly through the fallback.
+#[test]
+fn invented_oid_goals_fall_back_and_still_answer() {
+    let src = format!("{INVENTION}    goal person(name: \"ada\")?\n");
+    assert!(
+        demand_answer(&src, &EvalOptions::default()).is_none(),
+        "oid invention must not take the demand path"
+    );
+    let mut db = Database::from_source(INVENTION).unwrap();
+    let rows = db.query("goal person(name: \"ada\")?").unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+const DELETION: &str = r#"
+    associations
+      banned = (n: integer);
+      ok     = (n: integer);
+    rules
+      -ok(n: X) <- banned(n: X).
+    facts
+      banned(n: 1).
+      ok(n: 1).
+      ok(n: 2).
+"#;
+
+/// Deleting heads are exempt: pruning rules by demand could skip a
+/// deletion that the full semantics performs. The goal must fall back and
+/// agree with the full run.
+#[test]
+fn head_negation_goals_fall_back_and_still_answer() {
+    let src = format!("{DELETION}    goal ok(n: 2)?\n");
+    assert!(
+        demand_answer(&src, &EvalOptions::default()).is_none(),
+        "deleting heads must not take the demand path"
+    );
+    let mut db = Database::from_source(DELETION).unwrap();
+    let rows = db.query("goal ok(n: 2)?").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(db.query("goal ok(n: 1)?").unwrap().is_empty());
+}
+
+const CLOSURE: &str = r#"
+    associations
+      e  = (a: integer, b: integer);
+      tc = (a: integer, b: integer);
+    rules
+      tc(a: X, b: Y) <- e(a: X, b: Y).
+      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
+    facts
+      e(a: 0, b: 1).
+      e(a: 1, b: 2).
+      e(a: 2, b: 0).
+      e(a: 5, b: 6).
+    goal tc(a: 0, b: X)?
+"#;
+
+/// The rewritten program answers identically under every driver the engine
+/// offers: inflationary, stratified, and (full-run reference) semi-naive.
+#[test]
+fn demand_agrees_across_semantics_and_drivers() {
+    let p = parse_program(CLOSURE).unwrap();
+    let goal = p.goal.clone().unwrap();
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+
+    let (full_sn, _) =
+        evaluate_seminaive(&p.schema, &p.rules, &edb, EvalOptions::default()).unwrap();
+    let want = answer_goal(&p.schema, &full_sn, &goal).unwrap();
+    assert_eq!(want.len(), 3); // 0 reaches 1, 2, and itself — never 5/6.
+
+    for semantics in [Semantics::Inflationary, Semantics::Stratified] {
+        let (rows, _) = answer_goal_demand(
+            &p.schema,
+            &p.rules,
+            &edb,
+            &goal,
+            semantics,
+            EvalOptions::default(),
+        )
+        .unwrap()
+        .expect("bound source rewrites");
+        assert_eq!(rows, want, "{semantics:?} diverges from semi-naive");
+    }
+}
+
+/// The demand path is an optimization, not a semantic switch: a `Database`
+/// query takes it transparently and the visible behavior (rows, persisted
+/// rule set) is unchanged from the fallback path.
+#[test]
+fn database_query_is_transparent_about_the_demand_path() {
+    let base = &CLOSURE[..CLOSURE.find("goal").unwrap()];
+    let mut db = Database::from_source(base).unwrap();
+    let fast = db.query("goal tc(a: 0, b: X)?").unwrap();
+    let slow = db
+        .apply_source("goal tc(a: 0, b: X)?", Mode::Ridi)
+        .unwrap()
+        .answer
+        .unwrap();
+    assert_eq!(fast, slow);
+    assert_eq!(db.rules().len(), 2);
+}

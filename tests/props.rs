@@ -433,3 +433,34 @@ proptest! {
         prop_assert_eq!(codes1, codes2, "diagnostics drift in `{}`", fx.name);
     }
 }
+
+/// The integer extremes survive parse → pretty → parse: `i64::MIN` has no
+/// positive counterpart (its magnitude overflows a bare literal), so the
+/// lexer, the unary-minus folding in the parser, and the pretty-printer
+/// must agree on it exactly. Facts carry the values into the EDB too.
+#[test]
+fn integer_extremes_round_trip_through_the_pretty_printer() {
+    let src = format!(
+        "associations\n  p = (d: integer);\n  q = (d: integer);\nfacts\n  p(d: {min}).\n  p(d: {max}).\nrules\n  q(d: {min}) <- p(d: {max}).",
+        min = i64::MIN,
+        max = i64::MAX,
+    );
+    let p1 = parse_program(&src).expect("extremes parse");
+    let printed: String = p1.rules.rules.iter().map(|r| format!("  {r}\n")).collect();
+    let rebuilt =
+        format!("associations\n  p = (d: integer);\n  q = (d: integer);\nrules\n{printed}");
+    let p2 = parse_program(&rebuilt).expect("printed extremes re-parse");
+    assert_eq!(p1.rules, p2.rules, "rules drift on integer extremes");
+
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p1.schema, &mut edb, &p1.facts, &mut gen).expect("extreme facts load");
+    assert!(edb.has_tuple(
+        Sym::new("p"),
+        &Value::tuple([(Sym::new("d"), Value::Int(i64::MIN))]),
+    ));
+    assert!(edb.has_tuple(
+        Sym::new("p"),
+        &Value::tuple([(Sym::new("d"), Value::Int(i64::MAX))]),
+    ));
+}
