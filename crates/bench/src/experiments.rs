@@ -217,67 +217,90 @@ pub fn e4_modes() -> Table {
     t
 }
 
-/// E5 — in-place update via RIDV (Example 4.2) vs. deriving a fresh copy of
-/// the whole relation. Claim (§4.3): facts+rules as two start points make
-/// updating "powerful and computationally simple".
+/// How many insert/delete cycles one E5 measurement runs. Each cycle is two
+/// module applications (a singleton RIDV insert and the RDDV delete undoing
+/// it), so the database returns to its starting state between cycles.
+const E5_ROUNDS: usize = 16;
+
+/// E5 — update throughput under the persistent ancestor view: incremental
+/// maintenance (counting + Delete-and-Rederive behind RIDV/RDDV) vs full
+/// rederivation of the instance on every update. Claim (DESIGN.md §11):
+/// maintenance work is proportional to the change — one chain of the forest
+/// — so updates/s should hold roughly flat while the full path degrades
+/// linearly in n.
 pub fn e5_updates() -> Table {
     let mut t = Table::new(
-        "E5 — Example 4.2 batch update: RIDV in place vs full rederivation",
-        &["n", "touched", "strategy", "time", "p tuples after"],
+        "E5 — singleton updates under the ancestor view: incremental vs full rederivation",
+        &[
+            "n",
+            "strategy",
+            "time",
+            "updates/s",
+            "E tuples after",
+            "speedup",
+        ],
     );
-    for n in [500usize, 2_000, 8_000] {
-        // Two selectivities: the paper's even(X) (≈50 %) and a sparse
-        // threshold (≈10 %). The update condition is swapped textually.
-        let sparse = n / 10;
-        let conditions = [("even(X)", "~50%"), (&*format!("X < {sparse}"), "~10%")];
-        for (cond, touched) in conditions {
-            // Strategy A: the paper's RIDV in-place module.
-            let in_place = UPDATE_MODULE.replace("even(X)", cond);
-            let mut db = Database::from_source(&kv_database(n)).expect("kv loads");
-            let (d, _) = time(|| db.apply_source(&in_place, Mode::Ridv).expect("update runs"));
-            t.row(vec![
-                n.to_string(),
-                touched.into(),
-                "RIDV in-place".into(),
-                fmt_duration(d),
-                db.edb().assoc_len(Sym::new("p")).to_string(),
-            ]);
+    let mut speedup_512 = None;
+    for n in [128usize, 512, 2_048] {
+        let setup = |incremental: bool| -> Database {
+            let mut db = Database::from_source(&parent_database(n)).expect("base loads");
+            db.set_options(bench_opts());
+            db.set_incremental(incremental);
+            db.apply_source(ANCESTOR_MODULE, Mode::Radi)
+                .expect("view installs");
+            db
+        };
+        // Each cycle prepends a fresh edge to one chain (so the recursive
+        // ancestor rules really fire) and then deletes it again.
+        let cycle = |db: &mut Database, i: usize| {
+            let root = (i % (n / 10).max(1)) * 1000;
+            let ins = format!(r#"rules parent(par: "e5x", chil: "p{root}") <- ."#);
+            let del = format!(r#"rules -parent(par: "e5x", chil: "p{root}") <- ."#);
+            db.apply_source(&ins, Mode::Ridv).expect("insert applies");
+            db.apply_source(&del, Mode::Ridv).expect("delete applies");
+        };
 
-            // Strategy B: rederive the complete updated relation into a
-            // fresh predicate (update the touched tuples, copy the rest).
-            let mut db2 = Database::from_source(&kv_database(n)).expect("kv loads");
-            let rederive = if cond == "even(X)" {
-                r#"
-                associations
-                  q = (d1: integer, d2: integer);
-                rules
-                  q(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1.
-                  q(d1: X, d2: Y) <- p(d1: X, d2: Y), odd(X).
-                "#
-                .to_owned()
-            } else {
-                format!(
-                    r#"
-                    associations
-                      q = (d1: integer, d2: integer);
-                    rules
-                      q(d1: X, d2: Z) <- p(d1: X, d2: Y), X < {sparse}, Z = Y + 1.
-                      q(d1: X, d2: Y) <- p(d1: X, d2: Y), X >= {sparse}.
-                    "#
-                )
-            };
-            let (d, _) = time(|| {
-                db2.apply_source(&rederive, Mode::Ridv)
-                    .expect("rederive runs")
-            });
-            t.row(vec![
-                n.to_string(),
-                touched.into(),
-                "full rederive".into(),
-                fmt_duration(d),
-                db2.edb().assoc_len(Sym::new("q")).to_string(),
-            ]);
+        let mut inc = setup(true);
+        let (d_inc, ()) = time(|| (0..E5_ROUNDS).for_each(|i| cycle(&mut inc, i)));
+        let mut full = setup(false);
+        let (d_full, ()) = time(|| (0..E5_ROUNDS).for_each(|i| cycle(&mut full, i)));
+        assert_eq!(
+            inc.edb(),
+            full.edb(),
+            "incremental and full paths must agree after the cycles"
+        );
+
+        let updates = (2 * E5_ROUNDS) as f64;
+        let speedup = d_full.as_secs_f64() / d_inc.as_secs_f64().max(f64::EPSILON);
+        if n == 512 {
+            speedup_512 = Some(speedup);
         }
+        let e_after = inc.edb().assoc_len(Sym::new("parent"));
+        t.row(vec![
+            n.to_string(),
+            "incremental".into(),
+            fmt_duration(d_inc),
+            format!("{:.0}", updates / d_inc.as_secs_f64().max(f64::EPSILON)),
+            e_after.to_string(),
+            format!("{speedup:.1}x"),
+        ]);
+        t.row(vec![
+            n.to_string(),
+            "full rederive".into(),
+            fmt_duration(d_full),
+            format!("{:.0}", updates / d_full.as_secs_f64().max(f64::EPSILON)),
+            full.edb().assoc_len(Sym::new("parent")).to_string(),
+            "—".into(),
+        ]);
+    }
+
+    if let Ok(min) = std::env::var("LOGRES_E5_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("LOGRES_E5_MIN_SPEEDUP is a factor");
+        let got = speedup_512.expect("n=512 rows ran");
+        assert!(
+            got >= min,
+            "n=512 incremental speedup {got:.1}x is below LOGRES_E5_MIN_SPEEDUP={min}x"
+        );
     }
     t
 }
@@ -906,6 +929,17 @@ mod tests {
         assert_ne!(t.rows[0][4], "—"); // RIDI
         assert_eq!(t.rows[2][4], "—"); // RDDI (no goal: the view is removed)
         assert_eq!(t.rows[3][4], "—"); // RIDV
+    }
+
+    #[test]
+    fn e5_cycles_return_to_the_base_state() {
+        let t = e5_updates();
+        // Two strategies per n, and every insert/delete cycle nets out:
+        // "E tuples after" is exactly n for every row.
+        assert_eq!(t.rows.len(), 6);
+        for (row, n) in t.rows.iter().zip([128, 128, 512, 512, 2_048, 2_048]) {
+            assert_eq!(row[4], n.to_string(), "{row:?}");
+        }
     }
 
     #[test]

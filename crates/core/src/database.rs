@@ -11,10 +11,10 @@
 use std::sync::Arc;
 
 use logres_engine::{
-    answer_goal, evaluate, load_facts, Derivation, EvalOptions, EvalReport, MetricsRegistry,
-    Semantics,
+    answer_goal, evaluate, load_facts, maintain, Derivation, EvalOptions, EvalReport,
+    MetricsRegistry, Semantics,
 };
-use logres_lang::{parse_program, AnalysisInput, Diagnostic, RuleSet};
+use logres_lang::{parse_program, AnalysisInput, Atom, Diagnostic, Rule, RuleSet};
 use logres_model::{
     integrity, Fact, Instance, IntegrityConstraint, Oid, PredKind, Schema, Sym, Value,
 };
@@ -42,6 +42,12 @@ pub struct Database {
     state: DatabaseState,
     semantics: Semantics,
     opts: EvalOptions,
+    /// Materialized instance plus support graph for incremental
+    /// maintenance of the data-variant modes; built lazily on the first
+    /// maintainable update and invalidated whenever the state changes
+    /// through any other path.
+    view: Option<maintain::MaterializedView>,
+    incremental: bool,
 }
 
 impl Database {
@@ -51,6 +57,8 @@ impl Database {
             state: DatabaseState::new(schema),
             semantics: Semantics::default(),
             opts: EvalOptions::default(),
+            view: None,
+            incremental: true,
         }
     }
 
@@ -73,6 +81,8 @@ impl Database {
             },
             semantics: Semantics::default(),
             opts: EvalOptions::default(),
+            view: None,
+            incremental: true,
         })
     }
 
@@ -82,6 +92,8 @@ impl Database {
             state,
             semantics: Semantics::default(),
             opts: EvalOptions::default(),
+            view: None,
+            incremental: true,
         }
     }
 
@@ -123,6 +135,17 @@ impl Database {
     /// Fuel limits, governor budgets, and trace sink for evaluations.
     pub fn set_options(&mut self, opts: EvalOptions) {
         self.opts = opts;
+    }
+
+    /// Enable or disable incremental maintenance of the data-variant modes
+    /// (on by default). When disabled, every RIDV/RADV/RDDV application
+    /// takes the full-rederivation path; disabling also drops the
+    /// materialized view.
+    pub fn set_incremental(&mut self, incremental: bool) {
+        self.incremental = incremental;
+        if !incremental {
+            self.view = None;
+        }
     }
 
     /// The database's current evaluation options.
@@ -301,6 +324,7 @@ impl Database {
     pub fn materialize(&mut self) -> Result<EvalReport, CoreError> {
         let (inst, report) = self.instance()?;
         self.state.edb = inst;
+        self.view = None;
         Ok(report)
     }
 
@@ -361,6 +385,7 @@ impl Database {
                 let (inst, report) = self.check_candidate(&candidate, semantics)?;
                 let answer = self.answer(&candidate.schema, &inst, module)?;
                 self.state = candidate;
+                self.view = None;
                 Ok(ApplicationOutcome { answer, report })
             }
             Mode::Rddi => {
@@ -383,9 +408,13 @@ impl Database {
                 let (inst, report) = self.check_candidate(&candidate, semantics)?;
                 let answer = self.answer(&candidate.schema, &inst, module)?;
                 self.state = candidate;
+                self.view = None;
                 Ok(ApplicationOutcome { answer, report })
             }
             Mode::Ridv => {
+                if let Some(outcome) = self.try_incremental(module, mode, semantics)? {
+                    return Ok(outcome);
+                }
                 // E' = result of applying the *module* rules to E; the
                 // persistent rules are untouched but S gains the module's
                 // new type equations (the paper's S_M(EDB)).
@@ -406,12 +435,16 @@ impl Database {
                 };
                 let (_, _) = self.check_candidate(&candidate, semantics)?;
                 self.state = candidate;
+                self.view = None;
                 Ok(ApplicationOutcome {
                     answer: None,
                     report,
                 })
             }
             Mode::Radv => {
+                if let Some(outcome) = self.try_incremental(module, mode, semantics)? {
+                    return Ok(outcome);
+                }
                 let schema = self.union_schema(module)?;
                 let (new_edb, report) = evaluate(
                     &schema,
@@ -436,12 +469,16 @@ impl Database {
                 };
                 let (_, _) = self.check_candidate(&candidate, semantics)?;
                 self.state = candidate;
+                self.view = None;
                 Ok(ApplicationOutcome {
                     answer: None,
                     report,
                 })
             }
             Mode::Rddv => {
+                if let Some(outcome) = self.try_incremental(module, mode, semantics)? {
+                    return Ok(outcome);
+                }
                 // E_M = the instance of (∅, R_M); E' = E − E_M.
                 let schema = self.union_schema(module)?;
                 let (em, report) = evaluate(
@@ -474,12 +511,259 @@ impl Database {
                 };
                 let (_, _) = self.check_candidate(&candidate, semantics)?;
                 self.state = candidate;
+                self.view = None;
                 Ok(ApplicationOutcome {
                     answer: None,
                     report,
                 })
             }
         }
+    }
+
+    /// Serve a data-variant application through the incremental maintenance
+    /// engine ([`logres_engine::maintain`]) when the module and the
+    /// persistent program lie in the supported fragment.
+    ///
+    /// `Ok(None)` means the caller must take the full rederivation path;
+    /// the reason has already been recorded on the
+    /// `logres_maintain_fallbacks_total` metric. `Ok(Some(..))` means the
+    /// update was applied and committed incrementally. Rejections and
+    /// engine failures leave the persistent state untouched (the stale view
+    /// is discarded).
+    fn try_incremental(
+        &mut self,
+        module: &Module,
+        mode: Mode,
+        semantics: Semantics,
+    ) -> Result<Option<ApplicationOutcome>, CoreError> {
+        if !self.incremental || module.goal.is_some() {
+            return Ok(None);
+        }
+        macro_rules! fall_back {
+            ($reason:expr) => {{
+                maintain::note_fallback(&self.opts, $reason);
+                return Ok(None);
+            }};
+        }
+        // Module schemas that introduce classes, isa edges, or renamings
+        // can retype existing data; keep those on the full path. New
+        // associations and domains only extend the schema.
+        if module.schema.classes().next().is_some()
+            || !module.schema.isa_edges().is_empty()
+            || !module.schema.renames().is_empty()
+        {
+            fall_back!("schema");
+        }
+        let schema = match mode {
+            Mode::Rddv => {
+                // RDDV subtracts the module schema; dropping declarations
+                // out from under stored data stays on the full path.
+                if module.schema.assocs().next().is_some()
+                    || module.schema.domains().next().is_some()
+                {
+                    fall_back!("schema");
+                }
+                self.state.schema.clone()
+            }
+            _ => self.union_schema(module)?,
+        };
+        // The persistent program must be maintainable for the view to
+        // exist at all (no oid invention, no data functions, no negation).
+        if !maintain::maintainable(&schema, &self.state.rules) {
+            fall_back!("fragment");
+        }
+
+        let (ground, nonground): (Vec<&Rule>, Vec<&Rule>) = module
+            .rules
+            .rules
+            .iter()
+            .partition(|r| maintain::is_ground_batch_rule(&schema, r));
+
+        let mut spec = maintain::UpdateSpec::default();
+        let mut rules = self.state.rules.clone();
+        let mut constraints = self.state.constraints.clone();
+        // Profile entries for the module's own (transient) rules, merged
+        // into the synthesized report so `:profile` covers them.
+        let mut module_profiles: Vec<logres_engine::RuleProfile> = Vec::new();
+        match mode {
+            Mode::Ridv => {
+                if !nonground.is_empty() {
+                    fall_back!("nonground-rule");
+                }
+                let effect = match maintain::apply_batch(&schema, &ground, &self.state.edb) {
+                    Ok(e) => e,
+                    Err(_) => fall_back!("batch"),
+                };
+                let deleting: Vec<&Rule> =
+                    ground.iter().copied().filter(|r| r.head.negated).collect();
+                match maintain::batch_conflicts(&schema, &deleting, &effect) {
+                    Ok(false) => {}
+                    // A batch that inserts and deletes the same fact does
+                    // not reach a one-step fixpoint; let the full path
+                    // produce its verdict.
+                    _ => fall_back!("conflict"),
+                }
+                spec.inserts = effect.inserted;
+                spec.deletes = effect.deleted;
+                module_profiles = effect.profiles;
+            }
+            Mode::Radv => {
+                if module.rules.rules.iter().any(|r| r.head.negated) {
+                    fall_back!("deleting-rule");
+                }
+                rules = self.state.rules.union(&module.rules);
+                if !maintain::maintainable(&schema, &rules) {
+                    fall_back!("fragment");
+                }
+                spec.inserts = if nonground.is_empty() {
+                    match maintain::apply_batch(&schema, &ground, &self.state.edb) {
+                        Ok(e) => {
+                            module_profiles = e.profiles;
+                            e.inserted
+                        }
+                        Err(_) => fall_back!("batch"),
+                    }
+                } else {
+                    // The module's EDB effect is the same evaluation the
+                    // full path performs first; the saving is skipping the
+                    // candidate's full rederivation afterwards.
+                    let evaluated = evaluate(
+                        &schema,
+                        &module.rules,
+                        &self.state.edb,
+                        semantics,
+                        self.opts.clone(),
+                    );
+                    let (new_edb, eval_report) = match evaluated {
+                        Ok(r) => r,
+                        Err(_) => fall_back!("batch"),
+                    };
+                    module_profiles = eval_report.rule_profiles;
+                    new_edb
+                        .facts(&schema)
+                        .into_iter()
+                        .filter(|f| !self.state.edb.contains_fact(&schema, f))
+                        .collect()
+                };
+                spec.add_rules = module.rules.rules.clone();
+                for d in &module.constraints {
+                    if !constraints.contains(d) {
+                        constraints.push(d.clone());
+                    }
+                }
+            }
+            Mode::Rddv => {
+                let inserts: Vec<&Rule> =
+                    ground.iter().copied().filter(|r| !r.head.negated).collect();
+                let em_inserted = if inserts.is_empty() {
+                    // E_M = ∅ only if no module rule can ever fire over the
+                    // empty instance: require a positive stored-predicate
+                    // literal in every non-ground body.
+                    for r in &nonground {
+                        let anchored = r
+                            .body
+                            .iter()
+                            .any(|l| !l.negated && matches!(&l.atom, Atom::Pred { .. }));
+                        if !anchored {
+                            fall_back!("em-unsafe");
+                        }
+                    }
+                    Vec::new()
+                } else {
+                    // Ground insertions feeding other rules (or fighting
+                    // ground deletions) make E_M hard to bound; punt.
+                    if !nonground.is_empty() || inserts.len() != ground.len() {
+                        fall_back!("mixed");
+                    }
+                    match maintain::apply_batch(&schema, &inserts, &Instance::new()) {
+                        Ok(e) => {
+                            module_profiles = e.profiles;
+                            e.inserted
+                        }
+                        Err(_) => fall_back!("batch"),
+                    }
+                };
+                spec.deletes = em_inserted
+                    .into_iter()
+                    .filter(|f| self.state.edb.contains_fact(&schema, f))
+                    .collect();
+                spec.remove_rules = module
+                    .rules
+                    .rules
+                    .iter()
+                    .filter(|r| rules.rules.contains(r))
+                    .cloned()
+                    .collect();
+                rules = self.state.rules.difference(&module.rules);
+                constraints.retain(|d| !module.constraints.contains(d));
+            }
+            _ => return Ok(None),
+        }
+
+        if self.view.is_none() {
+            // The initial materialization is internal bookkeeping, not a
+            // user-visible evaluation: keep it out of the trace stream.
+            let mut build_opts = self.opts.clone();
+            build_opts.trace = None;
+            let built = maintain::MaterializedView::build(
+                &schema,
+                &self.state.rules,
+                &self.state.edb,
+                &build_opts,
+            );
+            let (view, _) = match built {
+                Ok(v) => v,
+                Err(_) => fall_back!("build"),
+            };
+            // The delta consistency check assumes a consistent base.
+            if !self
+                .state
+                .check_consistency(view.instance())?
+                .is_consistent()
+            {
+                fall_back!("base-inconsistent");
+            }
+            self.view = Some(view);
+        }
+
+        let mut view = self.view.take().expect("view was just ensured");
+        let mut result =
+            match maintain::apply_update(&schema, &mut view, &spec, &self.state.edb, &self.opts) {
+                Ok(r) => r,
+                Err(e) => return Err(CoreError::Engine(e)),
+            };
+        if !module_profiles.is_empty() {
+            module_profiles.append(&mut result.report.rule_profiles);
+            result.report.rule_profiles = module_profiles;
+        }
+        let candidate = DatabaseState {
+            schema,
+            rules,
+            edb: Instance::new(),
+            constraints,
+        };
+        let consistency = candidate.check_consistency_delta(view.instance(), &result.added)?;
+        if !consistency.is_consistent() {
+            // Atomic rejection: the persistent state is untouched and the
+            // mutated view is discarded.
+            return Err(CoreError::Rejected {
+                violations: consistency.violations,
+            });
+        }
+        for f in &spec.deletes {
+            self.state.edb.remove_fact(&candidate.schema, f);
+        }
+        for f in &spec.inserts {
+            self.state.edb.insert_fact(&candidate.schema, f);
+        }
+        self.state.schema = candidate.schema;
+        self.state.rules = candidate.rules;
+        self.state.constraints = candidate.constraints;
+        self.view = Some(view);
+        Ok(Some(ApplicationOutcome {
+            answer: None,
+            report: result.report,
+        }))
     }
 
     /// Evaluate a goal-only module (convenience for queries). Goals whose

@@ -361,7 +361,7 @@ impl Repl {
         let mut profiles: Vec<_> = report
             .rule_profiles
             .iter()
-            .filter(|p| p.firings > 0 || p.match_nanos > 0)
+            .filter(|p| p.firings > 0 || p.deleted > 0 || p.match_nanos > 0)
             .collect();
         if profiles.is_empty() {
             return "no rule fired in the last evaluation".to_owned();

@@ -65,23 +65,50 @@ impl DatabaseState {
     /// stored passive denials (Section 4.2).
     pub fn check_consistency(&self, inst: &Instance) -> Result<ConsistencyReport, CoreError> {
         let mut report = ConsistencyReport::default();
-
         let constraints = integrity::generate(&self.schema);
-        for v in integrity::check(&self.schema, inst, &constraints) {
-            report.violations.push(format!(
-                "referential integrity: {}{} must reference `{}`{}",
-                v.constraint.owner,
-                v.constraint.path,
-                v.constraint.target,
-                match (&v.oid, &v.tuple) {
-                    (Some(o), Some(t)) => format!(" (dangling {o} in {t})"),
-                    (Some(o), None) => format!(" (dangling {o})"),
-                    (None, Some(t)) => format!(" (nil in {t})"),
-                    (None, None) => String::new(),
-                }
-            ));
-        }
+        push_ref_violations(
+            &mut report,
+            integrity::check(&self.schema, inst, &constraints),
+        );
+        self.check_denials(inst, &mut report)?;
+        Ok(report)
+    }
 
+    /// Delta form of [`check_consistency`] for incremental maintenance:
+    /// referential integrity is checked only for the tuples `added` by the
+    /// update (against the full instance), while the stored denials — which
+    /// can constrain arbitrary joins — are always re-evaluated in full.
+    /// When the pre-update instance was consistent and the update only
+    /// added the listed facts, this agrees with the full check.
+    pub fn check_consistency_delta(
+        &self,
+        inst: &Instance,
+        added: &[logres_model::Fact],
+    ) -> Result<ConsistencyReport, CoreError> {
+        let mut report = ConsistencyReport::default();
+        let tuples: Vec<(logres_model::Sym, logres_model::Value)> = added
+            .iter()
+            .filter_map(|f| match f {
+                logres_model::Fact::Assoc { assoc, tuple } => Some((*assoc, tuple.clone())),
+                _ => None,
+            })
+            .collect();
+        if !tuples.is_empty() {
+            let constraints = integrity::generate(&self.schema);
+            push_ref_violations(
+                &mut report,
+                integrity::check_assoc_delta(&self.schema, inst, &constraints, &tuples),
+            );
+        }
+        self.check_denials(inst, &mut report)?;
+        Ok(report)
+    }
+
+    fn check_denials(
+        &self,
+        inst: &Instance,
+        report: &mut ConsistencyReport,
+    ) -> Result<(), CoreError> {
         for denial in &self.constraints {
             let goal = logres_lang::Goal {
                 body: denial.body.clone(),
@@ -94,7 +121,24 @@ impl DatabaseState {
                 report.violations.push(format!("denial violated: {denial}"));
             }
         }
-        Ok(report)
+        Ok(())
+    }
+}
+
+fn push_ref_violations(report: &mut ConsistencyReport, violations: Vec<integrity::Violation>) {
+    for v in violations {
+        report.violations.push(format!(
+            "referential integrity: {}{} must reference `{}`{}",
+            v.constraint.owner,
+            v.constraint.path,
+            v.constraint.target,
+            match (&v.oid, &v.tuple) {
+                (Some(o), Some(t)) => format!(" (dangling {o} in {t})"),
+                (Some(o), None) => format!(" (dangling {o})"),
+                (None, Some(t)) => format!(" (nil in {t})"),
+                (None, None) => String::new(),
+            }
+        ));
     }
 }
 

@@ -46,6 +46,7 @@ pub mod governor;
 pub mod inflationary;
 pub mod load;
 pub mod magic;
+pub mod maintain;
 pub mod matcher;
 pub mod metrics;
 pub mod parallel;
@@ -65,6 +66,10 @@ pub use inflationary::{
 };
 pub use load::load_facts;
 pub use magic::{answer_goal_demand, evaluate_demand};
+pub use maintain::{
+    apply_batch, apply_update, batch_conflicts, is_ground_batch_rule, maintainable, note_fallback,
+    BatchEffect, MaintainResult, MaterializedView, UpdateSpec,
+};
 pub use matcher::{rule_access_plan, AccessPlan};
 pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, ProbeTally};
 pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};

@@ -1,0 +1,1386 @@
+//! Incremental view maintenance for module application (Section 4.2).
+//!
+//! Full module application reruns a fixpoint over the whole state, so every
+//! write is O(database). This module makes the data-variant modes
+//! (RIDV/RADV/RDDV) cost O(change) on the *maintainable fragment*: the
+//! semi-naive fragment further restricted to invertible heads
+//! ([`maintainable`]).
+//!
+//! Strategy, per maintenance stratum (a strongly connected component of the
+//! positive predicate-dependency graph over the active rules, in
+//! topological order):
+//!
+//! * **non-recursive strata — counting-style recount.** Every fact whose
+//!   support may have changed is re-checked for *some* derivation by
+//!   inverting each rule head against the fact's tuple ([`bind_head`]) and
+//!   evaluating the body over the current instance. Facts with no remaining
+//!   derivation (and no extensional backing) are removed and their
+//!   dependents pended into later strata.
+//! * **recursive strata — Delete-and-Rederive (DRed).** Overdelete the
+//!   transitive support closure of the candidates through the recorded
+//!   provenance edges, then rederive: a head-inversion pass over the
+//!   overdeleted set seeds a semi-naive delta iteration confined (by the
+//!   valuation-domain condition) to facts that were actually overdeleted.
+//! * **insertions** run classic incremental semi-naive: each rule fires
+//!   once per body position bound to the delta of genuinely new facts, per
+//!   round, until the delta drains.
+//!
+//! The support graph ([`MaterializedView`]) is populated from the
+//! first-derivation-wins provenance store of PR 3, which makes the premise
+//! DAG acyclic and the whole maintenance pass deterministic: parallel match
+//! phases go through [`ordered_map_cancellable`] and every merge runs
+//! serially in canonical [`Fact`] order, so results are bit-identical at
+//! any thread count — the same contract the fixpoint drivers give.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use logres_lang::{Atom, PredArg, Rule, RuleSet, Term};
+use logres_model::{Fact, Instance, PredKind, Schema, Sym, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::binding::{match_term, Subst};
+use crate::delta::{fact_nodes, instantiate_head, InventionMemo};
+use crate::error::EngineError;
+use crate::governor::Governor;
+use crate::inflationary::{EvalOptions, EvalReport, RuleProfile};
+use crate::matcher::{eval_body, BodyView};
+use crate::parallel::{effective_threads, ordered_map_cancellable};
+use crate::provenance::premises_of;
+use crate::seminaive::{evaluate_seminaive, seminaive_applicable};
+use crate::trace::{self, TraceEvent};
+
+/// Is the rule set inside the maintainable fragment?
+///
+/// The semi-naive fragment (positive association rules) further restricted
+/// to *invertible* heads: every head argument is a labeled variable,
+/// constant, or `nil`, or a tuple variable — so a stored tuple determines
+/// the head valuation exactly and recounting a fact reduces to one body
+/// evaluation. Oid invention (class heads) and data functions are already
+/// outside the semi-naive fragment and take the full-rederivation path.
+pub fn maintainable(schema: &Schema, rules: &RuleSet) -> bool {
+    seminaive_applicable(schema, rules)
+        && rules
+            .rules
+            .iter()
+            .all(|r| invertible_head(r) && function_free(r))
+}
+
+fn invertible_head(rule: &Rule) -> bool {
+    match &rule.head.atom {
+        Atom::Pred { args, .. } => args.iter().all(|a| match a {
+            PredArg::Labeled(_, t) => matches!(t, Term::Var(_) | Term::Const(_) | Term::Nil),
+            PredArg::TupleVar(_) => true,
+            PredArg::SelfArg(_) => false,
+        }),
+        _ => false,
+    }
+}
+
+/// No data-function applications or arithmetic anywhere in the rule:
+/// support-graph recounting treats body valuations as joins over stored
+/// tuples, so computed values (`f(X)`, `X * 2`, `member(E, f(…))`) push a
+/// program out of the fragment.
+fn function_free(rule: &Rule) -> bool {
+    atom_function_free(&rule.head.atom) && rule.body.iter().all(|l| atom_function_free(&l.atom))
+}
+
+fn atom_function_free(atom: &Atom) -> bool {
+    match atom {
+        Atom::Pred { args, .. } => args.iter().all(|a| match a {
+            PredArg::Labeled(_, t) | PredArg::SelfArg(t) => term_function_free(t),
+            PredArg::TupleVar(_) => true,
+        }),
+        Atom::Member { .. } => false,
+        Atom::Builtin { args, .. } => args.iter().all(term_function_free),
+    }
+}
+
+fn term_function_free(term: &Term) -> bool {
+    match term {
+        Term::Var(_) | Term::Const(_) | Term::Nil => true,
+        Term::Tuple(fs) => fs.iter().all(|(_, t)| term_function_free(t)),
+        Term::Set(ts) | Term::Multiset(ts) | Term::Seq(ts) => ts.iter().all(term_function_free),
+        Term::FunApp { .. } | Term::BinOp { .. } => false,
+    }
+}
+
+/// Is this a *ground batch rule* — an empty-body association rule whose
+/// head is fully ground? These are the module rules the data-variant modes
+/// use as fact insertions (`p(a: 1) <- .`) and deletions (`-p(a: 1) <- .`).
+pub fn is_ground_batch_rule(schema: &Schema, rule: &Rule) -> bool {
+    rule.body.is_empty()
+        && match &rule.head.atom {
+            Atom::Pred { pred, args, .. } => {
+                schema.kind(*pred) == Some(PredKind::Assoc)
+                    && args.iter().all(|a| matches!(a, PredArg::Labeled(..)))
+                    && rule.head.atom.vars().is_empty()
+                    && rule.head.atom.functions().is_empty()
+            }
+            _ => false,
+        }
+}
+
+/// The extensional effect of a batch of ground rules.
+#[derive(Debug, Clone, Default)]
+pub struct BatchEffect {
+    /// Facts the batch inserts (absent from the base instance).
+    pub inserted: Vec<Fact>,
+    /// Facts the batch deletes (present in the base instance).
+    pub deleted: Vec<Fact>,
+    /// One profile entry per batch rule, for report synthesis.
+    pub profiles: Vec<RuleProfile>,
+}
+
+/// Evaluate a batch of ground rules against `base` in one pass.
+///
+/// A conflict-free ground batch reaches its fixpoint in a single step:
+/// insertions do not read the database (the valuation-domain condition only
+/// skips already-present facts) and deletions expand against the stored
+/// extension. The effect is exact for batches where no deleting rule
+/// matches an inserted fact — check with [`batch_conflicts`].
+pub fn apply_batch(
+    schema: &Schema,
+    rules: &[&Rule],
+    base: &Instance,
+) -> Result<BatchEffect, EngineError> {
+    let mut memo = InventionMemo::new();
+    let mut gen = base.oid_gen();
+    let mut effect = BatchEffect::default();
+    for (i, rule) in rules.iter().enumerate() {
+        let facts = instantiate_head(schema, base, rule, i, &Subst::new(), &mut memo, &mut gen)?;
+        let mut profile = RuleProfile {
+            rule: rule.to_string(),
+            firings: 1,
+            ..RuleProfile::default()
+        };
+        let out = if rule.head.negated {
+            &mut effect.deleted
+        } else {
+            &mut effect.inserted
+        };
+        for f in facts {
+            if !out.contains(&f) {
+                out.push(f);
+                if rule.head.negated {
+                    profile.deleted += 1;
+                } else {
+                    profile.derived += 1;
+                }
+            }
+        }
+        effect.profiles.push(profile);
+    }
+    Ok(effect)
+}
+
+/// Would any deleting rule of the batch fire against the batch's own
+/// insertions? Checked against a probe instance holding exactly the
+/// inserted facts, so coercion behaves as in real evaluation. A conflicting
+/// batch is order-sensitive and falls back to full rederivation.
+pub fn batch_conflicts(
+    schema: &Schema,
+    deleting: &[&Rule],
+    effect: &BatchEffect,
+) -> Result<bool, EngineError> {
+    if deleting.is_empty() || effect.inserted.is_empty() {
+        return Ok(false);
+    }
+    let mut probe = Instance::new();
+    for f in &effect.inserted {
+        probe.insert_fact(schema, f);
+    }
+    let mut memo = InventionMemo::new();
+    let mut gen = probe.oid_gen();
+    for (i, rule) in deleting.iter().enumerate() {
+        if !instantiate_head(schema, &probe, rule, i, &Subst::new(), &mut memo, &mut gen)?
+            .is_empty()
+        {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Record a fallback to full rederivation in the metrics registry and the
+/// trace stream.
+pub fn note_fallback(opts: &EvalOptions, reason: &str) {
+    if let Some(m) = &opts.metrics {
+        m.counter_with("logres_maintain_fallbacks_total", "reason", reason)
+            .inc();
+    }
+    trace::emit(opts.trace.as_deref(), || TraceEvent::Fallback {
+        reason: reason.to_owned(),
+    });
+}
+
+/// A materialized instance plus the support graph maintenance needs:
+/// for every derived fact, the rule and ground premises of its first
+/// derivation, the reverse (dependents) index, and a per-rule index for
+/// rule deletion (RDDV).
+///
+/// Rules are append-only with an `active` tombstone per slot, so recorded
+/// rule indices stay stable across rule deletion and re-addition.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    inst: Instance,
+    rules: Vec<Rule>,
+    active: Vec<bool>,
+    /// fact -> (rule index, ground positive premises) of its recorded
+    /// derivation. Extensionally-backed facts carry no entry.
+    support: FxHashMap<Fact, (usize, Vec<Fact>)>,
+    /// premise fact -> facts whose recorded derivation uses it.
+    dependents: FxHashMap<Fact, FxHashSet<Fact>>,
+    /// rule index -> facts whose recorded derivation uses the rule.
+    by_rule: FxHashMap<usize, FxHashSet<Fact>>,
+}
+
+impl MaterializedView {
+    /// Build a view by full semi-naive evaluation with provenance, then
+    /// index the provenance entries into the support graph. Errors outside
+    /// the maintainable fragment.
+    pub fn build(
+        schema: &Schema,
+        rules: &RuleSet,
+        edb: &Instance,
+        opts: &EvalOptions,
+    ) -> Result<(MaterializedView, EvalReport), EngineError> {
+        if !maintainable(schema, rules) {
+            return Err(EngineError::UnsupportedFragment {
+                detail: "incremental maintenance needs positive association rules \
+                         with invertible heads"
+                    .to_owned(),
+            });
+        }
+        let mut o = opts.clone();
+        o.provenance = true;
+        let (inst, report) = evaluate_seminaive(schema, rules, edb, o)?;
+        let mut view = MaterializedView {
+            inst,
+            rules: rules.rules.clone(),
+            active: vec![true; rules.rules.len()],
+            support: FxHashMap::default(),
+            dependents: FxHashMap::default(),
+            by_rule: FxHashMap::default(),
+        };
+        if let Some(p) = &report.provenance {
+            for (fact, e) in p.entries_iter() {
+                view.record(fact.clone(), e.rule, e.premises.clone());
+            }
+        }
+        Ok((view, report))
+    }
+
+    /// The maintained instance (`I`, extensional facts included).
+    pub fn instance(&self) -> &Instance {
+        &self.inst
+    }
+
+    /// Number of facts with a recorded derivation.
+    pub fn supported_count(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Register `fact`'s derivation, replacing any previous record.
+    fn record(&mut self, fact: Fact, rule: usize, premises: Vec<Fact>) {
+        self.drop_support(&fact);
+        for p in &premises {
+            self.dependents
+                .entry(p.clone())
+                .or_default()
+                .insert(fact.clone());
+        }
+        self.by_rule.entry(rule).or_default().insert(fact.clone());
+        self.support.insert(fact, (rule, premises));
+    }
+
+    /// Remove `fact`'s recorded derivation (it became extensional or was
+    /// deleted). Its own dependents entry is left for the caller.
+    fn drop_support(&mut self, fact: &Fact) {
+        if let Some((rule, premises)) = self.support.remove(fact) {
+            for p in &premises {
+                if let Some(d) = self.dependents.get_mut(p) {
+                    d.remove(fact);
+                    if d.is_empty() {
+                        self.dependents.remove(p);
+                    }
+                }
+            }
+            if let Some(s) = self.by_rule.get_mut(&rule) {
+                s.remove(fact);
+                if s.is_empty() {
+                    self.by_rule.remove(&rule);
+                }
+            }
+        }
+    }
+}
+
+/// One batch update against a [`MaterializedView`].
+#[derive(Debug, Clone, Default)]
+pub struct UpdateSpec {
+    /// Extensional facts to insert.
+    pub inserts: Vec<Fact>,
+    /// Extensional facts to delete.
+    pub deletes: Vec<Fact>,
+    /// Rules to add to the active set (RADV).
+    pub add_rules: Vec<Rule>,
+    /// Rules to remove from the active set (RDDV).
+    pub remove_rules: Vec<Rule>,
+}
+
+/// What [`apply_update`] did.
+#[derive(Debug, Clone)]
+pub struct MaintainResult {
+    /// Synthesized report: `steps` counts delta rounds, `facts` the final
+    /// instance size.
+    pub report: EvalReport,
+    /// Facts now present that were absent before the update (extensional
+    /// insertions actually applied plus newly derived facts) — the
+    /// consistency-check delta.
+    pub added: Vec<Fact>,
+}
+
+/// Invert a rule head against a stored tuple: the substitution that makes
+/// the head denote exactly this tuple's mentioned fields, or `None` when
+/// the tuple does not match the head pattern.
+fn bind_head(args: &[PredArg], tuple: &Value, inst: &Instance) -> Option<Subst> {
+    let mut s = Subst::new();
+    for arg in args {
+        match arg {
+            PredArg::Labeled(l, t) => {
+                let fv = tuple.field(*l)?.clone();
+                if !match_term(t, &fv, &mut s, inst) {
+                    return None;
+                }
+            }
+            PredArg::TupleVar(v) => {
+                if !s.unify_var(*v, tuple.clone()) {
+                    return None;
+                }
+            }
+            PredArg::SelfArg(_) => return None,
+        }
+    }
+    Some(s)
+}
+
+/// For each candidate rule (ascending index) whose head can denote `fact`,
+/// the first body valuation extending the head inversion. Verification
+/// (head instantiation must reproduce the fact exactly, including fields
+/// the head leaves `nil`) happens serially in the merge.
+fn derivation_candidates(
+    schema: &Schema,
+    inst: &Instance,
+    rules: &[Rule],
+    rule_idxs: &[usize],
+    fact: &Fact,
+) -> Result<Vec<(usize, Subst)>, EngineError> {
+    let Fact::Assoc { assoc, tuple } = fact else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for &idx in rule_idxs {
+        let rule = &rules[idx];
+        if rule.head.target() != *assoc {
+            continue;
+        }
+        let Atom::Pred { args, .. } = &rule.head.atom else {
+            continue;
+        };
+        let Some(theta0) = bind_head(args, tuple, inst) else {
+            continue;
+        };
+        let subs = eval_body(schema, BodyView::plain(inst), &rule.body, theta0)?;
+        if let Some(theta) = subs.into_iter().next() {
+            out.push((idx, theta));
+        }
+    }
+    Ok(out)
+}
+
+/// A maintenance stratum: one SCC of the positive predicate-dependency
+/// graph over the active rules, in topological order.
+struct Stratum {
+    preds: BTreeSet<Sym>,
+    rule_idxs: Vec<usize>,
+    recursive: bool,
+}
+
+/// Condense the positive dependency graph of the active rules into
+/// topologically ordered SCCs. `logres_lang::stratify` is unusable here:
+/// its longest-path layering puts every positive rule in one stratum (only
+/// strict edges raise levels), but maintenance needs the SCC condensation
+/// so counting applies exactly to the non-recursive components.
+/// Deterministic: predicates index in sorted order and ties in the
+/// topological order break on the smallest member predicate.
+fn maintenance_strata(rules: &[Rule], active: &[bool]) -> Vec<Stratum> {
+    let preds: Vec<Sym> = rules
+        .iter()
+        .zip(active)
+        .filter(|(_, a)| **a)
+        .map(|(r, _)| r.head.target())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let index: FxHashMap<Sym, usize> = preds.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let n = preds.len();
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (r, _) in rules.iter().zip(active).filter(|(_, a)| **a) {
+        let ih = index[&r.head.target()];
+        for lit in &r.body {
+            if let Atom::Pred { pred, .. } = &lit.atom {
+                if let Some(&ip) = index.get(pred) {
+                    edges[ip].insert(ih);
+                }
+            }
+        }
+    }
+
+    // Tarjan's SCC algorithm, iterative, over the sorted adjacency.
+    let mut idx_of = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    for root in 0..n {
+        if idx_of[root] != usize::MAX {
+            continue;
+        }
+        // (node, iterator position into its successor list)
+        let succs: Vec<Vec<usize>> = edges.iter().map(|s| s.iter().copied().collect()).collect();
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                idx_of[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *pos < succs[v].len() {
+                let w = succs[v][*pos];
+                *pos += 1;
+                if idx_of[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(idx_of[w]);
+                }
+            } else {
+                if low[v] == idx_of[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+
+    // Condensation + Kahn topological order, smallest-predicate tie-break.
+    let mut comp_of = vec![0usize; n];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &v in comp {
+            comp_of[v] = ci;
+        }
+    }
+    let nc = sccs.len();
+    let mut comp_edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nc];
+    let mut indegree = vec![0usize; nc];
+    for (v, outs) in edges.iter().enumerate() {
+        for &w in outs {
+            let (cv, cw) = (comp_of[v], comp_of[w]);
+            if cv != cw && comp_edges[cv].insert(cw) {
+                indegree[cw] += 1;
+            }
+        }
+    }
+    let mut ready: BTreeSet<(Sym, usize)> = (0..nc)
+        .filter(|&c| indegree[c] == 0)
+        .map(|c| (preds[sccs[c][0]], c))
+        .collect();
+    let mut order: Vec<usize> = Vec::new();
+    while let Some(&(_, c)) = ready.iter().next() {
+        ready.remove(&(preds[sccs[c][0]], c));
+        order.push(c);
+        for &w in &comp_edges[c] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                ready.insert((preds[sccs[w][0]], w));
+            }
+        }
+    }
+
+    order
+        .into_iter()
+        .map(|c| {
+            let members: BTreeSet<Sym> = sccs[c].iter().map(|&v| preds[v]).collect();
+            let recursive = sccs[c].len() > 1 || sccs[c].iter().any(|&v| edges[v].contains(&v));
+            let rule_idxs: Vec<usize> = rules
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| active[*i] && members.contains(&r.head.target()))
+                .map(|(i, _)| i)
+                .collect();
+            Stratum {
+                preds: members,
+                rule_idxs,
+                recursive,
+            }
+        })
+        .collect()
+}
+
+fn pend(pending: &mut BTreeMap<Sym, BTreeSet<Fact>>, fact: Fact) {
+    pending.entry(fact.predicate()).or_default().insert(fact);
+}
+
+/// Remove a fact with no remaining derivation: delete it from the
+/// instance, pend its dependents for recount, and drop its support edges.
+/// Returns whether the fact was actually present.
+fn mark_removed(
+    schema: &Schema,
+    view: &mut MaterializedView,
+    fact: &Fact,
+    pending: &mut BTreeMap<Sym, BTreeSet<Fact>>,
+) -> bool {
+    let present = view.inst.remove_fact(schema, fact);
+    if let Some(deps) = view.dependents.remove(fact) {
+        let mut ds: Vec<Fact> = deps.into_iter().collect();
+        ds.sort();
+        for d in ds {
+            pend(pending, d);
+        }
+    }
+    view.drop_support(fact);
+    present
+}
+
+/// Per-rule counters accumulated across one update, folded into the
+/// synthesized report's rule profiles. Indexed by view rule slot.
+#[derive(Default)]
+struct RuleTallies {
+    fired: Vec<usize>,
+    derived: Vec<usize>,
+    deleted: Vec<usize>,
+}
+
+impl RuleTallies {
+    fn ensure(&mut self, n: usize) {
+        self.fired.resize(n, 0);
+        self.derived.resize(n, 0);
+        self.deleted.resize(n, 0);
+    }
+}
+
+/// Apply one batch update to a materialized view, with work proportional
+/// to the change. `edb_before` is the extensional database *before* the
+/// update (the new extensional set is `(edb_before − deletes) ∪ inserts`;
+/// insertions win on overlap).
+///
+/// Counting-style recounts maintain non-recursive strata, DRed the
+/// recursive ones, and incremental semi-naive rounds propagate the
+/// insertions; see the module docs for the full protocol. Governor budgets
+/// (deadline, value nodes, fact and step caps) are enforced at round
+/// boundaries exactly like the fixpoint drivers.
+pub fn apply_update(
+    schema: &Schema,
+    view: &mut MaterializedView,
+    spec: &UpdateSpec,
+    edb_before: &Instance,
+    opts: &EvalOptions,
+) -> Result<MaintainResult, EngineError> {
+    let threads = effective_threads(opts.threads);
+    let governor = Governor::new(opts);
+    let token = governor.token().clone();
+    let tracer = opts.trace.as_deref();
+    let mut governor = governor;
+
+    let active_rules = view.active.iter().filter(|a| **a).count();
+    trace::emit(tracer, || TraceEvent::EvalStart {
+        engine: "maintain",
+        rules: active_rules,
+        facts: view.inst.fact_count(),
+    });
+
+    let mut steps = 0usize;
+    let mut removed_total = 0u64;
+    let mut rederived_total = 0u64;
+    let mut added: Vec<Fact> = Vec::new();
+    let mut pending: BTreeMap<Sym, BTreeSet<Fact>> = BTreeMap::new();
+
+    // Rule deletion (RDDV): tombstone the slot and pend everything whose
+    // recorded derivation used the rule.
+    for r in &spec.remove_rules {
+        let found = view
+            .rules
+            .iter()
+            .enumerate()
+            .position(|(i, er)| view.active[i] && er == r);
+        if let Some(idx) = found {
+            view.active[idx] = false;
+            if let Some(facts) = view.by_rule.get(&idx) {
+                let mut fs: Vec<Fact> = facts.iter().cloned().collect();
+                fs.sort();
+                for f in fs {
+                    pend(&mut pending, f);
+                }
+            }
+        }
+    }
+    // Rule addition (RADV): reactivate a matching tombstone or append.
+    let mut added_idxs: Vec<usize> = Vec::new();
+    for r in &spec.add_rules {
+        if view
+            .rules
+            .iter()
+            .enumerate()
+            .any(|(i, er)| view.active[i] && er == r)
+        {
+            continue;
+        }
+        if let Some(idx) = (0..view.rules.len()).find(|&i| !view.active[i] && view.rules[i] == *r) {
+            view.active[idx] = true;
+            added_idxs.push(idx);
+        } else {
+            view.rules.push(r.clone());
+            view.active.push(true);
+            added_idxs.push(view.rules.len() - 1);
+        }
+    }
+
+    let mut tallies = RuleTallies::default();
+    tallies.ensure(view.rules.len());
+
+    let ins_set: FxHashSet<Fact> = spec.inserts.iter().cloned().collect();
+    let del_set: FxHashSet<Fact> = spec.deletes.iter().cloned().collect();
+    // Membership in the *new* extensional database.
+    let in_new_edb = |f: &Fact| {
+        ins_set.contains(f) || (!del_set.contains(f) && edb_before.contains_fact(schema, f))
+    };
+
+    // Seed deletions.
+    let mut del_sorted: Vec<Fact> = del_set.iter().cloned().collect();
+    del_sorted.sort();
+    for f in del_sorted {
+        pend(&mut pending, f);
+    }
+    // Apply insertions up front so every recount sees the new facts. A
+    // previously derived fact that becomes extensional keeps its place but
+    // loses its support entry (it no longer depends on anything).
+    let mut ins_sorted: Vec<Fact> = ins_set.iter().cloned().collect();
+    ins_sorted.sort();
+    let mut delta_plus: Vec<Fact> = Vec::new();
+    for f in &ins_sorted {
+        if view.inst.insert_fact(schema, f) {
+            delta_plus.push(f.clone());
+            added.push(f.clone());
+        }
+        view.drop_support(f);
+    }
+
+    // Drain pending facts whose predicate has no active deriving rule:
+    // keep the extensionally-backed ones, remove the rest (cascading).
+    let head_active: FxHashSet<Sym> = view
+        .rules
+        .iter()
+        .zip(&view.active)
+        .filter(|(_, a)| **a)
+        .map(|(r, _)| r.head.target())
+        .collect();
+    let drain = |view: &mut MaterializedView,
+                 pending: &mut BTreeMap<Sym, BTreeSet<Fact>>,
+                 removed_total: &mut u64,
+                 tallies: &mut RuleTallies| {
+        loop {
+            let no_rule: Vec<Sym> = pending
+                .keys()
+                .filter(|p| !head_active.contains(*p))
+                .cloned()
+                .collect();
+            if no_rule.is_empty() {
+                break;
+            }
+            for p in no_rule {
+                let facts = pending.remove(&p).unwrap_or_default();
+                for f in facts {
+                    if in_new_edb(&f) {
+                        view.drop_support(&f);
+                    } else {
+                        let by = view.support.get(&f).map(|(i, _)| *i);
+                        if mark_removed(schema, view, &f, pending) {
+                            *removed_total += 1;
+                            if let Some(i) = by {
+                                tallies.deleted[i] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    drain(view, &mut pending, &mut removed_total, &mut tallies);
+
+    let strata = maintenance_strata(&view.rules, &view.active);
+    let mut memo = InventionMemo::new();
+    let mut gen = view.inst.oid_gen();
+
+    let cancel = |governor: &Governor, steps: usize, facts: usize| -> EngineError {
+        let cause = governor.check().expect("cancel taken only when tripped");
+        trace::emit(tracer, || TraceEvent::Cancelled {
+            step: steps,
+            cause: cause.to_string(),
+        });
+        EngineError::Cancelled {
+            cause,
+            partial: Box::new(EvalReport {
+                steps,
+                facts,
+                ..EvalReport::default()
+            }),
+        }
+    };
+
+    for stratum in &strata {
+        // ---- deletion phase ----
+        let mut cands: Vec<Fact> = Vec::new();
+        for p in &stratum.preds {
+            if let Some(fs) = pending.remove(p) {
+                cands.extend(fs);
+            }
+        }
+        cands.sort();
+        cands.retain(|f| view.inst.contains_fact(schema, f));
+
+        if !cands.is_empty() && !stratum.recursive {
+            // Counting-style recount: the stratum is a single predicate
+            // that never appears in its own rule bodies, so candidate
+            // presence cannot influence candidate derivability and the
+            // match phase parallelizes over a shared snapshot.
+            let (kept_edb, check): (Vec<Fact>, Vec<Fact>) =
+                cands.into_iter().partition(|f| in_new_edb(f));
+            for f in &kept_edb {
+                view.drop_support(f);
+            }
+            let inst = &view.inst;
+            let rules = &view.rules;
+            token.reset_item();
+            let per_fact = ordered_map_cancellable(threads, &check, &token, |i, f| {
+                token.note_item(i);
+                derivation_candidates(schema, inst, rules, &stratum.rule_idxs, f)
+            });
+            if governor.check().is_some() {
+                return Err(cancel(&governor, steps, view.inst.fact_count()));
+            }
+            for (f, slot) in check.iter().zip(per_fact) {
+                let Some(cs) = slot else {
+                    return Err(cancel(&governor, steps, view.inst.fact_count()));
+                };
+                let cs = cs?;
+                // Verify with the fact absent so the valuation-domain
+                // condition lets the head instantiate, then compare the
+                // instantiated fact (nil-filled unmentioned fields
+                // included) against the candidate.
+                view.inst.remove_fact(schema, f);
+                let mut kept = false;
+                for (idx, theta) in &cs {
+                    let rule = &view.rules[*idx];
+                    let facts = instantiate_head(
+                        schema, &view.inst, rule, *idx, theta, &mut memo, &mut gen,
+                    )?;
+                    if facts.iter().any(|g| g == f) {
+                        let premises = premises_of(schema, &view.inst, rule, theta);
+                        view.inst.insert_fact(schema, f);
+                        view.record(f.clone(), *idx, premises);
+                        tallies.fired[*idx] += 1;
+                        kept = true;
+                        break;
+                    }
+                }
+                if !kept {
+                    removed_total += 1;
+                    if let Some((i, _)) = view.support.get(f) {
+                        tallies.deleted[*i] += 1;
+                    }
+                    if let Some(deps) = view.dependents.remove(f) {
+                        let mut ds: Vec<Fact> = deps.into_iter().collect();
+                        ds.sort();
+                        for d in ds {
+                            pend(&mut pending, d);
+                        }
+                    }
+                    view.drop_support(f);
+                }
+            }
+        } else if !cands.is_empty() {
+            // Delete-and-Rederive. Overdelete the support closure inside
+            // the SCC; dependents outside it are pended for their own
+            // stratum's recount.
+            let mut queue: BTreeSet<Fact> = cands.into_iter().collect();
+            let mut overdeleted: Vec<Fact> = Vec::new();
+            let mut over_set: FxHashSet<Fact> = FxHashSet::default();
+            while let Some(f) = queue.pop_first() {
+                if in_new_edb(&f) {
+                    view.drop_support(&f);
+                    continue;
+                }
+                if !view.inst.contains_fact(schema, &f) {
+                    continue;
+                }
+                view.inst.remove_fact(schema, &f);
+                removed_total += 1;
+                if let Some((i, _)) = view.support.get(&f) {
+                    tallies.deleted[*i] += 1;
+                }
+                if let Some(deps) = view.dependents.remove(&f) {
+                    let mut ds: Vec<Fact> = deps.into_iter().collect();
+                    ds.sort();
+                    for d in ds {
+                        if stratum.preds.contains(&d.predicate()) {
+                            queue.insert(d);
+                        } else {
+                            pend(&mut pending, d);
+                        }
+                    }
+                }
+                view.drop_support(&f);
+                over_set.insert(f.clone());
+                overdeleted.push(f);
+            }
+            overdeleted.sort();
+
+            // Rederive round 0: head inversion over the overdeleted set
+            // against the instance with all overdeleted facts absent.
+            let inst = &view.inst;
+            let rules = &view.rules;
+            token.reset_item();
+            let per_fact = ordered_map_cancellable(threads, &overdeleted, &token, |i, f| {
+                token.note_item(i);
+                derivation_candidates(schema, inst, rules, &stratum.rule_idxs, f)
+            });
+            if governor.check().is_some() {
+                return Err(cancel(&governor, steps, view.inst.fact_count()));
+            }
+            let mut delta = Instance::new();
+            for (f, slot) in overdeleted.iter().zip(per_fact) {
+                let Some(cs) = slot else {
+                    return Err(cancel(&governor, steps, view.inst.fact_count()));
+                };
+                let cs = cs?;
+                for (idx, theta) in &cs {
+                    let rule = &view.rules[*idx];
+                    let facts = instantiate_head(
+                        schema, &view.inst, rule, *idx, theta, &mut memo, &mut gen,
+                    )?;
+                    if facts.iter().any(|g| g == f) {
+                        let premises = premises_of(schema, &view.inst, rule, theta);
+                        view.inst.insert_fact(schema, f);
+                        view.record(f.clone(), *idx, premises);
+                        tallies.fired[*idx] += 1;
+                        tallies.derived[*idx] += 1;
+                        rederived_total += 1;
+                        if let Fact::Assoc { assoc, tuple } = f {
+                            delta.insert_assoc(*assoc, tuple.clone());
+                        }
+                        break;
+                    }
+                }
+            }
+
+            // Delta rounds through the SCC rules; the valuation-domain
+            // condition confines reinsertions to facts actually absent,
+            // i.e. the overdeleted set (plus genuinely new consequences of
+            // this update's insertions, which are classified as such).
+            run_delta_rounds(
+                schema,
+                view,
+                stratum,
+                delta,
+                Some(&over_set),
+                &mut delta_plus,
+                &mut added,
+                &mut rederived_total,
+                &mut tallies,
+                &mut memo,
+                &mut gen,
+                opts,
+                threads,
+                &token,
+                &mut governor,
+                &mut steps,
+                tracer,
+            )?;
+        }
+
+        // ---- insertion phase ----
+        // Round 0 for rules added by this update: full body evaluation.
+        let new_here: Vec<usize> = added_idxs
+            .iter()
+            .copied()
+            .filter(|i| stratum.rule_idxs.contains(i))
+            .collect();
+        let mut delta = Instance::new();
+        if !new_here.is_empty() {
+            let inst = &view.inst;
+            let rules = &view.rules;
+            token.reset_item();
+            let subs_per_rule = ordered_map_cancellable(threads, &new_here, &token, |_, &idx| {
+                token.note_item(idx);
+                eval_body(
+                    schema,
+                    BodyView::plain(inst),
+                    &rules[idx].body,
+                    Subst::new(),
+                )
+            });
+            if governor.check().is_some() {
+                return Err(cancel(&governor, steps, view.inst.fact_count()));
+            }
+            for (&idx, slot) in new_here.iter().zip(subs_per_rule) {
+                let Some(subs) = slot else {
+                    return Err(cancel(&governor, steps, view.inst.fact_count()));
+                };
+                for theta in subs? {
+                    let rule = &view.rules[idx];
+                    tallies.fired[idx] += 1;
+                    let facts = instantiate_head(
+                        schema, &view.inst, rule, idx, &theta, &mut memo, &mut gen,
+                    )?;
+                    let premises = if facts.is_empty() {
+                        Vec::new()
+                    } else {
+                        premises_of(schema, &view.inst, rule, &theta)
+                    };
+                    for fact in facts {
+                        if view.inst.insert_fact(schema, &fact) {
+                            view.record(fact.clone(), idx, premises.clone());
+                            tallies.derived[idx] += 1;
+                            if let Fact::Assoc { assoc, tuple } = &fact {
+                                delta.insert_assoc(*assoc, tuple.clone());
+                            }
+                            delta_plus.push(fact.clone());
+                            added.push(fact);
+                        }
+                    }
+                }
+            }
+        }
+        // Seed from everything genuinely new so far that the stratum's
+        // bodies can read.
+        let body_preds: FxHashSet<Sym> = stratum
+            .rule_idxs
+            .iter()
+            .flat_map(|&i| view.rules[i].body.iter())
+            .filter_map(|lit| match &lit.atom {
+                Atom::Pred { pred, .. } => Some(*pred),
+                _ => None,
+            })
+            .collect();
+        for f in &delta_plus {
+            if body_preds.contains(&f.predicate()) {
+                if let Fact::Assoc { assoc, tuple } = f {
+                    delta.insert_assoc(*assoc, tuple.clone());
+                }
+            }
+        }
+        run_delta_rounds(
+            schema,
+            view,
+            stratum,
+            delta,
+            None,
+            &mut delta_plus,
+            &mut added,
+            &mut rederived_total,
+            &mut tallies,
+            &mut memo,
+            &mut gen,
+            opts,
+            threads,
+            &token,
+            &mut governor,
+            &mut steps,
+            tracer,
+        )?;
+    }
+
+    // Cascades out of the strata can only land on rule-less predicates.
+    drain(view, &mut pending, &mut removed_total, &mut tallies);
+
+    if let Some(m) = &opts.metrics {
+        m.counter("logres_maintain_applies_total").inc();
+        m.counter("logres_maintain_deleted_total")
+            .add(removed_total);
+        m.counter("logres_maintain_rederived_total")
+            .add(rederived_total);
+        m.counter("logres_maintain_inserted_total")
+            .add(added.len() as u64);
+    }
+    let facts = view.inst.fact_count();
+    trace::emit(tracer, || TraceEvent::EvalEnd {
+        steps,
+        facts,
+        fixpoint: true,
+    });
+    let rule_profiles: Vec<RuleProfile> = view
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| RuleProfile {
+            rule: r.to_string(),
+            firings: tallies.fired[i],
+            derived: tallies.derived[i],
+            deleted: tallies.deleted[i],
+            ..RuleProfile::default()
+        })
+        .collect();
+    Ok(MaintainResult {
+        report: EvalReport {
+            steps,
+            facts,
+            rule_profiles,
+            ..EvalReport::default()
+        },
+        added,
+    })
+}
+
+/// Incremental semi-naive delta rounds over one stratum's rules: each rule
+/// fires once per body position bound to the delta, new facts are recorded
+/// and become the next delta. With `over_set` given (DRed rederivation),
+/// reinsertions of overdeleted facts count as rederived; everything else
+/// is a genuinely new fact and joins `delta_plus`/`added`.
+#[allow(clippy::too_many_arguments)]
+fn run_delta_rounds(
+    schema: &Schema,
+    view: &mut MaterializedView,
+    stratum: &Stratum,
+    mut delta: Instance,
+    over_set: Option<&FxHashSet<Fact>>,
+    delta_plus: &mut Vec<Fact>,
+    added: &mut Vec<Fact>,
+    rederived_total: &mut u64,
+    tallies: &mut RuleTallies,
+    memo: &mut InventionMemo,
+    gen: &mut logres_model::OidGen,
+    opts: &EvalOptions,
+    threads: usize,
+    token: &crate::governor::CancelToken,
+    governor: &mut Governor,
+    steps: &mut usize,
+    tracer: Option<&crate::trace::Tracer>,
+) -> Result<(), EngineError> {
+    let cancel = |governor: &Governor, steps: usize, facts: usize| -> EngineError {
+        let cause = governor.check().expect("cancel taken only when tripped");
+        trace::emit(tracer, || TraceEvent::Cancelled {
+            step: steps,
+            cause: cause.to_string(),
+        });
+        EngineError::Cancelled {
+            cause,
+            partial: Box::new(EvalReport {
+                steps,
+                facts,
+                ..EvalReport::default()
+            }),
+        }
+    };
+    loop {
+        let jobs: Vec<(usize, usize)> = stratum
+            .rule_idxs
+            .iter()
+            .flat_map(|&idx| {
+                let delta = &delta;
+                view.rules[idx]
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(li, lit)| match &lit.atom {
+                        Atom::Pred { pred, .. } if delta.assoc_len(*pred) > 0 => Some((idx, li)),
+                        _ => None,
+                    })
+            })
+            .collect();
+        if jobs.is_empty() {
+            break;
+        }
+        if *steps >= opts.max_steps {
+            return Err(EngineError::NoFixpoint {
+                steps: opts.max_steps,
+            });
+        }
+        if view.inst.fact_count() > opts.max_facts {
+            return Err(EngineError::TooManyFacts {
+                limit: opts.max_facts,
+            });
+        }
+        let inst = &view.inst;
+        let rules = &view.rules;
+        token.reset_item();
+        let subs_per_job = ordered_map_cancellable(threads, &jobs, token, |_, &(idx, li)| {
+            token.note_item(idx);
+            let bv = BodyView {
+                full: inst,
+                delta: Some((li, &delta)),
+                tally: None,
+            };
+            eval_body(schema, bv, &rules[idx].body, Subst::new())
+        });
+        if governor.check().is_some() {
+            return Err(cancel(governor, *steps, view.inst.fact_count()));
+        }
+        let mut next_delta = Instance::new();
+        let mut round_nodes = 0usize;
+        for (&(idx, _), slot) in jobs.iter().zip(subs_per_job) {
+            let Some(subs) = slot else {
+                return Err(cancel(governor, *steps, view.inst.fact_count()));
+            };
+            for theta in subs? {
+                let rule = &view.rules[idx];
+                tallies.fired[idx] += 1;
+                let facts = instantiate_head(schema, &view.inst, rule, idx, &theta, memo, gen)?;
+                let premises = if facts.is_empty() {
+                    Vec::new()
+                } else {
+                    premises_of(schema, &view.inst, rule, &theta)
+                };
+                for fact in facts {
+                    if view.inst.insert_fact(schema, &fact) {
+                        round_nodes += fact_nodes(&fact);
+                        view.record(fact.clone(), idx, premises.clone());
+                        tallies.derived[idx] += 1;
+                        if let Fact::Assoc { assoc, tuple } = &fact {
+                            next_delta.insert_assoc(*assoc, tuple.clone());
+                        }
+                        if over_set.is_some_and(|s| s.contains(&fact)) {
+                            *rederived_total += 1;
+                        } else {
+                            delta_plus.push(fact.clone());
+                            added.push(fact);
+                        }
+                    }
+                }
+            }
+        }
+        governor.charge_nodes(round_nodes);
+        *steps += 1;
+        if governor.check().is_some() {
+            return Err(cancel(governor, *steps, view.inst.fact_count()));
+        }
+        delta = next_delta;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_facts;
+    use logres_lang::parse_program;
+    use logres_model::OidGen;
+
+    fn setup(src: &str) -> (Schema, Instance, RuleSet) {
+        let p = parse_program(src).expect("parses");
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("loads");
+        (p.schema, edb, p.rules)
+    }
+
+    fn tc_program(n: i64) -> String {
+        let mut facts = String::new();
+        for i in 0..n {
+            facts.push_str(&format!("  e(a: {}, b: {}).\n", i, i + 1));
+        }
+        format!(
+            r#"
+            associations
+              e  = (a: integer, b: integer);
+              tc = (a: integer, b: integer);
+            facts
+            {facts}
+            rules
+              tc(a: X, b: Y) <- e(a: X, b: Y).
+              tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
+        "#
+        )
+    }
+
+    fn edge(a: i64, b: i64) -> Fact {
+        Fact::Assoc {
+            assoc: Sym::new("e"),
+            tuple: Value::tuple([("a", Value::Int(a)), ("b", Value::Int(b))]),
+        }
+    }
+
+    fn rebuilt(schema: &Schema, rules: &RuleSet, edb: &Instance) -> Instance {
+        evaluate_seminaive(schema, rules, edb, EvalOptions::default())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn maintainable_accepts_the_positive_fragment() {
+        let (schema, _, rules) = setup(&tc_program(2));
+        assert!(maintainable(&schema, &rules));
+    }
+
+    #[test]
+    fn maintainable_rejects_computed_heads() {
+        let (schema, _, rules) = setup(
+            r#"
+            associations
+              n   = (v: integer);
+              dbl = (v: integer);
+            rules
+              dbl(v: X * 2) <- n(v: X).
+        "#,
+        );
+        assert!(!maintainable(&schema, &rules));
+    }
+
+    #[test]
+    fn insertion_extends_the_closure() {
+        let (schema, edb, rules) = setup(&tc_program(4));
+        let (mut view, _) =
+            MaterializedView::build(&schema, &rules, &edb, &EvalOptions::default()).unwrap();
+        let mut new_edb = edb.clone();
+        new_edb.insert_fact(&schema, &edge(4, 5));
+        let spec = UpdateSpec {
+            inserts: vec![edge(4, 5)],
+            ..UpdateSpec::default()
+        };
+        apply_update(&schema, &mut view, &spec, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(view.instance(), &rebuilt(&schema, &rules, &new_edb));
+    }
+
+    #[test]
+    fn deletion_shrinks_the_closure_via_dred() {
+        let (schema, edb, rules) = setup(&tc_program(6));
+        let (mut view, _) =
+            MaterializedView::build(&schema, &rules, &edb, &EvalOptions::default()).unwrap();
+        let mut new_edb = edb.clone();
+        new_edb.remove_fact(&schema, &edge(3, 4));
+        let spec = UpdateSpec {
+            deletes: vec![edge(3, 4)],
+            ..UpdateSpec::default()
+        };
+        apply_update(&schema, &mut view, &spec, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(view.instance(), &rebuilt(&schema, &rules, &new_edb));
+    }
+
+    #[test]
+    fn rule_deletion_retracts_only_its_facts() {
+        let (schema, edb, rules) = setup(&tc_program(4));
+        let (mut view, _) =
+            MaterializedView::build(&schema, &rules, &edb, &EvalOptions::default()).unwrap();
+        // Remove the recursive rule: only direct edges remain in tc.
+        let spec = UpdateSpec {
+            remove_rules: vec![rules.rules[1].clone()],
+            ..UpdateSpec::default()
+        };
+        apply_update(&schema, &mut view, &spec, &edb, &EvalOptions::default()).unwrap();
+        let remaining = RuleSet {
+            rules: vec![rules.rules[0].clone()],
+        };
+        assert_eq!(view.instance(), &rebuilt(&schema, &remaining, &edb));
+        // Re-adding it restores the closure through the tombstoned slot.
+        let spec = UpdateSpec {
+            add_rules: vec![rules.rules[1].clone()],
+            ..UpdateSpec::default()
+        };
+        apply_update(&schema, &mut view, &spec, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(view.instance(), &rebuilt(&schema, &rules, &edb));
+    }
+
+    #[test]
+    fn shared_facts_survive_partial_deletes() {
+        // tc(0,2) via (0,1),(1,2); deleting e(0,1) must keep tc(1,2).
+        let (schema, edb, rules) = setup(&tc_program(3));
+        let (mut view, _) =
+            MaterializedView::build(&schema, &rules, &edb, &EvalOptions::default()).unwrap();
+        let mut new_edb = edb.clone();
+        new_edb.remove_fact(&schema, &edge(0, 1));
+        let spec = UpdateSpec {
+            deletes: vec![edge(0, 1)],
+            ..UpdateSpec::default()
+        };
+        apply_update(&schema, &mut view, &spec, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(view.instance(), &rebuilt(&schema, &rules, &new_edb));
+    }
+
+    #[test]
+    fn ground_batches_apply_in_one_pass() {
+        let (schema, edb, _) = setup(&tc_program(2));
+        let p = parse_program(
+            r#"
+            associations
+              e = (a: integer, b: integer);
+            rules
+              e(a: 7, b: 8) <- .
+              -e(a: 0, b: 1) <- .
+        "#,
+        )
+        .unwrap();
+        for r in &p.rules.rules {
+            assert!(is_ground_batch_rule(&schema, r));
+        }
+        let refs: Vec<&Rule> = p.rules.rules.iter().collect();
+        let effect = apply_batch(&schema, &refs, &edb).unwrap();
+        assert_eq!(effect.inserted, vec![edge(7, 8)]);
+        assert_eq!(effect.deleted, vec![edge(0, 1)]);
+        let deleting: Vec<&Rule> = p.rules.rules.iter().filter(|r| r.head.negated).collect();
+        assert!(!batch_conflicts(&schema, &deleting, &effect).unwrap());
+    }
+
+    #[test]
+    fn conflicting_batches_are_detected() {
+        let (schema, edb, _) = setup(&tc_program(2));
+        let p = parse_program(
+            r#"
+            associations
+              e = (a: integer, b: integer);
+            rules
+              e(a: 7, b: 8) <- .
+              -e(a: 7, b: 8) <- .
+        "#,
+        )
+        .unwrap();
+        let refs: Vec<&Rule> = p.rules.rules.iter().collect();
+        let effect = apply_batch(&schema, &refs, &edb).unwrap();
+        let deleting: Vec<&Rule> = p.rules.rules.iter().filter(|r| r.head.negated).collect();
+        assert!(batch_conflicts(&schema, &deleting, &effect).unwrap());
+    }
+
+    #[test]
+    fn strata_split_counting_from_dred() {
+        let (schema, _, rules) = setup(
+            r#"
+            associations
+              e    = (a: integer, b: integer);
+              tc   = (a: integer, b: integer);
+              top  = (a: integer);
+            rules
+              tc(a: X, b: Y) <- e(a: X, b: Y).
+              tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).
+              top(a: X) <- tc(a: X, b: Y).
+        "#,
+        );
+        assert!(maintainable(&schema, &rules));
+        let strata = maintenance_strata(&rules.rules, &[true, true, true]);
+        assert_eq!(strata.len(), 2);
+        assert!(strata[0].recursive, "tc depends on itself");
+        assert!(!strata[1].recursive, "top is a plain projection");
+        assert!(strata[1].preds.contains(&Sym::new("top")));
+    }
+}

@@ -158,6 +158,13 @@ fn help_for(name: &str) -> &'static str {
         "logres_governor_deadline_headroom_ms" => {
             "Milliseconds left before the evaluation deadline (last step boundary)"
         }
+        "logres_maintain_applies_total" => "Module applications served incrementally",
+        "logres_maintain_fallbacks_total" => {
+            "Module applications that fell back to full rederivation, by reason"
+        }
+        "logres_maintain_deleted_total" => "Facts removed (incl. overdeleted) during maintenance",
+        "logres_maintain_rederived_total" => "Overdeleted facts restored by rederivation",
+        "logres_maintain_inserted_total" => "Genuinely new facts added during maintenance",
         "logres_persist_bytes_total" => "Bytes written by state serialisation",
         "logres_persist_oids_total" => "Oids written by state serialisation",
         "logres_trace_dropped_events_total" => "Trace events lost to sink write errors",

@@ -74,6 +74,12 @@ impl Provenance {
         self.entries.get(fact)
     }
 
+    /// Iterate over every recorded (fact, entry) pair, in no particular
+    /// order. Incremental maintenance uses this to index the support graph.
+    pub fn entries_iter(&self) -> impl Iterator<Item = (&Fact, &ProvEntry)> {
+        self.entries.iter()
+    }
+
     /// The (rule, step) that invented an oid, if any.
     pub fn invention(&self, oid: Oid) -> Option<(usize, usize)> {
         self.invented.get(&oid).copied()

@@ -111,6 +111,12 @@ pub enum TraceEvent {
         /// end a stratum early, true on a confirmed `Fᵏ = Fᵏ⁺¹`).
         fixpoint: bool,
     },
+    /// An incremental-maintenance request left the supported fragment and
+    /// fell back to full rederivation.
+    Fallback {
+        /// Why the module (or persistent program) was not maintainable.
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -193,6 +199,10 @@ impl TraceEvent {
                 fixpoint,
             } => format!(
                 r#"{{"event":"eval_end","steps":{steps},"facts":{facts},"fixpoint":{fixpoint}}}"#
+            ),
+            TraceEvent::Fallback { reason } => format!(
+                r#"{{"event":"fallback","reason":"{}"}}"#,
+                reason.replace('\\', "\\\\").replace('"', "\\\"")
             ),
         }
     }

@@ -205,6 +205,48 @@ pub fn check(
     out
 }
 
+/// Check the association constraints against just the given added tuples
+/// (referential targets still resolve against the full instance). This is
+/// the delta form incremental maintenance uses: when the pre-update state
+/// was consistent and the update only *added* the listed tuples, the full
+/// [`check`] finds a violation iff this one does.
+pub fn check_assoc_delta(
+    schema: &Schema,
+    instance: &Instance,
+    constraints: &[IntegrityConstraint],
+    added: &[(Sym, Value)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for c in constraints {
+        if schema.kind(c.owner) != Some(PredKind::Assoc) {
+            continue;
+        }
+        for (assoc, t) in added {
+            if *assoc != c.owner {
+                continue;
+            }
+            for hit in c.path.resolve(t) {
+                match hit {
+                    Value::Oid(o) if !instance.is_member(c.target, *o) => {
+                        out.push(Violation {
+                            constraint: c.clone(),
+                            oid: Some(*o),
+                            tuple: Some(t.clone()),
+                        });
+                    }
+                    Value::Nil => out.push(Violation {
+                        constraint: c.clone(),
+                        oid: None,
+                        tuple: Some(t.clone()),
+                    }),
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Compute repair actions for a set of violations (active constraints as
 /// triggers): dangling/nil references inside associations delete the tuple;
 /// dangling references inside class values are nulled out.

@@ -1,0 +1,446 @@
+//! Differential tests for incremental maintenance (DESIGN.md §11).
+//!
+//! The incremental path (counting recounts + Delete-and-Rederive behind
+//! `Database`'s RIDV/RADV/RDDV routing) must be observationally identical
+//! to full rederivation: same extensional database, same rule set, same
+//! materialized instance, at every thread count, for random programs and
+//! random update batches. Modules outside the supported fragment must fall
+//! back transparently and say so on the
+//! `logres_maintain_fallbacks_total{reason=...}` metric.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use logres::engine::EvalOptions;
+use logres::model::Instance;
+use logres::{Database, Mode, Sym};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 8, 0]; // 0 = one worker per core
+
+// ---------------------------------------------------------------------------
+// Random maintainable programs (the props.rs template family)
+// ---------------------------------------------------------------------------
+
+const P: [&str; 3] = ["p", "q", "r"];
+
+/// Render a random positive association program from rule-template picks.
+/// Every template is positive, association-only and builtin-free, so the
+/// program is maintainable and every update stays on the incremental path.
+fn program_src(
+    rules: &[(usize, usize, usize, usize)],
+    facts: &BTreeSet<(usize, i64, i64)>,
+) -> String {
+    let mut src = String::from(
+        "associations\n  \
+           p = (a: integer, b: integer);\n  \
+           q = (a: integer, b: integer);\n  \
+           r = (a: integer, b: integer);\nfacts\n",
+    );
+    for &(pi, a, b) in facts {
+        src.push_str(&format!("  {}(a: {a}, b: {b}).\n", P[pi]));
+    }
+    src.push_str("rules\n");
+    for &(t, h, b1, b2) in rules {
+        let (h, b1, b2) = (P[h], P[b1], P[b2]);
+        let line = match t {
+            0 => format!("  {h}(a: X, b: Y) <- {b1}(a: X, b: Y).\n"),
+            1 => format!("  {h}(a: Y, b: X) <- {b1}(a: X, b: Y).\n"),
+            2 => format!("  {h}(a: X, b: Z) <- {b1}(a: X, b: Y), {b2}(a: Y, b: Z).\n"),
+            3 => format!("  {h}(a: X, b: X) <- {b1}(a: X).\n"),
+            _ => format!("  {h}(a: X, b: Y) <- {b1}(a: X, b: Y), {b2}(b: Y).\n"),
+        };
+        src.push_str(&line);
+    }
+    src
+}
+
+/// Render one update batch as a ground-rule module. A fact appearing both
+/// as an insert and a delete would make the batch conflicting (no one-step
+/// fixpoint), so deletes of inserted facts are dropped.
+fn batch_module(batch: &[(usize, usize, i64, i64)]) -> String {
+    let inserts: BTreeSet<(usize, i64, i64)> = batch
+        .iter()
+        .filter(|(k, ..)| *k == 0)
+        .map(|&(_, pi, a, b)| (pi, a, b))
+        .collect();
+    let mut src = String::from("rules\n");
+    let mut emitted: BTreeSet<(usize, usize, i64, i64)> = BTreeSet::new();
+    for &(kind, pi, a, b) in batch {
+        if kind == 1 && inserts.contains(&(pi, a, b)) {
+            continue;
+        }
+        if !emitted.insert((kind, pi, a, b)) {
+            continue;
+        }
+        let sign = if kind == 1 { "-" } else { "" };
+        src.push_str(&format!("  {sign}{}(a: {a}, b: {b}) <- .\n", P[pi]));
+    }
+    src
+}
+
+/// A database pair over the same program: one maintained incrementally,
+/// one forced onto the full-rederivation path.
+fn db_pair(src: &str, threads: usize) -> (Database, Database) {
+    let mut inc = Database::from_source(src).expect("program parses");
+    let mut full = inc.clone();
+    full.set_incremental(false);
+    let opts = EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    };
+    inc.set_options(opts.clone());
+    full.set_options(opts);
+    (inc, full)
+}
+
+/// The materialized instance of a database, without disturbing it.
+fn materialized(db: &Database) -> Instance {
+    let mut scratch = db.clone();
+    scratch.materialize().expect("materializes");
+    scratch.edb().clone()
+}
+
+/// Apply the same module to both databases and check that the persistent
+/// states remain identical (both the stored EDB and the derived closure).
+fn apply_both(inc: &mut Database, full: &mut Database, src: &str, mode: Mode) {
+    let a = inc.apply_source(src, mode);
+    let b = full.apply_source(src, mode);
+    assert_eq!(
+        a.is_ok(),
+        b.is_ok(),
+        "outcome mismatch for {mode:?} on:\n{src}\nincremental: {a:?}\nfull: {b:?}"
+    );
+    assert_eq!(inc.edb(), full.edb(), "EDB drift after {mode:?} on:\n{src}");
+    assert_eq!(
+        inc.rules(),
+        full.rules(),
+        "rule drift after {mode:?} on:\n{src}"
+    );
+    assert_eq!(
+        materialized(inc),
+        materialized(full),
+        "instance drift after {mode:?} on:\n{src}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: random programs × random batches × modes × threads
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RIDV: random mixed insert/delete batches leave the incremental and
+    /// full-rederivation databases instance-identical.
+    #[test]
+    fn ridv_matches_full_rederivation(
+        rules in proptest::collection::vec(
+            (0usize..5, 0usize..3, 0usize..3, 0usize..3),
+            1..5,
+        ),
+        facts in proptest::collection::btree_set((0usize..3, 0i64..5, 0i64..5), 1..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..2, 0usize..3, 0i64..5, 0i64..5), 1..5),
+            1..4,
+        ),
+        ti in 0usize..4,
+    ) {
+        let src = program_src(&rules, &facts);
+        let (mut inc, mut full) = db_pair(&src, THREAD_COUNTS[ti]);
+        for batch in &batches {
+            apply_both(&mut inc, &mut full, &batch_module(batch), Mode::Ridv);
+        }
+    }
+
+    /// RADV: persisting a new rule together with a data batch maintains the
+    /// view exactly like rebuilding it.
+    #[test]
+    fn radv_matches_full_rederivation(
+        rules in proptest::collection::vec(
+            (0usize..5, 0usize..3, 0usize..3, 0usize..3),
+            1..4,
+        ),
+        facts in proptest::collection::btree_set((0usize..3, 0i64..5, 0i64..5), 1..10),
+        new_rule in (0usize..5, 0usize..3, 0usize..3, 0usize..3),
+        inserts in proptest::collection::vec((0usize..3, 0i64..5, 0i64..5), 1..4),
+        ti in 0usize..4,
+    ) {
+        let src = program_src(&rules, &facts);
+        let (mut inc, mut full) = db_pair(&src, THREAD_COUNTS[ti]);
+        // Data-only RADV batch first, then a module that also persists a
+        // (possibly already-known) rule.
+        let batch: Vec<(usize, usize, i64, i64)> =
+            inserts.iter().map(|&(pi, a, b)| (0, pi, a, b)).collect();
+        apply_both(&mut inc, &mut full, &batch_module(&batch), Mode::Radv);
+        let mut module = program_src(&[new_rule], &BTreeSet::new());
+        let rules_at = module.find("rules\n").unwrap();
+        module.replace_range(..rules_at, "");
+        apply_both(&mut inc, &mut full, &module, Mode::Radv);
+    }
+
+    /// RDDV: deleting module-derivable facts and retracting rule sets both
+    /// agree with full rederivation (the Delete-and-Rederive path).
+    #[test]
+    fn rddv_matches_full_rederivation(
+        rules in proptest::collection::vec(
+            (0usize..5, 0usize..3, 0usize..3, 0usize..3),
+            1..4,
+        ),
+        facts in proptest::collection::btree_set((0usize..3, 0i64..5, 0i64..5), 2..10),
+        delete_count in 1usize..4,
+        drop_rule in 0usize..4,
+        ti in 0usize..4,
+    ) {
+        let src = program_src(&rules, &facts);
+        let (mut inc, mut full) = db_pair(&src, THREAD_COUNTS[ti]);
+        // Delete a few of the original EDB facts through RDDV's E_M path.
+        let batch: Vec<(usize, usize, i64, i64)> = facts
+            .iter()
+            .take(delete_count)
+            .map(|&(pi, a, b)| (0, pi, a, b))
+            .collect();
+        apply_both(&mut inc, &mut full, &batch_module(&batch), Mode::Rddv);
+        // Retract one of the persistent rules (RDDV of a rule set).
+        if let Some(rule) = rules.get(drop_rule % rules.len()) {
+            let mut module = program_src(&[*rule], &BTreeSet::new());
+            let rules_at = module.find("rules\n").unwrap();
+            module.replace_range(..rules_at, "");
+            apply_both(&mut inc, &mut full, &module, Mode::Rddv);
+        }
+    }
+
+    /// Confluence of batching: one big RIDV update and the same update as a
+    /// sequence of singletons end in the same state. Insert and delete
+    /// targets are drawn from disjoint ranges so ordering cannot matter.
+    #[test]
+    fn batched_and_singleton_updates_agree(
+        rules in proptest::collection::vec(
+            (0usize..5, 0usize..3, 0usize..3, 0usize..3),
+            1..5,
+        ),
+        facts in proptest::collection::btree_set((0usize..3, 0i64..6, 0i64..6), 1..10),
+        inserts in proptest::collection::btree_set((0usize..3, 0i64..3, 0i64..6), 1..5),
+        deletes in proptest::collection::btree_set((0usize..3, 3i64..6, 0i64..6), 1..5),
+        ti in 0usize..4,
+    ) {
+        let src = program_src(&rules, &facts);
+        let threads = THREAD_COUNTS[ti];
+        let (mut batched, _) = db_pair(&src, threads);
+        let (mut singles, _) = db_pair(&src, threads);
+
+        let batch: Vec<(usize, usize, i64, i64)> = inserts
+            .iter()
+            .map(|&(pi, a, b)| (0, pi, a, b))
+            .chain(deletes.iter().map(|&(pi, a, b)| (1, pi, a, b)))
+            .collect();
+        batched
+            .apply_source(&batch_module(&batch), Mode::Ridv)
+            .expect("batched update applies");
+        for one in &batch {
+            singles
+                .apply_source(&batch_module(std::slice::from_ref(one)), Mode::Ridv)
+                .expect("singleton update applies");
+        }
+        prop_assert_eq!(batched.edb(), singles.edb(), "EDB drift on:\n{}", src);
+        prop_assert_eq!(
+            materialized(&batched),
+            materialized(&singles),
+            "instance drift on:\n{}",
+            src
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn maintenance_is_deterministic_across_thread_counts() {
+    let src = r#"
+        associations
+          edge = (a: integer, b: integer);
+          tc   = (a: integer, b: integer);
+        facts
+          edge(a: 0, b: 1).
+          edge(a: 1, b: 2).
+          edge(a: 2, b: 3).
+          edge(a: 3, b: 4).
+        rules
+          tc(a: X, b: Y) <- edge(a: X, b: Y).
+          tc(a: X, b: Z) <- tc(a: X, b: Y), edge(a: Y, b: Z).
+    "#;
+    let run = |threads: usize| -> (Instance, Instance) {
+        let (mut db, _) = db_pair(src, threads);
+        db.apply_source("rules\n  edge(a: 4, b: 0) <- .", Mode::Ridv)
+            .unwrap();
+        db.apply_source("rules\n  -edge(a: 1, b: 2) <- .", Mode::Ridv)
+            .unwrap();
+        db.apply_source("rules\n  edge(a: 1, b: 3) <- .", Mode::Ridv)
+            .unwrap();
+        (db.edb().clone(), materialized(&db))
+    };
+    let baseline = run(1);
+    for threads in [2, 8, 0] {
+        assert_eq!(run(threads), baseline, "threads={threads} diverges");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback boundary: programs outside the fragment take the full path
+// ---------------------------------------------------------------------------
+
+/// The value of a labelled counter series in a snapshot, or 0.
+fn series(snapshot: &[(String, u64)], name: &str) -> u64 {
+    snapshot
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn oid_invention_programs_fall_back() {
+    // A persistent class-head rule invents oids; the support graph cannot
+    // maintain it, so every data update takes the full path.
+    let mut db = Database::from_source(
+        r#"
+        classes
+          person = (name: string);
+        associations
+          seed = (name: string);
+        facts
+          seed(name: "eva").
+        rules
+          person(self: P, name: N) <- seed(name: N).
+    "#,
+    )
+    .unwrap();
+    let registry = db.enable_metrics();
+    db.apply_source(r#"rules seed(name: "bob") <- ."#, Mode::Ridv)
+        .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("seed")), 2);
+    let snap = registry.counter_snapshot();
+    assert_eq!(
+        series(
+            &snap,
+            r#"logres_maintain_fallbacks_total{reason="fragment"}"#
+        ),
+        1,
+        "snapshot: {snap:?}"
+    );
+    assert_eq!(series(&snap, "logres_maintain_applies_total"), 0);
+}
+
+#[test]
+fn data_function_programs_fall_back() {
+    // Arithmetic in a persistent rule (a data function) leaves the
+    // fragment: heads are no longer invertible against stored tuples.
+    let mut db = Database::from_source(
+        r#"
+        associations
+          src = (v: integer);
+          dbl = (v: integer);
+        facts
+          src(v: 2).
+        rules
+          dbl(v: Y) <- src(v: X), Y = X * 2.
+    "#,
+    )
+    .unwrap();
+    let registry = db.enable_metrics();
+    db.apply_source("rules src(v: 5) <- .", Mode::Ridv).unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("src")), 2);
+    let snap = registry.counter_snapshot();
+    assert_eq!(
+        series(
+            &snap,
+            r#"logres_maintain_fallbacks_total{reason="fragment"}"#
+        ),
+        1,
+        "snapshot: {snap:?}"
+    );
+    assert_eq!(series(&snap, "logres_maintain_applies_total"), 0);
+}
+
+#[test]
+fn nonground_ridv_modules_fall_back() {
+    // RIDV with a non-ground module rule is a bulk computed update, not a
+    // batch; it falls back (reason pins the boundary) yet behaves the same.
+    let mut db = Database::from_source(
+        r#"
+        associations
+          a = (v: integer);
+          b = (v: integer);
+        facts
+          a(v: 1).
+          a(v: 2).
+    "#,
+    )
+    .unwrap();
+    let registry = db.enable_metrics();
+    db.apply_source("rules b(v: X) <- a(v: X).", Mode::Ridv)
+        .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("b")), 2);
+    let snap = registry.counter_snapshot();
+    assert_eq!(
+        series(
+            &snap,
+            r#"logres_maintain_fallbacks_total{reason="nonground-rule"}"#
+        ),
+        1,
+        "snapshot: {snap:?}"
+    );
+    assert_eq!(series(&snap, "logres_maintain_applies_total"), 0);
+}
+
+#[test]
+fn ground_batches_take_the_incremental_path() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          edge = (a: integer, b: integer);
+          tc   = (a: integer, b: integer);
+        facts
+          edge(a: 1, b: 2).
+        rules
+          tc(a: X, b: Y) <- edge(a: X, b: Y).
+          tc(a: X, b: Z) <- tc(a: X, b: Y), edge(a: Y, b: Z).
+    "#,
+    )
+    .unwrap();
+    let registry = db.enable_metrics();
+    db.apply_source("rules edge(a: 2, b: 3) <- .", Mode::Ridv)
+        .unwrap();
+    db.apply_source("rules -edge(a: 1, b: 2) <- .", Mode::Ridv)
+        .unwrap();
+    let snap = registry.counter_snapshot();
+    assert_eq!(series(&snap, "logres_maintain_applies_total"), 2);
+    assert!(
+        !snap
+            .iter()
+            .any(|(n, _)| n.starts_with("logres_maintain_fallbacks_total")),
+        "no fallback expected: {snap:?}"
+    );
+    // And the maintained closure is correct.
+    let rows = db.query("goal tc(a: A, b: B)?").unwrap();
+    assert_eq!(rows.len(), 1, "only edge(2,3) remains");
+}
+
+#[test]
+fn disabling_incremental_maintenance_forces_the_full_path() {
+    let mut db = Database::from_source(
+        r#"
+        associations
+          p = (d: integer);
+    "#,
+    )
+    .unwrap();
+    db.set_incremental(false);
+    let registry = db.enable_metrics();
+    db.apply_source("rules p(d: 1) <- .", Mode::Ridv).unwrap();
+    let snap = registry.counter_snapshot();
+    assert_eq!(series(&snap, "logres_maintain_applies_total"), 0);
+    assert_eq!(db.edb().assoc_len(Sym::new("p")), 1);
+}

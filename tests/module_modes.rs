@@ -104,6 +104,124 @@ fn rddv_inverts_a_previous_ridv_insertion() {
 }
 
 #[test]
+fn ridv_applies_a_multi_tuple_batch_atomically() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    // One module: two inserts and one delete, all in a single batch.
+    db.apply_source(
+        r#"
+        rules
+          parent(par: "c", chil: "d") <- .
+          parent(par: "d", chil: "e") <- .
+          -parent(par: "a", chil: "b") <- .
+        "#,
+        Mode::Ridv,
+    )
+    .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 3);
+    // Derived closure reflects the whole batch: chains from b and c only.
+    let rows = db.query(r#"goal ancestor(anc: A, des: D)?"#).unwrap();
+    assert_eq!(rows.len(), 6, "b->c, c->d, d->e, b->d, c->e, b->e");
+    let rows = db.query(r#"goal ancestor(anc: "a", des: D)?"#).unwrap();
+    assert!(rows.is_empty(), "a's chain was severed by the delete");
+}
+
+#[test]
+fn radv_applies_a_multi_tuple_batch_with_rules() {
+    let mut db = fresh();
+    db.apply_source(
+        r#"
+        associations
+          grandparent = (gp: string, gc: string);
+        rules
+          parent(par: "c", chil: "d") <- .
+          parent(par: "d", chil: "e") <- .
+          grandparent(gp: X, gc: Z) <- parent(par: X, chil: Y),
+                                       parent(par: Y, chil: Z).
+        "#,
+        Mode::Radv,
+    )
+    .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 4);
+    // RADV persists every module rule, ground batch rules included.
+    assert_eq!(db.rules().len(), 3);
+    let rows = db.query("goal grandparent(gp: G, gc: C)?").unwrap();
+    assert_eq!(rows.len(), 3, "a->c, b->d, c->e");
+}
+
+#[test]
+fn rddv_deletes_a_multi_tuple_batch_atomically() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    db.apply_source(
+        r#"
+        rules
+          parent(par: "a", chil: "b") <- .
+          parent(par: "b", chil: "c") <- .
+        "#,
+        Mode::Rddv,
+    )
+    .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 0);
+    let rows = db.query("goal ancestor(anc: A, des: D)?").unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn ridv_delete_then_reinsert_roundtrips() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    let edb_before = db.edb().clone();
+    let closure_before = db.query("goal ancestor(anc: A, des: D)?").unwrap();
+
+    db.apply_source(r#"rules -parent(par: "a", chil: "b") <- ."#, Mode::Ridv)
+        .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 1);
+    assert_eq!(db.query("goal ancestor(anc: A, des: D)?").unwrap().len(), 1);
+
+    db.apply_source(r#"rules parent(par: "a", chil: "b") <- ."#, Mode::Ridv)
+        .unwrap();
+    assert_eq!(db.edb(), &edb_before);
+    assert_eq!(
+        db.query("goal ancestor(anc: A, des: D)?").unwrap().len(),
+        closure_before.len()
+    );
+}
+
+#[test]
+fn radv_delete_then_reinsert_roundtrips() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    let edb_before = db.edb().clone();
+    // RDDV deletes the tuple; RADV (with no new rules) reinserts it.
+    db.apply_source(r#"rules parent(par: "b", chil: "c") <- ."#, Mode::Rddv)
+        .unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 1);
+    db.apply_source(r#"rules parent(par: "b", chil: "c") <- ."#, Mode::Radv)
+        .unwrap();
+    assert_eq!(db.edb(), &edb_before);
+    let rows = db.query(r#"goal ancestor(anc: "a", des: D)?"#).unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn rddv_then_ridv_of_the_same_module_is_an_identity() {
+    let mut db = fresh();
+    db.apply_source(VIEW, Mode::Radi).unwrap();
+    let edb_before = db.edb().clone();
+    let module = r#"
+        rules
+          parent(par: "a", chil: "b") <- .
+          parent(par: "b", chil: "c") <- .
+    "#;
+    db.apply_source(module, Mode::Rddv).unwrap();
+    assert_eq!(db.edb().assoc_len(Sym::new("parent")), 0);
+    db.apply_source(module, Mode::Ridv).unwrap();
+    assert_eq!(db.edb(), &edb_before);
+    assert_eq!(db.query("goal ancestor(anc: A, des: D)?").unwrap().len(), 3);
+}
+
+#[test]
 fn goal_rules_for_each_mode_match_the_paper_table() {
     let mut db = fresh();
     let goal_module = format!("{VIEW}\ngoal ancestor(anc: X)?");
