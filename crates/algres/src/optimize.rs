@@ -3,11 +3,12 @@
 //! ALGRES is main-memory, so the dominant cost is intermediate-result size;
 //! pushing selections below joins, products and unions is the classical
 //! rewrite that attacks it. The E10 benchmark runs the football workload
-//! with and without this pass.
+//! with and without this pass, and the engine's compiled evaluation path
+//! runs it over every rule plan.
 
 use logres_model::Sym;
 
-use crate::expr::{AlgExpr, Pred};
+use crate::expr::{AlgExpr, Pred, Scalar};
 
 /// A column catalog for named relations: tells the optimizer which columns
 /// `Rel(name)` produces, so predicates can sink past relation references.
@@ -100,12 +101,28 @@ fn rewrite(expr: AlgExpr, catalog: Catalog<'_>) -> AlgExpr {
             base,
             step,
             mode,
-        } => AlgExpr::Fixpoint {
-            rec,
-            base: Box::new(rewrite(*base, catalog)),
-            step: Box::new(rewrite(*step, catalog)),
-            mode,
-        },
+        } => {
+            let base = rewrite(*base, catalog);
+            // Inside the step, `rec` names the accumulating relation — whose
+            // columns are the base's — not whatever the outer catalog may
+            // associate with the same name. Shadow it to avoid capturing an
+            // unrelated relation's columns in coverage decisions.
+            let rec_cols = out_cols(&base, catalog);
+            let step_catalog = move |name: Sym| {
+                if name == rec {
+                    rec_cols.clone()
+                } else {
+                    catalog(name)
+                }
+            };
+            let step = rewrite(*step, &step_catalog);
+            AlgExpr::Fixpoint {
+                rec,
+                base: Box::new(base),
+                step: Box::new(step),
+                mode,
+            }
+        }
         leaf @ (AlgExpr::Rel(_) | AlgExpr::Const(_)) => leaf,
     }
 }
@@ -190,6 +207,55 @@ fn push_conjuncts(input: AlgExpr, conjuncts: Vec<Pred>, catalog: Catalog<'_>) ->
     }
 }
 
+/// Replace column references `old` with `new` in a scalar. Field labels of
+/// nested values are untouched — only relation columns are renamed.
+fn subst_scalar(s: &Scalar, old: Sym, new: Sym) -> Scalar {
+    match s {
+        Scalar::Col(c) => Scalar::Col(if *c == old { new } else { *c }),
+        Scalar::Const(v) => Scalar::Const(v.clone()),
+        Scalar::Add(a, b) => Scalar::Add(
+            Box::new(subst_scalar(a, old, new)),
+            Box::new(subst_scalar(b, old, new)),
+        ),
+        Scalar::Sub(a, b) => Scalar::Sub(
+            Box::new(subst_scalar(a, old, new)),
+            Box::new(subst_scalar(b, old, new)),
+        ),
+        Scalar::Mul(a, b) => Scalar::Mul(
+            Box::new(subst_scalar(a, old, new)),
+            Box::new(subst_scalar(b, old, new)),
+        ),
+        Scalar::Div(a, b) => Scalar::Div(
+            Box::new(subst_scalar(a, old, new)),
+            Box::new(subst_scalar(b, old, new)),
+        ),
+        Scalar::Tuple(fs) => Scalar::Tuple(
+            fs.iter()
+                .map(|(l, e)| (*l, subst_scalar(e, old, new)))
+                .collect(),
+        ),
+        Scalar::Field(e, l) => Scalar::Field(Box::new(subst_scalar(e, old, new)), *l),
+    }
+}
+
+/// Replace column references `old` with `new` in a predicate.
+fn subst_pred(p: &Pred, old: Sym, new: Sym) -> Pred {
+    match p {
+        Pred::True => Pred::True,
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, subst_scalar(a, old, new), subst_scalar(b, old, new)),
+        Pred::In(a, b) => Pred::In(subst_scalar(a, old, new), subst_scalar(b, old, new)),
+        Pred::And(a, b) => Pred::And(
+            Box::new(subst_pred(a, old, new)),
+            Box::new(subst_pred(b, old, new)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(subst_pred(a, old, new)),
+            Box::new(subst_pred(b, old, new)),
+        ),
+        Pred::Not(i) => Pred::Not(Box::new(subst_pred(i, old, new))),
+    }
+}
+
 /// Try to sink one conjunct one level down; `Ok` means it was absorbed.
 fn try_push(expr: AlgExpr, p: &Pred, catalog: Catalog<'_>) -> Result<AlgExpr, AlgExpr> {
     let needs = p.cols();
@@ -238,6 +304,62 @@ fn try_push(expr: AlgExpr, p: &Pred, catalog: Catalog<'_>) -> Result<AlgExpr, Al
             left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
             right,
         }),
+        AlgExpr::Intersect { left, right } => Ok(AlgExpr::Intersect {
+            left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+            right,
+        }),
+        // Semi/anti-join output the left side unchanged, so a selection over
+        // the result filters the left side directly.
+        AlgExpr::SemiJoin { left, right } => Ok(AlgExpr::SemiJoin {
+            left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+            right,
+        }),
+        AlgExpr::AntiJoin { left, right } => Ok(AlgExpr::AntiJoin {
+            left: Box::new(push_conjuncts(*left, vec![p.clone()], catalog)),
+            right,
+        }),
+        // σ_p(π_cols(E)) = π_cols(σ_p(E)) when p only uses kept columns.
+        AlgExpr::Project { input, cols } => {
+            if needs.iter().all(|c| cols.contains(c)) {
+                Ok(AlgExpr::Project {
+                    input: Box::new(push_conjuncts(*input, vec![p.clone()], catalog)),
+                    cols,
+                })
+            } else {
+                Err(AlgExpr::Project { input, cols })
+            }
+        }
+        // σ_p(ρ_{from→to}(E)) = ρ_{from→to}(σ_{p[to↦from]}(E)), valid only
+        // for a proper rename: the input must have `from` and must not
+        // already have `to` (and p must not reference the renamed-away
+        // column, which would be ill-formed anyway).
+        AlgExpr::Rename { input, from, to } => {
+            let proper = from == to
+                || out_cols(&input, catalog)
+                    .is_some_and(|cols| cols.contains(&from) && !cols.contains(&to));
+            if proper && (from == to || !needs.contains(&from)) {
+                let q = subst_pred(p, to, from);
+                Ok(AlgExpr::Rename {
+                    input: Box::new(push_conjuncts(*input, vec![q], catalog)),
+                    from,
+                    to,
+                })
+            } else {
+                Err(AlgExpr::Rename { input, from, to })
+            }
+        }
+        // A selection not touching the computed column commutes with extend.
+        AlgExpr::Extend { input, col, value } => {
+            if needs.contains(&col) {
+                Err(AlgExpr::Extend { input, col, value })
+            } else {
+                Ok(AlgExpr::Extend {
+                    input: Box::new(push_conjuncts(*input, vec![p.clone()], catalog)),
+                    col,
+                    value,
+                })
+            }
+        }
         other => Err(other),
     }
 }
@@ -246,7 +368,7 @@ fn try_push(expr: AlgExpr, p: &Pred, catalog: Catalog<'_>) -> Result<AlgExpr, Al
 mod tests {
     use super::*;
     use crate::eval::{eval, Env};
-    use crate::expr::{CmpOp, Scalar};
+    use crate::expr::{CmpOp, FixpointMode, Scalar};
     use crate::relation::Relation;
     use logres_model::Value;
 
@@ -326,5 +448,381 @@ mod tests {
         let r = eval(&optimized, &env).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(eval(&joined, &env).unwrap(), r);
+    }
+
+    #[test]
+    fn selection_sinks_through_rename_with_substitution() {
+        let e = AlgExpr::Const(edges(&[(1, 2), (3, 4)]))
+            .rename("dst", "mid")
+            .select(sel("mid", 2));
+        let optimized = push_selections(e.clone());
+        // The rename is now on top; the (substituted) select sank below it.
+        assert!(matches!(optimized, AlgExpr::Rename { .. }));
+        let env = Env::new();
+        assert_eq!(eval(&e, &env).unwrap(), eval(&optimized, &env).unwrap());
+    }
+
+    #[test]
+    fn selection_does_not_sink_through_rename_when_it_uses_the_old_name() {
+        // `src` is renamed away; a predicate on `src` over the output is
+        // ill-formed and must not be rewritten into something that evaluates.
+        let e = AlgExpr::Const(edges(&[(1, 2)]))
+            .rename("src", "origin")
+            .select(sel("src", 1));
+        let optimized = push_selections(e.clone());
+        assert!(matches!(optimized, AlgExpr::Select { .. }));
+        let env = Env::new();
+        assert!(eval(&e, &env).is_err());
+        assert!(eval(&optimized, &env).is_err());
+    }
+
+    #[test]
+    fn selection_sinks_through_project() {
+        let e = AlgExpr::Const(edges(&[(1, 2), (3, 4)]))
+            .project(["src"])
+            .select(sel("src", 1));
+        let optimized = push_selections(e.clone());
+        assert!(matches!(optimized, AlgExpr::Project { .. }));
+        let env = Env::new();
+        assert_eq!(eval(&e, &env).unwrap(), eval(&optimized, &env).unwrap());
+    }
+
+    #[test]
+    fn selection_sinks_below_extend_and_semijoin() {
+        let ext = AlgExpr::Extend {
+            input: Box::new(AlgExpr::Const(edges(&[(1, 2), (3, 4)]))),
+            col: Sym::new("sum"),
+            value: Scalar::Add(Box::new(Scalar::col("src")), Box::new(Scalar::col("dst"))),
+        }
+        .select(sel("src", 1));
+        let optimized = push_selections(ext.clone());
+        assert!(matches!(optimized, AlgExpr::Extend { .. }));
+        let env = Env::new();
+        assert_eq!(eval(&ext, &env).unwrap(), eval(&optimized, &env).unwrap());
+
+        let semi = AlgExpr::SemiJoin {
+            left: Box::new(AlgExpr::Const(edges(&[(1, 2), (3, 4)]))),
+            right: Box::new(AlgExpr::Const(edges(&[(1, 2)])).project(["src"])),
+        }
+        .select(sel("dst", 2));
+        let optimized = push_selections(semi.clone());
+        assert!(matches!(optimized, AlgExpr::SemiJoin { .. }));
+        assert_eq!(eval(&semi, &env).unwrap(), eval(&optimized, &env).unwrap());
+    }
+
+    /// The catalog must not leak into a fixpoint step for the recursive
+    /// name: `rec` inside the step has the base's columns, not whatever an
+    /// outer relation of the same name has. With the capture bug, the
+    /// selection below sinks onto the recursive reference (whose tuples lack
+    /// `k`) and evaluation breaks.
+    #[test]
+    fn fixpoint_step_shadows_the_catalog_for_the_recursive_name() {
+        // Outer catalog: `t` is a one-column relation over `k`.
+        let catalog = |name: Sym| {
+            if name == Sym::new("t") {
+                Some(vec![Sym::new("k")])
+            } else {
+                None
+            }
+        };
+        let t = Sym::new("t");
+        // step: (t ⋈ m).select(k = 1).project(src, dst) where m(dst, k).
+        let m = Relation::from_rows(
+            ["dst", "k"],
+            [
+                Value::tuple([("dst", Value::Int(2)), ("k", Value::Int(1))]),
+                Value::tuple([("dst", Value::Int(3)), ("k", Value::Int(1))]),
+            ],
+        );
+        let step = AlgExpr::Rel(t)
+            .join(AlgExpr::Const(m))
+            .select(sel("k", 1))
+            .project(["src", "dst"]);
+        let fx = AlgExpr::Fixpoint {
+            rec: t,
+            base: Box::new(AlgExpr::Const(edges(&[(1, 2), (2, 3)]))),
+            step: Box::new(step),
+            mode: FixpointMode::Naive,
+        };
+        let optimized = push_selections_with(fx.clone(), &catalog);
+        let env = Env::new();
+        let orig = eval(&fx, &env).unwrap();
+        let opt = eval(&optimized, &env).unwrap();
+        assert_eq!(orig, opt);
+    }
+
+    /// Differential proptest: pushdown never changes the result of a
+    /// well-formed plan, across random expressions covering joins, unions,
+    /// differences, renames, projections, extends and fixpoints — including
+    /// fixpoints whose recursive name collides with a catalog entry.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Deterministic byte-stream cursor: the proptest shrinker operates
+        /// on the raw bytes, which keeps the generator simple.
+        struct Cursor<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+
+        impl<'a> Cursor<'a> {
+            fn next(&mut self) -> u8 {
+                let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                b
+            }
+        }
+
+        fn const_rel(cur: &mut Cursor<'_>, cols: &[Sym]) -> Relation {
+            let n = (cur.next() % 5) as usize;
+            let rows = (0..n).map(|_| {
+                Value::tuple(
+                    cols.iter()
+                        .map(|c| (*c, Value::Int((cur.next() % 4) as i64)))
+                        .collect::<Vec<_>>(),
+                )
+            });
+            Relation::from_rows(cols.to_vec(), rows)
+        }
+
+        fn rand_pred(cur: &mut Cursor<'_>, cols: &[Sym]) -> Pred {
+            let c = cols[(cur.next() as usize) % cols.len()];
+            let op = match cur.next() % 4 {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                _ => CmpOp::Ge,
+            };
+            let rhs = if cur.next().is_multiple_of(3) && cols.len() > 1 {
+                Scalar::Col(cols[(cur.next() as usize) % cols.len()])
+            } else {
+                Scalar::Const(Value::Int((cur.next() % 4) as i64))
+            };
+            Pred::Cmp(op, Scalar::Col(c), rhs)
+        }
+
+        /// Build a random well-formed expression and report its columns.
+        fn build(cur: &mut Cursor<'_>, depth: usize) -> (AlgExpr, Vec<Sym>) {
+            let col = |s: &str| Sym::new(s);
+            if depth == 0 {
+                return match cur.next() % 4 {
+                    0 => (AlgExpr::Rel(col("r1")), vec![col("a"), col("b")]),
+                    1 => (AlgExpr::Rel(col("r2")), vec![col("b"), col("c")]),
+                    2 => {
+                        let cols = vec![col("a"), col("c")];
+                        (AlgExpr::Const(const_rel(cur, &cols)), cols)
+                    }
+                    _ => {
+                        let cols = vec![col("a"), col("b"), col("c")];
+                        (AlgExpr::Const(const_rel(cur, &cols)), cols)
+                    }
+                };
+            }
+            match cur.next() % 9 {
+                0 => {
+                    // Select.
+                    let (e, cols) = build(cur, depth - 1);
+                    let p = rand_pred(cur, &cols);
+                    (e.select(p), cols)
+                }
+                1 => {
+                    // Project to a nonempty subset.
+                    let (e, cols) = build(cur, depth - 1);
+                    let keep: Vec<Sym> = cols
+                        .iter()
+                        .filter(|_| cur.next().is_multiple_of(2))
+                        .copied()
+                        .collect();
+                    let keep = if keep.is_empty() { vec![cols[0]] } else { keep };
+                    (e.project_syms(&keep), keep)
+                }
+                2 => {
+                    // Rename a column to a fresh name.
+                    let (e, mut cols) = build(cur, depth - 1);
+                    let fresh: Vec<Sym> = ["x", "y", "z", "w"]
+                        .iter()
+                        .map(|s| col(s))
+                        .filter(|s| !cols.contains(s))
+                        .collect();
+                    let from = cols[(cur.next() as usize) % cols.len()];
+                    let to = fresh[(cur.next() as usize) % fresh.len()];
+                    for c in &mut cols {
+                        if *c == from {
+                            *c = to;
+                        }
+                    }
+                    (
+                        AlgExpr::Rename {
+                            input: Box::new(e),
+                            from,
+                            to,
+                        },
+                        cols,
+                    )
+                }
+                3 => {
+                    // Natural join.
+                    let (l, lcols) = build(cur, depth - 1);
+                    let (r, rcols) = build(cur, depth - 1);
+                    let mut cols = lcols;
+                    for c in rcols {
+                        if !cols.contains(&c) {
+                            cols.push(c);
+                        }
+                    }
+                    (l.join(r), cols)
+                }
+                4 | 5 => {
+                    // Union / Diff / Intersect against a same-schema const.
+                    let (l, cols) = build(cur, depth - 1);
+                    let r = AlgExpr::Const(const_rel(cur, &cols));
+                    let e = match cur.next() % 3 {
+                        0 => l.union(r),
+                        1 => AlgExpr::Diff {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        },
+                        _ => AlgExpr::Intersect {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        },
+                    };
+                    (e, cols)
+                }
+                6 => {
+                    // Extend with a fresh computed column.
+                    let (e, mut cols) = build(cur, depth - 1);
+                    let fresh: Vec<Sym> = ["x", "y", "z", "w"]
+                        .iter()
+                        .map(|s| col(s))
+                        .filter(|s| !cols.contains(s))
+                        .collect();
+                    let new = fresh[(cur.next() as usize) % fresh.len()];
+                    let src = cols[(cur.next() as usize) % cols.len()];
+                    let e = AlgExpr::Extend {
+                        input: Box::new(e),
+                        col: new,
+                        value: Scalar::Add(
+                            Box::new(Scalar::Col(src)),
+                            Box::new(Scalar::Const(Value::Int((cur.next() % 3) as i64))),
+                        ),
+                    };
+                    cols.push(new);
+                    (e, cols)
+                }
+                7 => {
+                    // Semi- or anti-join.
+                    let (l, cols) = build(cur, depth - 1);
+                    let (r, _) = build(cur, depth - 1);
+                    let e = if cur.next().is_multiple_of(2) {
+                        AlgExpr::SemiJoin {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        }
+                    } else {
+                        AlgExpr::AntiJoin {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        }
+                    };
+                    (e, cols)
+                }
+                _ => {
+                    // Fixpoint; the recursive name may deliberately collide
+                    // with catalog entry `r1` to exercise capture handling.
+                    let (base, cols) = build(cur, depth - 1);
+                    let rec = if cur.next().is_multiple_of(2) {
+                        col("r1")
+                    } else {
+                        col("fx")
+                    };
+                    // step: σ_p(rec ⋈ m).project(cols) with m sharing one
+                    // column — values are drawn from a finite domain, so the
+                    // accumulation terminates.
+                    let shared = cols[(cur.next() as usize) % cols.len()];
+                    let fresh: Vec<Sym> = ["x", "y", "z", "w"]
+                        .iter()
+                        .map(|s| col(s))
+                        .filter(|s| !cols.contains(s))
+                        .collect();
+                    let mcols = vec![shared, fresh[(cur.next() as usize) % fresh.len()]];
+                    let m = AlgExpr::Const(const_rel(cur, &mcols));
+                    let joined = AlgExpr::Rel(rec).join(m);
+                    let mut jcols = cols.clone();
+                    for c in &mcols {
+                        if !jcols.contains(c) {
+                            jcols.push(*c);
+                        }
+                    }
+                    let step = joined.select(rand_pred(cur, &jcols)).project_syms(&cols);
+                    let mode = if cur.next().is_multiple_of(2) {
+                        FixpointMode::Naive
+                    } else {
+                        FixpointMode::Delta
+                    };
+                    (
+                        AlgExpr::Fixpoint {
+                            rec,
+                            base: Box::new(base),
+                            step: Box::new(step),
+                            mode,
+                        },
+                        cols,
+                    )
+                }
+            }
+        }
+
+        trait ProjectSyms {
+            fn project_syms(self, cols: &[Sym]) -> AlgExpr;
+        }
+
+        impl ProjectSyms for AlgExpr {
+            fn project_syms(self, cols: &[Sym]) -> AlgExpr {
+                AlgExpr::Project {
+                    input: Box::new(self),
+                    cols: cols.to_vec(),
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn optimized_plans_agree_with_unoptimized(
+                bytes in proptest::collection::vec(any::<u8>(), 16..96),
+                depth in 1usize..4,
+            ) {
+                let mut cur = Cursor { bytes: &bytes, pos: 0 };
+                let (expr, top_cols) = build(&mut cur, depth);
+                // Wrap in one more selection so there is always something to
+                // push from the very top.
+                let mut cur2 = Cursor { bytes: &bytes, pos: bytes.len() / 2 };
+                let expr = expr.select(rand_pred(&mut cur2, &top_cols));
+
+                let mut env = Env::new();
+                let mut cur3 = Cursor { bytes: &bytes, pos: bytes.len() / 3 };
+                env.bind("r1", const_rel(&mut cur3, &[Sym::new("a"), Sym::new("b")]));
+                env.bind("r2", const_rel(&mut cur3, &[Sym::new("b"), Sym::new("c")]));
+                let catalog = |name: Sym| {
+                    if name == Sym::new("r1") {
+                        Some(vec![Sym::new("a"), Sym::new("b")])
+                    } else if name == Sym::new("r2") {
+                        Some(vec![Sym::new("b"), Sym::new("c")])
+                    } else {
+                        None
+                    }
+                };
+
+                let optimized = push_selections_with(expr.clone(), &catalog);
+                let orig = eval(&expr, &env);
+                let opt = eval(&optimized, &env);
+                if let Ok(orig_rel) = orig {
+                    let opt_rel = opt.expect("optimized plan must evaluate when the original does");
+                    prop_assert_eq!(orig_rel, opt_rel);
+                }
+            }
+        }
     }
 }

@@ -80,6 +80,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e11", e11_governor),
         ("e12", e12_observability),
         ("e13", e13_goal_directed),
+        ("e14", e14_compiled_path),
     ]
 }
 
@@ -894,6 +895,97 @@ pub fn e13_goal_directed() -> Table {
         assert!(
             got >= min,
             "chain-128 magic-set speedup {got:.1}x is below LOGRES_E13_MIN_SPEEDUP={min}x"
+        );
+    }
+    t
+}
+
+/// E14 — the compiled production path (PR 7 tentpole; paper §5's
+/// translation-to-ALGRES). The *same* `evaluate` call production makes runs
+/// once with `EvalOptions::compiled` on (stratified planner → select–join–
+/// project plans, semi-naive delta rounds over a caching evaluator) and once
+/// with it off (the tuple-at-a-time interpreter), plus the semi-naive
+/// interpreter for reference. Claim: set-at-a-time plans win by ≥10× at
+/// n≥512; `LOGRES_E14_MIN_SPEEDUP` turns that into a CI floor. Both paths
+/// must produce the identical instance.
+pub fn e14_compiled_path() -> Table {
+    let mut t = Table::new(
+        "E14 — compiled ALGRES plans vs interpreted evaluation (chain closure)",
+        &["workload", "n", "path", "time", "tc tuples", "speedup"],
+    );
+    let tc = Sym::new("tc");
+    let mut chain_512_speedup = None;
+    for n in [256usize, 512] {
+        let src = closure_program(&chain_edges(n));
+        let (schema, edb, rules) = loaded(&src);
+
+        let interp_opts = EvalOptions {
+            compiled: false,
+            ..bench_opts()
+        };
+        let (d_interp, (interp_inst, _)) = time(|| {
+            evaluate(&schema, &rules, &edb, Semantics::Inflationary, interp_opts)
+                .expect("interpreted path evaluates")
+        });
+        t.row(vec![
+            "chain".into(),
+            n.to_string(),
+            "interpreted".into(),
+            fmt_duration(d_interp),
+            interp_inst.assoc_len(tc).to_string(),
+            "1.0x".into(),
+        ]);
+
+        let (d_semi, (semi_inst, _)) = time(|| {
+            evaluate_seminaive(&schema, &rules, &edb, bench_opts()).expect("semi-naive evaluates")
+        });
+        t.row(vec![
+            "chain".into(),
+            n.to_string(),
+            "semi-naive interpreter".into(),
+            fmt_duration(d_semi),
+            semi_inst.assoc_len(tc).to_string(),
+            format!(
+                "{:.1}x",
+                d_interp.as_secs_f64() / d_semi.as_secs_f64().max(f64::EPSILON)
+            ),
+        ]);
+
+        let (d_comp, (comp_inst, _)) = time(|| {
+            evaluate(&schema, &rules, &edb, Semantics::Inflationary, bench_opts())
+                .expect("compiled path evaluates")
+        });
+        assert_eq!(
+            comp_inst.fact_count(),
+            interp_inst.fact_count(),
+            "compiled and interpreted instances must be identical"
+        );
+        for tuple in interp_inst.tuples_of(tc) {
+            assert!(
+                comp_inst.has_tuple(tc, tuple),
+                "compiled instance is missing {tuple}"
+            );
+        }
+        let speedup = d_interp.as_secs_f64() / d_comp.as_secs_f64().max(f64::EPSILON);
+        if n == 512 {
+            chain_512_speedup = Some(speedup);
+        }
+        t.row(vec![
+            "chain".into(),
+            n.to_string(),
+            "compiled (ALGRES plans)".into(),
+            fmt_duration(d_comp),
+            comp_inst.assoc_len(tc).to_string(),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+
+    if let Ok(min) = std::env::var("LOGRES_E14_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("LOGRES_E14_MIN_SPEEDUP is a factor");
+        let got = chain_512_speedup.expect("chain-512 row ran");
+        assert!(
+            got >= min,
+            "chain-512 compiled speedup {got:.1}x is below LOGRES_E14_MIN_SPEEDUP={min}x"
         );
     }
     t

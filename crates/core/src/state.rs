@@ -76,10 +76,15 @@ impl DatabaseState {
 
     /// Delta form of [`check_consistency`] for incremental maintenance:
     /// referential integrity is checked only for the tuples `added` by the
-    /// update (against the full instance), while the stored denials — which
-    /// can constrain arbitrary joins — are always re-evaluated in full.
-    /// When the pre-update instance was consistent and the update only
-    /// added the listed facts, this agrees with the full check.
+    /// update (against the full instance), and a stored denial is
+    /// re-evaluated only when the update could have created a new violating
+    /// valuation for it: some *positive* body literal reads a predicate the
+    /// update touched. A purely-positive denial body is monotone in the
+    /// instance, so from a consistent pre-state a new violation must bind at
+    /// least one added fact — denials over untouched predicates cannot newly
+    /// fire and are skipped. Denials with negated literals are always
+    /// re-checked: a deletion elsewhere in the update can satisfy `not p`
+    /// without appearing in `added`.
     pub fn check_consistency_delta(
         &self,
         inst: &Instance,
@@ -100,7 +105,20 @@ impl DatabaseState {
                 integrity::check_assoc_delta(&self.schema, inst, &constraints, &tuples),
             );
         }
-        self.check_denials(inst, &mut report)?;
+        let touched: rustc_hash::FxHashSet<logres_model::Sym> =
+            added.iter().map(|f| f.predicate()).collect();
+        self.check_denials_where(inst, &mut report, |denial| {
+            denial.body.iter().any(|lit| {
+                if lit.negated {
+                    return true;
+                }
+                match &lit.atom {
+                    logres_lang::Atom::Pred { pred, .. } => touched.contains(pred),
+                    logres_lang::Atom::Member { fun, .. } => touched.contains(fun),
+                    logres_lang::Atom::Builtin { .. } => false,
+                }
+            })
+        })?;
         Ok(report)
     }
 
@@ -109,7 +127,19 @@ impl DatabaseState {
         inst: &Instance,
         report: &mut ConsistencyReport,
     ) -> Result<(), CoreError> {
+        self.check_denials_where(inst, report, |_| true)
+    }
+
+    fn check_denials_where(
+        &self,
+        inst: &Instance,
+        report: &mut ConsistencyReport,
+        relevant: impl Fn(&Denial) -> bool,
+    ) -> Result<(), CoreError> {
         for denial in &self.constraints {
+            if !relevant(denial) {
+                continue;
+            }
             let goal = logres_lang::Goal {
                 body: denial.body.clone(),
                 vars: Vec::new(),
@@ -227,6 +257,76 @@ mod tests {
         );
         let report = s.check_consistency(&inst).unwrap();
         assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn delta_check_scopes_denials_to_touched_predicates() {
+        // The pre-state here is already inconsistent: the `married/divorced`
+        // denial fires. A delta check whose update touched only `other`
+        // must skip that denial (positive bodies over untouched predicates
+        // cannot newly fire), so the skip is directly observable.
+        let s = state_from(
+            r#"
+            associations
+              married  = (who: string);
+              divorced = (who: string);
+              other    = (who: string);
+            facts
+              married(who: "x").
+              divorced(who: "x").
+            constraints
+              <- married(who: X), divorced(who: X).
+        "#,
+        );
+        let (inst, _) = s
+            .instance(Semantics::Inflationary, EvalOptions::default())
+            .unwrap();
+        assert!(!s.check_consistency(&inst).unwrap().is_consistent());
+        let added = vec![logres_model::Fact::Assoc {
+            assoc: Sym::new("other"),
+            tuple: logres_model::Value::tuple([("who", logres_model::Value::str("y"))]),
+        }];
+        let scoped = s.check_consistency_delta(&inst, &added).unwrap();
+        assert!(
+            scoped.is_consistent(),
+            "untouched-predicate denial must be skipped, got {:?}",
+            scoped.violations
+        );
+        // Touching `married` brings the denial back into scope.
+        let added = vec![logres_model::Fact::Assoc {
+            assoc: Sym::new("married"),
+            tuple: logres_model::Value::tuple([("who", logres_model::Value::str("y"))]),
+        }];
+        let scoped = s.check_consistency_delta(&inst, &added).unwrap();
+        assert!(!scoped.is_consistent());
+    }
+
+    #[test]
+    fn delta_check_always_reruns_denials_with_negation() {
+        // `<- p(d: X), not q(d: X)` can newly fire through a *deletion*
+        // from q, which an added-facts delta cannot witness — so negated
+        // denials are re-checked regardless of the touched set.
+        let s = state_from(
+            r#"
+            associations
+              p     = (d: integer);
+              q     = (d: integer);
+              other = (d: integer);
+            facts
+              p(d: 1).
+            constraints
+              <- p(d: X), not q(d: X).
+        "#,
+        );
+        let (inst, _) = s
+            .instance(Semantics::Stratified, EvalOptions::default())
+            .unwrap();
+        let added = vec![logres_model::Fact::Assoc {
+            assoc: Sym::new("other"),
+            tuple: logres_model::Value::tuple([("d", logres_model::Value::Int(5))]),
+        }];
+        let scoped = s.check_consistency_delta(&inst, &added).unwrap();
+        assert!(!scoped.is_consistent(), "negated denial must still run");
     }
 
     #[test]

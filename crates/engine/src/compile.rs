@@ -65,7 +65,7 @@ pub fn env_from_instance(schema: &Schema, inst: &Instance) -> Env {
     env
 }
 
-fn relation_of(schema: &Schema, inst: &Instance, assoc: Sym) -> Option<Relation> {
+pub(crate) fn relation_of(schema: &Schema, inst: &Instance, assoc: Sym) -> Option<Relation> {
     let ty = schema.expand(schema.assoc_type(assoc)?);
     let cols: Vec<Sym> = ty.as_tuple()?.iter().map(|f| f.label).collect();
     let mut rel = Relation::new(cols);
@@ -169,6 +169,25 @@ fn var_col(v: Sym) -> Sym {
 }
 
 fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
+    compile_rule_plan(schema, rule, None)
+}
+
+/// Compile one rule body to a select–join–project plan.
+///
+/// `delta` optionally names a body literal (by its index in `rule.body`) whose
+/// relation scan should read from a substitute relation name instead of the
+/// predicate itself — the semi-naive planner uses this to point one occurrence
+/// of a recursive predicate at its per-round delta relation.
+///
+/// Positive literals that bind no new variables (magic-set `@magic_*` guards,
+/// repeated-tuple tests) are lowered to [`AlgExpr::SemiJoin`] reducers rather
+/// than full joins: once every variable of the literal is already bound, the
+/// natural join can only filter, never widen.
+pub(crate) fn compile_rule_plan(
+    schema: &Schema,
+    rule: &Rule,
+    delta: Option<(usize, Sym)>,
+) -> Result<AlgExpr, EngineError> {
     let unsupported = |detail: String| EngineError::UnsupportedFragment { detail };
     if rule.head.negated {
         return Err(unsupported("deleting heads cannot be compiled".into()));
@@ -193,7 +212,7 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
     let mut builtins: Vec<(Builtin, &[Term])> = Vec::new();
     let mut negations: Vec<(Sym, &[PredArg])> = Vec::new();
 
-    for lit in &rule.body {
+    for (li, lit) in rule.body.iter().enumerate() {
         if lit.negated {
             match &lit.atom {
                 Atom::Pred { pred, args, .. } => {
@@ -220,7 +239,16 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
                         "class literal `{pred}` cannot be compiled"
                     )));
                 }
-                let mut expr = AlgExpr::Rel(*pred);
+                let scan = match delta {
+                    Some((dli, name)) if dli == li => name,
+                    _ => *pred,
+                };
+                let mut expr = AlgExpr::Rel(scan);
+                // Does this literal bind any variable not already bound by an
+                // earlier literal? If not, it can only filter: semijoin.
+                let fresh = args.iter().any(|arg| {
+                    matches!(arg, PredArg::Labeled(_, Term::Var(v)) if !bound_vars.contains(v))
+                });
                 let mut lit_vars: FxHashMap<Sym, Sym> = FxHashMap::default(); // var -> col
                 let mut keep: Vec<Sym> = Vec::new();
                 for arg in args {
@@ -253,6 +281,10 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
                     bound_vars.insert(*v);
                 }
                 joined = Some(match joined.take() {
+                    Some(acc) if !fresh => AlgExpr::SemiJoin {
+                        left: Box::new(acc),
+                        right: Box::new(expr),
+                    },
                     Some(acc) => acc.join(expr),
                     None => expr,
                 });

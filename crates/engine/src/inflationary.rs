@@ -52,6 +52,13 @@ pub struct EvalOptions {
     /// [`EvalReport::provenance`]. Off by default: it clones every derived
     /// fact and its premises.
     pub provenance: bool,
+    /// Route [`crate::stratified::evaluate`] / demand evaluation through the
+    /// compiled ALGRES plan executor ([`crate::plan`]) when the program fits
+    /// the compilable fragment, falling back to the tuple-at-a-time
+    /// interpreter (with a `logres_compile_fallbacks_total{reason=…}` count)
+    /// when it does not. On by default; turn off to force the interpreted
+    /// path — e.g. as the differential-testing oracle.
+    pub compiled: bool,
 }
 
 impl Default for EvalOptions {
@@ -65,6 +72,7 @@ impl Default for EvalOptions {
             trace: None,
             metrics: None,
             provenance: false,
+            compiled: true,
         }
     }
 }

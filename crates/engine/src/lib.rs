@@ -50,6 +50,7 @@ pub mod maintain;
 pub mod matcher;
 pub mod metrics;
 pub mod parallel;
+pub mod plan;
 pub mod provenance;
 pub mod seminaive;
 pub mod stratified;
@@ -73,6 +74,9 @@ pub use maintain::{
 pub use matcher::{rule_access_plan, AccessPlan};
 pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, ProbeTally};
 pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};
+pub use plan::{
+    compile_program, try_evaluate_compiled, CompiledProgram, CompiledStep, StratumPlan,
+};
 pub use provenance::{Derivation, ProvEntry, Provenance};
 pub use seminaive::{evaluate_seminaive, seminaive_applicable};
 pub use stratified::{evaluate, evaluate_stratified, Semantics};

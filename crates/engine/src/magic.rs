@@ -55,6 +55,19 @@ pub fn evaluate_demand(
         m.counter("logres_magic_dropped_rules_total")
             .add(rw.dropped_rules as u64);
     }
+    // Compiled fast path first: the rewritten program's `@magic_*` guards
+    // lower to semijoin reducers there. On fallback (already counted under
+    // `logres_compile_fallbacks_total`) run the interpreter with `compiled`
+    // off so the dispatcher does not re-attempt and double-count.
+    if opts.compiled {
+        if let Some(result) =
+            crate::plan::try_evaluate_compiled(&rw.schema, &rw.rules, edb, semantics, &opts)
+        {
+            return Ok(Some(result?));
+        }
+    }
+    let mut opts = opts;
+    opts.compiled = false;
     let result = if seminaive_applicable(&rw.schema, &rw.rules) {
         evaluate_seminaive(&rw.schema, &rw.rules, edb, opts)
     } else {

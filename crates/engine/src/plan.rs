@@ -1,0 +1,739 @@
+//! Compiled stratum execution: the production fast path over ALGRES plans.
+//!
+//! The paper's prototype runs LOGRES by *translation*: rules become extended
+//! relational algebra and the ALGRES machine evaluates them set-at-a-time
+//! (Section 5, [Ca90]). This module is that translation for the production
+//! engine. [`compile_program`] stratifies a rule set, lowers every rule body
+//! to a select–join–project plan via [`crate::compile::compile_rule_plan`]
+//! (constants → selections, builtins → selections/extends, stratified
+//! negation → antijoins, already-bound literals such as magic-set `@magic_*`
+//! guards → semijoin reducers), derives the semi-naive *delta* variants of
+//! each recursive rule, and runs selection pushdown from `algres::optimize`
+//! over every plan. [`try_evaluate_compiled`] then executes the strata
+//! bottom-up with a caching [`algres::Evaluator`] whose join hash tables and
+//! memoized stable sub-plans persist across fixpoint rounds.
+//!
+//! Programs outside the fragment fall back to the tuple-at-a-time
+//! interpreter, counted under `logres_compile_fallbacks_total{reason=…}`
+//! exactly like the magic-set and maintenance fallbacks:
+//!
+//! | reason | trigger |
+//! |---|---|
+//! | `provenance` | [`EvalOptions::provenance`] is on (plans do not track premises) |
+//! | `unstratifiable` | negation through recursion; no stratum order exists |
+//! | `inflationary-negation` | inflationary semantics requested for a program with negation — the compiled path computes the perfect (stratified) model, which coincides with the inflationary fixpoint only on negation-free programs |
+//! | `fragment` | some rule is structurally uncompilable (classes, data functions, deleting heads, invention, unbound negation, …) |
+//!
+//! Execution is always serial in canonical rule order — the produced
+//! instance and every counting metric are bit-identical for any
+//! `EvalOptions::threads` setting, which keeps the thread-count determinism
+//! contract of the interpreted engines trivially true here.
+
+use algres::{AlgExpr, EvalStats, Evaluator, Relation};
+use logres_lang::{stratify, Atom, RuleSet, Stratification};
+use logres_model::{Instance, Schema, Sym};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use std::time::Instant;
+
+use crate::compile::{compile_rule_plan, env_from_instance, relation_of};
+use crate::error::EngineError;
+use crate::governor::Governor;
+use crate::inflationary::{EvalOptions, EvalReport, IterationStats};
+use crate::metrics::EngineMetrics;
+use crate::stratified::Semantics;
+use crate::trace::{self, TraceEvent};
+
+/// Why a program was not run on the compiled path. `reason` is the
+/// `logres_compile_fallbacks_total` label; `detail` is human-readable.
+#[derive(Debug, Clone)]
+pub struct CompileUnsupported {
+    /// Stable label for the fallback counter.
+    pub reason: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// One rule of a stratum, lowered to algebra.
+#[derive(Debug, Clone)]
+pub struct CompiledStep {
+    /// Index of the source rule in the original rule set.
+    pub rule_index: usize,
+    /// Head association the plan derives into.
+    pub head: Sym,
+    /// Full plan: every body occurrence reads the full relation.
+    pub full: AlgExpr,
+    /// Semi-naive variants: one per body occurrence of a same-stratum
+    /// predicate, with that occurrence redirected to `@delta_<pred>`.
+    /// Empty for rules with no same-stratum dependency (round 0 suffices).
+    pub deltas: Vec<AlgExpr>,
+}
+
+/// A stratum: its derived predicates and its lowered rules.
+#[derive(Debug, Clone)]
+pub struct StratumPlan {
+    /// Predicates derived in this stratum, in first-head order.
+    pub idb: Vec<Sym>,
+    /// Lowered rules, in original rule order.
+    pub steps: Vec<CompiledStep>,
+}
+
+/// A whole program lowered to algebra, strata in evaluation order.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Strata bottom-up; negated literals always read lower strata.
+    pub strata: Vec<StratumPlan>,
+}
+
+/// The delta-relation name for a predicate, used by semi-naive plans.
+pub fn delta_sym(pred: Sym) -> Sym {
+    Sym::new(&format!("@delta_{pred}"))
+}
+
+/// Count a compiled-path fallback: bump
+/// `logres_compile_fallbacks_total{reason=…}` and emit a
+/// [`TraceEvent::Fallback`], mirroring `magic.rs` / `maintain.rs`.
+pub(crate) fn note_fallback(opts: &EvalOptions, reason: &'static str) {
+    if let Some(m) = &opts.metrics {
+        m.counter_with("logres_compile_fallbacks_total", "reason", reason)
+            .inc();
+    }
+    trace::emit(opts.trace.as_deref(), || TraceEvent::Fallback {
+        reason: reason.to_owned(),
+    });
+}
+
+/// Lower a rule set to a stratified, semi-naive compiled program.
+///
+/// Errors with a [`CompileUnsupported`] naming the fallback reason when the
+/// program cannot be compiled under the requested semantics.
+pub fn compile_program(
+    schema: &Schema,
+    rules: &RuleSet,
+    semantics: Semantics,
+) -> Result<CompiledProgram, CompileUnsupported> {
+    let strata_idx = match stratify(rules) {
+        Stratification::Stratified(s) => s,
+        Stratification::Unstratifiable { cycle } => {
+            return Err(CompileUnsupported {
+                reason: "unstratifiable",
+                detail: format!("negation through recursion: {cycle:?}"),
+            })
+        }
+    };
+    if semantics == Semantics::Inflationary {
+        // The compiled path computes the perfect model stratum-at-a-time.
+        // On negation-free programs that equals the inflationary fixpoint
+        // (both are the minimal model); with negation the inflationary
+        // operator applies `not` eagerly and the two can differ, so the
+        // interpreter keeps those programs.
+        let negated = rules
+            .rules
+            .iter()
+            .any(|r| r.head.negated || r.body.iter().any(|l| l.negated));
+        if negated {
+            return Err(CompileUnsupported {
+                reason: "inflationary-negation",
+                detail: "inflationary semantics with negation is not compiled".to_owned(),
+            });
+        }
+    }
+
+    // Column catalog for selection pushdown: every association plus the
+    // delta relation of every derived predicate.
+    let mut cols: FxHashMap<Sym, Vec<Sym>> = FxHashMap::default();
+    for a in schema.assocs() {
+        if let Some(c) = assoc_cols(schema, a) {
+            cols.insert(a, c);
+        }
+    }
+    for r in &rules.rules {
+        let h = r.head.target();
+        if let Some(c) = cols.get(&h).cloned() {
+            cols.insert(delta_sym(h), c);
+        }
+    }
+    let catalog = |name: Sym| cols.get(&name).cloned();
+
+    let fragment = |e: EngineError| {
+        let detail = match e {
+            EngineError::UnsupportedFragment { detail } => detail,
+            other => other.to_string(),
+        };
+        CompileUnsupported {
+            reason: "fragment",
+            detail,
+        }
+    };
+
+    let mut strata = Vec::with_capacity(strata_idx.len());
+    for stratum in &strata_idx {
+        let mut idb: Vec<Sym> = Vec::new();
+        for &ri in stratum {
+            let h = rules.rules[ri].head.target();
+            if !idb.contains(&h) {
+                idb.push(h);
+            }
+        }
+        let idb_set: FxHashSet<Sym> = idb.iter().copied().collect();
+        let mut steps = Vec::with_capacity(stratum.len());
+        for &ri in stratum {
+            let rule = &rules.rules[ri];
+            let full = compile_rule_plan(schema, rule, None).map_err(fragment)?;
+            let mut deltas = Vec::new();
+            for (li, lit) in rule.body.iter().enumerate() {
+                if lit.negated {
+                    continue; // stratified: negated preds live in lower strata
+                }
+                let Atom::Pred { pred, .. } = &lit.atom else {
+                    continue;
+                };
+                if idb_set.contains(pred) {
+                    let plan = compile_rule_plan(schema, rule, Some((li, delta_sym(*pred))))
+                        .map_err(fragment)?;
+                    deltas.push(algres::push_selections_with(plan, &catalog));
+                }
+            }
+            steps.push(CompiledStep {
+                rule_index: ri,
+                head: rule.head.target(),
+                full: algres::push_selections_with(full, &catalog),
+                deltas,
+            });
+        }
+        strata.push(StratumPlan { idb, steps });
+    }
+    Ok(CompiledProgram { strata })
+}
+
+fn assoc_cols(schema: &Schema, assoc: Sym) -> Option<Vec<Sym>> {
+    let ty = schema.expand(schema.assoc_type(assoc)?);
+    Some(ty.as_tuple()?.iter().map(|f| f.label).collect())
+}
+
+/// Try the compiled fast path. `None` means the program (or the options)
+/// fell outside the fragment — the fallback has already been counted and
+/// traced, and the caller should run the interpreter.
+pub fn try_evaluate_compiled(
+    schema: &Schema,
+    rules: &RuleSet,
+    edb: &Instance,
+    semantics: Semantics,
+    opts: &EvalOptions,
+) -> Option<Result<(Instance, EvalReport), EngineError>> {
+    if opts.provenance {
+        note_fallback(opts, "provenance");
+        return None;
+    }
+    let program = match compile_program(schema, rules, semantics) {
+        Ok(p) => p,
+        Err(u) => {
+            note_fallback(opts, u.reason);
+            return None;
+        }
+    };
+    Some(run_compiled(schema, &program, rules, edb, opts))
+}
+
+/// Execute a compiled program: strata bottom-up, semi-naive rounds within
+/// each stratum, one caching [`Evaluator`] per stratum so join hash tables
+/// over stable (extensional and lower-stratum) relations are built once.
+pub fn run_compiled(
+    schema: &Schema,
+    program: &CompiledProgram,
+    rules: &RuleSet,
+    edb: &Instance,
+    opts: &EvalOptions,
+) -> Result<(Instance, EvalReport), EngineError> {
+    let mut total = edb.clone();
+    let em = opts.metrics.as_ref().map(EngineMetrics::new);
+    let mut report = EvalReport::with_rules(rules);
+    let mut governor = Governor::new(opts);
+    let token = governor.token().clone();
+    let tracer = opts.trace.as_deref();
+    trace::emit(tracer, || TraceEvent::EvalStart {
+        engine: "compiled",
+        rules: rules.rules.len(),
+        facts: edb.fact_count(),
+    });
+
+    let cancel =
+        |mut report: EvalReport, facts: usize, in_rule: Option<String>, governor: &Governor| {
+            let cause = governor.check().expect("cancel taken only when tripped");
+            let step = report.steps;
+            report.facts = facts;
+            report.cancelled_in_rule = in_rule;
+            trace::emit(tracer, || TraceEvent::Cancelled {
+                step,
+                cause: cause.to_string(),
+            });
+            EngineError::Cancelled {
+                cause,
+                partial: Box::new(report),
+            }
+        };
+    let rule_of = |token: &crate::governor::CancelToken| {
+        token.last_item().map(|i| rules.rules[i].to_string())
+    };
+
+    let mut plan_stats = EvalStats::default();
+    for splan in &program.strata {
+        let env = env_from_instance(schema, &total);
+        let mut ev = Evaluator::new(&env);
+        let mut idb_cols: FxHashMap<Sym, Vec<Sym>> = FxHashMap::default();
+        for &p in &splan.idb {
+            let rel = relation_of(schema, &total, p).ok_or(EngineError::UnknownPredicate(p))?;
+            idb_cols.insert(p, rel.cols().to_vec());
+            ev.bind(delta_sym(p), rel.clone());
+            ev.bind(p, rel);
+        }
+
+        // Round 0 runs the full plans; later rounds only the delta plans.
+        let mut use_delta = false;
+        loop {
+            if use_delta && report.steps >= opts.max_steps {
+                return Err(EngineError::NoFixpoint {
+                    steps: opts.max_steps,
+                });
+            }
+            if total.fact_count() > opts.max_facts {
+                return Err(EngineError::TooManyFacts {
+                    limit: opts.max_facts,
+                });
+            }
+            let round = report.steps;
+            token.reset_item();
+            trace::emit(tracer, || TraceEvent::StepStart {
+                step: round,
+                facts: total.fact_count(),
+            });
+            let match_start = Instant::now();
+            let mut stats = IterationStats::default();
+            let mut per_rule = vec![IterationStats::default(); rules.rules.len()];
+            let mut round_nodes = 0usize;
+            let mut cancelled = false;
+            let mut new_delta: FxHashMap<Sym, Relation> = splan
+                .idb
+                .iter()
+                .map(|p| (*p, Relation::new(idb_cols[p].clone())))
+                .collect();
+            for step in &splan.steps {
+                token.note_item(step.rule_index);
+                let rule_start = Instant::now();
+                let plans: &[AlgExpr] = if use_delta {
+                    &step.deltas
+                } else {
+                    std::slice::from_ref(&step.full)
+                };
+                for plan in plans {
+                    let rel = ev.eval(plan)?;
+                    stats.firings += rel.len();
+                    per_rule[step.rule_index].firings += rel.len();
+                    for t in rel.iter() {
+                        if total.insert_assoc(step.head, t.clone()) {
+                            stats.derived += 1;
+                            per_rule[step.rule_index].derived += 1;
+                            round_nodes += t.node_count();
+                            new_delta
+                                .get_mut(&step.head)
+                                .expect("head in stratum idb")
+                                .insert(t.clone());
+                        }
+                    }
+                }
+                per_rule[step.rule_index].match_nanos += rule_start.elapsed().as_nanos() as u64;
+                if token.cancelled() || governor.check().is_some() {
+                    cancelled = true;
+                    break;
+                }
+            }
+            stats.match_nanos = match_start.elapsed().as_nanos() as u64;
+            for (idx, s) in per_rule.iter().enumerate() {
+                if let Some(m) = &em {
+                    m.record_rule_step(idx, s.firings as u64, s.derived as u64, 0, 0);
+                }
+                if s.firings > 0 {
+                    trace::emit(tracer, || TraceEvent::RuleFired {
+                        step: round,
+                        rule: idx,
+                        firings: s.firings,
+                        derived: s.derived,
+                        deleted: 0,
+                        match_nanos: s.match_nanos,
+                    });
+                }
+            }
+            report.absorb_rule_stats(&per_rule);
+            governor.charge_nodes(round_nodes);
+            if let Some(m) = &em {
+                m.steps.inc();
+                m.value_nodes.add(round_nodes as u64);
+                m.step_match_ms.observe(stats.match_nanos / 1_000_000);
+                m.step_apply_ms.observe(stats.apply_nanos / 1_000_000);
+                if let Some(headroom) = governor.deadline_headroom_ms() {
+                    m.deadline_headroom_ms.set(headroom);
+                }
+            }
+            if cancelled || governor.check().is_some() {
+                let in_rule = rule_of(&token);
+                return Err(cancel(report, total.fact_count(), in_rule, &governor));
+            }
+            trace::emit(tracer, || TraceEvent::StepEnd {
+                step: round,
+                firings: stats.firings,
+                derived: stats.derived,
+                deleted: 0,
+                facts: total.fact_count(),
+                match_nanos: stats.match_nanos,
+                apply_nanos: stats.apply_nanos,
+            });
+            trace::emit(tracer, || TraceEvent::Budget {
+                step: round,
+                facts: total.fact_count(),
+                value_nodes: governor.value_nodes(),
+                elapsed_ms: governor.elapsed_ms(),
+            });
+            report.iterations.push(stats);
+            report.steps += 1;
+
+            let mut progressed = false;
+            for &p in &splan.idb {
+                let nd = new_delta.remove(&p).expect("idb delta present");
+                if !nd.is_empty() {
+                    progressed = true;
+                    ev.extend_binding(p, &nd);
+                }
+                ev.bind(delta_sym(p), nd);
+            }
+            use_delta = true;
+            if !progressed {
+                break;
+            }
+        }
+        let s = ev.stats();
+        plan_stats.rounds += s.rounds;
+        plan_stats.hash_builds += s.hash_builds;
+        plan_stats.probes += s.probes;
+        plan_stats.memo_hits += s.memo_hits;
+    }
+
+    if let Some(m) = &opts.metrics {
+        m.counter("logres_compile_runs_total").inc();
+        m.counter("logres_compile_rounds_total")
+            .add(report.steps as u64);
+        m.counter("logres_compile_hash_builds_total")
+            .add(plan_stats.hash_builds);
+        m.counter("logres_compile_probes_total")
+            .add(plan_stats.probes);
+        m.counter("logres_compile_memo_hits_total")
+            .add(plan_stats.memo_hits);
+    }
+    report.facts = total.fact_count();
+    trace::emit(tracer, || TraceEvent::EvalEnd {
+        steps: report.steps,
+        facts: report.facts,
+        fixpoint: true,
+    });
+    Ok((total, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_facts;
+    use crate::metrics::MetricsRegistry;
+    use crate::stratified::evaluate;
+    use logres_lang::parse_program;
+    use logres_model::{OidGen, Value};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn setup(src: &str) -> (Schema, Instance, RuleSet) {
+        let p = parse_program(src).expect("parses");
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("loads");
+        (p.schema, edb, p.rules)
+    }
+
+    fn chain(n: i64) -> String {
+        let mut src = String::from(
+            "associations\n  e  = (a: integer, b: integer);\n  tc = (a: integer, b: integer);\nfacts\n",
+        );
+        for i in 0..n {
+            src.push_str(&format!("  e(a: {i}, b: {}).\n", i + 1));
+        }
+        src.push_str(
+            "rules\n  tc(a: X, b: Y) <- e(a: X, b: Y).\n  tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).\n",
+        );
+        src
+    }
+
+    fn opts_with(reg: &Arc<MetricsRegistry>) -> EvalOptions {
+        EvalOptions {
+            metrics: Some(reg.clone()),
+            ..EvalOptions::default()
+        }
+    }
+
+    #[test]
+    fn compiled_dispatcher_runs_the_plan_not_the_interpreter() {
+        let (schema, edb, rules) = setup(&chain(16));
+        let reg = Arc::new(MetricsRegistry::new());
+        let (compiled, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            opts_with(&reg),
+        )
+        .unwrap();
+        assert_eq!(reg.counter("logres_compile_runs_total").get(), 1);
+        let (interp, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions {
+                compiled: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let tc = Sym::new("tc");
+        assert_eq!(compiled.assoc_len(tc), interp.assoc_len(tc));
+        assert_eq!(compiled.assoc_len(tc), 16 * 17 / 2);
+        for t in interp.tuples_of(tc) {
+            assert!(compiled.has_tuple(tc, t));
+        }
+    }
+
+    #[test]
+    fn stratified_negation_runs_compiled_and_matches_the_perfect_model() {
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              node     = (n: integer);
+              edge     = (a: integer, b: integer);
+              covered  = (n: integer);
+              isolated = (n: integer);
+            facts
+              node(n: 1).
+              node(n: 2).
+              node(n: 3).
+              edge(a: 1, b: 2).
+            rules
+              covered(n: X) <- edge(a: X, b: Y).
+              covered(n: X) <- edge(a: Y, b: X).
+              isolated(n: X) <- node(n: X), not covered(n: X).
+        "#,
+        );
+        let reg = Arc::new(MetricsRegistry::new());
+        let (inst, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Stratified,
+            opts_with(&reg),
+        )
+        .unwrap();
+        assert_eq!(reg.counter("logres_compile_runs_total").get(), 1);
+        assert_eq!(inst.assoc_len(Sym::new("isolated")), 1);
+        assert!(inst.has_tuple(Sym::new("isolated"), &Value::tuple([("n", Value::Int(3))])));
+    }
+
+    #[test]
+    fn fallback_reasons_are_counted_per_label() {
+        // provenance: options force the interpreter.
+        let (schema, edb, rules) = setup(&chain(4));
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut opts = opts_with(&reg);
+        opts.provenance = true;
+        evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts).unwrap();
+        assert_eq!(
+            reg.counter_with("logres_compile_fallbacks_total", "reason", "provenance")
+                .get(),
+            1
+        );
+        assert_eq!(reg.counter("logres_compile_runs_total").get(), 0);
+
+        // fragment: oid invention through a class head.
+        let (schema, edb, rules) = setup(
+            r#"
+            classes
+              ip = (emp: string);
+            associations
+              pair = (emp: string);
+            facts
+              pair(emp: "e1").
+            rules
+              ip(self: X, C) <- pair(C).
+        "#,
+        );
+        let reg = Arc::new(MetricsRegistry::new());
+        evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            opts_with(&reg),
+        )
+        .unwrap();
+        assert_eq!(
+            reg.counter_with("logres_compile_fallbacks_total", "reason", "fragment")
+                .get(),
+            1
+        );
+
+        // inflationary-negation: stratifiable, but the semantics differ.
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              p = (d: integer);
+              r = (d: integer);
+              q = (d: integer);
+            facts
+              p(d: 1).
+            rules
+              q(d: X) <- p(d: X), not r(d: X).
+        "#,
+        );
+        let reg = Arc::new(MetricsRegistry::new());
+        evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            opts_with(&reg),
+        )
+        .unwrap();
+        assert_eq!(
+            reg.counter_with(
+                "logres_compile_fallbacks_total",
+                "reason",
+                "inflationary-negation"
+            )
+            .get(),
+            1
+        );
+
+        // unstratifiable: negation through recursion.
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              p = (d: integer);
+              q = (d: integer);
+            facts
+              q(d: 1).
+            rules
+              p(d: X) <- q(d: X), not p(d: X).
+        "#,
+        );
+        let reg = Arc::new(MetricsRegistry::new());
+        evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Stratified,
+            opts_with(&reg),
+        )
+        .unwrap();
+        assert_eq!(
+            reg.counter_with("logres_compile_fallbacks_total", "reason", "unstratifiable")
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn magic_guards_lower_to_semijoin_reducers() {
+        // A guard literal whose variables are all bound earlier in the body
+        // must become a SemiJoin, not a widening Join.
+        let (schema, _, rules) = setup(
+            r#"
+            associations
+              e = (a: integer, b: integer);
+              g = (a: integer);
+              p = (a: integer, b: integer);
+            rules
+              p(a: X, b: Y) <- e(a: X, b: Y), g(a: X).
+        "#,
+        );
+        let program = compile_program(&schema, &rules, Semantics::Inflationary).unwrap();
+        let plan = format!("{:?}", program.strata[0].steps[0].full);
+        assert!(plan.contains("SemiJoin"), "expected a semijoin in {plan}");
+    }
+
+    #[test]
+    fn join_tables_are_cached_across_rounds_pin() {
+        // Satellite pin for the evaluator-caching bugfix: the number of hash
+        // tables built must not scale with the number of semi-naive rounds.
+        let run = |n: i64| {
+            let (schema, edb, rules) = setup(&chain(n));
+            let reg = Arc::new(MetricsRegistry::new());
+            evaluate(
+                &schema,
+                &rules,
+                &edb,
+                Semantics::Inflationary,
+                opts_with(&reg),
+            )
+            .unwrap();
+            (
+                reg.counter("logres_compile_rounds_total").get(),
+                reg.counter("logres_compile_hash_builds_total").get(),
+                reg.counter("logres_compile_probes_total").get(),
+            )
+        };
+        let (rounds_small, builds_small, _) = run(16);
+        let (rounds_big, builds_big, probes_big) = run(48);
+        assert!(rounds_big > rounds_small, "longer chain, more rounds");
+        assert_eq!(
+            builds_small, builds_big,
+            "hash builds must be independent of round count"
+        );
+        assert!(
+            probes_big > rounds_big,
+            "probing happens against cached tables every round"
+        );
+    }
+
+    #[test]
+    fn governor_budgets_apply_on_the_compiled_path() {
+        let (schema, edb, rules) = setup(&chain(64));
+        let opts = EvalOptions {
+            deadline: Some(Duration::ZERO),
+            ..EvalOptions::default()
+        };
+        match evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts) {
+            Err(EngineError::Cancelled { .. }) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        let opts = EvalOptions {
+            max_steps: 3,
+            ..EvalOptions::default()
+        };
+        match evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts) {
+            Err(EngineError::NoFixpoint { steps: 3 }) => {}
+            other => panic!("expected NoFixpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_carries_per_rule_profiles_and_iterations() {
+        let (schema, edb, rules) = setup(&chain(8));
+        let (_, report) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.rule_profiles.len(), 2);
+        assert!(report.rule_profiles.iter().all(|p| p.derived > 0));
+        assert_eq!(report.steps, report.iterations.len());
+        assert!(report.steps >= 8);
+        assert_eq!(report.facts, 8 + 8 * 9 / 2);
+    }
+}

@@ -33,6 +33,12 @@ pub enum Semantics {
 }
 
 /// Evaluate under the chosen semantics.
+///
+/// When [`EvalOptions::compiled`] is on (the default) and the program fits
+/// the compilable fragment, evaluation runs set-at-a-time on ALGRES plans
+/// ([`crate::plan`]); otherwise — after a counted
+/// `logres_compile_fallbacks_total{reason=…}` fallback — it runs on the
+/// tuple-at-a-time interpreter. Both paths produce the same instance.
 pub fn evaluate(
     schema: &Schema,
     rules: &RuleSet,
@@ -40,6 +46,13 @@ pub fn evaluate(
     semantics: Semantics,
     opts: EvalOptions,
 ) -> Result<(Instance, EvalReport), EngineError> {
+    if opts.compiled {
+        if let Some(result) =
+            crate::plan::try_evaluate_compiled(schema, rules, edb, semantics, &opts)
+        {
+            return result;
+        }
+    }
     match semantics {
         Semantics::Inflationary => evaluate_inflationary(schema, rules, edb, opts),
         Semantics::Stratified => evaluate_stratified(schema, rules, edb, opts),

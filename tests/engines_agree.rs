@@ -1,17 +1,24 @@
 //! Cross-engine agreement: the inflationary interpreter, the semi-naive
 //! evaluator, and the ALGRES-compiled path (in both fixpoint modes) must
 //! compute identical fact sets on the shared fragment — and all must match
-//! an independent graph-algorithm reference.
+//! an independent graph-algorithm reference. The production dispatcher's
+//! compiled fast path (`EvalOptions::compiled`) is held to the same
+//! standard: bit-identical instances against the interpreted oracle at
+//! every thread count, with every fallback accounted for by reason.
+
+use std::sync::Arc;
 
 use algres::FixpointMode;
 use logres::engine::{
-    compile_ruleset, evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions,
+    compile_ruleset, evaluate, evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions,
+    MetricsRegistry, Semantics,
 };
 use logres::lang::parse_program;
 use logres::model::{Instance, OidGen, Sym, Value};
 use logres_repro::generators::{
     chain_edges, closure_program, random_edges, reference_closure, tree_edges,
 };
+use proptest::prelude::*;
 
 fn closure_with_all_engines(edges: &[(i64, i64)]) {
     let src = closure_program(edges);
@@ -219,5 +226,226 @@ fn semantics_coincide_on_positive_programs() {
     assert_eq!(infl.assoc_len(tc), strat.assoc_len(tc));
     for t in infl.tuples_of(tc) {
         assert!(strat.has_tuple(tc, t));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled production path (`EvalOptions::compiled`) vs the interpreter
+// ---------------------------------------------------------------------------
+
+fn load(src: &str) -> (logres::lang::Program, Instance) {
+    let p = parse_program(src).expect("program parses");
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).unwrap();
+    (p, edb)
+}
+
+/// The compiled dispatcher path is bit-identical to the interpreted oracle
+/// at every thread count — and it really took the compiled path (one run
+/// counted, zero fallbacks).
+#[test]
+fn compiled_path_is_bit_identical_at_every_thread_count() {
+    let (p, edb) = load(&closure_program(&random_edges(16, 32, 3)));
+    let oracle_opts = EvalOptions {
+        compiled: false,
+        ..EvalOptions::default()
+    };
+    let (oracle, _) = evaluate(
+        &p.schema,
+        &p.rules,
+        &edb,
+        Semantics::Inflationary,
+        oracle_opts,
+    )
+    .expect("interpreted oracle");
+    for threads in [1usize, 2, 8, 0] {
+        let reg = Arc::new(MetricsRegistry::new());
+        let opts = EvalOptions {
+            threads,
+            metrics: Some(reg.clone()),
+            ..EvalOptions::default()
+        };
+        let (inst, _) = evaluate(&p.schema, &p.rules, &edb, Semantics::Inflationary, opts)
+            .expect("compiled path");
+        assert_eq!(inst, oracle, "threads={threads} diverges from interpreter");
+        assert_eq!(reg.counter("logres_compile_runs_total").get(), 1);
+        let snap = reg.counter_snapshot();
+        assert!(
+            !snap
+                .iter()
+                .any(|(k, v)| k.starts_with("logres_compile_fallbacks_total") && *v > 0),
+            "unexpected fallback at threads={threads}: {snap:?}"
+        );
+    }
+}
+
+/// Stratified negation also runs compiled, and stays bit-identical across
+/// the thread sweep.
+#[test]
+fn compiled_negation_is_bit_identical_at_every_thread_count() {
+    let (p, edb) = load(
+        r#"
+        associations
+          e        = (a: integer, b: integer);
+          covered  = (n: integer);
+          node     = (n: integer);
+          isolated = (n: integer);
+        facts
+          node(n: 0). node(n: 1). node(n: 2). node(n: 3).
+          e(a: 0, b: 1). e(a: 1, b: 2).
+        rules
+          covered(n: X) <- e(a: X, b: Y).
+          covered(n: Y) <- e(a: X, b: Y).
+          isolated(n: X) <- node(n: X), not covered(n: X).
+    "#,
+    );
+    let oracle_opts = EvalOptions {
+        compiled: false,
+        ..EvalOptions::default()
+    };
+    let (oracle, _) = evaluate(
+        &p.schema,
+        &p.rules,
+        &edb,
+        Semantics::Stratified,
+        oracle_opts,
+    )
+    .expect("interpreted oracle");
+    assert_eq!(oracle.assoc_len(Sym::new("isolated")), 1);
+    for threads in [1usize, 2, 8, 0] {
+        let reg = Arc::new(MetricsRegistry::new());
+        let opts = EvalOptions {
+            threads,
+            metrics: Some(reg.clone()),
+            ..EvalOptions::default()
+        };
+        let (inst, _) = evaluate(&p.schema, &p.rules, &edb, Semantics::Stratified, opts)
+            .expect("compiled path");
+        assert_eq!(inst, oracle, "threads={threads} diverges from interpreter");
+        assert_eq!(reg.counter("logres_compile_runs_total").get(), 1);
+    }
+}
+
+/// Integration-level regression pins for every `logres_compile_fallbacks_total`
+/// reason label, driven through the public `evaluate` entry point: each
+/// program trips exactly its own reason, never takes the compiled path, and
+/// still produces the interpreter's answer.
+#[test]
+fn compile_fallback_reasons_are_pinned_per_label() {
+    let closure = closure_program(&chain_edges(4));
+    let cases: [(&str, String, Semantics, bool); 4] = [
+        ("provenance", closure.clone(), Semantics::Inflationary, true),
+        (
+            "fragment",
+            r#"
+            classes
+              copy = (v: integer);
+            associations
+              src_t = (v: integer);
+            facts
+              src_t(v: 1).
+            rules
+              copy(self: X, v: V) <- src_t(v: V).
+            "#
+            .to_string(),
+            Semantics::Inflationary,
+            false,
+        ),
+        (
+            "inflationary-negation",
+            r#"
+            associations
+              p = (d: integer);
+              r = (d: integer);
+              q = (d: integer);
+            facts
+              p(d: 1).
+            rules
+              q(d: X) <- p(d: X), not r(d: X).
+            "#
+            .to_string(),
+            Semantics::Inflationary,
+            false,
+        ),
+        (
+            "unstratifiable",
+            r#"
+            associations
+              p = (d: integer);
+              q = (d: integer);
+            facts
+              q(d: 1).
+            rules
+              p(d: X) <- q(d: X), not p(d: X).
+            "#
+            .to_string(),
+            Semantics::Stratified,
+            false,
+        ),
+    ];
+    const REASONS: [&str; 4] = [
+        "provenance",
+        "fragment",
+        "inflationary-negation",
+        "unstratifiable",
+    ];
+    for (reason, src, semantics, provenance) in &cases {
+        let (p, edb) = load(src);
+        let reg = Arc::new(MetricsRegistry::new());
+        let opts = EvalOptions {
+            provenance: *provenance,
+            metrics: Some(reg.clone()),
+            ..EvalOptions::default()
+        };
+        evaluate(&p.schema, &p.rules, &edb, *semantics, opts).expect("interpreter fallback runs");
+        for label in REASONS {
+            let want = u64::from(label == *reason);
+            assert_eq!(
+                reg.counter_with("logres_compile_fallbacks_total", "reason", label)
+                    .get(),
+                want,
+                "program for `{reason}` miscounted label `{label}`"
+            );
+        }
+        assert_eq!(
+            reg.counter("logres_compile_runs_total").get(),
+            0,
+            "`{reason}` program must not take the compiled path"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random-program differential: on arbitrary small digraphs the
+    /// compiled production path equals the interpreted oracle bit for bit
+    /// at every thread count, and both match the graph-theoretic reference.
+    #[test]
+    fn compiled_and_interpreted_agree_on_random_programs(
+        edges in proptest::collection::btree_set((0i64..8, 0i64..8), 1..20)
+    ) {
+        let edges: Vec<(i64, i64)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!edges.is_empty());
+        let (p, edb) = load(&closure_program(&edges));
+        let oracle_opts = EvalOptions { compiled: false, ..EvalOptions::default() };
+        let (oracle, _) =
+            evaluate(&p.schema, &p.rules, &edb, Semantics::Inflationary, oracle_opts).unwrap();
+        let reference = reference_closure(&edges);
+        let tc = Sym::new("tc");
+        prop_assert_eq!(oracle.assoc_len(tc), reference.len());
+        for threads in [1usize, 2, 8, 0] {
+            let opts = EvalOptions { threads, ..EvalOptions::default() };
+            let (inst, _) =
+                evaluate(&p.schema, &p.rules, &edb, Semantics::Inflationary, opts).unwrap();
+            prop_assert_eq!(&inst, &oracle, "threads={} diverges", threads);
+            for &(a, b) in &reference {
+                prop_assert!(inst.has_tuple(
+                    tc,
+                    &Value::tuple([("a", Value::Int(a)), ("b", Value::Int(b))])
+                ));
+            }
+        }
     }
 }

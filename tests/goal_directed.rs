@@ -175,6 +175,87 @@ fn corpus_goals_agree_with_the_full_fixpoint_at_every_thread_count() {
     );
 }
 
+/// The compiled fast path inside `evaluate_demand` is invisible: for every
+/// corpus fixture and every thread count, running the demand path with
+/// `compiled` on (the default) and with `compiled` off produces the same
+/// fallback decision and, when both answer, the same rows.
+#[test]
+fn corpus_demand_answers_match_between_compiled_and_interpreted_paths() {
+    let mut compared = 0usize;
+    for f in fixtures::corpus() {
+        let src = f.source();
+        let Ok(p) = parse_program(&src) else { continue };
+        let Some(goal) = p.goal.clone() else { continue };
+        let mut edb = Instance::new();
+        let mut gen = OidGen::new();
+        if load_facts(&p.schema, &mut edb, &p.facts, &mut gen).is_err() {
+            continue;
+        }
+        // Corpus goals are all-free and would fall back at the planner;
+        // bind the first scalar output variable (as the full-fixpoint
+        // corpus test does) so the demand path actually runs.
+        let Ok((inst, _)) = evaluate(&p.schema, &p.rules, &edb, Semantics::Stratified, bounded(1))
+        else {
+            continue;
+        };
+        let Ok(free_rows) = answer_goal(&p.schema, &inst, &goal) else {
+            continue;
+        };
+        let Some((var, val)) = free_rows.first().and_then(|row| {
+            row.iter()
+                .find(|(_, v)| matches!(v, Value::Int(_) | Value::Str(_)))
+                .cloned()
+        }) else {
+            continue;
+        };
+        let Some(goal) = bind_goal_var(&goal, var, &val) else {
+            continue;
+        };
+        for threads in [1usize, 2, 8, 0] {
+            let compiled = answer_goal_demand(
+                &p.schema,
+                &p.rules,
+                &edb,
+                &goal,
+                Semantics::Stratified,
+                bounded(threads),
+            );
+            let interpreted = answer_goal_demand(
+                &p.schema,
+                &p.rules,
+                &edb,
+                &goal,
+                Semantics::Stratified,
+                EvalOptions {
+                    compiled: false,
+                    ..bounded(threads)
+                },
+            );
+            match (compiled, interpreted) {
+                (Ok(Some((got, _))), Ok(Some((want, _)))) => {
+                    assert_eq!(
+                        got, want,
+                        "fixture {} diverges between compiled and interpreted \
+                         demand paths at threads={threads}",
+                        f.name
+                    );
+                    compared += 1;
+                }
+                (Ok(None), Ok(None)) | (Err(_), Err(_)) => {}
+                (c, i) => panic!(
+                    "fixture {}: fallback decision differs at threads={threads}: \
+                     compiled={c:?} interpreted={i:?}",
+                    f.name
+                ),
+            }
+        }
+    }
+    assert!(
+        compared > 0,
+        "no corpus fixture answered on both paths — the differential test is vacuous"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -202,11 +283,16 @@ proptest! {
             goal tc(a: {src_node}, b: X)?
             "#
         );
-        for threads in [1usize, 0] {
+        // The oracle runs interpreted (`compiled: false`); the demand path
+        // runs with the compiled fast path on (the default), at every
+        // thread count — so this doubles as a compiled-vs-interpreter
+        // differential over the magic-rewritten programs.
+        let oracle = EvalOptions { compiled: false, ..EvalOptions::default() };
+        let want = full_answer(&src, &oracle).expect("closure evaluates");
+        for threads in [1usize, 2, 8, 0] {
             let opts = EvalOptions { threads, ..EvalOptions::default() };
-            let want = full_answer(&src, &opts).expect("closure evaluates");
             let got = demand_answer(&src, &opts).expect("bound source rewrites");
-            prop_assert_eq!(got, want);
+            prop_assert_eq!(&got, &want);
         }
     }
 }
