@@ -7,6 +7,8 @@
 //! tables built for `Join`/`SemiJoin`/`AntiJoin` right sides. The one-shot
 //! [`eval`] wrapper keeps the original convenience API.
 
+use std::time::Instant;
+
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use logres_model::{Sym, Value};
@@ -58,6 +60,31 @@ pub struct EvalStats {
     pub memo_hits: u64,
 }
 
+/// Per-operator-node runtime counters, collected only when profiling is
+/// switched on via [`Evaluator::enable_profiling`]. Counters are keyed by
+/// node identity (the expression must outlive the session, as for the memo),
+/// so repeated evaluations of the same node — one per fixpoint or semi-naive
+/// round — accumulate. `nanos` is *inclusive* wall time (the node plus the
+/// children it actually evaluated); every other field is a deterministic
+/// count, bit-identical across runs and thread counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Times this node was evaluated (memo hits included).
+    pub evals: u64,
+    /// Total rows returned by the node's direct children across all evals.
+    pub rows_in: u64,
+    /// Total rows this node returned across all evals.
+    pub rows_out: u64,
+    /// Hash tables built for this node's right side (joins only).
+    pub hash_builds: u64,
+    /// Probes against this node's hash table (joins only).
+    pub probes: u64,
+    /// Evaluations of this node answered from the memo.
+    pub memo_hits: u64,
+    /// Inclusive wall-clock nanoseconds spent evaluating this node.
+    pub nanos: u64,
+}
+
 /// A materialized hash table for a `Join` right side.
 struct JoinTable {
     left_cols: Vec<Sym>,
@@ -93,6 +120,13 @@ pub struct Evaluator<'a> {
     join_tables: FxHashMap<usize, JoinTable>,
     key_tables: FxHashMap<usize, KeyTable>,
     stats: EvalStats,
+    /// When on, per-node [`OpStats`] are accumulated in `op_stats`; the off
+    /// path pays exactly one branch per node evaluation.
+    profiling: bool,
+    op_stats: FxHashMap<usize, OpStats>,
+    /// One frame per in-flight profiled evaluation: the rows returned by the
+    /// node's direct children so far (becomes the node's `rows_in`).
+    frames: Vec<u64>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -106,7 +140,24 @@ impl<'a> Evaluator<'a> {
             join_tables: FxHashMap::default(),
             key_tables: FxHashMap::default(),
             stats: EvalStats::default(),
+            profiling: false,
+            op_stats: FxHashMap::default(),
+            frames: Vec::new(),
         }
+    }
+
+    /// Turn on per-node operator profiling for the rest of the session.
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    /// The accumulated [`OpStats`] for a node (zero when the node was never
+    /// evaluated or profiling was off).
+    pub fn op_stats_for(&self, expr: &AlgExpr) -> OpStats {
+        self.op_stats
+            .get(&(expr as *const AlgExpr as usize))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Bind (or rebind) a volatile relation. The name is marked volatile for
@@ -144,6 +195,20 @@ impl<'a> Evaluator<'a> {
         self.stats
     }
 
+    fn note_hash_build(&mut self, key: usize) {
+        self.stats.hash_builds += 1;
+        if self.profiling {
+            self.op_stats.entry(key).or_default().hash_builds += 1;
+        }
+    }
+
+    fn note_probes(&mut self, key: usize, probes: u64) {
+        self.stats.probes += probes;
+        if self.profiling {
+            self.op_stats.entry(key).or_default().probes += probes;
+        }
+    }
+
     /// Evaluate an expression. The expression must outlive the session —
     /// cached results are keyed by node identity.
     pub fn eval(&mut self, expr: &'a AlgExpr) -> Result<Relation, AlgError> {
@@ -151,8 +216,36 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate, also reporting whether the result depends on any volatile
-    /// name (in which case it was not memoized).
+    /// name (in which case it was not memoized). When profiling, wrap the
+    /// evaluation in an [`OpStats`] frame: inclusive wall time, the rows the
+    /// direct children produced (`rows_in`), and the rows returned
+    /// (`rows_out`, also credited to the parent frame's `rows_in`).
     fn eval_dep(&mut self, expr: &'a AlgExpr) -> Result<(Relation, bool), AlgError> {
+        if !self.profiling {
+            return self.eval_dep_inner(expr);
+        }
+        let start = Instant::now();
+        self.frames.push(0);
+        let result = self.eval_dep_inner(expr);
+        let child_rows = self.frames.pop().expect("frame pushed above");
+        if let Ok((rel, _)) = &result {
+            let rows_out = rel.len() as u64;
+            let s = self
+                .op_stats
+                .entry(expr as *const AlgExpr as usize)
+                .or_default();
+            s.evals += 1;
+            s.rows_in += child_rows;
+            s.rows_out += rows_out;
+            s.nanos += start.elapsed().as_nanos() as u64;
+            if let Some(parent) = self.frames.last_mut() {
+                *parent += rows_out;
+            }
+        }
+        result
+    }
+
+    fn eval_dep_inner(&mut self, expr: &'a AlgExpr) -> Result<(Relation, bool), AlgError> {
         match expr {
             AlgExpr::Rel(name) => {
                 let dep = self.volatile.contains_key(name);
@@ -172,7 +265,11 @@ impl<'a> Evaluator<'a> {
         let key = expr as *const AlgExpr as usize;
         if let Some(rel) = self.memo.get(&key) {
             self.stats.memo_hits += 1;
-            return Ok((rel.clone(), false));
+            let rel = rel.clone();
+            if self.profiling {
+                self.op_stats.entry(key).or_default().memo_hits += 1;
+            }
+            return Ok((rel, false));
         }
         let (rel, dep) = self.eval_node(expr)?;
         if !dep {
@@ -183,7 +280,7 @@ impl<'a> Evaluator<'a> {
 
     fn eval_node(&mut self, expr: &'a AlgExpr) -> Result<(Relation, bool), AlgError> {
         match expr {
-            AlgExpr::Rel(_) | AlgExpr::Const(_) => unreachable!("handled in eval_dep"),
+            AlgExpr::Rel(_) | AlgExpr::Const(_) => unreachable!("handled in eval_dep_inner"),
             AlgExpr::Select { input, pred } => {
                 let (rel, dep) = self.eval_dep(input)?;
                 let mut out = Relation::new(rel.cols().to_vec());
@@ -273,18 +370,18 @@ impl<'a> Evaluator<'a> {
                 if !cached {
                     let (r, rdep) = self.eval_dep(right)?;
                     let table = build_join_table(&l, &r);
-                    self.stats.hash_builds += 1;
+                    self.note_hash_build(key);
                     if rdep {
                         // Right side is volatile: probe once, do not cache.
                         let (out, probes) = probe_join_table(&table, &l);
-                        self.stats.probes += probes;
+                        self.note_probes(key, probes);
                         return Ok((out, true));
                     }
                     self.join_tables.insert(key, table);
                 }
                 let table = self.join_tables.get(&key).expect("cached join table");
                 let (out, probes) = probe_join_table(table, &l);
-                self.stats.probes += probes;
+                self.note_probes(key, probes);
                 Ok((out, ldep))
             }
             AlgExpr::Union { left, right } => {
@@ -333,17 +430,17 @@ impl<'a> Evaluator<'a> {
                 if !cached {
                     let (r, rdep) = self.eval_dep(right)?;
                     let table = build_key_table(&l, &r);
-                    self.stats.hash_builds += 1;
+                    self.note_hash_build(key);
                     if rdep {
                         let (out, probes) = probe_key_table(&table, &l, keep_matches);
-                        self.stats.probes += probes;
+                        self.note_probes(key, probes);
                         return Ok((out, true));
                     }
                     self.key_tables.insert(key, table);
                 }
                 let table = self.key_tables.get(&key).expect("cached key table");
                 let (out, probes) = probe_key_table(table, &l, keep_matches);
-                self.stats.probes += probes;
+                self.note_probes(key, probes);
                 Ok((out, ldep))
             }
             AlgExpr::Extend { input, col, value } => {
@@ -1175,6 +1272,54 @@ mod tests {
         assert_eq!(session.eval(&expr).unwrap().len(), 1);
         session.bind("d", edges(&[(1, 2), (3, 4)]));
         assert_eq!(session.eval(&expr).unwrap().len(), 2);
+    }
+
+    /// Per-node profiling attributes hash builds, probes and row counts to
+    /// the operator nodes that incurred them, without disturbing the
+    /// session-level [`EvalStats`].
+    #[test]
+    fn profiling_attributes_work_to_operator_nodes() {
+        let chain: Vec<(i64, i64)> = (0..20).map(|i| (i, i + 1)).collect();
+        let env = env_with("e", edges(&chain));
+        let tc = Sym::new("tc");
+        let renamed_delta = AlgExpr::Rel(tc).rename("dst", "mid");
+        let renamed_edge = AlgExpr::Rel(Sym::new("e")).rename("src", "mid");
+        let step = renamed_delta.join(renamed_edge).project(["src", "dst"]);
+        let fx = AlgExpr::Fixpoint {
+            rec: tc,
+            base: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            step: Box::new(step),
+            mode: FixpointMode::Delta,
+        };
+        let mut session = Evaluator::new(&env);
+        session.enable_profiling();
+        let r = session.eval(&fx).unwrap();
+        assert_eq!(r.len(), 21 * 20 / 2);
+        // Session-level counters are untouched by profiling.
+        assert_eq!(session.stats().hash_builds, 1);
+        assert_eq!(session.stats().rounds, 20);
+
+        let (join, project) = match &fx {
+            AlgExpr::Fixpoint { step, .. } => match step.as_ref() {
+                AlgExpr::Project { input, .. } => (input.as_ref(), step.as_ref()),
+                other => panic!("unexpected step {other:?}"),
+            },
+            other => panic!("unexpected root {other:?}"),
+        };
+        let join_stats = session.op_stats_for(join);
+        // The single hash build and all probes land on the join node.
+        assert_eq!(join_stats.hash_builds, 1);
+        assert_eq!(join_stats.probes, session.stats().probes);
+        assert_eq!(join_stats.evals, 20);
+        let project_stats = session.op_stats_for(project);
+        assert_eq!(project_stats.evals, 20);
+        // The projection consumes exactly what the join produced.
+        assert_eq!(project_stats.rows_in, join_stats.rows_out);
+        assert!(project_stats.nanos >= join_stats.nanos);
+        // An un-profiled session reports zeroed stats for every node.
+        let mut cold = Evaluator::new(&env);
+        cold.eval(&fx).unwrap();
+        assert_eq!(cold.op_stats_for(join), OpStats::default());
     }
 
     /// A fixpoint whose recursive name shadows an engine-bound volatile name

@@ -1,5 +1,7 @@
 //! The extended relational algebra expression language.
 
+use std::fmt;
+
 use logres_model::{Sym, Value};
 
 use crate::relation::Relation;
@@ -293,6 +295,30 @@ impl AlgExpr {
         }
     }
 
+    /// Stable lower-case operator name, used by EXPLAIN output and as the
+    /// `op=` label of the `logres_plan_op_*` metrics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            AlgExpr::Rel(_) => "scan",
+            AlgExpr::Const(_) => "const",
+            AlgExpr::Select { .. } => "select",
+            AlgExpr::Project { .. } => "project",
+            AlgExpr::Rename { .. } => "rename",
+            AlgExpr::Product { .. } => "product",
+            AlgExpr::Join { .. } => "join",
+            AlgExpr::Union { .. } => "union",
+            AlgExpr::Diff { .. } => "diff",
+            AlgExpr::Intersect { .. } => "intersect",
+            AlgExpr::SemiJoin { .. } => "semijoin",
+            AlgExpr::AntiJoin { .. } => "antijoin",
+            AlgExpr::Extend { .. } => "extend",
+            AlgExpr::Nest { .. } => "nest",
+            AlgExpr::Unnest { .. } => "unnest",
+            AlgExpr::Aggregate { .. } => "aggregate",
+            AlgExpr::Fixpoint { .. } => "fixpoint",
+        }
+    }
+
     /// Number of references to `Rel(name)` in this expression (used to
     /// decide whether semi-naive evaluation is exact).
     pub fn count_refs(&self, name: Sym) -> usize {
@@ -325,6 +351,70 @@ impl AlgExpr {
                     }
             }
         }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Col(c) => write!(f, "{c}"),
+            Scalar::Const(v) => write!(f, "{v}"),
+            Scalar::Add(a, b) => write!(f, "({a} + {b})"),
+            Scalar::Sub(a, b) => write!(f, "({a} - {b})"),
+            Scalar::Mul(a, b) => write!(f, "({a} * {b})"),
+            Scalar::Div(a, b) => write!(f, "({a} / {b})"),
+            Scalar::Tuple(fs) => {
+                f.write_str("(")?;
+                for (i, (l, s)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{l}: {s}")?;
+                }
+                f.write_str(")")
+            }
+            Scalar::Field(e, l) => write!(f, "{e}.{l}"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Pred::In(e, c) => write!(f, "{e} in {c}"),
+            Pred::And(a, b) => write!(f, "{a} and {b}"),
+            Pred::Or(a, b) => write!(f, "({a} or {b})"),
+            Pred::Not(p) => write!(f, "not ({p})"),
+            Pred::True => f.write_str("true"),
+        }
+    }
+}
+
+impl fmt::Display for AggFun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFun::Count => "count",
+            AggFun::Sum => "sum",
+            AggFun::Min => "min",
+            AggFun::Max => "max",
+            AggFun::Avg => "avg",
+            AggFun::CollectSet => "collect_set",
+            AggFun::CollectMultiset => "collect_multiset",
+        })
     }
 }
 
@@ -369,6 +459,35 @@ mod tests {
         assert_eq!(inner.count_refs(rec), 1);
         let join = AlgExpr::Rel(rec).join(AlgExpr::Rel(rec));
         assert_eq!(join.count_refs(rec), 2);
+    }
+
+    #[test]
+    fn op_names_and_displays_are_stable() {
+        assert_eq!(AlgExpr::Rel(Sym::new("e")).op_name(), "scan");
+        assert_eq!(
+            AlgExpr::Rel(Sym::new("e"))
+                .join(AlgExpr::Rel(Sym::new("e")))
+                .op_name(),
+            "join"
+        );
+        let p = Pred::And(
+            Box::new(Pred::Cmp(
+                CmpOp::Eq,
+                Scalar::col("a"),
+                Scalar::Const(Value::Int(1)),
+            )),
+            Box::new(Pred::Not(Box::new(Pred::In(
+                Scalar::col("e"),
+                Scalar::col("s"),
+            )))),
+        );
+        assert_eq!(p.to_string(), "a = 1 and not (e in s)");
+        let s = Scalar::Add(
+            Box::new(Scalar::col("x")),
+            Box::new(Scalar::Field(Box::new(Scalar::col("t")), Sym::new("f"))),
+        );
+        assert_eq!(s.to_string(), "(x + t.f)");
+        assert_eq!(AggFun::CollectSet.to_string(), "collect_set");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod optimize;
 pub mod relation;
 
 pub use error::AlgError;
-pub use eval::{eval, Env, EvalStats, Evaluator};
+pub use eval::{eval, Env, EvalStats, Evaluator, OpStats};
 pub use expr::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred, Scalar};
 pub use optimize::{push_selections, push_selections_with, Catalog};
 pub use relation::Relation;

@@ -1,4 +1,4 @@
-//! Experiment runners E1–E13 (DESIGN.md §4): each returns a printable
+//! Experiment runners E1–E15 (DESIGN.md §4): each returns a printable
 //! [`Table`] whose rows are recorded in EXPERIMENTS.md.
 
 use std::sync::{Arc, OnceLock};
@@ -81,6 +81,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e12", e12_observability),
         ("e13", e13_goal_directed),
         ("e14", e14_compiled_path),
+        ("e15", e15_plan_profiling),
     ]
 }
 
@@ -991,6 +992,188 @@ pub fn e14_compiled_path() -> Table {
     t
 }
 
+/// E15 — EXPLAIN ANALYZE: price the per-operator profiler, then use it
+/// (DESIGN.md §13). Part one times the compiled chain-256 closure in three
+/// configurations — baseline, metrics-on / profile-off (the production
+/// default; `LOGRES_E15_MAX_OVERHEAD=<pct>` turns its overhead into a hard
+/// CI ceiling), and profile-on (priced but not gated: profiling is an
+/// opt-in diagnostic). Part two points the profiler at the micro chain
+/// closure behind the known compiled-vs-semi-naive gap at small n
+/// (ROADMAP) and ranks operators by self time, so the gap is attributed to
+/// named operators instead of guessed at.
+pub fn e15_plan_profiling() -> Table {
+    let mut t = Table::new(
+        "E15 — EXPLAIN ANALYZE: profiler price, then micro-closure attribution",
+        &[
+            "section",
+            "variant / op",
+            "time",
+            "overhead / share",
+            "detail",
+        ],
+    );
+
+    // -- Part one: what the instrumentation costs on the compiled path. --
+    let (schema, edb, rules) = loaded(&closure_program(&chain_edges(256)));
+    let configs = [
+        bench_opts(),
+        EvalOptions {
+            metrics: Some(Arc::new(MetricsRegistry::new())),
+            ..bench_opts()
+        },
+        EvalOptions {
+            metrics: Some(Arc::new(MetricsRegistry::new())),
+            profile: true,
+            ..bench_opts()
+        },
+    ];
+    // Correctness first, untimed: all three configurations produce the
+    // same instance.
+    let insts: Vec<Instance> = configs
+        .iter()
+        .map(|opts| {
+            evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts.clone())
+                .expect("compiled closure runs")
+                .0
+        })
+        .collect();
+    assert_eq!(insts[0], insts[1], "metrics must not change results");
+    assert_eq!(insts[0], insts[2], "profiling must not change results");
+    drop(insts);
+    // Then timing: configurations interleaved within each repetition (so a
+    // transient machine stall lands on every variant, not one column) and
+    // every result dropped before the next measurement (so no variant runs
+    // against a heap the earlier ones bloated).
+    let mut best = [Duration::MAX; 3];
+    for _ in 0..7 {
+        for (slot, opts) in best.iter_mut().zip(&configs) {
+            let (d, _) = time(|| {
+                evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts.clone())
+                    .expect("compiled closure runs")
+            });
+            *slot = (*slot).min(d);
+        }
+    }
+    let [d_base, d_m, d_p] = best;
+    t.row(vec![
+        "price".into(),
+        "baseline".into(),
+        fmt_duration(d_base),
+        "—".into(),
+        "chain 256, compiled".into(),
+    ]);
+    t.row(vec![
+        "price".into(),
+        "metrics, profile off".into(),
+        fmt_duration(d_m),
+        overhead_pct(d_base, d_m),
+        "production configuration".into(),
+    ]);
+    t.row(vec![
+        "price".into(),
+        "metrics + profile".into(),
+        fmt_duration(d_p),
+        overhead_pct(d_base, d_p),
+        "EXPLAIN ANALYZE (opt-in)".into(),
+    ]);
+
+    if let Ok(max) = std::env::var("LOGRES_E15_MAX_OVERHEAD") {
+        let max: f64 = max
+            .parse()
+            .expect("LOGRES_E15_MAX_OVERHEAD is a percentage");
+        let base_s = d_base.as_secs_f64();
+        let pct = (d_m.as_secs_f64() - base_s) / base_s * 100.0;
+        assert!(
+            pct <= max,
+            "profile-off overhead {pct:.1}% exceeds LOGRES_E15_MAX_OVERHEAD={max}%"
+        );
+    }
+
+    // -- Part two: attribute the micro-closure gap to named operators. --
+    // At small n the compiled path trails the semi-naive interpreter by
+    // 2–3× (ROADMAP); the profile says which operators the rounds spend
+    // that time in.
+    let n_micro = 48usize;
+    let (schema, edb, rules) = loaded(&closure_program(&chain_edges(n_micro)));
+    let (d_semi, _) = time(|| {
+        evaluate_seminaive(&schema, &rules, &edb, bench_opts()).expect("semi-naive evaluates")
+    });
+    t.row(vec![
+        "micro gap".into(),
+        "semi-naive interpreter".into(),
+        fmt_duration(d_semi),
+        "1.0x".into(),
+        format!("chain {n_micro}"),
+    ]);
+    let profiled = EvalOptions {
+        profile: true,
+        ..bench_opts()
+    };
+    let (d_comp, (_, report)) = time(|| {
+        evaluate(&schema, &rules, &edb, Semantics::Inflationary, profiled)
+            .expect("compiled closure runs")
+    });
+    t.row(vec![
+        "micro gap".into(),
+        "compiled, profile on".into(),
+        fmt_duration(d_comp),
+        format!(
+            "{:.1}x vs semi-naive",
+            d_comp.as_secs_f64() / d_semi.as_secs_f64().max(f64::EPSILON)
+        ),
+        format!("chain {n_micro}"),
+    ]);
+
+    let profile = report.plan_profile.expect("compiled run yields a profile");
+    let attributed = profile.attributed_nanos().max(1);
+    for (op, self_nanos, detail) in op_self_times(&profile) {
+        t.row(vec![
+            "attribution".into(),
+            op,
+            fmt_duration(Duration::from_nanos(self_nanos)),
+            format!(
+                "{:.1}% of attributed",
+                self_nanos as f64 / attributed as f64 * 100.0
+            ),
+            detail,
+        ]);
+    }
+    t.row(vec![
+        "attribution".into(),
+        "total attributed".into(),
+        fmt_duration(Duration::from_nanos(attributed)),
+        format!(
+            "{:.1}% of wall",
+            attributed as f64 / (d_comp.as_nanos() as f64).max(1.0) * 100.0
+        ),
+        "Σ operator self time".into(),
+    ]);
+    t
+}
+
+/// Aggregate a [`logres::PlanProfile`] by operator name: total self time
+/// descending, with the highest-eval-count detail string as a sample.
+fn op_self_times(profile: &logres::PlanProfile) -> Vec<(String, u64, String)> {
+    let mut by_op: std::collections::BTreeMap<&str, (u64, u64, &str)> =
+        std::collections::BTreeMap::new();
+    for rp in &profile.rules {
+        for op in &rp.ops {
+            let slot = by_op.entry(&op.op).or_insert((0, 0, ""));
+            slot.0 += op.self_nanos;
+            if op.evals >= slot.1 {
+                slot.1 = op.evals;
+                slot.2 = &op.detail;
+            }
+        }
+    }
+    let mut out: Vec<(String, u64, String)> = by_op
+        .into_iter()
+        .map(|(op, (self_nanos, _, detail))| (op.to_string(), self_nanos, detail.to_string()))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
 fn overhead_pct(base: Duration, variant: Duration) -> String {
     let base_s = base.as_secs_f64();
     if base_s <= 0.0 {
@@ -1071,6 +1254,37 @@ mod tests {
             "+4.0"
         );
         assert_eq!(overhead_pct(Duration::ZERO, Duration::from_millis(1)), "—");
+    }
+
+    #[test]
+    fn e15_is_registered_and_attribution_ranks_by_self_time() {
+        assert!(all().iter().any(|(id, _)| *id == "e15"));
+        let mut profile = logres::PlanProfile::default();
+        let op = |name: &str, self_nanos: u64, evals: u64, detail: &str| logres::OpProfile {
+            op: name.into(),
+            detail: detail.into(),
+            self_nanos,
+            evals,
+            ..logres::OpProfile::default()
+        };
+        profile.rules.push(logres::RulePlanProfile {
+            rule_index: 0,
+            rule: "tc(a: X, b: Y) <- e(a: X, b: Y).".into(),
+            plan: "full".into(),
+            ops: vec![op("join", 10, 1, "first"), op("materialize", 100, 1, "tc")],
+        });
+        profile.rules.push(logres::RulePlanProfile {
+            rule_index: 1,
+            rule: "…".into(),
+            plan: "delta[0]".into(),
+            ops: vec![op("join", 30, 20, "delta"), op("scan", 5, 20, "@delta_tc")],
+        });
+        let ranked = op_self_times(&profile);
+        let names: Vec<&str> = ranked.iter().map(|(op, _, _)| op.as_str()).collect();
+        assert_eq!(names, ["materialize", "join", "scan"]);
+        // join: 10 + 30 self-nanos, sampled detail from the 20-eval node.
+        assert_eq!(ranked[1].1, 40);
+        assert_eq!(ranked[1].2, "delta");
     }
 
     #[test]

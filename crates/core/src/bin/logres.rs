@@ -4,10 +4,13 @@
 //! cargo run -p logres --bin logres            # fresh session
 //! cargo run -p logres --bin logres -- db.lgr  # load a program or state
 //!
-//! logres check <file> [--json] [--deny-warnings]
+//! logres check <file> [--json] [--deny-warnings] [--plan] [--explain]
 //!     Run the static analyzer over a program (or a saved state) without
 //!     evaluating it. Exit 0 when clean, 1 on errors (or on warnings with
-//!     --deny-warnings), 2 on usage or I/O problems.
+//!     --deny-warnings), 2 on usage or I/O problems. `--plan` renders the
+//!     goal-directed (magic-set) plan; `--explain` renders the compiled
+//!     ALGRES operator trees (`--json` switches both diagnostics and the
+//!     explain output to machine-readable lines).
 //! ```
 
 use std::io::{BufRead, Write};
@@ -53,7 +56,8 @@ fn main() {
     }
 }
 
-const CHECK_USAGE: &str = "usage: logres check <file> [--json] [--deny-warnings] [--plan]";
+const CHECK_USAGE: &str =
+    "usage: logres check <file> [--json] [--deny-warnings] [--plan] [--explain]";
 
 /// The `check` front-end: parse (or restore) the module, run the analyzer,
 /// render every diagnostic, and map the findings to an exit code the way
@@ -63,12 +67,14 @@ fn run_check(args: &[String]) -> i32 {
     let mut json = false;
     let mut deny_warnings = false;
     let mut plan = false;
+    let mut explain = false;
     let mut path: Option<&str> = None;
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
             "--plan" => plan = true,
+            "--explain" => explain = true,
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`\n{CHECK_USAGE}");
                 return 2;
@@ -139,6 +145,31 @@ fn run_check(args: &[String]) -> i32 {
                 logres::lang::analyze::plan_goal(&p.schema, &p.rules, g).render(&p.rules)
             ),
             None => println!("no goal: nothing to plan"),
+        }
+    }
+    if explain {
+        // EXPLAIN: the compiled ALGRES operator trees of the program's
+        // rules (deterministic, so `--json` output is golden-pinnable).
+        match &parsed {
+            Some(p) => {
+                match logres::engine::compile_program(
+                    &p.schema,
+                    &p.rules,
+                    logres::Semantics::default(),
+                ) {
+                    Ok(program) if json => {
+                        print!(
+                            "{}",
+                            logres::engine::render_program_json(&program, &p.rules)
+                        )
+                    }
+                    Ok(program) => {
+                        print!("{}", logres::engine::render_program(&program, &p.rules))
+                    }
+                    Err(u) => print!("{}", logres::engine::render_unsupported(&u)),
+                }
+            }
+            None => println!("no program: nothing to explain"),
         }
     }
     let errors = diags.iter().any(|d| d.severity == Severity::Error);

@@ -806,12 +806,21 @@ impl Database {
     /// [`logres_engine::magic`]); every other goal falls back to a full
     /// transient (RIDI) application.
     pub fn query(&mut self, src: &str) -> Result<Rows, CoreError> {
+        Ok(self.query_report(src)?.0)
+    }
+
+    /// [`Database::query`], also returning the evaluation report. Both the
+    /// demand path and the full RIDI fallback report through the same
+    /// [`EvalReport`] shape, so `:profile` and EXPLAIN ANALYZE see per-rule
+    /// (and, with [`EvalOptions::profile`], per-operator) statistics
+    /// whichever path answered.
+    pub fn query_report(&mut self, src: &str) -> Result<(Rows, EvalReport), CoreError> {
         let module = Module::parse(src, &self.state.schema)?;
-        if let Some((rows, _)) = self.try_demand_answer(&module)? {
-            return Ok(rows);
+        if let Some((rows, report)) = self.try_demand_answer(&module)? {
+            return Ok((rows, report));
         }
         let outcome = self.apply(&module, Mode::Ridi)?;
-        Ok(outcome.answer.unwrap_or_default())
+        Ok((outcome.answer.unwrap_or_default(), outcome.report))
     }
 
     /// [`Database::query`] under one-off evaluation options (deadline,
@@ -849,6 +858,55 @@ impl Database {
         let rules = self.state.rules.union(&module.rules);
         let plan = logres_lang::analyze::plan_goal(&schema, &rules, goal);
         Ok(plan.render(&rules))
+    }
+
+    /// The compiled program a module source lowers to, as deterministic
+    /// indented text (EXPLAIN): the persistent rules unioned with the
+    /// module's, stratified and translated to ALGRES operator trees. When
+    /// the program falls outside the compilable fragment, the fallback
+    /// reason is rendered instead. Nothing is evaluated.
+    pub fn explain_goal(&self, src: &str) -> Result<String, CoreError> {
+        self.explain_with(src, logres_engine::render_program)
+    }
+
+    /// [`Database::explain_goal`] as fixed-key-order JSON lines, one object
+    /// per stratum, rule, and operator node — byte-identical for the same
+    /// program, so suitable for golden tests and tooling.
+    pub fn explain_goal_json(&self, src: &str) -> Result<String, CoreError> {
+        self.explain_with(src, logres_engine::render_program_json)
+    }
+
+    fn explain_with(
+        &self,
+        src: &str,
+        render: fn(&logres_engine::CompiledProgram, &RuleSet) -> String,
+    ) -> Result<String, CoreError> {
+        let module = Module::parse(src, &self.state.schema)?;
+        let schema = self.union_schema(&module)?;
+        let rules = self.state.rules.union(&module.rules);
+        match logres_engine::compile_program(&schema, &rules, self.semantics) {
+            Ok(program) => Ok(render(&program, &rules)),
+            Err(u) => Ok(logres_engine::render_unsupported(&u)),
+        }
+    }
+
+    /// EXPLAIN ANALYZE: evaluate the module source with per-operator
+    /// profiling on and render the annotated plan — each operator with its
+    /// evaluation count, rows in/out, hash builds, probes, memo hits, and
+    /// inclusive/exclusive wall time, plus the driver's `materialize` step.
+    /// Falls back to a message when the program ran on the interpreter
+    /// (there is no operator tree to profile).
+    pub fn explain_analyze_goal(&mut self, src: &str) -> Result<String, CoreError> {
+        let mut opts = self.opts.clone();
+        opts.profile = true;
+        let (_, report) = self.query_with_options(src, opts)?;
+        match report.plan_profile {
+            Some(profile) => Ok(profile.render()),
+            None => Ok(
+                "no plan profile: the program ran on the interpreter, not the compiled path\n"
+                    .to_owned(),
+            ),
+        }
     }
 
     /// The demand-driven fast path shared by [`Database::query`] and

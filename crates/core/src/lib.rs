@@ -71,8 +71,8 @@ pub use logres_lang as lang;
 pub use logres_model as model;
 
 pub use logres_engine::{
-    CancelCause, EvalOptions, EvalReport, IterationStats, RuleProfile, Semantics, TraceEvent,
-    Tracer,
+    CancelCause, EvalOptions, EvalReport, IterationStats, OpProfile, PlanProfile, RulePlanProfile,
+    RuleProfile, Semantics, TraceEvent, Tracer,
 };
 pub use logres_lang::{Diagnostic, Severity};
 pub use logres_model::{Instance, Oid, Schema, Sym, TypeDesc, Value};

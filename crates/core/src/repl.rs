@@ -248,6 +248,7 @@ impl Repl {
                 None => "no database loaded".to_owned(),
             },
             "explain" => self.explain_command(),
+            "explain-plan" => self.explain_plan_command(arg),
             "plan" => match &self.db {
                 Some(_) if arg.is_empty() => {
                     "usage: :plan <goal>   e.g. :plan tc(a: 0, b: X)".to_owned()
@@ -422,6 +423,36 @@ impl Repl {
         out
     }
 
+    /// `:explain-plan [analyze] [goal]` — the compiled ALGRES operator
+    /// trees the program lowers to (EXPLAIN), or, with `analyze`, the same
+    /// trees annotated with per-operator runtime counters from a profiled
+    /// evaluation (EXPLAIN ANALYZE). With no goal, the persistent rules
+    /// alone are explained (or, for `analyze`, evaluated).
+    fn explain_plan_command(&mut self, arg: &str) -> String {
+        let Some(db) = &mut self.db else {
+            return "no database loaded".to_owned();
+        };
+        let (analyze, rest) = match arg.strip_prefix("analyze") {
+            Some(rest) => (true, rest.trim()),
+            None => (false, arg),
+        };
+        // Accept a bare goal body, full module source, or nothing.
+        let src = if rest.is_empty() || rest.contains("goal") {
+            rest.to_owned()
+        } else {
+            format!("goal {}?", rest.trim_end_matches('?'))
+        };
+        let rendered = if analyze {
+            db.explain_analyze_goal(&src)
+        } else {
+            db.explain_goal(&src)
+        };
+        match rendered {
+            Ok(text) => text,
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
     fn deadline_command(&mut self, arg: &str) -> String {
         let Some(db) = &mut self.db else {
             return "no database loaded".to_owned();
@@ -581,6 +612,11 @@ LOGRES interactive session
   :plan <goal>          goal-directed plan: adornments, demand (magic)
                         predicates and the rewritten rules, or why the
                         goal falls back to the full fixpoint
+  :explain-plan [analyze] [goal]
+                        the compiled ALGRES operator trees (EXPLAIN); with
+                        `analyze`, evaluate with profiling and annotate
+                        every operator with rows, builds, probes, memo
+                        hits, and wall time (EXPLAIN ANALYZE)
   :deadline <ms>|off    wall-clock budget for evaluations; runs that
                         exceed it stop with a partial report
 Anything else is module source: it accumulates until an empty line (or a
@@ -802,6 +838,37 @@ mod tests {
         assert!(fallback.contains("full fixpoint"), "{fallback}");
         let usage = out(repl.feed(":plan"));
         assert!(usage.contains("usage"), "{usage}");
+    }
+
+    #[test]
+    fn explain_plan_renders_operator_trees_and_analyze_annotates_them() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, GENEALOGY);
+        // EXPLAIN: the compiled operator trees of the persistent rules.
+        let plan = out(repl.feed(":explain-plan"));
+        assert!(plan.contains("stratum 0 derives anc"), "{plan}");
+        assert!(plan.contains("delta[0]:"), "{plan}");
+        assert!(plan.contains("scan @delta_anc"), "{plan}");
+        // EXPLAIN ANALYZE: runtime counters per operator, including the
+        // driver's materialize step.
+        let analyzed = out(repl.feed(":explain-plan analyze anc(a: \"adam\", d: X)"));
+        assert!(analyzed.contains("[evals="), "{analyzed}");
+        assert!(analyzed.contains("materialize"), "{analyzed}");
+        assert!(analyzed.contains("self="), "{analyzed}");
+        let help = out(repl.feed(":help"));
+        assert!(help.contains(":explain-plan"), "{help}");
+    }
+
+    #[test]
+    fn profile_covers_compiled_path_evaluations() {
+        let mut repl = Repl::new();
+        feed_all(&mut repl, GENEALOGY);
+        // This goal runs on the compiled path (positive, function-free
+        // fragment); :profile must still show per-rule rows.
+        out(repl.feed("goal anc(a: X, d: Y)?"));
+        let profile = out(repl.feed(":profile"));
+        assert!(profile.contains("anc(a: X, d: Y) <- "), "{profile}");
+        assert!(profile.contains("firings"), "{profile}");
     }
 
     #[test]

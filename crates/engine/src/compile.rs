@@ -296,9 +296,20 @@ pub(crate) fn compile_rule_plan(
         }
     }
 
-    let mut expr = joined.ok_or_else(|| {
-        unsupported("rules without positive body predicates cannot be compiled".into())
-    })?;
+    let mut expr = match joined {
+        Some(j) => j,
+        None => {
+            // No positive body predicates: the body is satisfied exactly
+            // once, by the empty valuation. Compile over the unit relation
+            // (one zero-column tuple) so head constants and defining
+            // builtins extend onto it — this is how ground facts such as
+            // magic-set demand seeds (`@magic_p(a: "adam") <- .`) stay on
+            // the compiled path.
+            let mut unit = Relation::new(Vec::<Sym>::new());
+            unit.insert(Value::tuple(std::iter::empty::<(Sym, Value)>()));
+            AlgExpr::Const(unit)
+        }
+    };
 
     // Builtins: equalities become extends (defining) or selects (testing);
     // comparisons become selects.

@@ -59,6 +59,12 @@ pub struct EvalOptions {
     /// when it does not. On by default; turn off to force the interpreted
     /// path — e.g. as the differential-testing oracle.
     pub compiled: bool,
+    /// Collect a per-operator [`crate::explain::PlanProfile`] on the
+    /// compiled path (EXPLAIN ANALYZE), attached to the report as
+    /// [`EvalReport::plan_profile`]. Off by default: it adds a timer and a
+    /// hash-map update around every operator evaluation. Has no effect on
+    /// the interpreted path.
+    pub profile: bool,
 }
 
 impl Default for EvalOptions {
@@ -73,6 +79,7 @@ impl Default for EvalOptions {
             metrics: None,
             provenance: false,
             compiled: true,
+            profile: false,
         }
     }
 }
@@ -136,6 +143,10 @@ pub struct EvalReport {
     /// Derivation provenance, when the run had `EvalOptions::provenance`
     /// set (partial stores travel with cancelled runs too).
     pub provenance: Option<Provenance>,
+    /// Per-operator runtime profile (EXPLAIN ANALYZE), when the run had
+    /// [`EvalOptions::profile`] set and took the compiled path. `None` on
+    /// interpreted runs — the interpreter has no operator tree to profile.
+    pub plan_profile: Option<crate::explain::PlanProfile>,
 }
 
 impl EvalReport {

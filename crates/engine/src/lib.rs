@@ -41,6 +41,7 @@ pub mod builtins;
 pub mod compile;
 pub mod delta;
 pub mod error;
+pub mod explain;
 pub mod goal;
 pub mod governor;
 pub mod inflationary;
@@ -60,6 +61,10 @@ pub use binding::{Binding, Subst, SELF_LABEL};
 pub use compile::{compile_ruleset, env_from_instance, CompiledRules};
 pub use delta::{DeltaSets, OneStep};
 pub use error::EngineError;
+pub use explain::{
+    render_program, render_program_json, render_unsupported, OpProfile, PlanProfile,
+    RulePlanProfile,
+};
 pub use goal::answer_goal;
 pub use governor::{CancelCause, CancelToken, Governor};
 pub use inflationary::{
@@ -75,7 +80,8 @@ pub use matcher::{rule_access_plan, AccessPlan};
 pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, ProbeTally};
 pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};
 pub use plan::{
-    compile_program, try_evaluate_compiled, CompiledProgram, CompiledStep, StratumPlan,
+    compile_program, try_evaluate_compiled, CompileUnsupported, CompiledProgram, CompiledStep,
+    StratumPlan,
 };
 pub use provenance::{Derivation, ProvEntry, Provenance};
 pub use seminaive::{evaluate_seminaive, seminaive_applicable};

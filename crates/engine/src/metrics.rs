@@ -170,6 +170,21 @@ fn help_for(name: &str) -> &'static str {
         "logres_trace_dropped_events_total" => "Trace events lost to sink write errors",
         "logres_step_match_ms" => "Per-step match-phase wall time in milliseconds",
         "logres_step_apply_ms" => "Per-step apply-phase wall time in milliseconds",
+        "logres_plan_op_rows_in_total" => {
+            "Rows fed into compiled-plan operator nodes, by operator and rule"
+        }
+        "logres_plan_op_rows_out_total" => {
+            "Rows produced by compiled-plan operator nodes, by operator and rule"
+        }
+        "logres_plan_op_hash_builds_total" => {
+            "Join hash tables built by compiled-plan operator nodes, by operator and rule"
+        }
+        "logres_plan_op_probes_total" => {
+            "Hash-table probes by compiled-plan operator nodes, by operator and rule"
+        }
+        "logres_plan_op_memo_hits_total" => {
+            "Compiled-plan operator evaluations answered from the memo, by operator and rule"
+        }
         _ => "LOGRES engine metric",
     }
 }
@@ -229,6 +244,23 @@ impl MetricsRegistry {
         self.counter_key(Key {
             name,
             labels: vec![(label, value.to_owned())],
+        })
+    }
+
+    /// Register (or fetch) a counter with two label pairs, in the given
+    /// order (exposition sorts families by full key, so pass labels in a
+    /// fixed order — e.g. `op` before `rule` for `logres_plan_op_*`).
+    pub fn counter_with2(
+        &self,
+        name: &'static str,
+        label1: &'static str,
+        value1: &str,
+        label2: &'static str,
+        value2: &str,
+    ) -> Arc<Counter> {
+        self.counter_key(Key {
+            name,
+            labels: vec![(label1, value1.to_owned()), (label2, value2.to_owned())],
         })
     }
 

@@ -34,10 +34,12 @@ use logres_lang::{stratify, Atom, RuleSet, Stratification};
 use logres_model::{Instance, Schema, Sym};
 use rustc_hash::{FxHashMap, FxHashSet};
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::compile::{compile_rule_plan, env_from_instance, relation_of};
 use crate::error::EngineError;
+use crate::explain::{self, MaterializeStats};
 use crate::governor::Governor;
 use crate::inflationary::{EvalOptions, EvalReport, IterationStats};
 use crate::metrics::EngineMetrics;
@@ -277,9 +279,15 @@ pub fn run_compiled(
     };
 
     let mut plan_stats = EvalStats::default();
+    let mut rule_stats = vec![EvalStats::default(); rules.rules.len()];
+    let mut profile = opts.profile.then(explain::PlanProfile::default);
     for splan in &program.strata {
         let env = env_from_instance(schema, &total);
         let mut ev = Evaluator::new(&env);
+        if opts.profile {
+            ev.enable_profiling();
+        }
+        let mut inserts: FxHashMap<usize, MaterializeStats> = FxHashMap::default();
         let mut idb_cols: FxHashMap<Sym, Vec<Sym>> = FxHashMap::default();
         for &p in &splan.idb {
             let rel = relation_of(schema, &total, p).ok_or(EngineError::UnknownPredicate(p))?;
@@ -325,12 +333,16 @@ pub fn run_compiled(
                 } else {
                     std::slice::from_ref(&step.full)
                 };
+                let stats_before = ev.stats();
                 for plan in plans {
                     let rel = ev.eval(plan)?;
                     stats.firings += rel.len();
                     per_rule[step.rule_index].firings += rel.len();
+                    let insert_start = opts.profile.then(Instant::now);
+                    let mut inserted = 0u64;
                     for t in rel.iter() {
                         if total.insert_assoc(step.head, t.clone()) {
+                            inserted += 1;
                             stats.derived += 1;
                             per_rule[step.rule_index].derived += 1;
                             round_nodes += t.node_count();
@@ -340,7 +352,19 @@ pub fn run_compiled(
                                 .insert(t.clone());
                         }
                     }
+                    if let Some(start) = insert_start {
+                        let m = inserts.entry(plan as *const AlgExpr as usize).or_default();
+                        m.evals += 1;
+                        m.rows_in += rel.len() as u64;
+                        m.rows_out += inserted;
+                        m.nanos += start.elapsed().as_nanos() as u64;
+                    }
                 }
+                let stats_after = ev.stats();
+                let rs = &mut rule_stats[step.rule_index];
+                rs.hash_builds += stats_after.hash_builds - stats_before.hash_builds;
+                rs.probes += stats_after.probes - stats_before.probes;
+                rs.memo_hits += stats_after.memo_hits - stats_before.memo_hits;
                 per_rule[step.rule_index].match_nanos += rule_start.elapsed().as_nanos() as u64;
                 if token.cancelled() || governor.check().is_some() {
                     cancelled = true;
@@ -415,6 +439,9 @@ pub fn run_compiled(
         plan_stats.hash_builds += s.hash_builds;
         plan_stats.probes += s.probes;
         plan_stats.memo_hits += s.memo_hits;
+        if let Some(pp) = &mut profile {
+            explain::profile_stratum(pp, splan, rules, &ev, &inserts);
+        }
     }
 
     if let Some(m) = &opts.metrics {
@@ -427,7 +454,60 @@ pub fn run_compiled(
             .add(plan_stats.probes);
         m.counter("logres_compile_memo_hits_total")
             .add(plan_stats.memo_hits);
+        // Per-rule breakdown of the same families: the `rule="N"` series are
+        // additive (they sum to the unlabeled totals) and join against the
+        // `logres_rule_*` families on the shared label.
+        for (idx, rs) in rule_stats.iter().enumerate() {
+            if rs.hash_builds == 0 && rs.probes == 0 && rs.memo_hits == 0 {
+                continue;
+            }
+            let rule = idx.to_string();
+            if rs.hash_builds > 0 {
+                m.counter_with("logres_compile_hash_builds_total", "rule", &rule)
+                    .add(rs.hash_builds);
+            }
+            if rs.probes > 0 {
+                m.counter_with("logres_compile_probes_total", "rule", &rule)
+                    .add(rs.probes);
+            }
+            if rs.memo_hits > 0 {
+                m.counter_with("logres_compile_memo_hits_total", "rule", &rule)
+                    .add(rs.memo_hits);
+            }
+        }
+        // EXPLAIN ANALYZE counters: per-operator, per-rule. Only emitted
+        // when a profile was collected (the families cost nothing on the
+        // profiling-off path) and only for non-zero values.
+        if let Some(pp) = &profile {
+            let mut agg: BTreeMap<(String, usize), [u64; 5]> = BTreeMap::new();
+            for rp in &pp.rules {
+                for op in &rp.ops {
+                    let e = agg.entry((op.op.clone(), rp.rule_index)).or_default();
+                    e[0] += op.rows_in;
+                    e[1] += op.rows_out;
+                    e[2] += op.hash_builds;
+                    e[3] += op.probes;
+                    e[4] += op.memo_hits;
+                }
+            }
+            const FAMILIES: [&str; 5] = [
+                "logres_plan_op_rows_in_total",
+                "logres_plan_op_rows_out_total",
+                "logres_plan_op_hash_builds_total",
+                "logres_plan_op_probes_total",
+                "logres_plan_op_memo_hits_total",
+            ];
+            for ((op, rule), vals) in agg {
+                let rule = rule.to_string();
+                for (name, v) in FAMILIES.iter().zip(vals) {
+                    if v > 0 {
+                        m.counter_with2(name, "op", &op, "rule", &rule).add(v);
+                    }
+                }
+            }
+        }
     }
+    report.plan_profile = profile;
     report.facts = total.fact_count();
     trace::emit(tracer, || TraceEvent::EvalEnd {
         steps: report.steps,
@@ -695,6 +775,158 @@ mod tests {
         assert!(
             probes_big > rounds_big,
             "probing happens against cached tables every round"
+        );
+    }
+
+    #[test]
+    fn ground_seed_rules_compile_to_const_plans() {
+        // Empty-body ground rules (the shape of magic-set demand seeds)
+        // lower to unit-relation constants, keeping the whole rewritten
+        // program on the compiled path.
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              seed = (a: integer);
+              e    = (a: integer, b: integer);
+              p    = (a: integer, b: integer);
+            facts
+              e(a: 1, b: 2).
+              e(a: 3, b: 4).
+            rules
+              seed(a: 1) <- .
+              p(a: X, b: Y) <- seed(a: X), e(a: X, b: Y).
+        "#,
+        );
+        let reg = Arc::new(MetricsRegistry::new());
+        let (inst, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            opts_with(&reg),
+        )
+        .unwrap();
+        assert_eq!(reg.counter("logres_compile_runs_total").get(), 1);
+        assert_eq!(inst.assoc_len(Sym::new("seed")), 1);
+        assert_eq!(inst.assoc_len(Sym::new("p")), 1);
+        assert!(inst.has_tuple(
+            Sym::new("p"),
+            &Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))])
+        ));
+    }
+
+    #[test]
+    fn plan_profile_attributes_rows_builds_and_materialization() {
+        let (schema, edb, rules) = setup(&chain(12));
+        let opts = EvalOptions {
+            profile: true,
+            ..EvalOptions::default()
+        };
+        let (_, report) = evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts).unwrap();
+        let profile = report.plan_profile.expect("compiled run was profiled");
+        // Two rules: the base rule has one plan (full), the recursive rule
+        // has full + delta[0].
+        assert_eq!(profile.rules.len(), 3);
+        let plans: Vec<&str> = profile.rules.iter().map(|r| r.plan.as_str()).collect();
+        assert_eq!(plans, ["full", "full", "delta[0]"]);
+        // Every plan ends with the driver's materialize pseudo-op whose
+        // rows_out are the genuinely-new facts.
+        let derived: u64 = profile
+            .rules
+            .iter()
+            .map(|r| r.ops.last().expect("materialize op present"))
+            .map(|m| {
+                assert_eq!(m.op, "materialize");
+                m.rows_out
+            })
+            .sum();
+        assert_eq!(derived as usize, 12 * 13 / 2);
+        // The delta plan's join carries the probe traffic; its stats are a
+        // subset of the evaluator totals.
+        let delta = &profile.rules[2];
+        let join = delta
+            .ops
+            .iter()
+            .find(|op| op.op == "join")
+            .expect("delta plan joins @delta_tc with e");
+        assert!(join.evals > 1, "one eval per semi-naive round: {join:?}");
+        assert!(join.probes > 0, "{join:?}");
+        assert!(join.rows_out > 0, "{join:?}");
+        // Timing: inclusive covers exclusive for every op.
+        for rp in &profile.rules {
+            for op in &rp.ops {
+                assert!(op.nanos >= op.self_nanos, "{op:?}");
+            }
+        }
+        // A profiling-off run attaches nothing.
+        let (_, report) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(report.plan_profile.is_none());
+    }
+
+    #[test]
+    fn rule_labeled_compile_counters_are_additive() {
+        let (schema, edb, rules) = setup(&chain(16));
+        let reg = Arc::new(MetricsRegistry::new());
+        evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            opts_with(&reg),
+        )
+        .unwrap();
+        for family in [
+            "logres_compile_hash_builds_total",
+            "logres_compile_probes_total",
+            "logres_compile_memo_hits_total",
+        ] {
+            let total = reg.counter(family).get();
+            let labeled: u64 = (0..rules.rules.len())
+                .map(|i| reg.counter_with(family, "rule", &i.to_string()).get())
+                .sum();
+            assert_eq!(labeled, total, "{family}: rule series must sum to total");
+        }
+    }
+
+    #[test]
+    fn plan_op_metrics_are_emitted_only_when_profiling() {
+        let (schema, edb, rules) = setup(&chain(8));
+        let reg = Arc::new(MetricsRegistry::new());
+        evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            opts_with(&reg),
+        )
+        .unwrap();
+        let snapshot = reg.counter_snapshot();
+        assert!(
+            !snapshot.iter().any(|(k, _)| k.contains("logres_plan_op_")),
+            "no plan_op families without profiling: {snapshot:?}"
+        );
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let opts = EvalOptions {
+            profile: true,
+            ..opts_with(&reg)
+        };
+        evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts).unwrap();
+        let text = reg.render_text();
+        assert!(
+            text.contains(r#"logres_plan_op_probes_total{op="join",rule="1"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"logres_plan_op_rows_out_total{op="materialize",rule="0"}"#),
+            "{text}"
         );
     }
 

@@ -62,6 +62,51 @@ fn warning_example_matches_its_golden_diagnostics() {
     assert_eq!(codes.len(), 5, "golden: {golden}");
 }
 
+/// Reproduce what `logres check <file> --explain --json` prints: the
+/// diagnostics JSONL followed by the compiled ALGRES operator trees (or the
+/// not-compiled notice for programs outside the fragment).
+fn explain_file(path: &PathBuf) -> String {
+    let text = std::fs::read_to_string(path).expect("example module reads");
+    let program =
+        parse_program(&text).unwrap_or_else(|e| panic!("{} fails to parse: {e:?}", path.display()));
+    let mut out = render_all_json(&analyze_program(&program));
+    match logres::engine::compile_program(
+        &program.schema,
+        &program.rules,
+        logres::Semantics::default(),
+    ) {
+        Ok(compiled) => out.push_str(&logres::engine::render_program_json(
+            &compiled,
+            &program.rules,
+        )),
+        Err(u) => out.push_str(&logres::engine::render_unsupported(&u)),
+    }
+    out
+}
+
+#[test]
+fn explain_output_of_examples_matches_goldens() {
+    for path in modules() {
+        let golden_path = path.with_extension("explain.golden.jsonl");
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "{} missing ({e}); regenerate with `logres check {} --explain --json`",
+                golden_path.display(),
+                path.display()
+            )
+        });
+        assert_eq!(
+            explain_file(&path),
+            golden,
+            "{} explain output drifted from {}; \
+             regenerate with `logres check {} --explain --json`",
+            path.display(),
+            golden_path.display(),
+            path.display()
+        );
+    }
+}
+
 #[test]
 fn analysis_of_examples_is_byte_identical_across_runs() {
     for path in modules() {

@@ -327,6 +327,58 @@ fn compiled_negation_is_bit_identical_at_every_thread_count() {
     }
 }
 
+/// Per-operator plan profiles are bit-identical modulo timing at every
+/// thread count: the compiled driver runs rule steps serially in canonical
+/// order, so every counting field (evals, rows, builds, probes, memo hits)
+/// matches exactly; only the wall-clock fields vary, and `normalized()`
+/// zeroes precisely those.
+#[test]
+fn plan_profiles_are_bit_identical_at_every_thread_count() {
+    let (p, edb) = load(&closure_program(&chain_edges(16)));
+    let mut profiles = Vec::new();
+    for threads in [1usize, 2, 8, 0] {
+        let opts = EvalOptions {
+            threads,
+            profile: true,
+            ..EvalOptions::default()
+        };
+        let (_, report) = evaluate(&p.schema, &p.rules, &edb, Semantics::Inflationary, opts)
+            .expect("compiled path");
+        let profile = report
+            .plan_profile
+            .expect("compiled run yields a plan profile");
+        assert!(
+            profile.rules.iter().any(|r| r
+                .ops
+                .iter()
+                .any(|op| op.op == "materialize" && op.rows_out > 0)),
+            "threads={threads}: profile attributes no materialized rows"
+        );
+        profiles.push((threads, profile.normalized()));
+    }
+    let (_, first) = &profiles[0];
+    for (threads, profile) in &profiles[1..] {
+        assert_eq!(
+            profile, first,
+            "threads={threads}: normalized profile diverges"
+        );
+    }
+    // `normalized()` zeroed every timing field — and only those: row and
+    // probe counts from the real run survive.
+    let mut rows_out = 0u64;
+    for rp in &first.rules {
+        for op in &rp.ops {
+            assert_eq!(
+                (op.nanos, op.self_nanos),
+                (0, 0),
+                "timing survives in {op:?}"
+            );
+            rows_out += op.rows_out;
+        }
+    }
+    assert!(rows_out > 0, "normalization erased the counting fields");
+}
+
 /// Integration-level regression pins for every `logres_compile_fallbacks_total`
 /// reason label, driven through the public `evaluate` entry point: each
 /// program trips exactly its own reason, never takes the compiled path, and
