@@ -1,4 +1,4 @@
-//! Experiment runners E1–E15 (DESIGN.md §4): each returns a printable
+//! Experiment runners E1–E16 (DESIGN.md §4): each returns a printable
 //! [`Table`] whose rows are recorded in EXPERIMENTS.md.
 
 use std::sync::{Arc, OnceLock};
@@ -6,9 +6,11 @@ use std::time::{Duration, Instant};
 
 use algres::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred as APred, Scalar};
 use logres::engine::{
-    answer_goal, compile_ruleset, env_from_instance, evaluate, evaluate_demand,
-    evaluate_inflationary, evaluate_seminaive, load_facts, EvalOptions, MetricsRegistry,
+    answer_goal, compile_program, compile_program_with, compile_ruleset, env_from_instance,
+    evaluate, evaluate_demand, evaluate_inflationary, evaluate_seminaive, load_facts, run_compiled,
+    EvalOptions, MetricsRegistry,
 };
+use logres::lang::analyze::{flow_program, infer, render_all_json, seeds_from_instance};
 use logres::lang::parse_program;
 use logres::model::{integrity, Instance, OidGen, Sym, Value};
 use logres::{Database, Mode, Semantics};
@@ -82,6 +84,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e13", e13_goal_directed),
         ("e14", e14_compiled_path),
         ("e15", e15_plan_profiling),
+        ("e16", e16_flow_analysis),
     ]
 }
 
@@ -1151,6 +1154,191 @@ pub fn e15_plan_profiling() -> Table {
     t
 }
 
+/// E16 — the flow analyzer: price the whole-program abstract
+/// interpretation, then cash it in on the compiled path (DESIGN.md §14).
+/// Part one times `flow_program` over every shipped example module
+/// (`LOGRES_E16_MAX_ANALYZER_MS=<ms>` turns the worst case into a hard CI
+/// ceiling; the budget is <50 ms so running the pass per evaluation stays
+/// in the noise). Part two compiles a dense two-hop workload with and
+/// without the analyzer's summaries: flow prunes a statically-empty rule
+/// and leads the join with the at-most-one `pick` relation, turning an
+/// O(m³) intermediate into O(m²) — results are asserted bit-identical to
+/// the no-flow plan and the interpreter first, then both plans are timed
+/// interleaved (`LOGRES_E16_MIN_SPEEDUP=<factor>` gates the win).
+pub fn e16_flow_analysis() -> Table {
+    let mut t = Table::new(
+        "E16 — flow analysis: analyzer price, then compiled-path payoff",
+        &[
+            "section",
+            "workload / variant",
+            "time",
+            "speedup / budget",
+            "detail",
+        ],
+    );
+
+    // -- Part one: what the whole-program analyzer costs. --
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/modules");
+    let mut modules: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/modules exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lgr"))
+        .collect();
+    modules.sort();
+    let mut worst = Duration::ZERO;
+    for path in &modules {
+        let text = std::fs::read_to_string(path).expect("example module reads");
+        let program = parse_program(&text).expect("example module parses");
+        // Correctness first, untimed: the fixpoint is deterministic.
+        let diags = flow_program(&program);
+        assert_eq!(
+            render_all_json(&diags),
+            render_all_json(&flow_program(&program)),
+            "{} analyzes nondeterministically",
+            path.display()
+        );
+        let mut best = Duration::MAX;
+        for _ in 0..7 {
+            let (d, _) = time(|| flow_program(&program));
+            best = best.min(d);
+        }
+        worst = worst.max(best);
+        t.row(vec![
+            "analyzer".into(),
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            fmt_duration(best),
+            "—".into(),
+            format!(
+                "{} rules, {} flow diagnostics",
+                program.rules.rules.len(),
+                diags.len()
+            ),
+        ]);
+    }
+
+    // -- Part two: the payoff on the compiled path. --
+    // A dense DAG two-hop join: `pick` holds one endpoint, `dead` can
+    // never fire. Source order joins e ⋈ e2 first (O(m³) two-hop paths);
+    // the flow order leads with the at-most-one `pick`.
+    let m = 64i64;
+    let mut src = String::from(
+        "associations\n  e    = (a: integer, b: integer);\n  e2   = (a: integer, b: integer);\n  pick = (p: integer);\n  hop2 = (a: integer, b: integer);\n  dead = (a: integer, b: integer);\nfacts\n",
+    );
+    for i in 0..m {
+        for j in (i + 1)..m {
+            src.push_str(&format!("  e(a: {i}, b: {j}).\n  e2(a: {i}, b: {j}).\n"));
+        }
+    }
+    src.push_str(&format!("  pick(p: {}).\n", m - 1));
+    src.push_str(
+        "rules\n  hop2(a: X, b: Z) <- e(a: X, b: Y), e2(a: Y, b: Z), pick(p: Z).\n  dead(a: X, b: Z) <- e(a: X, b: Y), e2(a: Y, b: Z), X > 100000.\ngoal hop2(a: A, b: B)?\n",
+    );
+    let (schema, edb, rules) = loaded(&src);
+    let mut best_an = Duration::MAX;
+    for _ in 0..7 {
+        let (d, _) = time(|| {
+            let seeds = seeds_from_instance(&schema, &edb);
+            infer(&schema, &rules, &seeds)
+        });
+        best_an = best_an.min(d);
+    }
+    worst = worst.max(best_an);
+    t.row(vec![
+        "analyzer".into(),
+        format!("dense two-hop, m={m}"),
+        fmt_duration(best_an),
+        "—".into(),
+        format!("{} facts", edb.fact_count()),
+    ]);
+    if let Ok(max_ms) = std::env::var("LOGRES_E16_MAX_ANALYZER_MS") {
+        let max_ms: u64 = max_ms
+            .parse()
+            .expect("LOGRES_E16_MAX_ANALYZER_MS is a millisecond count");
+        assert!(
+            worst <= Duration::from_millis(max_ms),
+            "worst analyzer time {worst:?} exceeds LOGRES_E16_MAX_ANALYZER_MS={max_ms}"
+        );
+    }
+
+    let seeds = seeds_from_instance(&schema, &edb);
+    let summaries = infer(&schema, &rules, &seeds);
+    let noflow =
+        compile_program(&schema, &rules, Semantics::Inflationary).expect("workload compiles");
+    let flowed = compile_program_with(&schema, &rules, Semantics::Inflationary, Some(&summaries))
+        .expect("workload compiles with flow");
+    let pruned: usize = flowed.strata.iter().map(|s| s.pruned.len()).sum();
+    let reordered = flowed
+        .strata
+        .iter()
+        .flat_map(|s| s.steps.iter())
+        .flat_map(|st| st.notes.iter())
+        .filter(|n| n.contains("ordered-by-flow"))
+        .count();
+    assert_eq!(
+        pruned, 1,
+        "flow must prune the statically-empty `dead` rule"
+    );
+    assert!(reordered >= 1, "flow must reorder the `hop2` join");
+
+    // Correctness first, untimed: both plans and the interpreter agree.
+    let opts = bench_opts();
+    let (i_noflow, _) =
+        run_compiled(&schema, &noflow, &rules, &edb, &opts).expect("no-flow plan runs");
+    let (i_flow, _) = run_compiled(&schema, &flowed, &rules, &edb, &opts).expect("flow plan runs");
+    let interp_opts = EvalOptions {
+        compiled: false,
+        ..bench_opts()
+    };
+    let (i_interp, _) = evaluate(&schema, &rules, &edb, Semantics::Inflationary, interp_opts)
+        .expect("interpreter runs");
+    assert_eq!(i_noflow, i_flow, "flow hints must not change results");
+    assert_eq!(
+        i_flow, i_interp,
+        "compiled paths must match the interpreter"
+    );
+    let hop2 = i_flow.assoc_len(Sym::new("hop2"));
+    assert_eq!(
+        i_flow.assoc_len(Sym::new("dead")),
+        0,
+        "the pruned rule is genuinely empty"
+    );
+    drop((i_noflow, i_flow, i_interp));
+
+    let mut best = [Duration::MAX; 2];
+    for _ in 0..7 {
+        for (slot, program) in best.iter_mut().zip([&noflow, &flowed]) {
+            let (d, _) = time(|| {
+                run_compiled(&schema, program, &rules, &edb, &opts).expect("compiled plan runs")
+            });
+            *slot = (*slot).min(d);
+        }
+    }
+    let [d_noflow, d_flow] = best;
+    let speedup = d_noflow.as_secs_f64() / d_flow.as_secs_f64().max(f64::EPSILON);
+    t.row(vec![
+        "compiled".into(),
+        "no flow".into(),
+        fmt_duration(d_noflow),
+        "1.0x".into(),
+        format!("dense m={m}, {hop2} hop2 tuples"),
+    ]);
+    t.row(vec![
+        "compiled".into(),
+        "with flow".into(),
+        fmt_duration(d_flow),
+        format!("{speedup:.1}x"),
+        format!("{pruned} rule pruned, {reordered} plans reordered"),
+    ]);
+    if let Ok(min) = std::env::var("LOGRES_E16_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("LOGRES_E16_MIN_SPEEDUP is a factor");
+        assert!(
+            speedup >= min,
+            "flow speedup {speedup:.2}x below LOGRES_E16_MIN_SPEEDUP={min}"
+        );
+    }
+    t
+}
+
 /// Aggregate a [`logres::PlanProfile`] by operator name: total self time
 /// descending, with the highest-eval-count detail string as a sample.
 fn op_self_times(profile: &logres::PlanProfile) -> Vec<(String, u64, String)> {
@@ -1285,6 +1473,23 @@ mod tests {
         // join: 10 + 30 self-nanos, sampled detail from the 20-eval node.
         assert_eq!(ranked[1].1, 40);
         assert_eq!(ranked[1].2, "delta");
+    }
+
+    #[test]
+    fn e16_analyzes_every_module_and_flow_pays_for_itself() {
+        assert!(all().iter().any(|(id, _)| *id == "e16"));
+        let t = e16_flow_analysis();
+        // One analyzer row per shipped example module plus the dense
+        // workload, then the two compiled variants (the runner itself
+        // asserts result equality, the prune, and the reorder).
+        assert!(
+            t.rows.iter().filter(|r| r[0] == "analyzer").count() >= 7,
+            "{:?}",
+            t.rows
+        );
+        let compiled: Vec<_> = t.rows.iter().filter(|r| r[0] == "compiled").collect();
+        assert_eq!(compiled.len(), 2);
+        assert!(compiled[1][4].contains("1 rule pruned"), "{compiled:?}");
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! cargo run -p logres --bin logres            # fresh session
 //! cargo run -p logres --bin logres -- db.lgr  # load a program or state
 //!
-//! logres check <file> [--json] [--deny-warnings] [--plan] [--explain]
+//! logres check <file> [--json] [--deny-warnings] [--flow] [--plan] [--explain]
 //!     Run the static analyzer over a program (or a saved state) without
 //!     evaluating it. Exit 0 when clean, 1 on errors (or on warnings with
-//!     --deny-warnings), 2 on usage or I/O problems. `--plan` renders the
-//!     goal-directed (magic-set) plan; `--explain` renders the compiled
-//!     ALGRES operator trees (`--json` switches both diagnostics and the
-//!     explain output to machine-readable lines).
+//!     --deny-warnings), 2 on usage or I/O problems. `--flow` adds the
+//!     abstract-interpretation flow pass (lints L008-L011) and feeds its
+//!     summaries to `--explain`; `--plan` renders the goal-directed
+//!     (magic-set) plan; `--explain` renders the compiled ALGRES operator
+//!     trees (`--json` switches both diagnostics and the explain output to
+//!     machine-readable lines).
 //! ```
 
 use std::io::{BufRead, Write};
@@ -57,7 +59,7 @@ fn main() {
 }
 
 const CHECK_USAGE: &str =
-    "usage: logres check <file> [--json] [--deny-warnings] [--plan] [--explain]";
+    "usage: logres check <file> [--json] [--deny-warnings] [--flow] [--plan] [--explain]";
 
 /// The `check` front-end: parse (or restore) the module, run the analyzer,
 /// render every diagnostic, and map the findings to an exit code the way
@@ -66,6 +68,7 @@ const CHECK_USAGE: &str =
 fn run_check(args: &[String]) -> i32 {
     let mut json = false;
     let mut deny_warnings = false;
+    let mut flow = false;
     let mut plan = false;
     let mut explain = false;
     let mut path: Option<&str> = None;
@@ -73,6 +76,7 @@ fn run_check(args: &[String]) -> i32 {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--flow" => flow = true,
             "--plan" => plan = true,
             "--explain" => explain = true,
             flag if flag.starts_with('-') => {
@@ -104,9 +108,15 @@ fn run_check(args: &[String]) -> i32 {
     // `E000` so front-ends see one format either way.
     let is_state = text.trim_start().starts_with("%%logres-state");
     let mut parsed: Option<logres::lang::Program> = None;
-    let diags: Vec<Diagnostic> = if is_state {
+    let mut diags: Vec<Diagnostic> = if is_state {
         match logres::Database::load(&text) {
-            Ok(db) => db.check(),
+            Ok(db) => {
+                let mut diags = db.check();
+                if flow {
+                    diags.extend(db.check_flow());
+                }
+                diags
+            }
             Err(e) => {
                 eprintln!("error restoring {path}: {e}");
                 return 2;
@@ -115,7 +125,12 @@ fn run_check(args: &[String]) -> i32 {
     } else {
         match parse_program(&text) {
             Ok(program) => {
-                let diags = analyze_program(&program);
+                let mut diags = analyze_program(&program);
+                // The flow pass assumes a well-typed program: only run it
+                // when the base checks found no errors.
+                if flow && !diags.iter().any(|d| d.severity == Severity::Error) {
+                    diags.extend(logres::lang::analyze::flow_program(&program));
+                }
                 parsed = Some(program);
                 diags
             }
@@ -125,6 +140,7 @@ fn run_check(args: &[String]) -> i32 {
                 .collect(),
         }
     };
+    logres::lang::analyze::sort_diagnostics(&mut diags);
 
     if json {
         print!("{}", render_all_json(&diags));
@@ -152,10 +168,19 @@ fn run_check(args: &[String]) -> i32 {
         // rules (deterministic, so `--json` output is golden-pinnable).
         match &parsed {
             Some(p) => {
-                match logres::engine::compile_program(
+                // With `--flow`, the compiled plans consume the analyzer's
+                // summaries: statically-empty rules are pruned, joins are
+                // reordered by cardinality band, and total semijoin guards
+                // are skipped — all visible in the rendered output.
+                let summaries = flow.then(|| {
+                    let seeds = logres::lang::analyze::seeds_from_facts(&p.schema, &p.facts);
+                    logres::lang::analyze::infer(&p.schema, &p.rules, &seeds)
+                });
+                match logres::engine::compile_program_with(
                     &p.schema,
                     &p.rules,
                     logres::Semantics::default(),
+                    summaries.as_ref(),
                 ) {
                     Ok(program) if json => {
                         print!(

@@ -228,6 +228,26 @@ impl Database {
         diags
     }
 
+    /// The opt-in abstract-interpretation flow pass (`L008`–`L011`) over the
+    /// persistent state: whole-program value inference seeded from the
+    /// stored extensions in `E`. Kept separate from [`Database::check`] so
+    /// the default check's output stays stable; callers append these and
+    /// re-sort with `sort_diagnostics`.
+    pub fn check_flow(&self) -> Vec<Diagnostic> {
+        let state = &self.state;
+        let seeds = logres_lang::analyze::seeds_from_instance(&state.schema, &state.edb);
+        let diags = logres_lang::analyze::infer(&state.schema, &state.rules, &seeds)
+            .diagnostics(&state.rules);
+        if let Some(registry) = &self.opts.metrics {
+            for d in &diags {
+                registry
+                    .counter_with("logres_check_diagnostics_total", "code", d.code)
+                    .inc();
+            }
+        }
+        diags
+    }
+
     /// Explain how `fact` enters the database instance: re-evaluate with
     /// provenance recording on and walk the first derivation of the fact
     /// back to its EDB leaves. `Ok(None)` means the fact is not in the
@@ -1387,8 +1407,10 @@ mod tests {
         )
         .unwrap();
         db.enable_metrics();
+        // Position-stable order: L002 anchors at the rule head, L001 at the
+        // `ghost` body literal further right on the same line.
         let codes: Vec<&str> = db.check().iter().map(|d| d.code).collect();
-        assert_eq!(codes, ["L001", "L002"]);
+        assert_eq!(codes, ["L002", "L001"]);
         let metrics = db.metrics();
         assert!(
             metrics.contains(r#"logres_check_diagnostics_total{code="L001"} 1"#),

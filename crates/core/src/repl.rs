@@ -190,7 +190,9 @@ impl Repl {
                     // a clean database still reports the bare verdict),
                     // then the dynamic consistency report.
                     let mut s = String::new();
-                    let diags = db.check();
+                    let mut diags = db.check();
+                    diags.extend(db.check_flow());
+                    logres_lang::analyze::sort_diagnostics(&mut diags);
                     if !diags.is_empty() {
                         s.push_str(&logres_lang::analyze::render_all_human(&diags, None));
                         s.push('\n');
@@ -594,8 +596,9 @@ LOGRES interactive session
   :schema               print the schema
   :rules                print the persistent rules
   :facts <pred>         print a predicate's extension
-  :check                static diagnostics (lints L001-L007) and the
-                        dynamic consistency report
+  :check                static diagnostics (lints L001-L007 plus the
+                        flow pass L008-L011) and the dynamic
+                        consistency report
   :materialize          make E coincide with the instance I
   :trace [on|off|show|json <file>]
                         structured evaluation tracing (in memory, or as

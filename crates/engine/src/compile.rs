@@ -168,8 +168,33 @@ fn var_col(v: Sym) -> Sym {
     Sym::new(&format!("?{v}"))
 }
 
+/// Flow-analysis hints for lowering one rule body, computed by
+/// `plan::compile_program_with` from the whole-program
+/// [`logres_lang::analyze::FlowSummaries`]. Everything here is an
+/// optimization over an over-approximation: applying or ignoring a hint
+/// never changes the produced instance.
+#[derive(Debug, Clone, Default)]
+pub struct FlowHints {
+    /// Iteration order over body-literal indices (a permutation of
+    /// `0..body.len()`): positive predicate literals join in this order,
+    /// cheapest inferred cardinality band first. `None` keeps source order.
+    pub order: Option<Vec<usize>>,
+    /// Body-literal indices whose semijoin guard the flow analysis proved
+    /// total (the probe side's values provably lie inside the guard's exact
+    /// stored column): the reducer may be dropped entirely.
+    pub skip: std::collections::BTreeSet<usize>,
+}
+
 fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
     compile_rule_plan(schema, rule, None)
+}
+
+pub(crate) fn compile_rule_plan(
+    schema: &Schema,
+    rule: &Rule,
+    delta: Option<(usize, Sym)>,
+) -> Result<AlgExpr, EngineError> {
+    compile_rule_plan_with(schema, rule, delta, None, &mut Vec::new())
 }
 
 /// Compile one rule body to a select–join–project plan.
@@ -183,10 +208,16 @@ fn compile_rule(schema: &Schema, rule: &Rule) -> Result<AlgExpr, EngineError> {
 /// repeated-tuple tests) are lowered to [`AlgExpr::SemiJoin`] reducers rather
 /// than full joins: once every variable of the literal is already bound, the
 /// natural join can only filter, never widen.
-pub(crate) fn compile_rule_plan(
+///
+/// `hints` optionally reorders the positive joins and elides statically-total
+/// semijoin reducers (see [`FlowHints`]); each applied hint pushes one line
+/// onto `notes` so EXPLAIN can surface what the flow analysis changed.
+pub(crate) fn compile_rule_plan_with(
     schema: &Schema,
     rule: &Rule,
     delta: Option<(usize, Sym)>,
+    hints: Option<&FlowHints>,
+    notes: &mut Vec<String>,
 ) -> Result<AlgExpr, EngineError> {
     let unsupported = |detail: String| EngineError::UnsupportedFragment { detail };
     if rule.head.negated {
@@ -212,7 +243,12 @@ pub(crate) fn compile_rule_plan(
     let mut builtins: Vec<(Builtin, &[Term])> = Vec::new();
     let mut negations: Vec<(Sym, &[PredArg])> = Vec::new();
 
-    for (li, lit) in rule.body.iter().enumerate() {
+    let order: Vec<usize> = match hints.and_then(|h| h.order.clone()) {
+        Some(o) => o,
+        None => (0..rule.body.len()).collect(),
+    };
+    for li in order {
+        let lit = &rule.body[li];
         if lit.negated {
             match &lit.atom {
                 Atom::Pred { pred, args, .. } => {
@@ -243,6 +279,22 @@ pub(crate) fn compile_rule_plan(
                     Some((dli, name)) if dli == li => name,
                     _ => *pred,
                 };
+                // A statically-total guard filters nothing: drop the whole
+                // literal. Sound only when every argument is an
+                // already-bound variable (no fresh bindings, no constant
+                // selections) and the scan is not the delta redirection.
+                if hints.is_some_and(|h| h.skip.contains(&li))
+                    && joined.is_some()
+                    && scan == *pred
+                    && args.iter().all(|arg| {
+                        matches!(arg, PredArg::Labeled(_, Term::Var(v)) if bound_vars.contains(v))
+                    })
+                {
+                    notes.push(format!(
+                        "skip-semijoin-by-flow: `{pred}` at body position {li} is statically total"
+                    ));
+                    continue;
+                }
                 let mut expr = AlgExpr::Rel(scan);
                 // Does this literal bind any variable not already bound by an
                 // earlier literal? If not, it can only filter: semijoin.

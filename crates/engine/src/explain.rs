@@ -133,11 +133,18 @@ pub fn render_program(program: &CompiledProgram, rules: &RuleSet) -> String {
     for (si, splan) in program.strata.iter().enumerate() {
         let idb: Vec<String> = splan.idb.iter().map(|p| p.to_string()).collect();
         out.push_str(&format!("stratum {si} derives {}\n", idb.join(", ")));
+        for (ri, reason) in &splan.pruned {
+            out.push_str(&format!("  rule #{ri}: {}\n", rules.rules[*ri]));
+            out.push_str(&format!("    pruned-by-flow: {reason}\n"));
+        }
         for step in &splan.steps {
             out.push_str(&format!(
                 "  rule #{}: {}\n",
                 step.rule_index, rules.rules[step.rule_index]
             ));
+            for note in &step.notes {
+                out.push_str(&format!("    {note}\n"));
+            }
             for (label, plan) in step_plans(step) {
                 out.push_str(&format!("    {label}:\n"));
                 let mut nodes = Vec::new();
@@ -168,12 +175,26 @@ pub fn render_program_json(program: &CompiledProgram, rules: &RuleSet) -> String
             "{{\"stratum\":{si},\"idb\":[{}]}}\n",
             idb.join(",")
         ));
+        for (ri, reason) in &splan.pruned {
+            out.push_str(&format!(
+                "{{\"stratum\":{si},\"rule\":{ri},\"text\":\"{}\",\"pruned_by_flow\":\"{}\"}}\n",
+                esc(&rules.rules[*ri].to_string()),
+                esc(reason)
+            ));
+        }
         for step in &splan.steps {
             out.push_str(&format!(
                 "{{\"stratum\":{si},\"rule\":{},\"text\":\"{}\"}}\n",
                 step.rule_index,
                 esc(&rules.rules[step.rule_index].to_string())
             ));
+            for note in &step.notes {
+                out.push_str(&format!(
+                    "{{\"stratum\":{si},\"rule\":{},\"note\":\"{}\"}}\n",
+                    step.rule_index,
+                    esc(note)
+                ));
+            }
             for (label, plan) in step_plans(step) {
                 let mut nodes = Vec::new();
                 walk(plan, 0, &mut nodes);

@@ -58,6 +58,7 @@ pub mod stratified;
 pub mod trace;
 
 pub use binding::{Binding, Subst, SELF_LABEL};
+pub use compile::FlowHints;
 pub use compile::{compile_ruleset, env_from_instance, CompiledRules};
 pub use delta::{DeltaSets, OneStep};
 pub use error::EngineError;
@@ -80,8 +81,8 @@ pub use matcher::{rule_access_plan, AccessPlan};
 pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, ProbeTally};
 pub use parallel::{effective_threads, ordered_map, ordered_map_cancellable};
 pub use plan::{
-    compile_program, try_evaluate_compiled, CompileUnsupported, CompiledProgram, CompiledStep,
-    StratumPlan,
+    compile_program, compile_program_with, run_compiled, try_evaluate_compiled, CompileUnsupported,
+    CompiledProgram, CompiledStep, StratumPlan,
 };
 pub use provenance::{Derivation, ProvEntry, Provenance};
 pub use seminaive::{evaluate_seminaive, seminaive_applicable};

@@ -30,14 +30,15 @@
 //! contract of the interpreted engines trivially true here.
 
 use algres::{AlgExpr, EvalStats, Evaluator, Relation};
-use logres_lang::{stratify, Atom, RuleSet, Stratification};
+use logres_lang::analyze::{infer, seeds_from_instance, Card, FlowSummaries};
+use logres_lang::{stratify, Atom, Rule, RuleSet, Stratification};
 use logres_model::{Instance, Schema, Sym};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use crate::compile::{compile_rule_plan, env_from_instance, relation_of};
+use crate::compile::{compile_rule_plan_with, env_from_instance, relation_of, FlowHints};
 use crate::error::EngineError;
 use crate::explain::{self, MaterializeStats};
 use crate::governor::Governor;
@@ -69,6 +70,10 @@ pub struct CompiledStep {
     /// predicate, with that occurrence redirected to `@delta_<pred>`.
     /// Empty for rules with no same-stratum dependency (round 0 suffices).
     pub deltas: Vec<AlgExpr>,
+    /// What the flow analysis changed about this rule's plans
+    /// (`ordered-by-flow`, `skip-semijoin-by-flow` lines), for EXPLAIN.
+    /// Empty when compiled without flow summaries.
+    pub notes: Vec<String>,
 }
 
 /// A stratum: its derived predicates and its lowered rules.
@@ -78,6 +83,10 @@ pub struct StratumPlan {
     pub idb: Vec<Sym>,
     /// Lowered rules, in original rule order.
     pub steps: Vec<CompiledStep>,
+    /// Rules elided because the flow analysis proved their bodies
+    /// statically infeasible: `(rule index, reason)`. EXPLAIN renders these
+    /// as `pruned-by-flow`.
+    pub pruned: Vec<(usize, String)>,
 }
 
 /// A whole program lowered to algebra, strata in evaluation order.
@@ -113,6 +122,72 @@ pub fn compile_program(
     schema: &Schema,
     rules: &RuleSet,
     semantics: Semantics,
+) -> Result<CompiledProgram, CompileUnsupported> {
+    compile_program_with(schema, rules, semantics, None)
+}
+
+/// Join-order hints for one rule's plan: positive predicate literals are
+/// stably reordered cheapest inferred cardinality band first (the delta
+/// scan, when present, always leads — it is the smallest relation by
+/// construction). Natural join is commutative, so any permutation produces
+/// the same tuples; only cost changes.
+fn flow_hints(rule: &Rule, flow: &FlowSummaries, ri: usize, delta_li: Option<usize>) -> FlowHints {
+    let positive: Vec<usize> = (0..rule.body.len())
+        .filter(|&li| {
+            let lit = &rule.body[li];
+            !lit.negated && matches!(&lit.atom, Atom::Pred { .. })
+        })
+        .collect();
+    let mut sorted = positive.clone();
+    sorted.sort_by_key(|&li| {
+        if delta_li == Some(li) {
+            return (0u8, li);
+        }
+        let Atom::Pred { pred, .. } = &rule.body[li].atom else {
+            unreachable!("positive positions are predicate literals");
+        };
+        let band = match flow.card(*pred) {
+            Card::Empty => 1u8,
+            Card::AtMostOne => 2,
+            Card::Many => 3,
+        };
+        (band, li)
+    });
+    let order = (sorted != positive).then(|| {
+        let mut order: Vec<usize> = (0..rule.body.len()).collect();
+        let mut next = sorted.iter();
+        for slot in &mut order {
+            if positive.contains(slot) {
+                *slot = *next.next().expect("one sorted index per position");
+            }
+        }
+        order
+    });
+    let skip = flow
+        .skip_guards
+        .get(&ri)
+        .map(|s| {
+            s.iter()
+                .copied()
+                .filter(|&li| delta_li != Some(li))
+                .collect()
+        })
+        .unwrap_or_default();
+    FlowHints { order, skip }
+}
+
+/// [`compile_program`] with optional whole-program flow summaries (from
+/// `logres_lang::analyze::infer`): statically-infeasible rules are pruned
+/// from their strata, positive joins are reordered by inferred cardinality
+/// band, and statically-total semijoin guards are elided. Every decision is
+/// recorded on the plan ([`StratumPlan::pruned`], [`CompiledStep::notes`])
+/// so EXPLAIN can show it. The produced instance is identical with or
+/// without summaries — flow only changes cost, never results.
+pub fn compile_program_with(
+    schema: &Schema,
+    rules: &RuleSet,
+    semantics: Semantics,
+    flow: Option<&FlowSummaries>,
 ) -> Result<CompiledProgram, CompileUnsupported> {
     let strata_idx = match stratify(rules) {
         Stratification::Stratified(s) => s,
@@ -179,9 +254,38 @@ pub fn compile_program(
         }
         let idb_set: FxHashSet<Sym> = idb.iter().copied().collect();
         let mut steps = Vec::with_capacity(stratum.len());
+        let mut pruned = Vec::new();
         for &ri in stratum {
             let rule = &rules.rules[ri];
-            let full = compile_rule_plan(schema, rule, None).map_err(fragment)?;
+            if let Some(reason) = flow.and_then(|f| f.empty_rules.get(&ri)) {
+                // The body is statically infeasible: the rule can never
+                // fire, so its plans need not exist at all.
+                pruned.push((ri, reason.clone()));
+                continue;
+            }
+            let mut notes = Vec::new();
+            let plan_of = |delta_li: Option<usize>,
+                           scan: Option<Sym>,
+                           label: &str,
+                           notes: &mut Vec<String>|
+             -> Result<AlgExpr, CompileUnsupported> {
+                let hints = flow.map(|f| flow_hints(rule, f, ri, delta_li));
+                if let Some(order) = hints.as_ref().and_then(|h| h.order.as_ref()) {
+                    notes.push(format!("ordered-by-flow: {label} joins in order {order:?}"));
+                }
+                let mut applied = Vec::new();
+                let plan = compile_rule_plan_with(
+                    schema,
+                    rule,
+                    delta_li.zip(scan),
+                    hints.as_ref(),
+                    &mut applied,
+                )
+                .map_err(fragment)?;
+                notes.extend(applied.into_iter().map(|n| format!("{label}: {n}")));
+                Ok(algres::push_selections_with(plan, &catalog))
+            };
+            let full = plan_of(None, None, "full", &mut notes)?;
             let mut deltas = Vec::new();
             for (li, lit) in rule.body.iter().enumerate() {
                 if lit.negated {
@@ -191,19 +295,24 @@ pub fn compile_program(
                     continue;
                 };
                 if idb_set.contains(pred) {
-                    let plan = compile_rule_plan(schema, rule, Some((li, delta_sym(*pred))))
-                        .map_err(fragment)?;
-                    deltas.push(algres::push_selections_with(plan, &catalog));
+                    let label = format!("delta[{}]", deltas.len());
+                    deltas.push(plan_of(
+                        Some(li),
+                        Some(delta_sym(*pred)),
+                        &label,
+                        &mut notes,
+                    )?);
                 }
             }
             steps.push(CompiledStep {
                 rule_index: ri,
                 head: rule.head.target(),
-                full: algres::push_selections_with(full, &catalog),
+                full,
                 deltas,
+                notes,
             });
         }
-        strata.push(StratumPlan { idb, steps });
+        strata.push(StratumPlan { idb, steps, pruned });
     }
     Ok(CompiledProgram { strata })
 }
@@ -227,7 +336,12 @@ pub fn try_evaluate_compiled(
         note_fallback(opts, "provenance");
         return None;
     }
-    let program = match compile_program(schema, rules, semantics) {
+    // Flow summaries from the evaluation's own starting instance: pruning
+    // and ordering decisions are sound for exactly this EDB (the compiled
+    // program is rebuilt per evaluation, never cached across mutations).
+    let seeds = seeds_from_instance(schema, edb);
+    let summaries = infer(schema, rules, &seeds);
+    let program = match compile_program_with(schema, rules, semantics, Some(&summaries)) {
         Ok(p) => p,
         Err(u) => {
             note_fallback(opts, u.reason);
@@ -948,6 +1062,184 @@ mod tests {
         match evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts) {
             Err(EngineError::NoFixpoint { steps: 3 }) => {}
             other => panic!("expected NoFixpoint, got {other:?}"),
+        }
+    }
+
+    fn flow_of(
+        schema: &Schema,
+        rules: &RuleSet,
+        edb: &Instance,
+    ) -> logres_lang::analyze::FlowSummaries {
+        let seeds = seeds_from_instance(schema, edb);
+        infer(schema, rules, &seeds)
+    }
+
+    #[test]
+    fn flow_prunes_statically_empty_rules_and_results_are_identical() {
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              src   = (d: integer);
+              never = (d: integer);
+              out_t = (d: integer);
+            facts
+              src(d: 1).
+              src(d: 2).
+            rules
+              never(d: X) <- src(d: X), X > 7.
+              out_t(d: X) <- src(d: X).
+        "#,
+        );
+        let summaries = flow_of(&schema, &rules, &edb);
+        let program =
+            compile_program_with(&schema, &rules, Semantics::Inflationary, Some(&summaries))
+                .unwrap();
+        let pruned: Vec<usize> = program
+            .strata
+            .iter()
+            .flat_map(|s| s.pruned.iter().map(|(ri, _)| *ri))
+            .collect();
+        assert_eq!(pruned, vec![0], "the always-false rule is pruned");
+        let text = crate::explain::render_program(&program, &rules);
+        assert!(text.contains("pruned-by-flow"), "{text}");
+        let json = crate::explain::render_program_json(&program, &rules);
+        assert!(json.contains("\"pruned_by_flow\""), "{json}");
+        // The pruned compiled run and the unpruned interpreter agree bit
+        // for bit (the pruned rule could never fire).
+        let (compiled, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let (interp, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions {
+                compiled: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(compiled, interp);
+    }
+
+    #[test]
+    fn flow_orders_joins_by_cardinality_band() {
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              many_e = (a: integer, b: integer);
+              one_s  = (a: integer);
+              p      = (a: integer, b: integer);
+            facts
+              many_e(a: 1, b: 2).
+              many_e(a: 1, b: 3).
+              many_e(a: 2, b: 4).
+              one_s(a: 1).
+            rules
+              p(a: X, b: Y) <- many_e(a: X, b: Y), one_s(a: X).
+        "#,
+        );
+        let summaries = flow_of(&schema, &rules, &edb);
+        let program =
+            compile_program_with(&schema, &rules, Semantics::Inflationary, Some(&summaries))
+                .unwrap();
+        let step = &program.strata[0].steps[0];
+        assert!(
+            step.notes
+                .iter()
+                .any(|n| n.starts_with("ordered-by-flow") && n.contains("[1, 0]")),
+            "the at-most-one relation should lead the join: {:?}",
+            step.notes
+        );
+        let (compiled, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(compiled.assoc_len(Sym::new("p")), 2);
+        assert!(compiled.has_tuple(
+            Sym::new("p"),
+            &Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))])
+        ));
+    }
+
+    #[test]
+    fn flow_skips_statically_total_semijoin_guards() {
+        let (schema, edb, rules) = setup(
+            r#"
+            associations
+              big     = (a: integer, b: integer);
+              allowed = (k: integer);
+              out_p   = (a: integer);
+            facts
+              big(a: 1, b: 10).
+              big(a: 2, b: 20).
+              allowed(k: 1).
+              allowed(k: 2).
+              allowed(k: 3).
+            rules
+              out_p(a: X) <- big(a: X, b: Y), allowed(k: X).
+        "#,
+        );
+        let summaries = flow_of(&schema, &rules, &edb);
+        let program =
+            compile_program_with(&schema, &rules, Semantics::Inflationary, Some(&summaries))
+                .unwrap();
+        let step = &program.strata[0].steps[0];
+        assert!(
+            step.notes
+                .iter()
+                .any(|n| n.contains("skip-semijoin-by-flow")),
+            "the total guard should be elided: {:?}",
+            step.notes
+        );
+        let plan = format!("{:?}", step.full);
+        assert!(
+            !plan.contains("SemiJoin") && !plan.contains("allowed"),
+            "guard scan must be gone from the plan: {plan}"
+        );
+        // Eliding the reducer changes nothing about the answer.
+        let (compiled, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let (interp, _) = evaluate(
+            &schema,
+            &rules,
+            &edb,
+            Semantics::Inflationary,
+            EvalOptions {
+                compiled: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(compiled, interp);
+        assert_eq!(compiled.assoc_len(Sym::new("out_p")), 2);
+    }
+
+    #[test]
+    fn compile_without_flow_emits_no_notes_or_pruning() {
+        let (schema, _, rules) = setup(&chain(4));
+        let program = compile_program(&schema, &rules, Semantics::Inflationary).unwrap();
+        for s in &program.strata {
+            assert!(s.pruned.is_empty());
+            for step in &s.steps {
+                assert!(step.notes.is_empty());
+            }
         }
     }
 

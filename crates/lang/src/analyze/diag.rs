@@ -19,6 +19,13 @@
 //! | `L005` | warning  | rule subsumed by / duplicate of another rule       |
 //! | `L006` | warning  | singleton variable                                 |
 //! | `L007` | warning  | not stratifiable — inflationary fallback           |
+//! | `L008` | warning  | guaranteed-empty predicate (body meets to ⊥)       |
+//! | `L009` | warning  | comparison statically always false / always true   |
+//! | `L010` | warning  | possible i64 overflow given inferred intervals     |
+//! | `L011` | warning  | recursive domain growth — cascade may not end      |
+//!
+//! `L008`–`L011` come from the abstract-interpretation flow pass
+//! ([`super::flow`]) and are opt-in (`logres check --flow`).
 
 use std::fmt;
 
@@ -130,7 +137,7 @@ impl Diagnostic {
     /// output is byte-identical across runs:
     ///
     /// ```text
-    /// {"code":"L006","severity":"warning","line":4,"col":33,"message":"…","related":[]}
+    /// {"code":"L006","severity":"warning","line":4,"col":33,"end_line":4,"end_col":34,"message":"…","related":[]}
     /// ```
     pub fn render_json(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -139,8 +146,8 @@ impl Diagnostic {
         out.push_str(",\"severity\":");
         json_str(&mut out, &self.severity.to_string());
         out.push_str(&format!(
-            ",\"line\":{},\"col\":{},\"message\":",
-            self.span.line, self.span.col
+            ",\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{},\"message\":",
+            self.span.line, self.span.col, self.span.end_line, self.span.end_col
         ));
         json_str(&mut out, &self.message);
         out.push_str(",\"related\":[");
@@ -149,8 +156,8 @@ impl Diagnostic {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"line\":{},\"col\":{},\"note\":",
-                rel.span.line, rel.span.col
+                "{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{},\"note\":",
+                rel.span.line, rel.span.col, rel.span.end_line, rel.span.end_col
             ));
             json_str(&mut out, &rel.note);
             out.push('}');
@@ -184,6 +191,13 @@ pub fn render_all_human(diags: &[Diagnostic], source: Option<&str>) -> String {
         if warnings == 1 { "" } else { "s" }
     ));
     out
+}
+
+/// Sort diagnostics into the stable reporting order: (line, col, code).
+/// Every front-end sorts before rendering, so `--flow` (and any future
+/// appended pass) diffs cleanly against goldens on any platform.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.span.line, a.span.col, a.code).cmp(&(b.span.line, b.span.col, b.code)));
 }
 
 /// Render a batch as JSON lines: one object per line, no summary record.
@@ -245,6 +259,8 @@ mod tests {
             end,
             line,
             col,
+            end_line: line,
+            end_col: col + (end - start) as u32,
         }
     }
 
@@ -267,8 +283,21 @@ mod tests {
             .with_related(span(5, 6, 2, 3), "see declaration");
         assert_eq!(
             d.render_json(),
-            r#"{"code":"E001","severity":"error","line":1,"col":1,"message":"bad \"type\"\nhere","related":[{"line":2,"col":3,"note":"see declaration"}]}"#
+            r#"{"code":"E001","severity":"error","line":1,"col":1,"end_line":1,"end_col":2,"message":"bad \"type\"\nhere","related":[{"line":2,"col":3,"end_line":2,"end_col":4,"note":"see declaration"}]}"#
         );
+    }
+
+    #[test]
+    fn sort_orders_by_line_col_then_code() {
+        let mut diags = vec![
+            Diagnostic::warning("L009", span(20, 21, 3, 5), "later"),
+            Diagnostic::warning("L002", span(10, 11, 2, 1), "mid"),
+            Diagnostic::warning("L001", span(10, 11, 2, 1), "mid, smaller code"),
+            Diagnostic::error("E001", span(0, 1, 1, 9), "first"),
+        ];
+        sort_diagnostics(&mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["E001", "L001", "L002", "L009"]);
     }
 
     #[test]

@@ -286,3 +286,150 @@ pub fn corpus() -> Vec<Fixture> {
         },
     ]
 }
+
+/// The flow-analyzer corpus: programs that are clean under the base
+/// analyzer (L001–L007) and exercise exactly the L008–L011 codes listed in
+/// `expect` under the abstract-interpretation pass
+/// (`analyze::flow::flow_program`).
+pub fn flow_corpus() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            name: "flow_clean_closure",
+            prefix: r#"
+                associations
+                  parent   = (par: string, chil: string);
+                  ancestor = (anc: string, des: string);
+                facts
+                  parent(par: "adam", chil: "cain").
+                  parent(par: "cain", chil: "enoch").
+            "#,
+            rules: r#"
+                ancestor(anc: X, des: Y) <- parent(par: X, chil: Y).
+                ancestor(anc: X, des: Z) <- parent(par: X, chil: Y), ancestor(anc: Y, des: Z).
+            "#,
+            suffix: "goal ancestor(anc: A, des: D)?",
+            expect: &[],
+        },
+        Fixture {
+            name: "flow_clean_aggregate_arithmetic",
+            prefix: r#"
+                associations
+                  nums = (v: integer);
+                  agg  = (n: integer);
+                facts
+                  nums(v: 1).
+                  nums(v: 2).
+            "#,
+            // Small finite bounds: the `+`/`*` chain stays inside i64, so
+            // no L010 — and no L009 from the defining equality.
+            rules: r#"
+                agg(n: N) <- nums(v: X), nums(v: M), N = (X + M) * 2.
+            "#,
+            suffix: "goal agg(n: N)?",
+            expect: &[],
+        },
+        Fixture {
+            name: "flow_l008_disjoint_consts",
+            prefix: r#"
+                associations
+                  src   = (d: integer);
+                  lo_w  = (d: integer);
+                  hi_w  = (d: integer);
+                  clash = (d: integer);
+                facts
+                  src(d: 1).
+                  src(d: 2).
+            "#,
+            rules: r#"
+                lo_w(d: X) <- src(d: X), X < 2.
+                hi_w(d: X) <- src(d: X), X > 1.
+                clash(d: X) <- lo_w(d: X), hi_w(d: X).
+            "#,
+            suffix: "goal clash(d: X)?",
+            expect: &["L008"],
+        },
+        Fixture {
+            name: "flow_l008_string_clash",
+            prefix: r#"
+                associations
+                  tag_a = (t: string);
+                  tag_b = (t: string);
+                  both  = (t: string);
+                facts
+                  tag_a(t: "x").
+                  tag_a(t: "y").
+                  tag_b(t: "z").
+            "#,
+            // Disjoint string constant sets: the join meets to ⊥ — a case
+            // the per-rule typechecker (same type on both sides) cannot see.
+            rules: r#"
+                both(t: T) <- tag_a(t: T), tag_b(t: T).
+            "#,
+            suffix: "goal both(t: X)?",
+            expect: &["L008"],
+        },
+        Fixture {
+            name: "flow_l009_always_false",
+            prefix: r#"
+                associations
+                  src   = (d: integer);
+                  never = (d: integer);
+                facts
+                  src(d: 1).
+                  src(d: 2).
+            "#,
+            rules: r#"
+                never(d: X) <- src(d: X), X > 7.
+            "#,
+            suffix: "goal never(d: X)?",
+            expect: &["L009"],
+        },
+        Fixture {
+            name: "flow_l009_always_true",
+            prefix: r#"
+                associations
+                  src = (d: integer);
+                  pos = (d: integer);
+                facts
+                  src(d: 1).
+                  src(d: 2).
+            "#,
+            rules: r#"
+                pos(d: X) <- src(d: X), X >= 1.
+            "#,
+            suffix: "goal pos(d: X)?",
+            expect: &["L009"],
+        },
+        Fixture {
+            name: "flow_l010_overflow",
+            prefix: r#"
+                associations
+                  big  = (n: integer);
+                  wide = (n: integer);
+                facts
+                  big(n: 4611686018427387904).
+            "#,
+            rules: r#"
+                wide(n: Y) <- big(n: X), Y = X + X.
+            "#,
+            suffix: "goal wide(n: Y)?",
+            expect: &["L010"],
+        },
+        Fixture {
+            name: "flow_l011_growing_counter",
+            prefix: r#"
+                associations
+                  step = (d: integer);
+                  tick = (n: integer);
+                facts
+                  step(d: 1).
+                  tick(n: 0).
+            "#,
+            rules: r#"
+                tick(n: Y) <- tick(n: X), step(d: D), Y = X + D.
+            "#,
+            suffix: "goal tick(n: N)?",
+            expect: &["L011"],
+        },
+    ]
+}

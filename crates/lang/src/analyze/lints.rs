@@ -1,6 +1,8 @@
 //! The whole-program lints (`L001`–`L007`), all computed from the shared
 //! [`DepGraph`]. See the module documentation of [`crate::analyze`] for the
-//! catalog; DESIGN.md §9 has one triggering example per code.
+//! catalog; DESIGN.md §9 has one triggering example per code. The
+//! data-aware lints (`L008`–`L011`) live in the abstract-interpretation
+//! pass, [`super::flow`] (DESIGN.md §14).
 
 use logres_model::{PredKind, Schema, Sym};
 use rustc_hash::{FxHashMap, FxHashSet};

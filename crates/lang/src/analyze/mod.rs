@@ -20,20 +20,35 @@
 //! * **L007** — the program is not stratifiable and will be evaluated as a
 //!   whole under inflationary semantics (paper Section 3.1).
 //!
+//! The opt-in abstract-interpretation flow pass ([`flow`], `logres check
+//! --flow`) adds four more on top of whole-program value inference:
+//!
+//! * **L008** — a derived predicate guaranteed empty: its body joins meet
+//!   to ⊥ (incompatible class refinements or disjoint constant sets);
+//! * **L009** — a comparison guard statically always false or always true;
+//! * **L010** — a `+`/`-`/`*` chain that may overflow `i64` given the
+//!   inferred intervals;
+//! * **L011** — module-cascade non-termination risk: a recursive predicate
+//!   whose inferred domain grows without bound.
+//!
 //! Everything — errors and warnings alike — is emitted as a
 //! [`diag::Diagnostic`], so front-ends have exactly one rendering path.
-//! Emission order is deterministic: first the error-level checks in source
-//! order, then L007, then the lints in code order.
+//! Reporting order is deterministic and position-stable: all diagnostics
+//! are sorted by (line, col, code), so appended passes diff cleanly.
 
 pub mod adorn;
 pub mod diag;
 #[doc(hidden)]
 pub mod fixtures;
+pub mod flow;
 pub mod graph;
 mod lints;
 
 pub use adorn::{plan_goal, Adornment, ExemptReason, Exemption, GoalPlan, MagicRewrite};
-pub use diag::{render_all_human, render_all_json, Diagnostic, Related, Severity};
+pub use diag::{
+    render_all_human, render_all_json, sort_diagnostics, Diagnostic, Related, Severity,
+};
+pub use flow::{flow_program, infer, seeds_from_facts, seeds_from_instance, Card, FlowSummaries};
 pub use graph::{DepGraph, EdgeKind};
 
 use logres_model::{Schema, Sym};
@@ -68,6 +83,7 @@ pub struct AnalysisInput<'a> {
 pub fn analyze(input: &AnalysisInput<'_>) -> Vec<Diagnostic> {
     let mut diags = error_diagnostics_input(input);
     diags.extend(lints::run(input));
+    diag::sort_diagnostics(&mut diags);
     diags
 }
 

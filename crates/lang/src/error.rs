@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-/// A byte range in the source text, with 1-based line/column of its start.
+/// A byte range in the source text, with 1-based line/column of its start
+/// and its (exclusive) end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Span {
     /// Byte offset of the first character.
@@ -13,16 +14,29 @@ pub struct Span {
     pub line: u32,
     /// 1-based column of `start`.
     pub col: u32,
+    /// 1-based line of `end` (tokens never cross a newline, so this equals
+    /// `line` for lexed tokens; joins may widen it).
+    pub end_line: u32,
+    /// 1-based column one past the last character.
+    pub end_col: u32,
 }
 
 impl Span {
-    /// A span covering both operands.
+    /// A span covering both operands: the start position of the earlier one,
+    /// the end position of the later one.
     pub fn to(self, other: Span) -> Span {
+        let (end_line, end_col) = if other.end >= self.end {
+            (other.end_line, other.end_col)
+        } else {
+            (self.end_line, self.end_col)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line,
             col: self.col,
+            end_line,
+            end_col,
         }
     }
 }
@@ -72,17 +86,26 @@ mod tests {
             end: 7,
             line: 1,
             col: 4,
+            end_line: 1,
+            end_col: 8,
         };
         let b = Span {
             start: 10,
             end: 12,
             line: 2,
             col: 1,
+            end_line: 2,
+            end_col: 3,
         };
         let j = a.to(b);
         assert_eq!(j.start, 3);
         assert_eq!(j.end, 12);
         assert_eq!(j.line, 1);
+        assert_eq!((j.end_line, j.end_col), (2, 3));
+        // The end position follows the larger byte end regardless of
+        // operand order.
+        let k = b.to(a);
+        assert_eq!((k.end_line, k.end_col), (2, 3));
     }
 
     #[test]
@@ -93,6 +116,8 @@ mod tests {
                 end: 1,
                 line: 3,
                 col: 9,
+                end_line: 3,
+                end_col: 10,
             },
             "boom",
         );

@@ -78,12 +78,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
     let mut col = 1u32;
 
     macro_rules! span {
+        // Tokens never cross a newline, so the end line is the start line
+        // and `col` (already advanced past the token at expansion time) is
+        // the exclusive end column.
         ($start:expr, $scol:expr, $sline:expr) => {
             Span {
                 start: $start,
                 end: i,
                 line: $sline,
                 col: $scol,
+                end_line: $sline,
+                end_col: col,
             }
         };
     }
@@ -280,6 +285,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             end: src.len(),
             line,
             col,
+            end_line: line,
+            end_col: col,
         },
     });
     Ok(out)

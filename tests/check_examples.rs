@@ -107,6 +107,60 @@ fn explain_output_of_examples_matches_goldens() {
     }
 }
 
+/// Reproduce what `logres check <file> --flow --json` prints: the base
+/// diagnostics plus the abstract-interpretation flow pass (L008–L011),
+/// sorted into one position-stable stream.
+fn flow_check_file(path: &PathBuf) -> String {
+    let text = std::fs::read_to_string(path).expect("example module reads");
+    let program =
+        parse_program(&text).unwrap_or_else(|e| panic!("{} fails to parse: {e:?}", path.display()));
+    let mut diags = analyze_program(&program);
+    diags.extend(logres::lang::analyze::flow_program(&program));
+    logres::lang::analyze::sort_diagnostics(&mut diags);
+    render_all_json(&diags)
+}
+
+#[test]
+fn flow_output_of_examples_matches_goldens() {
+    for path in modules() {
+        let golden_path = path.with_extension("flow.golden.jsonl");
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "{} missing ({e}); regenerate with `logres check {} --flow --json`",
+                golden_path.display(),
+                path.display()
+            )
+        });
+        assert_eq!(
+            flow_check_file(&path),
+            golden,
+            "{} flow output drifted from {}; \
+             regenerate with `logres check {} --flow --json`",
+            path.display(),
+            golden_path.display(),
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn flow_warning_example_fires_every_flow_lint() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/modules");
+    // The intentional module is clean under the default analyzer...
+    assert!(
+        analyze_file(&dir.join("flow_warnings.lgr")).is_empty(),
+        "flow_warnings.lgr must be clean without --flow"
+    );
+    // ...and exercises all four flow codes under it.
+    let rendered = flow_check_file(&dir.join("flow_warnings.lgr"));
+    for code in ["L008", "L009", "L010", "L011"] {
+        assert!(
+            rendered.contains(&format!("\"code\":\"{code}\"")),
+            "{code} missing from: {rendered}"
+        );
+    }
+}
+
 #[test]
 fn analysis_of_examples_is_byte_identical_across_runs() {
     for path in modules() {

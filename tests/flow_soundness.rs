@@ -1,0 +1,141 @@
+//! Differential soundness of the abstract-interpretation flow analyzer
+//! (DESIGN.md §14): the per-predicate summaries `infer` computes are an
+//! over-approximation of every reachable instance. For randomly generated
+//! programs, every fact any engine derives — at every thread setting, on
+//! both the compiled and the interpreted path — must be admitted by the
+//! summary of its predicate. A single inadmissible fact would mean the
+//! planner's flow-driven pruning could change results.
+
+use proptest::prelude::*;
+
+use logres::engine::{evaluate, load_facts, EvalOptions, Semantics};
+use logres::lang::analyze::{infer, seeds_from_instance};
+use logres::lang::parse_program;
+use logres::model::{Instance, OidGen};
+use logres_repro::generators::{closure_program, random_edges};
+
+/// Evaluate `src` under `semantics` at threads 1/2/8/0, compiled and
+/// interpreted, and assert every stored fact lies inside the flow summary.
+fn assert_flow_sound(src: &str, semantics: Semantics) {
+    let p = parse_program(src).expect("generated program parses");
+    let mut edb = Instance::new();
+    let mut gen = OidGen::new();
+    load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("facts load");
+    let seeds = seeds_from_instance(&p.schema, &edb);
+    let summaries = infer(&p.schema, &p.rules, &seeds);
+    for threads in [1usize, 2, 8, 0] {
+        for compiled in [true, false] {
+            let opts = EvalOptions {
+                threads,
+                compiled,
+                ..EvalOptions::default()
+            };
+            let (inst, _) =
+                evaluate(&p.schema, &p.rules, &edb, semantics, opts).expect("evaluates");
+            for assoc in p.schema.assocs() {
+                for t in inst.tuples_of(assoc) {
+                    assert!(
+                        summaries.admits(assoc, t),
+                        "derived fact {assoc}{t} escapes the flow summary \
+                         (threads={threads}, compiled={compiled}):\n{src}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recursive closure over random graphs: summaries must admit the whole
+    /// transitive closure, not just the base edges.
+    #[test]
+    fn closure_stays_inside_the_summary(
+        nodes in 2usize..10,
+        extra in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let edges = random_edges(nodes, (extra % nodes.max(2)) + 1, seed);
+        assert_flow_sound(&closure_program(&edges), Semantics::Inflationary);
+    }
+
+    /// Comparison guards and arithmetic: interval refinement must never cut
+    /// off a value the concrete engine produces.
+    #[test]
+    fn guards_and_arithmetic_stay_inside_the_summary(
+        vals in proptest::collection::btree_set(-50i64..50, 1..8),
+        cut in -60i64..60,
+    ) {
+        let facts: String = vals.iter().map(|v| format!("  n(v: {v}).\n")).collect();
+        let src = format!(
+            r#"
+            associations
+              n    = (v: integer);
+              high = (v: integer);
+              twin = (v: integer, w: integer);
+            facts
+            {facts}
+            rules
+              high(v: X) <- n(v: X), X >= {cut}.
+              twin(v: X, w: Y) <- n(v: X), Y = X + X.
+            goal high(v: A), twin(v: A, w: B)?
+            "#
+        );
+        assert_flow_sound(&src, Semantics::Inflationary);
+    }
+
+    /// Bounded counter recursion: the widened (unbounded) interval must
+    /// still cover every tick the fixpoint actually reaches.
+    #[test]
+    fn widened_recursion_stays_inside_the_summary(
+        start in -5i64..5,
+        bound in 1i64..25,
+        stride in 1i64..4,
+    ) {
+        let src = format!(
+            r#"
+            associations
+              tick = (n: integer);
+            facts
+              tick(n: {start}).
+            rules
+              tick(n: Y) <- tick(n: X), X < {bound}, Y = X + {stride}.
+            goal tick(n: A)?
+            "#
+        );
+        assert_flow_sound(&src, Semantics::Inflationary);
+    }
+
+    /// Stratified negation transfers as identity: the summary must cover
+    /// the perfect model's negative stratum output.
+    #[test]
+    fn negation_stays_inside_the_summary(
+        nodes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let edges = random_edges(nodes, nodes.max(2) - 1, seed);
+        let node_facts: String = (0..nodes as i64).map(|i| format!("  node(n: {i}).\n")).collect();
+        let edge_facts: String = edges
+            .iter()
+            .map(|(a, b)| format!("  edge(a: {a}, b: {b}).\n"))
+            .collect();
+        let src = format!(
+            r#"
+            associations
+              node     = (n: integer);
+              edge     = (a: integer, b: integer);
+              covered  = (n: integer);
+              isolated = (n: integer);
+            facts
+            {node_facts}{edge_facts}
+            rules
+              covered(n: X) <- edge(a: X, b: Y).
+              covered(n: X) <- edge(a: Y, b: X).
+              isolated(n: X) <- node(n: X), not covered(n: X).
+            goal isolated(n: A)?
+            "#
+        );
+        assert_flow_sound(&src, Semantics::Stratified);
+    }
+}
