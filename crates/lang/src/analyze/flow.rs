@@ -263,10 +263,17 @@ impl ConstSet {
     }
 
     /// Greatest lower bound: intersection (exactness does not survive a
-    /// meet — it is a seed-only property).
+    /// meet — it is a seed-only property — *including* a meet with ⊤,
+    /// where the surviving value set may over-approximate the meet's true
+    /// extension, e.g. when the other side was narrowed by negation).
     pub fn meet(&self, other: &ConstSet) -> ConstSet {
         match (self, other) {
-            (ConstSet::Top, c) | (c, ConstSet::Top) => c.clone(),
+            (ConstSet::Top, ConstSet::Top) => ConstSet::Top,
+            (ConstSet::Top, ConstSet::Finite { vals, .. })
+            | (ConstSet::Finite { vals, .. }, ConstSet::Top) => ConstSet::Finite {
+                vals: vals.clone(),
+                exact: false,
+            },
             (ConstSet::Finite { vals: a, .. }, ConstSet::Finite { vals: b, .. }) => {
                 ConstSet::Finite {
                     vals: a.intersection(b).cloned().collect(),
@@ -386,11 +393,16 @@ impl AbsVal {
     fn reduce(&mut self) {
         let interval = self.interval;
         let is_int = self.is_int;
-        if let ConstSet::Finite { vals, .. } = &mut self.consts {
+        if let ConstSet::Finite { vals, exact } = &mut self.consts {
+            let before = vals.len();
             vals.retain(|v| match v {
                 Value::Int(k) => interval.admits(*k),
                 _ => !is_int,
             });
+            if vals.len() != before {
+                // A narrowed set no longer equals the stored column.
+                *exact = false;
+            }
             if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Int(_))) {
                 let ints: Vec<i64> = vals
                     .iter()
@@ -1383,7 +1395,10 @@ pub fn infer(
     }
 
     // Final pass with the fixpoint summaries: lint events, infeasible rules,
-    // and provably-total semijoin guards.
+    // and provably-total semijoin guards. Only predicates no rule targets
+    // can license a skip: any derivation (or head-negation deletion) on the
+    // guard voids the seed's claim that its value set *equals* the column.
+    let rule_targets: BTreeSet<Sym> = rules.rules.iter().map(|r| r.head.target()).collect();
     for (ri, rule) in rules.rules.iter().enumerate() {
         let rf = transfer_rule(schema, rule, &out.preds, None);
         for (span, detail) in &rf.contradictions {
@@ -1427,6 +1442,9 @@ pub fn infer(
             let [PredArg::Labeled(l, Term::Var(v))] = args.as_slice() else {
                 continue;
             };
+            if rule_targets.contains(pred) {
+                continue;
+            }
             let Some(s) = out.preds.get(pred) else {
                 continue;
             };
@@ -1518,8 +1536,10 @@ fn widen(
                 widened_growth = true;
             }
         }
+        // Widen only on growth: a stable inherited seed set above the cap
+        // (prev == current) has converged and keeps its precision.
         if let ConstSet::Finite { vals, .. } = &av.consts {
-            if vals.len() > CONST_CAP && vals.len() > prev_cs_len.min(CONST_CAP) {
+            if vals.len() > CONST_CAP && vals.len() > prev_cs_len {
                 av.consts = ConstSet::Top;
             }
         }
@@ -1579,12 +1599,28 @@ impl FlowSummaries {
                 format!("arithmetic {}", ev.detail),
             ));
         }
+        let graph = DepGraph::build(rules);
+        let sccs = graph.sccs();
+        let comp_of = graph.component_of(&sccs);
         for (pred, label) in &self.grown {
-            // Anchor at the first recursive rule deriving the predicate.
+            // Anchor at the first *recursive* rule deriving the predicate —
+            // one whose body reads a predicate from the same SCC — so a
+            // non-recursive seeding rule listed first doesn't steal the span.
+            let members: BTreeSet<Sym> = graph
+                .node(*pred)
+                .map(|n| sccs[comp_of[n]].iter().map(|&i| graph.sym(i)).collect())
+                .unwrap_or_default();
+            let derives = |r: &&Rule| !r.head.negated && r.head.target() == *pred;
             let span = rules
                 .rules
                 .iter()
-                .find(|r| !r.head.negated && r.head.target() == *pred)
+                .find(|r| {
+                    derives(r)
+                        && r.body.iter().any(|lit| {
+                            matches!(&lit.atom, Atom::Pred { pred: p, .. } if members.contains(p))
+                        })
+                })
+                .or_else(|| rules.rules.iter().find(derives))
                 .map(|r| r.span)
                 .unwrap_or_default();
             out.push(Diagnostic::warning(
@@ -1808,6 +1844,103 @@ mod tests {
         );
         let skips = s.skip_guards.get(&0).cloned().unwrap_or_default();
         assert!(skips.contains(&1), "allowed(k: X) is total: {s:?}");
+    }
+
+    #[test]
+    fn exactness_never_survives_a_meet() {
+        let exact = ConstSet::Finite {
+            vals: [Value::Int(1), Value::Int(2)].into_iter().collect(),
+            exact: true,
+        };
+        for m in [exact.meet(&ConstSet::Top), ConstSet::Top.meet(&exact)] {
+            assert!(
+                matches!(m, ConstSet::Finite { exact: false, .. }),
+                "meet with ⊤ must drop exactness: {m:?}"
+            );
+        }
+        assert!(matches!(
+            exact.meet(&exact),
+            ConstSet::Finite { exact: false, .. }
+        ));
+    }
+
+    #[test]
+    fn derived_guards_are_not_skip_candidates() {
+        // The guard's summary over-approximates its true extension (narrowed
+        // by negation); skipping the semijoin would re-admit key 3.
+        let (_, s) = summaries(
+            r#"
+            associations
+              allowed = (k: integer);
+              blocked = (k: integer);
+              big     = (a: integer, b: integer);
+              derived = (k: integer);
+              out_p   = (a: integer);
+            facts
+              allowed(k: 1). allowed(k: 2). allowed(k: 3).
+              blocked(k: 3).
+              big(a: 1, b: 10). big(a: 2, b: 20). big(a: 3, b: 30).
+            rules
+              derived(k: X) <- allowed(k: X), not blocked(k: X).
+              out_p(a: X) <- big(a: X, b: Y), derived(k: X).
+            goal out_p(a: A)?
+            "#,
+        );
+        assert!(
+            s.skip_guards.is_empty(),
+            "a derived guard must never license a semijoin skip: {:?}",
+            s.skip_guards
+        );
+    }
+
+    #[test]
+    fn l011_anchors_at_the_recursive_rule() {
+        let (p, s) = summaries(
+            r#"
+            associations
+              seed = (n: integer);
+              tick = (n: integer);
+            facts
+              seed(n: 0).
+            rules
+              tick(n: X) <- seed(n: X).
+              tick(n: Y) <- tick(n: X), X < 9, Y = X + 1.
+            goal tick(n: N)?
+            "#,
+        );
+        let diags = s.diagnostics(&p.rules);
+        let l011 = diags.iter().find(|d| d.code == "L011").expect("L011 fires");
+        assert_eq!(
+            l011.span, p.rules.rules[1].span,
+            "L011 anchors at the recursive rule, not the seeding rule"
+        );
+    }
+
+    #[test]
+    fn stable_oversized_const_set_keeps_precision() {
+        // r.v inherits ten constants (> CONST_CAP) from the seed and never
+        // grows, while r.c keeps the SCC iterating past WIDEN_AFTER; the
+        // stable set must not be discarded to ⊤.
+        let facts: String = (0..=9).map(|v| format!("  n(v: {v}).\n")).collect();
+        let src = format!(
+            r#"
+            associations
+              n = (v: integer);
+              r = (v: integer, c: integer);
+            facts
+            {facts}
+            rules
+              r(v: X, c: 0) <- n(v: X).
+              r(v: X, c: Y) <- r(v: X, c: Z), Z < 5, Y = Z + 1.
+            goal r(v: A, c: B)?
+            "#
+        );
+        let (_, s) = summaries(&src);
+        let arg = s.preds[&Sym::new("r")].arg(Sym::new("v"));
+        match &arg.consts {
+            ConstSet::Finite { vals, .. } => assert_eq!(vals.len(), 10),
+            ConstSet::Top => panic!("stable 10-value set was widened to ⊤"),
+        }
     }
 
     #[test]

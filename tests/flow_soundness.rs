@@ -15,7 +15,11 @@ use logres::model::{Instance, OidGen};
 use logres_repro::generators::{closure_program, random_edges};
 
 /// Evaluate `src` under `semantics` at threads 1/2/8/0, compiled and
-/// interpreted, and assert every stored fact lies inside the flow summary.
+/// interpreted, and assert (a) every stored fact lies inside the flow
+/// summary and (b) every run produces the same instance — so a flow-driven
+/// plan transformation (rule pruning, semijoin skip, reordering) that
+/// changes results fails here even when the changed results still happen
+/// to sit inside the over-approximating summary.
 fn assert_flow_sound(src: &str, semantics: Semantics) {
     let p = parse_program(src).expect("generated program parses");
     let mut edb = Instance::new();
@@ -23,6 +27,7 @@ fn assert_flow_sound(src: &str, semantics: Semantics) {
     load_facts(&p.schema, &mut edb, &p.facts, &mut gen).expect("facts load");
     let seeds = seeds_from_instance(&p.schema, &edb);
     let summaries = infer(&p.schema, &p.rules, &seeds);
+    let mut oracle: Option<Instance> = None;
     for threads in [1usize, 2, 8, 0] {
         for compiled in [true, false] {
             let opts = EvalOptions {
@@ -41,8 +46,41 @@ fn assert_flow_sound(src: &str, semantics: Semantics) {
                     );
                 }
             }
+            match &oracle {
+                None => oracle = Some(inst),
+                Some(o) => assert_eq!(
+                    &inst, o,
+                    "instance diverges from the first run \
+                     (threads={threads}, compiled={compiled}):\n{src}"
+                ),
+            }
         }
     }
+}
+
+/// Pinned regression for the semijoin-skip path: the guard predicate is a
+/// single-column literal *narrowed by negation*, so its constant-set
+/// summary over-approximates its true extension. Skipping the semijoin on
+/// the strength of that summary would re-admit the blocked key.
+#[test]
+fn negation_narrowed_guard_is_not_skipped() {
+    let src = r#"
+        associations
+          allowed = (k: integer);
+          blocked = (k: integer);
+          big     = (a: integer, b: integer);
+          derived = (k: integer);
+          out_p   = (a: integer);
+        facts
+          allowed(k: 1). allowed(k: 2). allowed(k: 3).
+          blocked(k: 3).
+          big(a: 1, b: 10). big(a: 2, b: 20). big(a: 3, b: 30).
+        rules
+          derived(k: X) <- allowed(k: X), not blocked(k: X).
+          out_p(a: X) <- big(a: X, b: Y), derived(k: X).
+        goal out_p(a: A)?
+    "#;
+    assert_flow_sound(src, Semantics::Stratified);
 }
 
 proptest! {
@@ -105,6 +143,40 @@ proptest! {
             "#
         );
         assert_flow_sound(&src, Semantics::Inflationary);
+    }
+
+    /// Random instances of the negation-narrowed single-column guard shape
+    /// (the semijoin-skip candidate): compiled and interpreted runs must
+    /// agree bit-for-bit whatever the allowed/blocked/probe overlap is.
+    #[test]
+    fn negated_guard_semijoin_stays_sound(
+        allowed in proptest::collection::btree_set(0i64..8, 1..6),
+        blocked in proptest::collection::btree_set(0i64..8, 0..4),
+        big in proptest::collection::btree_set((0i64..8, 0i64..40), 1..12),
+    ) {
+        let allowed_facts: String = allowed.iter().map(|k| format!("  allowed(k: {k}).\n")).collect();
+        let blocked_facts: String = blocked.iter().map(|k| format!("  blocked(k: {k}).\n")).collect();
+        let big_facts: String = big
+            .iter()
+            .map(|(a, b)| format!("  big(a: {a}, b: {b}).\n"))
+            .collect();
+        let src = format!(
+            r#"
+            associations
+              allowed = (k: integer);
+              blocked = (k: integer);
+              big     = (a: integer, b: integer);
+              derived = (k: integer);
+              out_p   = (a: integer);
+            facts
+            {allowed_facts}{blocked_facts}{big_facts}
+            rules
+              derived(k: X) <- allowed(k: X), not blocked(k: X).
+              out_p(a: X) <- big(a: X, b: Y), derived(k: X).
+            goal out_p(a: A)?
+            "#
+        );
+        assert_flow_sound(&src, Semantics::Stratified);
     }
 
     /// Stratified negation transfers as identity: the summary must cover
