@@ -115,15 +115,22 @@ pub struct Evaluator<'a> {
     overlay: FxHashMap<Sym, Relation>,
     /// Volatile names with a shadow depth (fixpoints nest).
     volatile: FxHashMap<Sym, u32>,
-    /// Node-identity memo for volatile-free sub-expressions.
-    memo: FxHashMap<usize, Relation>,
-    join_tables: FxHashMap<usize, JoinTable>,
-    key_tables: FxHashMap<usize, KeyTable>,
+    /// Stable node ids: address → id, assigned by [`Evaluator::register_plan`]
+    /// (or lazily on first visit). Every cache below is keyed by these ids,
+    /// never by raw addresses, so re-registering a rebuilt plan that happens
+    /// to reuse a freed allocation cannot alias a stale entry — fresh ids
+    /// simply orphan the old ones.
+    ids: FxHashMap<usize, u64>,
+    next_id: u64,
+    /// Node-id memo for volatile-free sub-expressions.
+    memo: FxHashMap<u64, Relation>,
+    join_tables: FxHashMap<u64, JoinTable>,
+    key_tables: FxHashMap<u64, KeyTable>,
     stats: EvalStats,
     /// When on, per-node [`OpStats`] are accumulated in `op_stats`; the off
     /// path pays exactly one branch per node evaluation.
     profiling: bool,
-    op_stats: FxHashMap<usize, OpStats>,
+    op_stats: FxHashMap<u64, OpStats>,
     /// One frame per in-flight profiled evaluation: the rows returned by the
     /// node's direct children so far (becomes the node's `rows_in`).
     frames: Vec<u64>,
@@ -136,6 +143,8 @@ impl<'a> Evaluator<'a> {
             base,
             overlay: FxHashMap::default(),
             volatile: FxHashMap::default(),
+            ids: FxHashMap::default(),
+            next_id: 0,
             memo: FxHashMap::default(),
             join_tables: FxHashMap::default(),
             key_tables: FxHashMap::default(),
@@ -154,10 +163,41 @@ impl<'a> Evaluator<'a> {
     /// The accumulated [`OpStats`] for a node (zero when the node was never
     /// evaluated or profiling was off).
     pub fn op_stats_for(&self, expr: &AlgExpr) -> OpStats {
-        self.op_stats
-            .get(&(expr as *const AlgExpr as usize))
-            .copied()
+        self.node_id_of(expr)
+            .and_then(|id| self.op_stats.get(&id).copied())
             .unwrap_or_default()
+    }
+
+    /// Assign fresh stable ids to every node of `plan`. Caches (memo, join
+    /// tables, op stats) are keyed by these ids; registering a plan again —
+    /// e.g. after a recompile that reuses freed allocations — hands out new
+    /// ids, so entries belonging to a dropped plan can never be resurrected
+    /// through an aliased address.
+    pub fn register_plan(&mut self, plan: &AlgExpr) {
+        let mut stack = vec![plan];
+        while let Some(e) = stack.pop() {
+            self.next_id += 1;
+            self.ids.insert(e as *const AlgExpr as usize, self.next_id);
+            stack.extend(e.children());
+        }
+    }
+
+    /// The stable id of a registered node, or `None` when the node was never
+    /// registered nor evaluated in this session.
+    pub fn node_id_of(&self, expr: &AlgExpr) -> Option<u64> {
+        self.ids.get(&(expr as *const AlgExpr as usize)).copied()
+    }
+
+    /// The stable id of a node, assigning one on first sight (one-shot
+    /// evaluations don't pre-register their plan).
+    fn node_id(&mut self, expr: &AlgExpr) -> u64 {
+        let ptr = expr as *const AlgExpr as usize;
+        if let Some(id) = self.ids.get(&ptr) {
+            return *id;
+        }
+        self.next_id += 1;
+        self.ids.insert(ptr, self.next_id);
+        self.next_id
     }
 
     /// Bind (or rebind) a volatile relation. The name is marked volatile for
@@ -195,14 +235,14 @@ impl<'a> Evaluator<'a> {
         self.stats
     }
 
-    fn note_hash_build(&mut self, key: usize) {
+    fn note_hash_build(&mut self, key: u64) {
         self.stats.hash_builds += 1;
         if self.profiling {
             self.op_stats.entry(key).or_default().hash_builds += 1;
         }
     }
 
-    fn note_probes(&mut self, key: usize, probes: u64) {
+    fn note_probes(&mut self, key: u64, probes: u64) {
         self.stats.probes += probes;
         if self.profiling {
             self.op_stats.entry(key).or_default().probes += probes;
@@ -230,10 +270,8 @@ impl<'a> Evaluator<'a> {
         let child_rows = self.frames.pop().expect("frame pushed above");
         if let Ok((rel, _)) = &result {
             let rows_out = rel.len() as u64;
-            let s = self
-                .op_stats
-                .entry(expr as *const AlgExpr as usize)
-                .or_default();
+            let key = self.node_id(expr);
+            let s = self.op_stats.entry(key).or_default();
             s.evals += 1;
             s.rows_in += child_rows;
             s.rows_out += rows_out;
@@ -262,7 +300,7 @@ impl<'a> Evaluator<'a> {
             AlgExpr::Const(rel) => return Ok((rel.clone(), false)),
             _ => {}
         }
-        let key = expr as *const AlgExpr as usize;
+        let key = self.node_id(expr);
         if let Some(rel) = self.memo.get(&key) {
             self.stats.memo_hits += 1;
             let rel = rel.clone();
@@ -362,7 +400,7 @@ impl<'a> Evaluator<'a> {
             }
             AlgExpr::Join { left, right } => {
                 let (l, ldep) = self.eval_dep(left)?;
-                let key = expr as *const AlgExpr as usize;
+                let key = self.node_id(expr);
                 let cached = self
                     .join_tables
                     .get(&key)
@@ -422,7 +460,7 @@ impl<'a> Evaluator<'a> {
             AlgExpr::SemiJoin { left, right } | AlgExpr::AntiJoin { left, right } => {
                 let keep_matches = matches!(expr, AlgExpr::SemiJoin { .. });
                 let (l, ldep) = self.eval_dep(left)?;
-                let key = expr as *const AlgExpr as usize;
+                let key = self.node_id(expr);
                 let cached = self
                     .key_tables
                     .get(&key)
@@ -453,6 +491,33 @@ impl<'a> Evaluator<'a> {
                     let mut fields = t.as_tuple().expect("tuple").to_vec();
                     fields.push((*col, v));
                     out.insert(Value::tuple(fields));
+                }
+                Ok((out, dep))
+            }
+            AlgExpr::Emit { input, pred, cols } => {
+                if let AlgExpr::Join { left, right } = input.as_ref() {
+                    return self.eval_emit_join(input, left, right, pred, cols);
+                }
+                let (rel, dep) = self.eval_dep(input)?;
+                let mut out = Relation::new(emit_out_cols(cols));
+                // Pure column remap with no residual predicate: resolve every
+                // source to its fixed field index once and copy fields by
+                // position, skipping the per-tuple lookups and label sort.
+                if matches!(pred, Pred::True) {
+                    if let Some(tpl) = pure_emit_template(cols, rel.cols()) {
+                        for t in rel.iter() {
+                            let fs = t.as_tuple().expect("relation rows are tuples");
+                            out.insert(Value::Tuple(
+                                tpl.iter().map(|&(c, i)| (c, fs[i].1.clone())).collect(),
+                            ));
+                        }
+                        return Ok((out, dep));
+                    }
+                }
+                for t in rel.iter() {
+                    if eval_pred(pred, t)? {
+                        out.insert(emit_tuple(cols, t)?);
+                    }
                 }
                 Ok((out, dep))
             }
@@ -667,6 +732,69 @@ impl<'a> Evaluator<'a> {
             steps: MAX_FIXPOINT_STEPS,
         })
     }
+
+    /// The `Emit`-over-`Join` fast path: probe the join's hash table and
+    /// write head-layout tuples straight out of the probe, never
+    /// materializing the joined relation. The hash table is cached under the
+    /// *join* node's id with the same volatile-right discipline as the plain
+    /// `Join` arm, so fusion does not change how often tables are built.
+    ///
+    /// Profiling attribution: the join node no longer passes through
+    /// [`Evaluator::eval_dep`], so its [`OpStats`] are credited here by hand —
+    /// inclusive time covers the input evaluations and the table build but
+    /// *not* the probe loop, which stays on the emit node. The emit frame's
+    /// `rows_in` is overwritten with the number of join pairs (the rows the
+    /// absorbed reshape stages consumed), keeping row conservation: child
+    /// `rows_out` == fused node `rows_in`.
+    fn eval_emit_join(
+        &mut self,
+        join: &'a AlgExpr,
+        left: &'a AlgExpr,
+        right: &'a AlgExpr,
+        pred: &Pred,
+        cols: &[(Sym, Scalar)],
+    ) -> Result<(Relation, bool), AlgError> {
+        let start = self.profiling.then(Instant::now);
+        let (l, ldep) = self.eval_dep(left)?;
+        let key = self.node_id(join);
+        let cached = self
+            .join_tables
+            .get(&key)
+            .is_some_and(|t| t.left_cols == l.cols());
+        let mut right_rows = 0u64;
+        let mut volatile_right = None;
+        if !cached {
+            let (r, rdep) = self.eval_dep(right)?;
+            right_rows = r.len() as u64;
+            let table = build_join_table(&l, &r);
+            self.note_hash_build(key);
+            if rdep {
+                // Right side is volatile: probe once, do not cache.
+                volatile_right = Some(table);
+            } else {
+                self.join_tables.insert(key, table);
+            }
+        }
+        let join_nanos = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let dep = ldep || volatile_right.is_some();
+        let table = match &volatile_right {
+            Some(t) => t,
+            None => self.join_tables.get(&key).expect("cached join table"),
+        };
+        let (out, probes, pairs) = emit_probe(table, &l, pred, cols)?;
+        self.note_probes(key, probes);
+        if self.profiling {
+            let s = self.op_stats.entry(key).or_default();
+            s.evals += 1;
+            s.rows_in += l.len() as u64 + right_rows;
+            s.rows_out += pairs;
+            s.nanos += join_nanos;
+            if let Some(top) = self.frames.last_mut() {
+                *top = pairs;
+            }
+        }
+        Ok((out, dep))
+    }
 }
 
 /// Evaluate an expression in a fresh single-shot session.
@@ -725,6 +853,146 @@ fn probe_join_table(table: &JoinTable, l: &Relation) -> (Relation, u64) {
         }
     }
     (out, probes)
+}
+
+fn emit_out_cols(cols: &[(Sym, Scalar)]) -> Vec<Sym> {
+    cols.iter().map(|(c, _)| *c).collect()
+}
+
+/// Build one output tuple of an `Emit` node from an input tuple.
+fn emit_tuple(cols: &[(Sym, Scalar)], t: &Value) -> Result<Value, AlgError> {
+    let fields: Vec<(Sym, Value)> = cols
+        .iter()
+        .map(|(c, s)| Ok((*c, eval_scalar(s, t)?)))
+        .collect::<Result<_, AlgError>>()?;
+    Ok(Value::tuple(fields))
+}
+
+/// Precompute a pure-column emit as positional copies: every scalar must be
+/// a bare [`Scalar::Col`] resolvable in `in_cols`, and the output labels
+/// must be distinct. Returns the output fields in sorted label order, each
+/// paired with the field index it copies from — relation tuples store their
+/// fields sorted by label, so the index is fixed across all rows. The
+/// caller may then build `Value::Tuple` directly, skipping the per-tuple
+/// label lookups and the canonicalizing sort.
+fn pure_emit_template(cols: &[(Sym, Scalar)], in_cols: &[Sym]) -> Option<Vec<(Sym, usize)>> {
+    let mut sorted_in: Vec<Sym> = in_cols.to_vec();
+    sorted_in.sort();
+    let mut tpl: Vec<(Sym, usize)> = cols
+        .iter()
+        .map(|(c, s)| match s {
+            Scalar::Col(src) => sorted_in.binary_search(src).ok().map(|i| (*c, i)),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    tpl.sort_by_key(|&(c, _)| c);
+    if tpl.windows(2).any(|w| w[0].0 == w[1].0) {
+        return None;
+    }
+    Some(tpl)
+}
+
+/// One side of a join pair a pure probe template copies a field from.
+enum PairSrc {
+    Left(usize),
+    Right(usize),
+}
+
+/// Probe a join table, filtering and reshaping each match directly into the
+/// emit layout. Returns `(output, probes, pairs)` where `pairs` counts every
+/// join match regardless of the residual predicate — the rows the join
+/// *produced* and the absorbed reshape stages consumed.
+fn emit_probe(
+    table: &JoinTable,
+    l: &Relation,
+    pred: &Pred,
+    cols: &[(Sym, Scalar)],
+) -> Result<(Relation, u64, u64), AlgError> {
+    let mut out = Relation::new(emit_out_cols(cols));
+    let mut probes = 0u64;
+    let mut pairs = 0u64;
+    // Pure column remap with no residual predicate (the common rule-head
+    // shape): resolve every output field to a fixed index on one side of
+    // the probe pair up front, then copy fields by position — no combined
+    // tuple, no label lookups, no canonicalizing sort.
+    let pure: Option<Vec<(Sym, PairSrc)>> = if matches!(pred, Pred::True) {
+        let mut lsorted = table.left_cols.clone();
+        lsorted.sort();
+        let mut rsorted: Vec<Sym> = table
+            .shared
+            .iter()
+            .chain(table.right_only.iter())
+            .copied()
+            .collect();
+        rsorted.sort();
+        let tpl: Option<Vec<(Sym, PairSrc)>> = cols
+            .iter()
+            .map(|(c, s)| match s {
+                Scalar::Col(src) => lsorted
+                    .binary_search(src)
+                    .ok()
+                    .map(PairSrc::Left)
+                    .or_else(|| rsorted.binary_search(src).ok().map(PairSrc::Right))
+                    .map(|p| (*c, p)),
+                _ => None,
+            })
+            .collect();
+        tpl.map(|mut t| {
+            t.sort_by_key(|&(c, _)| c);
+            t
+        })
+        .filter(|t| t.windows(2).all(|w| w[0].0 != w[1].0))
+    } else {
+        None
+    };
+    // The probe key reads the shared columns off each left tuple; their
+    // field indices are fixed too.
+    let key_idx: Vec<usize> = {
+        let mut lsorted = table.left_cols.clone();
+        lsorted.sort();
+        table
+            .shared
+            .iter()
+            .map(|c| lsorted.binary_search(c).expect("shared ⊆ left cols"))
+            .collect()
+    };
+    let mut key: Vec<Value> = Vec::with_capacity(key_idx.len());
+    for lt in l.iter() {
+        probes += 1;
+        let lf = lt.as_tuple().expect("relation rows are tuples");
+        key.clear();
+        key.extend(key_idx.iter().map(|&i| lf[i].1.clone()));
+        let Some(matches) = table.rows.get(&key) else {
+            continue;
+        };
+        if let Some(tpl) = &pure {
+            for rt in matches {
+                pairs += 1;
+                let rf = rt.as_tuple().expect("relation rows are tuples");
+                out.insert(Value::Tuple(
+                    tpl.iter()
+                        .map(|(c, p)| match p {
+                            PairSrc::Left(i) => (*c, lf[*i].1.clone()),
+                            PairSrc::Right(i) => (*c, rf[*i].1.clone()),
+                        })
+                        .collect(),
+                ));
+            }
+        } else {
+            for rt in matches {
+                pairs += 1;
+                let mut fields = lf.to_vec();
+                for c in &table.right_only {
+                    fields.push((*c, rt.field(*c).expect("column").clone()));
+                }
+                let combined = Value::tuple(fields);
+                if eval_pred(pred, &combined)? {
+                    out.insert(emit_tuple(cols, &combined)?);
+                }
+            }
+        }
+    }
+    Ok((out, probes, pairs))
 }
 
 fn build_key_table(l: &Relation, r: &Relation) -> KeyTable {
@@ -1320,6 +1588,98 @@ mod tests {
         let mut cold = Evaluator::new(&env);
         cold.eval(&fx).unwrap();
         assert_eq!(cold.op_stats_for(join), OpStats::default());
+    }
+
+    /// Re-registering a plan hands out fresh node ids, so operator stats and
+    /// memo entries recorded for a dropped plan can never be served to a new
+    /// plan that happens to reuse the same allocation addresses.
+    #[test]
+    fn reregistering_a_plan_orphans_stale_stats_and_memo() {
+        let env = env_with("e", edges(&[(1, 2), (2, 3)]));
+        let plan = AlgExpr::Rel(Sym::new("e"))
+            .select(Pred::Cmp(
+                CmpOp::Gt,
+                Scalar::col("src"),
+                Scalar::Const(Value::Int(1)),
+            ))
+            .project(["dst"]);
+        let mut session = Evaluator::new(&env);
+        session.enable_profiling();
+        session.register_plan(&plan);
+        let first_id = session.node_id_of(&plan).expect("registered");
+        session.eval(&plan).unwrap();
+        session.eval(&plan).unwrap();
+        let warm = session.op_stats_for(&plan);
+        assert_eq!(warm.evals, 2);
+        assert_eq!(warm.memo_hits, 1);
+
+        // Simulate a recompile whose fresh plan lands on the same addresses:
+        // re-register the very same nodes. Ids must change and every cache
+        // keyed by the old ids must be unreachable.
+        session.register_plan(&plan);
+        let second_id = session.node_id_of(&plan).expect("registered");
+        assert_ne!(first_id, second_id);
+        assert_eq!(session.op_stats_for(&plan), OpStats::default());
+        let memo_hits_before = session.stats().memo_hits;
+        session.eval(&plan).unwrap();
+        // Recomputed, not answered from the orphaned memo entry.
+        assert_eq!(session.stats().memo_hits, memo_hits_before);
+        assert_eq!(session.op_stats_for(&plan).evals, 1);
+    }
+
+    /// The fused emit-over-join path conserves rows across the operator
+    /// boundary — the join's `rows_out` is exactly the emit's `rows_in` — and
+    /// the emit's inclusive time covers the join's, so rendered self-times
+    /// can never go negative or double-count.
+    #[test]
+    fn emit_over_join_profiles_conserve_rows() {
+        let chain: Vec<(i64, i64)> = (0..20).map(|i| (i, i + 1)).collect();
+        let env = env_with("e", edges(&chain));
+        let tc = Sym::new("tc");
+        let join = AlgExpr::Rel(tc)
+            .rename("dst", "mid")
+            .join(AlgExpr::Rel(Sym::new("e")).rename("src", "mid"));
+        let step = AlgExpr::Emit {
+            input: Box::new(join),
+            pred: Pred::True,
+            cols: vec![
+                (Sym::new("src"), Scalar::col("src")),
+                (Sym::new("dst"), Scalar::col("dst")),
+            ],
+        };
+        let fx = AlgExpr::Fixpoint {
+            rec: tc,
+            base: Box::new(AlgExpr::Rel(Sym::new("e"))),
+            step: Box::new(step),
+            mode: FixpointMode::Delta,
+        };
+        let mut session = Evaluator::new(&env);
+        session.enable_profiling();
+        let r = session.eval(&fx).unwrap();
+        assert_eq!(r.len(), 21 * 20 / 2);
+        // The stable right side is still built exactly once and all probes
+        // go through the cached table, same as the unfused join.
+        assert_eq!(session.stats().hash_builds, 1);
+
+        let (emit, join) = match &fx {
+            AlgExpr::Fixpoint { step, .. } => match step.as_ref() {
+                e @ AlgExpr::Emit { input, .. } => (e, input.as_ref()),
+                other => panic!("unexpected step {other:?}"),
+            },
+            other => panic!("unexpected root {other:?}"),
+        };
+        let emit_stats = session.op_stats_for(emit);
+        let join_stats = session.op_stats_for(join);
+        // The join is credited once per round even though the emit drives
+        // its probe directly.
+        assert_eq!(join_stats.evals, 20);
+        assert_eq!(join_stats.hash_builds, 1);
+        assert!(join_stats.rows_out > 0);
+        // Row conservation: every join pair flows into the emit, nothing is
+        // double-counted or lost.
+        assert_eq!(emit_stats.rows_in, join_stats.rows_out);
+        // Inclusive times nest, so self = emit − join stays non-negative.
+        assert!(emit_stats.nanos >= join_stats.nanos);
     }
 
     /// A fixpoint whose recursive name shadows an engine-bound volatile name

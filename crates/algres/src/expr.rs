@@ -217,6 +217,19 @@ pub enum AlgExpr {
         col: Sym,
         value: Scalar,
     },
+    /// Fused emit-time reshape: one pass over `input` that keeps tuples
+    /// satisfying `pred` and rebuilds each survivor directly into the output
+    /// layout — `cols` lists the output columns with the scalar (over the
+    /// input schema) that computes each. Produced by
+    /// [`crate::fuse_reshapes`], which collapses a
+    /// `Rename* ∘ Project ∘ Extend*/Select*` chain into one node; when
+    /// `input` is a `Join`, the evaluator emits head-layout tuples straight
+    /// out of the join probe without materializing the joined relation.
+    Emit {
+        input: Box<AlgExpr>,
+        pred: Pred,
+        cols: Vec<(Sym, Scalar)>,
+    },
     /// NF² nest: group by all columns *except* `cols`, collapsing the
     /// `cols`-projection of each group into a set-valued column `into`
     /// (each element is a tuple over `cols`, or the bare value when `cols`
@@ -312,6 +325,7 @@ impl AlgExpr {
             AlgExpr::SemiJoin { .. } => "semijoin",
             AlgExpr::AntiJoin { .. } => "antijoin",
             AlgExpr::Extend { .. } => "extend",
+            AlgExpr::Emit { .. } => "emit",
             AlgExpr::Nest { .. } => "nest",
             AlgExpr::Unnest { .. } => "unnest",
             AlgExpr::Aggregate { .. } => "aggregate",
@@ -329,6 +343,7 @@ impl AlgExpr {
             | AlgExpr::Project { input, .. }
             | AlgExpr::Rename { input, .. }
             | AlgExpr::Extend { input, .. }
+            | AlgExpr::Emit { input, .. }
             | AlgExpr::Nest { input, .. }
             | AlgExpr::Unnest { input, .. }
             | AlgExpr::Aggregate { input, .. } => input.count_refs(name),
@@ -350,6 +365,31 @@ impl AlgExpr {
                         step.count_refs(name)
                     }
             }
+        }
+    }
+
+    /// The direct sub-expressions of this node, in evaluation order. Used by
+    /// plan walkers (id registration, EXPLAIN rendering) so they cannot fall
+    /// out of sync with the variant list.
+    pub fn children(&self) -> Vec<&AlgExpr> {
+        match self {
+            AlgExpr::Rel(_) | AlgExpr::Const(_) => Vec::new(),
+            AlgExpr::Select { input, .. }
+            | AlgExpr::Project { input, .. }
+            | AlgExpr::Rename { input, .. }
+            | AlgExpr::Extend { input, .. }
+            | AlgExpr::Emit { input, .. }
+            | AlgExpr::Nest { input, .. }
+            | AlgExpr::Unnest { input, .. }
+            | AlgExpr::Aggregate { input, .. } => vec![input],
+            AlgExpr::Product { left, right }
+            | AlgExpr::Join { left, right }
+            | AlgExpr::Union { left, right }
+            | AlgExpr::Diff { left, right }
+            | AlgExpr::Intersect { left, right }
+            | AlgExpr::SemiJoin { left, right }
+            | AlgExpr::AntiJoin { left, right } => vec![left, right],
+            AlgExpr::Fixpoint { base, step, .. } => vec![base, step],
         }
     }
 }

@@ -41,5 +41,5 @@ pub mod relation;
 pub use error::AlgError;
 pub use eval::{eval, Env, EvalStats, Evaluator, OpStats};
 pub use expr::{AggFun, AlgExpr, CmpOp, FixpointMode, Pred, Scalar};
-pub use optimize::{push_selections, push_selections_with, Catalog};
+pub use optimize::{fuse_reshapes, push_selections, push_selections_with, Catalog};
 pub use relation::Relation;

@@ -1,10 +1,17 @@
-//! A small algebraic optimizer: selection pushdown.
+//! A small algebraic optimizer: selection pushdown and reshape fusion.
 //!
 //! ALGRES is main-memory, so the dominant cost is intermediate-result size;
 //! pushing selections below joins, products and unions is the classical
 //! rewrite that attacks it. The E10 benchmark runs the football workload
 //! with and without this pass, and the engine's compiled evaluation path
 //! runs it over every rule plan.
+//!
+//! [`fuse_reshapes`] attacks the other main-memory tax: every compiled rule
+//! plan tops out in a `Rename* ∘ Project ∘ Extend*/Select*` chain that
+//! rebuilds each tuple several times just to reach head layout. The pass
+//! collapses such a chain into one [`AlgExpr::Emit`] node, which the
+//! evaluator executes as a single filter-and-reshape pass — and, when the
+//! chain sits on a `Join`, as part of the join probe itself.
 
 use logres_model::Sym;
 
@@ -73,6 +80,11 @@ fn rewrite(expr: AlgExpr, catalog: Catalog<'_>) -> AlgExpr {
             input: Box::new(rewrite(*input, catalog)),
             col,
             value,
+        },
+        AlgExpr::Emit { input, pred, cols } => AlgExpr::Emit {
+            input: Box::new(rewrite(*input, catalog)),
+            pred,
+            cols,
         },
         AlgExpr::Nest { input, cols, into } => AlgExpr::Nest {
             input: Box::new(rewrite(*input, catalog)),
@@ -181,6 +193,7 @@ fn out_cols(expr: &AlgExpr, catalog: Catalog<'_>) -> Option<Vec<Sym>> {
             cols.push(*col);
             Some(cols)
         }
+        AlgExpr::Emit { cols, .. } => Some(cols.iter().map(|(c, _)| *c).collect()),
         _ => None,
     }
 }
@@ -204,6 +217,279 @@ fn push_conjuncts(input: AlgExpr, conjuncts: Vec<Pred>, catalog: Catalog<'_>) ->
             input: Box::new(expr),
             pred: Pred::all(remaining),
         }
+    }
+}
+
+/// Collapse `Rename* ∘ Project ∘ (Project | Extend | Select)*` chains into a
+/// single [`AlgExpr::Emit`] node, recursing everywhere else.
+///
+/// Soundness rules, checked per chain:
+/// - the chain root is `Rename*` over a `Project`; every rename must be
+///   proper over the project's columns (`from` present, `to` fresh) and the
+///   final output names distinct, otherwise the chain is left alone;
+/// - below the project, a `Rename` stops the chain (its propriety cannot be
+///   checked without the scan schema);
+/// - a mid-chain `Project` is skipped only when every column the mapping and
+///   predicate reference survives it; its early deduplication is immaterial
+///   because the output relation deduplicates on insert and first-occurrence
+///   order is preserved;
+/// - an `Extend` folds into the mapping by substitution only while no
+///   `Select` has been absorbed yet, so absorbing it cannot move the
+///   computed column's evaluation across a filter that ran *after* it in
+///   the original chain;
+/// - absorbed `Select` predicates are prepended to the accumulated
+///   predicate, so conjuncts still evaluate bottom-up in the original
+///   order.
+///
+/// The fused plan may fail *less* often than the original on ill-formed
+/// plans (it only evaluates the scalars it still references, and only on
+/// rows that pass the residual predicate); whenever the original evaluates,
+/// the fused plan evaluates to the identical relation, in the same
+/// insertion order.
+pub fn fuse_reshapes(expr: AlgExpr) -> AlgExpr {
+    if let Some(fused) = try_fuse_chain(&expr) {
+        return fused;
+    }
+    fuse_children(expr)
+}
+
+/// Try to recognize a reshape chain rooted at `expr`; returns the fused
+/// node (with a recursively fused input) when the chain is sound and
+/// absorbs at least one stage beyond the project itself.
+fn try_fuse_chain(expr: &AlgExpr) -> Option<AlgExpr> {
+    // Chain root: renames (outermost first) over a project.
+    let mut renames: Vec<(Sym, Sym)> = Vec::new();
+    let mut cur = expr;
+    while let AlgExpr::Rename { input, from, to } = cur {
+        renames.push((*from, *to));
+        cur = input;
+    }
+    let AlgExpr::Project { input, cols } = cur else {
+        return None;
+    };
+    // The renames apply innermost-first to the project's output columns;
+    // validate each is proper as it applies.
+    let mut names = cols.clone();
+    for (from, to) in renames.iter().rev() {
+        if !names.contains(from) || names.contains(to) {
+            return None;
+        }
+        for n in &mut names {
+            if *n == *from {
+                *n = *to;
+            }
+        }
+    }
+    let mut distinct = names.clone();
+    distinct.sort();
+    distinct.dedup();
+    if distinct.len() != names.len() {
+        return None;
+    }
+    let mut mapping: Vec<(Sym, Scalar)> = names
+        .into_iter()
+        .zip(cols.iter().map(|c| Scalar::Col(*c)))
+        .collect();
+
+    // Walk below the project, absorbing stages into the mapping/predicate.
+    let mut pred = Pred::True;
+    let mut saw_select = false;
+    let mut absorbed = 0usize;
+    let mut cur = input.as_ref();
+    loop {
+        match cur {
+            AlgExpr::Project { input, cols: inner } => {
+                let needed = referenced_cols(&mapping, &pred);
+                if !needed.iter().all(|c| inner.contains(c)) {
+                    break;
+                }
+                cur = input;
+                absorbed += 1;
+            }
+            AlgExpr::Extend { input, col, value } if !saw_select => {
+                for (_, s) in &mut mapping {
+                    *s = replace_col_scalar(s, *col, value);
+                }
+                pred = replace_col_pred(&pred, *col, value);
+                cur = input;
+                absorbed += 1;
+            }
+            AlgExpr::Select { input, pred: p } => {
+                pred = match pred {
+                    Pred::True => p.clone(),
+                    acc => Pred::And(Box::new(p.clone()), Box::new(acc)),
+                };
+                saw_select = true;
+                cur = input;
+                absorbed += 1;
+            }
+            _ => break,
+        }
+    }
+    if renames.is_empty() && absorbed == 0 {
+        return None;
+    }
+    Some(AlgExpr::Emit {
+        input: Box::new(fuse_reshapes(cur.clone())),
+        pred,
+        cols: mapping,
+    })
+}
+
+/// All columns the emit mapping and residual predicate read.
+fn referenced_cols(mapping: &[(Sym, Scalar)], pred: &Pred) -> Vec<Sym> {
+    let mut out = pred.cols();
+    for (_, s) in mapping {
+        out.extend(s.cols());
+    }
+    out
+}
+
+/// Rebuild a node with recursively fused children.
+fn fuse_children(expr: AlgExpr) -> AlgExpr {
+    match expr {
+        leaf @ (AlgExpr::Rel(_) | AlgExpr::Const(_)) => leaf,
+        AlgExpr::Select { input, pred } => AlgExpr::Select {
+            input: Box::new(fuse_reshapes(*input)),
+            pred,
+        },
+        AlgExpr::Project { input, cols } => AlgExpr::Project {
+            input: Box::new(fuse_reshapes(*input)),
+            cols,
+        },
+        AlgExpr::Rename { input, from, to } => AlgExpr::Rename {
+            input: Box::new(fuse_reshapes(*input)),
+            from,
+            to,
+        },
+        AlgExpr::Product { left, right } => AlgExpr::Product {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::Join { left, right } => AlgExpr::Join {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::Union { left, right } => AlgExpr::Union {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::Diff { left, right } => AlgExpr::Diff {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::Intersect { left, right } => AlgExpr::Intersect {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::SemiJoin { left, right } => AlgExpr::SemiJoin {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::AntiJoin { left, right } => AlgExpr::AntiJoin {
+            left: Box::new(fuse_reshapes(*left)),
+            right: Box::new(fuse_reshapes(*right)),
+        },
+        AlgExpr::Extend { input, col, value } => AlgExpr::Extend {
+            input: Box::new(fuse_reshapes(*input)),
+            col,
+            value,
+        },
+        AlgExpr::Emit { input, pred, cols } => AlgExpr::Emit {
+            input: Box::new(fuse_reshapes(*input)),
+            pred,
+            cols,
+        },
+        AlgExpr::Nest { input, cols, into } => AlgExpr::Nest {
+            input: Box::new(fuse_reshapes(*input)),
+            cols,
+            into,
+        },
+        AlgExpr::Unnest { input, col } => AlgExpr::Unnest {
+            input: Box::new(fuse_reshapes(*input)),
+            col,
+        },
+        AlgExpr::Aggregate {
+            input,
+            group,
+            agg,
+            on,
+            into,
+        } => AlgExpr::Aggregate {
+            input: Box::new(fuse_reshapes(*input)),
+            group,
+            agg,
+            on,
+            into,
+        },
+        AlgExpr::Fixpoint {
+            rec,
+            base,
+            step,
+            mode,
+        } => AlgExpr::Fixpoint {
+            rec,
+            base: Box::new(fuse_reshapes(*base)),
+            step: Box::new(fuse_reshapes(*step)),
+            mode,
+        },
+    }
+}
+
+/// Replace references to column `col` with the scalar `with` — the
+/// substitution that folds an `Extend` away.
+fn replace_col_scalar(s: &Scalar, col: Sym, with: &Scalar) -> Scalar {
+    match s {
+        Scalar::Col(c) if *c == col => with.clone(),
+        Scalar::Col(c) => Scalar::Col(*c),
+        Scalar::Const(v) => Scalar::Const(v.clone()),
+        Scalar::Add(a, b) => Scalar::Add(
+            Box::new(replace_col_scalar(a, col, with)),
+            Box::new(replace_col_scalar(b, col, with)),
+        ),
+        Scalar::Sub(a, b) => Scalar::Sub(
+            Box::new(replace_col_scalar(a, col, with)),
+            Box::new(replace_col_scalar(b, col, with)),
+        ),
+        Scalar::Mul(a, b) => Scalar::Mul(
+            Box::new(replace_col_scalar(a, col, with)),
+            Box::new(replace_col_scalar(b, col, with)),
+        ),
+        Scalar::Div(a, b) => Scalar::Div(
+            Box::new(replace_col_scalar(a, col, with)),
+            Box::new(replace_col_scalar(b, col, with)),
+        ),
+        Scalar::Tuple(fs) => Scalar::Tuple(
+            fs.iter()
+                .map(|(l, e)| (*l, replace_col_scalar(e, col, with)))
+                .collect(),
+        ),
+        Scalar::Field(e, l) => Scalar::Field(Box::new(replace_col_scalar(e, col, with)), *l),
+    }
+}
+
+/// Replace references to column `col` with the scalar `with` in a predicate.
+fn replace_col_pred(p: &Pred, col: Sym, with: &Scalar) -> Pred {
+    match p {
+        Pred::True => Pred::True,
+        Pred::Cmp(op, a, b) => Pred::Cmp(
+            *op,
+            replace_col_scalar(a, col, with),
+            replace_col_scalar(b, col, with),
+        ),
+        Pred::In(a, b) => Pred::In(
+            replace_col_scalar(a, col, with),
+            replace_col_scalar(b, col, with),
+        ),
+        Pred::And(a, b) => Pred::And(
+            Box::new(replace_col_pred(a, col, with)),
+            Box::new(replace_col_pred(b, col, with)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(replace_col_pred(a, col, with)),
+            Box::new(replace_col_pred(b, col, with)),
+        ),
+        Pred::Not(i) => Pred::Not(Box::new(replace_col_pred(i, col, with))),
     }
 }
 
@@ -551,6 +837,139 @@ mod tests {
         assert_eq!(orig, opt);
     }
 
+    #[test]
+    fn reshape_chain_fuses_to_a_single_emit() {
+        // The per-literal shape the planner emits:
+        // Rename(dst→?Y) ∘ Rename(src→?X) ∘ Project[src,dst] ∘ Select ∘ scan.
+        let chain = AlgExpr::Const(edges(&[(1, 2), (3, 4)]))
+            .select(sel("src", 1))
+            .project(["src", "dst"])
+            .rename("src", "?X")
+            .rename("dst", "?Y");
+        let fused = fuse_reshapes(chain.clone());
+        let AlgExpr::Emit { input, pred, cols } = &fused else {
+            panic!("expected Emit, got {fused:?}");
+        };
+        assert!(matches!(input.as_ref(), AlgExpr::Const(_)));
+        assert!(!matches!(pred, Pred::True));
+        assert_eq!(
+            cols,
+            &vec![
+                (Sym::new("?X"), Scalar::col("src")),
+                (Sym::new("?Y"), Scalar::col("dst")),
+            ]
+        );
+        let env = Env::new();
+        assert_eq!(eval(&chain, &env).unwrap(), eval(&fused, &env).unwrap());
+    }
+
+    #[test]
+    fn bare_projects_are_left_unfused() {
+        // A lone projection absorbs nothing; fusing it would only add an
+        // operator, so it stays a Project.
+        let p = AlgExpr::Const(edges(&[(1, 2)])).project(["src"]);
+        assert!(matches!(fuse_reshapes(p), AlgExpr::Project { .. }));
+    }
+
+    #[test]
+    fn extend_folds_into_the_emit_mapping() {
+        // Project[src, x] ∘ Extend(x := src + 1) ∘ scan: the computed column
+        // substitutes into the mapping, so the Extend disappears.
+        let ext = AlgExpr::Extend {
+            input: Box::new(AlgExpr::Const(edges(&[(1, 2), (5, 6)]))),
+            col: Sym::new("x"),
+            value: Scalar::Add(
+                Box::new(Scalar::col("src")),
+                Box::new(Scalar::Const(Value::Int(1))),
+            ),
+        };
+        let chain = ext.project(["src", "x"]).rename("x", "bump");
+        let fused = fuse_reshapes(chain.clone());
+        let AlgExpr::Emit { input, cols, .. } = &fused else {
+            panic!("expected Emit, got {fused:?}");
+        };
+        assert!(matches!(input.as_ref(), AlgExpr::Const(_)));
+        assert_eq!(cols[0], (Sym::new("src"), Scalar::col("src")));
+        assert!(matches!(cols[1].1, Scalar::Add(..)));
+        let env = Env::new();
+        assert_eq!(eval(&chain, &env).unwrap(), eval(&fused, &env).unwrap());
+    }
+
+    #[test]
+    fn extend_below_an_absorbed_select_is_not_folded() {
+        // Project ∘ Select ∘ Extend: folding the Extend would move its
+        // evaluation across the filter that originally ran after it, so the
+        // walk stops at the Extend and it stays the emit input.
+        let ext = AlgExpr::Extend {
+            input: Box::new(AlgExpr::Const(edges(&[(1, 2), (3, 4)]))),
+            col: Sym::new("x"),
+            value: Scalar::Add(
+                Box::new(Scalar::col("src")),
+                Box::new(Scalar::Const(Value::Int(1))),
+            ),
+        };
+        let chain = ext
+            .select(sel("x", 2))
+            .project(["src", "dst"])
+            .rename("src", "?X");
+        let fused = fuse_reshapes(chain.clone());
+        let AlgExpr::Emit { input, .. } = &fused else {
+            panic!("expected Emit, got {fused:?}");
+        };
+        assert!(
+            matches!(input.as_ref(), AlgExpr::Extend { .. }),
+            "Extend below a Select must stay materialized, got {input:?}"
+        );
+        let env = Env::new();
+        assert_eq!(eval(&chain, &env).unwrap(), eval(&fused, &env).unwrap());
+    }
+
+    #[test]
+    fn rename_below_the_project_stops_the_chain() {
+        // The inner Rename's propriety cannot be checked without the scan
+        // schema, so the chain absorbs down to it and no further.
+        let chain = AlgExpr::Const(edges(&[(1, 2)]))
+            .rename("dst", "mid")
+            .select(sel("src", 1))
+            .project(["src", "mid"]);
+        let fused = fuse_reshapes(chain.clone());
+        let AlgExpr::Emit { input, .. } = &fused else {
+            panic!("expected Emit, got {fused:?}");
+        };
+        assert!(matches!(input.as_ref(), AlgExpr::Rename { .. }));
+        let env = Env::new();
+        assert_eq!(eval(&chain, &env).unwrap(), eval(&fused, &env).unwrap());
+    }
+
+    #[test]
+    fn improper_rename_leaves_the_chain_alone() {
+        // Renaming onto a column that still exists is not injective; the
+        // chain is left untouched rather than fused unsoundly.
+        let chain = AlgExpr::Const(edges(&[(1, 2)]))
+            .select(sel("src", 1))
+            .project(["src", "dst"])
+            .rename("src", "dst");
+        assert!(matches!(fuse_reshapes(chain), AlgExpr::Rename { .. }));
+    }
+
+    #[test]
+    fn fusion_recurses_through_join_operands() {
+        // Chains on both join sides fuse even though the join itself is not
+        // part of any chain.
+        let side = |lo: i64| {
+            AlgExpr::Const(edges(&[(lo, lo + 1)]))
+                .select(sel("src", lo))
+                .project(["src", "dst"])
+                .rename("dst", "mid")
+        };
+        let joined = side(1).join(side(2).rename("src", "far"));
+        let fused = fuse_reshapes(joined.clone());
+        let dbg = format!("{fused:?}");
+        assert!(dbg.contains("Emit"), "no Emit in {dbg}");
+        let env = Env::new();
+        assert_eq!(eval(&joined, &env).unwrap(), eval(&fused, &env).unwrap());
+    }
+
     /// Differential proptest: pushdown never changes the result of a
     /// well-formed plan, across random expressions covering joins, unions,
     /// differences, renames, projections, extends and fixpoints — including
@@ -820,6 +1239,75 @@ mod tests {
                 let opt = eval(&optimized, &env);
                 if let Ok(orig_rel) = orig {
                     let opt_rel = opt.expect("optimized plan must evaluate when the original does");
+                    prop_assert_eq!(orig_rel, opt_rel);
+                }
+            }
+
+            /// Fusion differential: collapsing reshape chains into emit nodes
+            /// never changes the result of a plan the original evaluates —
+            /// the fused plan may only error *less* (it skips intermediate
+            /// materializations that could, e.g., trip a type error on rows
+            /// the final predicate would drop), never differently.
+            #[test]
+            fn fused_plans_agree_with_unfused(
+                bytes in proptest::collection::vec(any::<u8>(), 16..96),
+                depth in 1usize..4,
+            ) {
+                let mut cur = Cursor { bytes: &bytes, pos: 0 };
+                let (expr, top_cols) = build(&mut cur, depth);
+                // Cap with a projection so the outermost shape is the
+                // Project-over-chain pattern fusion targets.
+                let keep: Vec<Sym> = top_cols
+                    .iter()
+                    .filter(|_| cur.next().is_multiple_of(2))
+                    .copied()
+                    .collect();
+                let keep = if keep.is_empty() { vec![top_cols[0]] } else { keep };
+                let expr = expr.project_syms(&keep);
+
+                let mut env = Env::new();
+                let mut cur3 = Cursor { bytes: &bytes, pos: bytes.len() / 3 };
+                env.bind("r1", const_rel(&mut cur3, &[Sym::new("a"), Sym::new("b")]));
+                env.bind("r2", const_rel(&mut cur3, &[Sym::new("b"), Sym::new("c")]));
+
+                let fused = fuse_reshapes(expr.clone());
+                if let Ok(orig_rel) = eval(&expr, &env) {
+                    let fused_rel =
+                        eval(&fused, &env).expect("fused plan must evaluate when the original does");
+                    prop_assert_eq!(orig_rel, fused_rel);
+                }
+            }
+
+            /// Composition differential: the production pipeline runs
+            /// pushdown *then* fusion; the composed plan agrees too.
+            #[test]
+            fn pushed_then_fused_plans_agree_with_unoptimized(
+                bytes in proptest::collection::vec(any::<u8>(), 16..96),
+                depth in 1usize..4,
+            ) {
+                let mut cur = Cursor { bytes: &bytes, pos: 0 };
+                let (expr, top_cols) = build(&mut cur, depth);
+                let mut cur2 = Cursor { bytes: &bytes, pos: bytes.len() / 2 };
+                let expr = expr.select(rand_pred(&mut cur2, &top_cols)).project_syms(&top_cols);
+
+                let mut env = Env::new();
+                let mut cur3 = Cursor { bytes: &bytes, pos: bytes.len() / 3 };
+                env.bind("r1", const_rel(&mut cur3, &[Sym::new("a"), Sym::new("b")]));
+                env.bind("r2", const_rel(&mut cur3, &[Sym::new("b"), Sym::new("c")]));
+                let catalog = |name: Sym| {
+                    if name == Sym::new("r1") {
+                        Some(vec![Sym::new("a"), Sym::new("b")])
+                    } else if name == Sym::new("r2") {
+                        Some(vec![Sym::new("b"), Sym::new("c")])
+                    } else {
+                        None
+                    }
+                };
+
+                let optimized = fuse_reshapes(push_selections_with(expr.clone(), &catalog));
+                if let Ok(orig_rel) = eval(&expr, &env) {
+                    let opt_rel = eval(&optimized, &env)
+                        .expect("optimized plan must evaluate when the original does");
                     prop_assert_eq!(orig_rel, opt_rel);
                 }
             }

@@ -30,24 +30,7 @@ use crate::plan::{CompileUnsupported, CompiledProgram, StratumPlan};
 
 /// Direct children of an operator node, in evaluation order.
 fn children(e: &AlgExpr) -> Vec<&AlgExpr> {
-    match e {
-        AlgExpr::Rel(_) | AlgExpr::Const(_) => Vec::new(),
-        AlgExpr::Select { input, .. }
-        | AlgExpr::Project { input, .. }
-        | AlgExpr::Rename { input, .. }
-        | AlgExpr::Extend { input, .. }
-        | AlgExpr::Nest { input, .. }
-        | AlgExpr::Unnest { input, .. }
-        | AlgExpr::Aggregate { input, .. } => vec![input],
-        AlgExpr::Product { left, right }
-        | AlgExpr::Join { left, right }
-        | AlgExpr::Union { left, right }
-        | AlgExpr::Diff { left, right }
-        | AlgExpr::Intersect { left, right }
-        | AlgExpr::SemiJoin { left, right }
-        | AlgExpr::AntiJoin { left, right } => vec![left, right],
-        AlgExpr::Fixpoint { base, step, .. } => vec![base, step],
-    }
+    e.children()
 }
 
 /// A one-line, deterministic operand summary for an operator node. Binary
@@ -65,6 +48,16 @@ fn node_detail(e: &AlgExpr) -> String {
         }
         AlgExpr::Rename { from, to, .. } => format!("{from} -> {to}"),
         AlgExpr::Extend { col, value, .. } => format!("{col} := {value}"),
+        AlgExpr::Emit { pred, cols, .. } => {
+            // The fused reshape: every absorbed stage is visible as the
+            // output mapping plus the residual filter.
+            let cols: Vec<String> = cols.iter().map(|(c, s)| format!("{c} := {s}")).collect();
+            let mut detail = cols.join(", ");
+            if !matches!(pred, algres::Pred::True) {
+                detail.push_str(&format!(" where {pred}"));
+            }
+            detail
+        }
         AlgExpr::Nest { cols, into, .. } => {
             let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
             format!("{} into {into}", cols.join(", "))
@@ -398,7 +391,7 @@ pub(crate) fn profile_stratum(
     splan: &StratumPlan,
     rules: &RuleSet,
     ev: &Evaluator<'_>,
-    inserts: &FxHashMap<usize, MaterializeStats>,
+    inserts: &FxHashMap<u64, MaterializeStats>,
 ) {
     for step in &splan.steps {
         for (label, plan) in step_plans(step) {
@@ -427,8 +420,9 @@ pub(crate) fn profile_stratum(
                     }
                 })
                 .collect();
-            let m = inserts
-                .get(&(plan as *const AlgExpr as usize))
+            let m = ev
+                .node_id_of(plan)
+                .and_then(|id| inserts.get(&id))
                 .copied()
                 .unwrap_or_default();
             ops.push(OpProfile {

@@ -283,7 +283,10 @@ pub fn compile_program_with(
                 )
                 .map_err(fragment)?;
                 notes.extend(applied.into_iter().map(|n| format!("{label}: {n}")));
-                Ok(algres::push_selections_with(plan, &catalog))
+                // Pushdown first (selections sink toward the scans), then
+                // collapse the post-join reshape chains into emit nodes.
+                let plan = algres::push_selections_with(plan, &catalog);
+                Ok(algres::fuse_reshapes(plan))
             };
             let full = plan_of(None, None, "full", &mut notes)?;
             let mut deltas = Vec::new();
@@ -401,7 +404,15 @@ pub fn run_compiled(
         if opts.profile {
             ev.enable_profiling();
         }
-        let mut inserts: FxHashMap<usize, MaterializeStats> = FxHashMap::default();
+        // Register every plan up front: caches and profiles key on the
+        // stable per-plan node ids this assigns, not on node addresses.
+        for step in &splan.steps {
+            ev.register_plan(&step.full);
+            for d in &step.deltas {
+                ev.register_plan(d);
+            }
+        }
+        let mut inserts: FxHashMap<u64, MaterializeStats> = FxHashMap::default();
         let mut idb_cols: FxHashMap<Sym, Vec<Sym>> = FxHashMap::default();
         for &p in &splan.idb {
             let rel = relation_of(schema, &total, p).ok_or(EngineError::UnknownPredicate(p))?;
@@ -467,7 +478,8 @@ pub fn run_compiled(
                         }
                     }
                     if let Some(start) = insert_start {
-                        let m = inserts.entry(plan as *const AlgExpr as usize).or_default();
+                        let key = ev.node_id_of(plan).expect("plan registered above");
+                        let m = inserts.entry(key).or_default();
                         m.evals += 1;
                         m.rows_in += rel.len() as u64;
                         m.rows_out += inserted;
@@ -982,6 +994,79 @@ mod tests {
         )
         .unwrap();
         assert!(report.plan_profile.is_none());
+    }
+
+    #[test]
+    fn closure_plans_fuse_reshape_chains_into_emit_nodes() {
+        // Tentpole pin: the micro-closure rule plans must carry the fused
+        // emit reshape and no residual rename/project/extend chain — the
+        // per-round operator churn E15 attributed the compiled-path gap to.
+        let (schema, _, rules) = setup(&chain(16));
+        let program = compile_program(&schema, &rules, Semantics::Inflationary).unwrap();
+        for step in &program.strata[0].steps {
+            for (label, plan) in std::iter::once(("full", &step.full))
+                .chain(step.deltas.iter().map(|d| ("delta", d)))
+            {
+                let dbg = format!("{plan:?}");
+                assert!(dbg.contains("Emit"), "{label} plan lost fusion: {dbg}");
+                for residue in ["Rename", "Project", "Extend"] {
+                    assert!(
+                        !dbg.contains(residue),
+                        "{label} plan kept a {residue} the emit should absorb: {dbg}"
+                    );
+                }
+            }
+        }
+        // The recursive rule's delta plan probes straight out of the join:
+        // its root is the emit and the emit's input is the join itself.
+        let delta = &program.strata[0].steps[1].deltas[0];
+        let algres::AlgExpr::Emit { input, .. } = delta else {
+            panic!("delta plan root is not an emit: {delta:?}");
+        };
+        assert!(
+            matches!(input.as_ref(), algres::AlgExpr::Join { .. }),
+            "emit does not sit directly on the join: {delta:?}"
+        );
+    }
+
+    #[test]
+    fn fused_emit_profile_conserves_join_rows() {
+        // EXPLAIN ANALYZE discipline for the fused node: the join's rows_out
+        // must equal the emit's rows_in (nothing double-counted or lost) and
+        // inclusive time must cover self time for both.
+        let (schema, edb, rules) = setup(&chain(12));
+        let opts = EvalOptions {
+            profile: true,
+            ..EvalOptions::default()
+        };
+        let (_, report) = evaluate(&schema, &rules, &edb, Semantics::Inflationary, opts).unwrap();
+        let profile = report.plan_profile.expect("compiled run was profiled");
+        let delta = &profile.rules[2];
+        assert_eq!(delta.plan, "delta[0]");
+        let emit = delta
+            .ops
+            .iter()
+            .find(|op| op.op == "emit")
+            .expect("emit op");
+        let join = delta
+            .ops
+            .iter()
+            .find(|op| op.op == "join")
+            .expect("join op");
+        assert_eq!(
+            emit.rows_in, join.rows_out,
+            "join pairs must flow 1:1 into the fused emit: {emit:?} vs {join:?}"
+        );
+        assert!(emit.rows_out > 0, "{emit:?}");
+        assert!(emit.nanos >= emit.self_nanos, "{emit:?}");
+        assert!(join.nanos >= join.self_nanos, "{join:?}");
+        // The emit's self time is exactly its inclusive time minus the
+        // join's — the probe-and-reshape pass, never negative.
+        assert_eq!(
+            emit.self_nanos,
+            emit.nanos.saturating_sub(join.nanos),
+            "emit self time double-counts its child: {emit:?} vs {join:?}"
+        );
     }
 
     #[test]

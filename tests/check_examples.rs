@@ -88,21 +88,24 @@ fn explain_file(path: &PathBuf) -> String {
 fn explain_output_of_examples_matches_goldens() {
     for path in modules() {
         let golden_path = path.with_extension("explain.golden.jsonl");
+        if std::env::var_os("LOGRES_UPDATE_GOLDENS").is_some() {
+            std::fs::write(&golden_path, explain_file(&path)).expect("golden file writes");
+            continue;
+        }
         let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
             panic!(
-                "{} missing ({e}); regenerate with `logres check {} --explain --json`",
-                golden_path.display(),
-                path.display()
+                "{} missing ({e}); regenerate with \
+                 `LOGRES_UPDATE_GOLDENS=1 cargo test --test check_examples`",
+                golden_path.display()
             )
         });
         assert_eq!(
             explain_file(&path),
             golden,
             "{} explain output drifted from {}; \
-             regenerate with `logres check {} --explain --json`",
+             regenerate with `LOGRES_UPDATE_GOLDENS=1 cargo test --test check_examples`",
             path.display(),
-            golden_path.display(),
-            path.display()
+            golden_path.display()
         );
     }
 }
